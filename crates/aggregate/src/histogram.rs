@@ -1,0 +1,225 @@
+//! Fixed-range histograms over the `[0, 1]` quality domain.
+
+use serde::{Deserialize, Serialize};
+
+/// An equal-width histogram on `[0, 1]` with quantile queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets on `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    #[must_use]
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one observation; values outside `[0, 1]` clamp to the edge
+    /// buckets (the quality domain guarantees they do not occur, but the
+    /// histogram must not lose counts if a caller feeds raw data).
+    pub fn record(&mut self, x: f64) {
+        let n = self.bins.len();
+        let idx = ((x * n as f64).floor() as isize).clamp(0, n as isize - 1) as usize;
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records a slice of observations.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Count in bucket `i`.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// The `[lo, hi)` value range of bucket `i` (the last bucket is
+    /// closed at 1).
+    #[must_use]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = 1.0 / self.bins.len() as f64;
+        (i as f64 * w, (i as f64 + 1.0) * w)
+    }
+
+    /// Merges another histogram (same bin count) into this one.
+    ///
+    /// # Panics
+    /// Panics if the bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "bin layouts differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Approximate `q`-quantile (`q ∈ [0, 1]`) by linear interpolation
+    /// within the bucket containing the target rank. Returns `None` when
+    /// empty.
+    ///
+    /// # Panics
+    /// Panics unless `q ∈ [0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let (lo, hi) = self.bin_range(i);
+                let frac = if c == 0 { 0.0 } else { (target - cum) / c as f64 };
+                return Some(lo + frac.clamp(0.0, 1.0) * (hi - lo));
+            }
+            cum = next;
+        }
+        Some(1.0)
+    }
+
+    /// The fraction of mass in each bucket (empty histogram → all zeros).
+    #[must_use]
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(4);
+        h.extend(&[0.1, 0.3, 0.6, 0.9, 0.95]);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(3), 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = Histogram::new(4);
+        h.record(0.0);
+        h.record(1.0); // exactly 1.0 lands in the last (closed) bucket
+        h.record(0.25); // bucket boundary goes to the upper bucket
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(3), 1);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(2);
+        h.record(-0.5);
+        h.record(1.5);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut h = Histogram::new(10);
+        // Uniform-ish mass: one observation per bucket midpoint.
+        for i in 0..10 {
+            h.record(0.05 + 0.1 * i as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 0.5).abs() < 0.1, "median {median}");
+        let q0 = h.quantile(0.0).unwrap();
+        assert!(q0 <= 0.1);
+        assert_eq!(h.quantile(1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert!(Histogram::new(4).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(4);
+        a.extend(&[0.1, 0.6]);
+        let mut b = Histogram::new(4);
+        b.extend(&[0.7, 0.8, 0.9]);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.bin_count(2), 2); // 0.6, 0.7
+    }
+
+    #[test]
+    #[should_panic(expected = "bin layouts differ")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(4);
+        a.merge(&Histogram::new(8));
+    }
+
+    #[test]
+    fn densities_sum_to_one() {
+        let mut h = Histogram::new(7);
+        h.extend(&[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]);
+        let sum: f64 = h.densities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Quantiles are monotone in q and stay within [0, 1].
+        #[test]
+        fn quantiles_are_monotone(xs in proptest::collection::vec(0.0f64..=1.0, 1..200)) {
+            let mut h = Histogram::new(16);
+            h.extend(&xs);
+            let mut last = 0.0;
+            for i in 0..=10 {
+                let q = h.quantile(i as f64 / 10.0).unwrap();
+                prop_assert!((0.0..=1.0).contains(&q));
+                prop_assert!(q >= last - 1e-12, "quantiles must not decrease");
+                last = q;
+            }
+        }
+
+        /// Total count is conserved regardless of values.
+        #[test]
+        fn total_is_conserved(xs in proptest::collection::vec(-1.0f64..2.0, 0..100)) {
+            let mut h = Histogram::new(8);
+            h.extend(&xs);
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # cdt-aggregate
+//!
+//! The platform's **data aggregation service** — the substrate behind
+//! Def. 2 of the paper: *"the platform can provide data aggregation
+//! service for some consumers who prefer to purchase the data statistics
+//! rather than the original chaotic data"*.
+//!
+//! The paper models the aggregation *cost* (`C^J`, Eq. 8) but leaves the
+//! aggregation computation itself abstract; a deployable CDT system needs
+//! it, so this crate provides:
+//!
+//! - [`summary`]: single-pass streaming moments (count/mean/variance/
+//!   min/max via Welford's algorithm) — numerically stable over the
+//!   `N·K·L` observations of a long trading job;
+//! - [`histogram`]: fixed-range histograms over the `[0, 1]` quality
+//!   domain with quantile queries;
+//! - [`sketch`]: the P² (Jain–Chlamtac) streaming quantile estimator, for
+//!   quantiles without storing observations;
+//! - [`report`]: per-PoI and cross-PoI aggregation of a round's
+//!   [`ObservationMatrix`](cdt_quality::ObservationMatrix) into the
+//!   statistics bundle delivered to the consumer, weighted by the learned
+//!   seller qualities.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod histogram;
+pub mod report;
+pub mod sketch;
+pub mod summary;
+
+pub use histogram::Histogram;
+pub use report::{aggregate_round, PoiStatistics, RoundStatistics};
+pub use sketch::P2Quantile;
+pub use summary::StreamingSummary;

@@ -1,0 +1,162 @@
+//! The statistics bundle the platform delivers to the consumer each round
+//! (the product of Def. 2's aggregation service).
+//!
+//! Per Def. 4, the *valuation* of the bundle depends on the sensing time
+//! and the mean quality; the bundle itself carries per-PoI and cross-PoI
+//! statistics, with an optional quality-weighted view (higher-quality
+//! sellers' readings count for more — the reason quality-aware selection
+//! matters commercially).
+
+use crate::histogram::Histogram;
+use crate::summary::StreamingSummary;
+use cdt_quality::ObservationMatrix;
+use cdt_types::{PoiId, SellerId};
+use serde::{Deserialize, Serialize};
+
+/// Statistics over one PoI's readings in a round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoiStatistics {
+    /// Which PoI.
+    pub poi: PoiId,
+    /// Unweighted streaming moments over the K sellers' readings.
+    pub summary: StreamingSummary,
+    /// Quality-weighted mean: `Σ w_i x_i / Σ w_i` with `w_i = q̄_i`.
+    pub weighted_mean: f64,
+}
+
+/// The full per-round statistics bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStatistics {
+    /// One entry per PoI, in PoI order.
+    pub per_poi: Vec<PoiStatistics>,
+    /// Cross-PoI moments over all `K·L` readings.
+    pub overall: StreamingSummary,
+    /// Distribution of all readings (16 buckets over `[0, 1]`).
+    pub histogram: Histogram,
+    /// Sellers that contributed, in selection order.
+    pub contributors: Vec<SellerId>,
+}
+
+impl RoundStatistics {
+    /// Approximate median of all readings.
+    #[must_use]
+    pub fn median(&self) -> Option<f64> {
+        self.histogram.quantile(0.5)
+    }
+}
+
+/// Aggregates one round's observation matrix into the consumer-facing
+/// statistics bundle. `weights[s]` is the platform's current quality
+/// estimate for the `s`-th *selected* seller (selection order); pass
+/// uniform weights for a quality-agnostic bundle.
+///
+/// # Panics
+/// Panics if `weights.len()` differs from the number of selected sellers.
+#[must_use]
+pub fn aggregate_round(observations: &ObservationMatrix, weights: &[f64]) -> RoundStatistics {
+    assert_eq!(
+        weights.len(),
+        observations.sellers().len(),
+        "one weight per selected seller"
+    );
+    let l = observations.num_pois();
+    let total_weight: f64 = weights.iter().sum();
+
+    let mut per_poi = Vec::with_capacity(l);
+    let mut overall = StreamingSummary::new();
+    let mut histogram = Histogram::new(16);
+
+    for poi in 0..l {
+        let mut summary = StreamingSummary::new();
+        let mut weighted = 0.0;
+        for (s, _) in observations.sellers().iter().enumerate() {
+            let x = observations.get(s, PoiId(poi));
+            summary.push(x);
+            overall.push(x);
+            histogram.record(x);
+            weighted += weights[s] * x;
+        }
+        let weighted_mean = if total_weight > 0.0 {
+            weighted / total_weight
+        } else {
+            summary.mean()
+        };
+        per_poi.push(PoiStatistics {
+            poi: PoiId(poi),
+            summary,
+            weighted_mean,
+        });
+    }
+
+    RoundStatistics {
+        per_poi,
+        overall,
+        histogram,
+        contributors: observations.sellers().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ObservationMatrix {
+        ObservationMatrix::new(
+            vec![SellerId(0), SellerId(1)],
+            vec![vec![0.2, 0.4, 0.6], vec![0.8, 0.6, 0.4]],
+        )
+    }
+
+    #[test]
+    fn per_poi_statistics() {
+        let stats = aggregate_round(&matrix(), &[1.0, 1.0]);
+        assert_eq!(stats.per_poi.len(), 3);
+        // PoI 0: readings {0.2, 0.8} → mean 0.5.
+        assert!((stats.per_poi[0].summary.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.per_poi[0].summary.count(), 2);
+        assert_eq!(stats.per_poi[0].poi, PoiId(0));
+    }
+
+    #[test]
+    fn overall_covers_all_readings() {
+        let stats = aggregate_round(&matrix(), &[1.0, 1.0]);
+        assert_eq!(stats.overall.count(), 6);
+        assert!((stats.overall.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.histogram.total(), 6);
+    }
+
+    #[test]
+    fn weights_shift_the_weighted_mean() {
+        // Give seller 1 (the 0.8 reading at PoI 0) all the weight.
+        let stats = aggregate_round(&matrix(), &[0.0, 1.0]);
+        assert!((stats.per_poi[0].weighted_mean - 0.8).abs() < 1e-12);
+        // Equal weights → plain mean.
+        let eq = aggregate_round(&matrix(), &[0.5, 0.5]);
+        assert!((eq.per_poi[0].weighted_mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_weight_falls_back_to_unweighted() {
+        let stats = aggregate_round(&matrix(), &[0.0, 0.0]);
+        assert!((stats.per_poi[1].weighted_mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contributors_preserved_in_order() {
+        let stats = aggregate_round(&matrix(), &[1.0, 1.0]);
+        assert_eq!(stats.contributors, vec![SellerId(0), SellerId(1)]);
+    }
+
+    #[test]
+    fn median_is_sane() {
+        let stats = aggregate_round(&matrix(), &[1.0, 1.0]);
+        let m = stats.median().unwrap();
+        assert!((0.3..=0.7).contains(&m), "median {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per selected seller")]
+    fn weight_arity_is_enforced() {
+        let _ = aggregate_round(&matrix(), &[1.0]);
+    }
+}

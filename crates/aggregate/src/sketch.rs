@@ -1,0 +1,222 @@
+//! The P² (Jain & Chlamtac, 1985) streaming quantile estimator.
+//!
+//! Estimates a single quantile with five markers and O(1) memory —
+//! appropriate for the platform, which aggregates millions of quality
+//! observations per job but sells only summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator of one `q`-quantile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// First five observations, buffered until initialization.
+    bootstrap: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile.
+    ///
+    /// # Panics
+    /// Panics unless `q ∈ (0, 1)`.
+    #[must_use]
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "P2 requires q in (0, 1), got {q}");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            bootstrap: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of observations seen.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.bootstrap.push(x);
+            if self.count == 5 {
+                self.bootstrap
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                for (h, &v) in self.heights.iter_mut().zip(&self.bootstrap) {
+                    *h = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing x and update extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x.max(self.heights[4]);
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with parabolic (fallback linear) moves.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate (`None` until any data arrives; exact
+    /// small-sample quantile before the 5-observation bootstrap fills).
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut v = self.bootstrap.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            let idx = ((self.q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+            return Some(v[idx]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quantile(xs: &mut [f64], q: f64) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
+        xs[idx]
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p2 = P2Quantile::new(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        for &x in &xs {
+            p2.push(x);
+        }
+        let exact = exact_quantile(&mut xs, 0.5);
+        let est = p2.estimate().unwrap();
+        assert!((est - exact).abs() < 0.01, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn tail_quantile_of_skewed_stream() {
+        let mut p2 = P2Quantile::new(0.95);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Beta(2,5)-ish skew via the square of a uniform.
+        let mut xs: Vec<f64> = (0..50_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                u * u
+            })
+            .collect();
+        for &x in &xs {
+            p2.push(x);
+        }
+        let exact = exact_quantile(&mut xs, 0.95);
+        let est = p2.estimate().unwrap();
+        assert!((est - exact).abs() < 0.02, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert!(p2.estimate().is_none());
+        p2.push(0.9);
+        assert_eq!(p2.estimate(), Some(0.9));
+        p2.push(0.1);
+        p2.push(0.5);
+        // Exact median of {0.1, 0.5, 0.9}.
+        assert_eq!(p2.estimate(), Some(0.5));
+    }
+
+    #[test]
+    fn constant_stream_estimates_the_constant() {
+        let mut p2 = P2Quantile::new(0.3);
+        for _ in 0..1000 {
+            p2.push(0.42);
+        }
+        assert!((p2.estimate().unwrap() - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_stays_within_observed_range() {
+        let mut p2 = P2Quantile::new(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            p2.push(rng.gen_range(0.25..0.75));
+        }
+        let est = p2.estimate().unwrap();
+        assert!((0.25..=0.75).contains(&est));
+    }
+
+    #[test]
+    #[should_panic(expected = "P2 requires q in (0, 1)")]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Single-pass streaming moments via Welford's online algorithm.
+//!
+//! A full trading job observes `N·K·L` quality samples (up to 2·10⁷ at the
+//! paper's largest scale); naive sum-of-squares accumulation loses
+//! precision there, Welford's recurrence does not.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count / mean / variance / min / max.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingSummary {
+    /// An empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Folds a slice of observations in.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Merges another summary into this one (parallel aggregation — the
+    /// Chan et al. pairwise update).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = StreamingSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+    }
+
+    #[test]
+    fn hand_computed_moments() {
+        let mut s = StreamingSummary::new();
+        s.extend(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12); // classic example
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = StreamingSummary::new();
+        s.push(0.5);
+        assert_eq!(s.mean(), 0.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [0.1, 0.9, 0.4, 0.7, 0.2, 0.6];
+        let mut whole = StreamingSummary::new();
+        whole.extend(&xs);
+        let mut a = StreamingSummary::new();
+        a.extend(&xs[..2]);
+        let mut b = StreamingSummary::new();
+        b.extend(&xs[2..]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = StreamingSummary::new();
+        s.extend(&[0.3, 0.8]);
+        let before = s;
+        s.merge(&StreamingSummary::new());
+        assert_eq!(s, before);
+        let mut e = StreamingSummary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn numerically_stable_for_shifted_data() {
+        // Mean 1e9 with tiny variance — naive sum-of-squares would
+        // catastrophically cancel.
+        let mut s = StreamingSummary::new();
+        for i in 0..1000 {
+            s.push(1e9 + (i % 3) as f64);
+        }
+        // Values cycle 0,1,2 around 1e9: variance = 2/3. Welford keeps
+        // ~4 significant digits here; the naive sum-of-squares formula
+        // would return garbage (catastrophic cancellation at 1e18 scale).
+        assert!((s.variance() - 2.0 / 3.0).abs() < 1e-3, "{}", s.variance());
+    }
+
+    proptest! {
+        /// Streaming results match the two-pass reference on random data.
+        #[test]
+        fn matches_two_pass_reference(xs in proptest::collection::vec(0.0f64..1.0, 2..200)) {
+            let mut s = StreamingSummary::new();
+            s.extend(&xs);
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-10);
+            prop_assert!((s.variance() - var).abs() < 1e-10);
+        }
+
+        /// Merging arbitrary splits equals the sequential fold.
+        #[test]
+        fn merge_is_split_invariant(
+            xs in proptest::collection::vec(0.0f64..1.0, 1..100),
+            split_frac in 0.0f64..1.0,
+        ) {
+            let split = ((xs.len() as f64) * split_frac) as usize;
+            let mut whole = StreamingSummary::new();
+            whole.extend(&xs);
+            let mut a = StreamingSummary::new();
+            a.extend(&xs[..split]);
+            let mut b = StreamingSummary::new();
+            b.extend(&xs[split..]);
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-10);
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The platform's online quality learner (Eqs. 17–18).
+//!
+//! For each seller the estimator tracks the total number of learned
+//! observations `n_i^t` and the running sample mean `q̄_i^t`:
+//!
+//! ```text
+//! n_i^t = n_i^{t−1} + L            if selected (one observation per PoI)
+//! q̄_i^t = (q̄_i^{t−1} n_i^{t−1} + Σ_l q_{i,l}^t) / (n_i^{t−1} + L)
+//! ```
+
+use cdt_quality::ObservationMatrix;
+use cdt_types::SellerId;
+use serde::{Deserialize, Serialize};
+
+/// Per-seller sample-mean quality estimates with observation counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityEstimator {
+    counts: Vec<u64>,
+    means: Vec<f64>,
+    total_count: u64,
+}
+
+impl QualityEstimator {
+    /// A fresh estimator over `m` sellers: all counters zero, all means
+    /// zero (no prior knowledge — Def. 3's "unknown sellers").
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        Self {
+            counts: vec![0; m],
+            means: vec![0.0; m],
+            total_count: 0,
+        }
+    }
+
+    /// Number of sellers `M`.
+    #[must_use]
+    pub fn num_sellers(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `n_i^t`: how many observations of seller `i` have been learned.
+    #[must_use]
+    pub fn count(&self, id: SellerId) -> u64 {
+        self.counts[id.index()]
+    }
+
+    /// `Σ_j n_j^t`: total observations across all sellers (the logarithm's
+    /// argument in Eq. 19).
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// `q̄_i^t`: the current sample-mean quality of seller `i`
+    /// (0 before the first observation).
+    #[must_use]
+    pub fn mean(&self, id: SellerId) -> f64 {
+        self.means[id.index()]
+    }
+
+    /// All sample means, indexed by seller.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// `true` once seller `i` has been observed at least once.
+    #[must_use]
+    pub fn is_explored(&self, id: SellerId) -> bool {
+        self.counts[id.index()] > 0
+    }
+
+    /// Folds one seller's `L` per-PoI observations into the estimate
+    /// (Eqs. 17–18 for `χ_i^t = 1`).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if an observation leaves `[0, 1]` — the quality
+    /// domain of Def. 3. Callers sit between this estimator and the
+    /// [`cdt_quality`] samplers, which guarantee the domain.
+    pub fn update(&mut self, id: SellerId, observations: &[f64]) {
+        debug_assert!(
+            observations.iter().all(|q| (0.0..=1.0).contains(q)),
+            "quality observations must lie in [0, 1]"
+        );
+        if observations.is_empty() {
+            return;
+        }
+        let i = id.index();
+        let old_n = self.counts[i] as f64;
+        let l = observations.len() as f64;
+        let sum: f64 = observations.iter().sum();
+        self.means[i] = (self.means[i] * old_n + sum) / (old_n + l);
+        self.counts[i] += observations.len() as u64;
+        self.total_count += observations.len() as u64;
+    }
+
+    /// Folds a whole round's observation matrix into the estimates.
+    pub fn update_round(&mut self, observations: &ObservationMatrix) {
+        for (id, row) in observations.iter() {
+            self.update(id, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_estimator_knows_nothing() {
+        let e = QualityEstimator::new(3);
+        assert_eq!(e.num_sellers(), 3);
+        assert_eq!(e.total_count(), 0);
+        for i in 0..3 {
+            assert_eq!(e.count(SellerId(i)), 0);
+            assert_eq!(e.mean(SellerId(i)), 0.0);
+            assert!(!e.is_explored(SellerId(i)));
+        }
+    }
+
+    #[test]
+    fn single_update_sets_mean_to_average() {
+        let mut e = QualityEstimator::new(2);
+        e.update(SellerId(0), &[0.8, 0.6, 0.7, 0.5]);
+        assert_eq!(e.count(SellerId(0)), 4);
+        assert!((e.mean(SellerId(0)) - 0.65).abs() < 1e-12);
+        assert_eq!(e.count(SellerId(1)), 0);
+        assert_eq!(e.total_count(), 4);
+    }
+
+    #[test]
+    fn paper_example_round1_means() {
+        // Sec. III-D: seller 1 observes (0.804, 0.661, 0.723, 0.389) over
+        // L = 4 PoIs; the paper reports q̄₁¹ = 0.644 (3 d.p.).
+        let mut e = QualityEstimator::new(1);
+        e.update(SellerId(0), &[0.804, 0.661, 0.723, 0.389]);
+        assert!((e.mean(SellerId(0)) - 0.64425).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_update_equals_batch_mean() {
+        let mut e = QualityEstimator::new(1);
+        e.update(SellerId(0), &[0.2, 0.4]);
+        e.update(SellerId(0), &[0.9]);
+        e.update(SellerId(0), &[0.1, 0.3, 0.5]);
+        let batch = (0.2 + 0.4 + 0.9 + 0.1 + 0.3 + 0.5) / 6.0;
+        assert!((e.mean(SellerId(0)) - batch).abs() < 1e-12);
+        assert_eq!(e.count(SellerId(0)), 6);
+    }
+
+    #[test]
+    fn empty_observation_is_a_no_op() {
+        let mut e = QualityEstimator::new(1);
+        e.update(SellerId(0), &[0.5]);
+        let before = e.clone();
+        e.update(SellerId(0), &[]);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn update_round_folds_all_rows() {
+        let mut e = QualityEstimator::new(3);
+        let m = ObservationMatrix::new(
+            vec![SellerId(0), SellerId(2)],
+            vec![vec![0.5, 0.7], vec![0.2, 0.4]],
+        );
+        e.update_round(&m);
+        assert!((e.mean(SellerId(0)) - 0.6).abs() < 1e-12);
+        assert!((e.mean(SellerId(2)) - 0.3).abs() < 1e-12);
+        assert_eq!(e.count(SellerId(1)), 0);
+        assert_eq!(e.total_count(), 4);
+    }
+
+    proptest! {
+        /// The running mean always stays inside the convex hull of the
+        /// observations — in particular inside [0, 1].
+        #[test]
+        fn mean_stays_in_unit_interval(obs in proptest::collection::vec(0.0f64..=1.0, 1..50)) {
+            let mut e = QualityEstimator::new(1);
+            for chunk in obs.chunks(7) {
+                e.update(SellerId(0), chunk);
+            }
+            let m = e.mean(SellerId(0));
+            prop_assert!((0.0..=1.0).contains(&m));
+            prop_assert_eq!(e.count(SellerId(0)), obs.len() as u64);
+        }
+
+        /// Chunked incremental updates agree with the one-shot batch mean.
+        #[test]
+        fn incremental_matches_batch(
+            obs in proptest::collection::vec(0.0f64..=1.0, 1..80),
+            chunk in 1usize..10,
+        ) {
+            let mut e = QualityEstimator::new(1);
+            for c in obs.chunks(chunk) {
+                e.update(SellerId(0), c);
+            }
+            let batch = obs.iter().sum::<f64>() / obs.len() as f64;
+            prop_assert!((e.mean(SellerId(0)) - batch).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The extended UCB index of Eq. 19.
+//!
+//! `q̂_i^t = q̄_i^t + ε_i^t`, with
+//! `ε_i^t = sqrt( w · ln(Σ_j n_j^t) / n_i^t )`.
+//!
+//! The paper fixes the exploration weight `w = K + 1`; [`UcbConfig`]
+//! exposes it so the `ucb_width_ablation` bench can sweep it (DESIGN.md §5).
+//! Unexplored sellers get an infinite index, guaranteeing every seller is
+//! observed before any exploitation happens (the initial round of
+//! Algorithm 1 selects everyone, so in CMAB-HS proper this only matters for
+//! policies without an initial full sweep).
+
+use crate::estimator::QualityEstimator;
+use cdt_types::SellerId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the UCB exploration term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UcbConfig {
+    /// The weight `w` inside the square root. The paper's choice for a
+    /// `K`-armed combinatorial pull is `w = K + 1`.
+    pub exploration_weight: f64,
+}
+
+impl UcbConfig {
+    /// The paper's configuration for selection size `K`: `w = K + 1`.
+    #[must_use]
+    pub fn paper(k: usize) -> Self {
+        Self {
+            exploration_weight: (k + 1) as f64,
+        }
+    }
+
+    /// A custom exploration weight (ablation studies).
+    ///
+    /// # Panics
+    /// Panics unless `w > 0` and finite.
+    #[must_use]
+    pub fn with_weight(w: f64) -> Self {
+        assert!(w.is_finite() && w > 0.0, "exploration weight must be > 0");
+        Self {
+            exploration_weight: w,
+        }
+    }
+
+    /// The confidence width `ε_i^t` for one seller.
+    ///
+    /// Returns `+∞` when the seller has never been observed, and 0 when no
+    /// observation exists anywhere yet (`ln` of 0/1 would be degenerate).
+    #[must_use]
+    pub fn confidence_width(&self, count: u64, total_count: u64) -> f64 {
+        if count == 0 {
+            return f64::INFINITY;
+        }
+        if total_count <= 1 {
+            return 0.0;
+        }
+        (self.exploration_weight * (total_count as f64).ln() / count as f64).sqrt()
+    }
+
+    /// The UCB index `q̂_i^t` for one seller.
+    #[must_use]
+    pub fn index(&self, mean: f64, count: u64, total_count: u64) -> f64 {
+        mean + self.confidence_width(count, total_count)
+    }
+}
+
+/// Computes the UCB index of every seller from the estimator state.
+#[must_use]
+pub fn ucb_indices(estimator: &QualityEstimator, config: &UcbConfig) -> Vec<f64> {
+    let total = estimator.total_count();
+    (0..estimator.num_sellers())
+        .map(|i| {
+            let id = SellerId(i);
+            config.index(estimator.mean(id), estimator.count(id), total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_weight_is_k_plus_one() {
+        assert_eq!(UcbConfig::paper(10).exploration_weight, 11.0);
+    }
+
+    #[test]
+    fn unexplored_seller_has_infinite_index() {
+        let c = UcbConfig::paper(2);
+        assert_eq!(c.confidence_width(0, 100), f64::INFINITY);
+        assert_eq!(c.index(0.0, 0, 100), f64::INFINITY);
+    }
+
+    #[test]
+    fn width_shrinks_with_own_count() {
+        let c = UcbConfig::paper(2);
+        let w1 = c.confidence_width(10, 1000);
+        let w2 = c.confidence_width(100, 1000);
+        assert!(w1 > w2);
+    }
+
+    #[test]
+    fn width_grows_with_total_count() {
+        let c = UcbConfig::paper(2);
+        let w1 = c.confidence_width(10, 100);
+        let w2 = c.confidence_width(10, 10_000);
+        assert!(w2 > w1, "less-selected sellers regain priority over time");
+    }
+
+    #[test]
+    fn width_matches_formula() {
+        let c = UcbConfig::paper(2); // w = 3
+        let expected = (3.0 * (1000.0f64).ln() / 50.0).sqrt();
+        assert!((c.confidence_width(50, 1000) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_round2_ucb() {
+        // Sec. III-D, after round 2 (K = 2, L = 4): n₁ = 8, n₃ = 4,
+        // Σn = 20. The paper reports q̂₁² = 1.657 with q̄₁² = 0.597 and
+        // q̂₃² = 2.069 with q̄₃² = 0.57 — both match
+        // ε = sqrt(3·ln 20 / n) exactly. (The example's *round-1* UCB
+        // values 3.258/3.268/3.184 instead correspond to a width of
+        // sqrt(11·ln 12 / 4), i.e. the authors' default K = 10 leaked into
+        // the K = 2 example; round 2 is the self-consistent reference.)
+        let c = UcbConfig::paper(2);
+        let q1 = c.index(0.597, 8, 20);
+        let q3 = c.index(0.57, 4, 20);
+        assert!((q1 - 1.657).abs() < 2e-3, "q̂₁ = {q1}");
+        assert!((q3 - 2.069).abs() < 2e-3, "q̂₃ = {q3}");
+    }
+
+    #[test]
+    fn ucb_indices_cover_all_sellers() {
+        let mut e = QualityEstimator::new(3);
+        e.update(SellerId(0), &[0.5, 0.5]);
+        e.update(SellerId(1), &[0.9, 0.9]);
+        let idx = ucb_indices(&e, &UcbConfig::paper(1));
+        assert_eq!(idx.len(), 3);
+        assert!(idx[1] > idx[0], "better mean, equal count ⇒ larger index");
+        assert_eq!(idx[2], f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "exploration weight must be > 0")]
+    fn rejects_non_positive_weight() {
+        let _ = UcbConfig::with_weight(0.0);
+    }
+
+    #[test]
+    fn zero_total_width_is_zero_for_explored() {
+        // Degenerate but defined: an explored seller when total <= 1.
+        let c = UcbConfig::paper(1);
+        assert_eq!(c.confidence_width(1, 1), 0.0);
+    }
+}

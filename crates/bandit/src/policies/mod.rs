@@ -1,0 +1,37 @@
+//! Concrete selection policies.
+//!
+//! Paper evaluation set (Sec. V-A):
+//! - [`CmabUcbPolicy`] — the CMAB-HS policy (Algorithm 1): full initial
+//!   sweep, then top-K by the Eq. 19 UCB index;
+//! - [`EpsilonFirstPolicy`] — pure exploration for the first `εN` rounds,
+//!   then greedy top-K by sample mean;
+//! - [`RandomPolicy`] — uniform random `K`-subsets every round;
+//! - [`OraclePolicy`] — clairvoyant "optimal": knows the true expected
+//!   qualities and always selects the true top-K.
+//!
+//! Extensions (not in the paper's comparison, used by ablation benches and
+//! extra examples):
+//! - [`EpsilonGreedyPolicy`] — per-round ε-mixing of exploration and greedy;
+//! - [`ThompsonPolicy`] — Gaussian posterior sampling;
+//! - [`CucbPolicy`] — the classical CUCB index of Chen et al. (reference
+//!   `[33]` in the paper), `q̄_i + sqrt(3 ln t / (2 n_i))`;
+//! - [`SlidingWindowUcbPolicy`] — SW-UCB over a forgetting window, for the
+//!   non-stationary qualities of Def. 3's Remark.
+
+mod cucb;
+mod epsilon_first;
+mod epsilon_greedy;
+mod oracle;
+mod random;
+mod sliding_ucb;
+mod thompson;
+mod ucb;
+
+pub use cucb::CucbPolicy;
+pub use epsilon_first::EpsilonFirstPolicy;
+pub use epsilon_greedy::EpsilonGreedyPolicy;
+pub use oracle::OraclePolicy;
+pub use random::RandomPolicy;
+pub use sliding_ucb::SlidingWindowUcbPolicy;
+pub use thompson::ThompsonPolicy;
+pub use ucb::CmabUcbPolicy;

@@ -1,0 +1,114 @@
+//! The clairvoyant "optimal" baseline: knows every seller's true expected
+//! quality in advance and always selects the true top-K (the paper's
+//! `optimal` comparison algorithm and the reference policy in the regret
+//! definition, Eq. 34).
+
+use crate::estimator::QualityEstimator;
+use crate::policy::SelectionPolicy;
+use crate::topk::top_k_by_score;
+use cdt_quality::ObservationMatrix;
+use cdt_types::{Round, SellerId};
+use rand::RngCore;
+
+/// Always selects the `K` sellers with the highest *true* expected quality;
+/// its Stackelberg game is played with the true qualities as well.
+#[derive(Debug, Clone)]
+pub struct OraclePolicy {
+    true_qualities: Vec<f64>,
+    selection: Vec<SellerId>,
+    // Maintained for interface parity (and so the oracle's estimator can be
+    // inspected in convergence tests), never used for selection.
+    estimator: QualityEstimator,
+}
+
+impl OraclePolicy {
+    /// Creates the oracle from the hidden true qualities.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the number of sellers.
+    #[must_use]
+    pub fn new(true_qualities: Vec<f64>, k: usize) -> Self {
+        assert!(k <= true_qualities.len());
+        let selection = top_k_by_score(&true_qualities, k);
+        let m = true_qualities.len();
+        Self {
+            true_qualities,
+            selection,
+            estimator: QualityEstimator::new(m),
+        }
+    }
+
+    /// The fixed optimal selection `S*` (same every round).
+    #[must_use]
+    pub fn optimal_selection(&self) -> &[SellerId] {
+        &self.selection
+    }
+
+    /// Per-round optimal expected revenue contribution *per PoI*:
+    /// `Σ_{i∈S*} q_i`.
+    #[must_use]
+    pub fn optimal_quality_sum(&self) -> f64 {
+        self.selection
+            .iter()
+            .map(|id| self.true_qualities[id.index()])
+            .sum()
+    }
+}
+
+impl SelectionPolicy for OraclePolicy {
+    fn name(&self) -> String {
+        "optimal".to_owned()
+    }
+
+    fn select(&mut self, _round: Round, _rng: &mut dyn RngCore) -> Vec<SellerId> {
+        self.selection.clone()
+    }
+
+    fn observe(&mut self, _round: Round, observations: &ObservationMatrix) {
+        self.estimator.update_round(observations);
+    }
+
+    fn game_quality(&self, id: SellerId) -> f64 {
+        self.true_qualities[id.index()]
+    }
+
+    fn estimator(&self) -> &QualityEstimator {
+        &self.estimator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selects_true_top_k_every_round() {
+        let mut p = OraclePolicy::new(vec![0.3, 0.9, 0.1, 0.7], 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in 0..5 {
+            assert_eq!(p.select(Round(t), &mut rng), vec![SellerId(1), SellerId(3)]);
+        }
+        assert_eq!(p.optimal_selection().len(), 2);
+    }
+
+    #[test]
+    fn optimal_quality_sum() {
+        let p = OraclePolicy::new(vec![0.3, 0.9, 0.1, 0.7], 2);
+        assert!((p.optimal_quality_sum() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn game_quality_is_truth() {
+        let p = OraclePolicy::new(vec![0.3, 0.9], 1);
+        assert_eq!(p.game_quality(SellerId(0)), 0.3);
+        assert_eq!(p.game_quality(SellerId(1)), 0.9);
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        let p = OraclePolicy::new(vec![0.5, 0.5, 0.5], 2);
+        assert_eq!(p.optimal_selection(), &[SellerId(0), SellerId(1)]);
+    }
+}

@@ -1,0 +1,95 @@
+//! The uniform-random baseline of the paper's evaluation.
+
+use crate::estimator::QualityEstimator;
+use crate::policy::{random_k_subset, SelectionPolicy};
+use cdt_quality::ObservationMatrix;
+use cdt_types::{Round, SellerId};
+use rand::RngCore;
+
+/// Selects a uniform random `K`-subset every round. It still *learns*
+/// (the platform observes the data it buys), so its Stackelberg game is
+/// played with sample-mean qualities like every other learning policy —
+/// only its selection ignores them.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    estimator: QualityEstimator,
+    k: usize,
+}
+
+impl RandomPolicy {
+    /// Creates a random policy over `m` sellers with selection size `k`.
+    #[must_use]
+    pub fn new(m: usize, k: usize) -> Self {
+        Self {
+            estimator: QualityEstimator::new(m),
+            k,
+        }
+    }
+}
+
+impl SelectionPolicy for RandomPolicy {
+    fn name(&self) -> String {
+        "random".to_owned()
+    }
+
+    fn select(&mut self, _round: Round, rng: &mut dyn RngCore) -> Vec<SellerId> {
+        random_k_subset(self.estimator.num_sellers(), self.k, rng)
+    }
+
+    fn observe(&mut self, _round: Round, observations: &ObservationMatrix) {
+        self.estimator.update_round(observations);
+    }
+
+    fn game_quality(&self, id: SellerId) -> f64 {
+        self.estimator.mean(id)
+    }
+
+    fn estimator(&self) -> &QualityEstimator {
+        &self.estimator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selects_k_distinct_sellers() {
+        let mut p = RandomPolicy::new(20, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in 0..50 {
+            let sel = p.select(Round(t), &mut rng);
+            let set: std::collections::HashSet<_> = sel.iter().collect();
+            assert_eq!(sel.len(), 5);
+            assert_eq!(set.len(), 5);
+        }
+    }
+
+    #[test]
+    fn selection_frequency_is_roughly_uniform() {
+        let mut p = RandomPolicy::new(10, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        let rounds = 20_000;
+        for t in 0..rounds {
+            for id in p.select(Round(t), &mut rng) {
+                counts[id.index()] += 1;
+            }
+        }
+        let expected = rounds as f64 * 2.0 / 10.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "seller {i} selected {c} times (expected ~{expected})");
+        }
+    }
+
+    #[test]
+    fn still_learns_from_observations() {
+        let mut p = RandomPolicy::new(2, 1);
+        let m = ObservationMatrix::new(vec![SellerId(1)], vec![vec![0.8, 0.6]]);
+        p.observe(Round(0), &m);
+        assert!((p.game_quality(SellerId(1)) - 0.7).abs() < 1e-12);
+    }
+}

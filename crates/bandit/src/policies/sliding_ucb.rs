@@ -1,0 +1,158 @@
+//! Sliding-window UCB (SW-UCB, Garivier & Moulines) — the non-stationary
+//! extension of the paper's Eq. 19 policy.
+//!
+//! Selection uses the *windowed* mean and count so stale observations stop
+//! influencing the index once qualities drift; the cumulative estimator is
+//! still maintained for inspection and for interface parity.
+
+use crate::estimator::QualityEstimator;
+use crate::policy::SelectionPolicy;
+use crate::topk::top_k_by_score;
+use crate::windowed::SlidingWindowEstimator;
+use cdt_quality::ObservationMatrix;
+use cdt_types::{Round, SellerId};
+use rand::RngCore;
+
+/// SW-UCB over sellers: index
+/// `q̂_i = mean_W(i) + sqrt(w · ln(min(Σn, W·M)) / n_W(i))`, full initial
+/// sweep like CMAB-HS.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowUcbPolicy {
+    windowed: SlidingWindowEstimator,
+    cumulative: QualityEstimator,
+    k: usize,
+    exploration_weight: f64,
+}
+
+impl SlidingWindowUcbPolicy {
+    /// Creates an SW-UCB policy with the paper's `w = K + 1` exploration
+    /// weight and a per-seller window of `window` observations.
+    #[must_use]
+    pub fn new(m: usize, k: usize, window: usize) -> Self {
+        Self {
+            windowed: SlidingWindowEstimator::new(m, window),
+            cumulative: QualityEstimator::new(m),
+            k,
+            exploration_weight: (k + 1) as f64,
+        }
+    }
+
+    /// The current SW-UCB index of every seller.
+    #[must_use]
+    pub fn indices(&self) -> Vec<f64> {
+        let m = self.windowed.num_sellers();
+        // Cap the log argument at the total window capacity: with forgetting,
+        // the index's exploration pressure must not grow without bound.
+        let horizon = (self.windowed.total_seen() as f64).min((m as u64 * 10_000) as f64);
+        (0..m)
+            .map(|i| {
+                let id = SellerId(i);
+                let n = self.windowed.count(id);
+                if n == 0 {
+                    f64::INFINITY
+                } else if horizon <= 1.0 {
+                    self.windowed.mean(id)
+                } else {
+                    self.windowed.mean(id)
+                        + (self.exploration_weight * horizon.ln() / n as f64).sqrt()
+                }
+            })
+            .collect()
+    }
+}
+
+impl SelectionPolicy for SlidingWindowUcbPolicy {
+    fn name(&self) -> String {
+        "SW-UCB".to_owned()
+    }
+
+    fn select(&mut self, round: Round, _rng: &mut dyn RngCore) -> Vec<SellerId> {
+        if round.is_initial() {
+            return (0..self.windowed.num_sellers()).map(SellerId).collect();
+        }
+        top_k_by_score(&self.indices(), self.k)
+    }
+
+    fn observe(&mut self, _round: Round, observations: &ObservationMatrix) {
+        self.windowed.update_round(observations);
+        self.cumulative.update_round(observations);
+    }
+
+    fn game_quality(&self, id: SellerId) -> f64 {
+        // Windowed mean: under drift this is the current quality, which is
+        // what the Stackelberg game should price.
+        self.windowed.mean(id)
+    }
+
+    fn estimator(&self) -> &QualityEstimator {
+        &self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn observe(p: &mut SlidingWindowUcbPolicy, round: Round, sel: &[SellerId], qs: &[f64]) {
+        let rows = sel.iter().map(|id| vec![qs[id.index()]; 4]).collect();
+        p.observe(round, &ObservationMatrix::new(sel.to_vec(), rows));
+    }
+
+    #[test]
+    fn initial_round_selects_all() {
+        let mut p = SlidingWindowUcbPolicy::new(5, 2, 40);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.select(Round(0), &mut rng).len(), 5);
+    }
+
+    #[test]
+    fn adapts_after_abrupt_quality_change() {
+        // Seller 0 starts best; after round 200 seller 2 becomes best.
+        // SW-UCB must shift its modal selection; the growing window of
+        // stale evidence would pin a cumulative-mean policy to seller 0.
+        let mut p = SlidingWindowUcbPolicy::new(3, 1, 40);
+        let mut rng = StdRng::seed_from_u64(2);
+        let before = [0.9, 0.5, 0.3];
+        let after = [0.3, 0.5, 0.9];
+        let sel0 = p.select(Round(0), &mut rng);
+        observe(&mut p, Round(0), &sel0, &before);
+        for t in 1..200 {
+            let sel = p.select(Round(t), &mut rng);
+            observe(&mut p, Round(t), &sel, &before);
+        }
+        let mut hits_after = 0;
+        for t in 200..600 {
+            let sel = p.select(Round(t), &mut rng);
+            if sel == vec![SellerId(2)] && t >= 400 {
+                hits_after += 1;
+            }
+            observe(&mut p, Round(t), &sel, &after);
+        }
+        assert!(
+            hits_after as f64 / 200.0 > 0.6,
+            "post-drift hit rate {hits_after}/200"
+        );
+    }
+
+    #[test]
+    fn game_quality_is_windowed_mean() {
+        let mut p = SlidingWindowUcbPolicy::new(2, 1, 4);
+        observe(&mut p, Round(0), &[SellerId(0)], &[0.2, 0.0]);
+        observe(&mut p, Round(1), &[SellerId(0)], &[0.8, 0.0]);
+        // Window (size 4) holds the last 4 of 8 observations: all 0.8.
+        assert!((p.game_quality(SellerId(0)) - 0.8).abs() < 1e-12);
+        // The cumulative estimator still remembers everything.
+        assert!((p.estimator().mean(SellerId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unexplored_sellers_have_infinite_index() {
+        let mut p = SlidingWindowUcbPolicy::new(3, 1, 10);
+        observe(&mut p, Round(0), &[SellerId(0)], &[0.9, 0.0, 0.0]);
+        let idx = p.indices();
+        assert_eq!(idx[1], f64::INFINITY);
+        assert_eq!(idx[2], f64::INFINITY);
+    }
+}

@@ -1,0 +1,173 @@
+//! The CMAB-HS selection policy (Algorithm 1, seller-selection half).
+
+use crate::estimator::QualityEstimator;
+use crate::index::{ucb_indices, UcbConfig};
+use crate::policy::SelectionPolicy;
+use crate::topk::top_k_by_score;
+use cdt_quality::ObservationMatrix;
+use cdt_types::{Round, SellerId};
+use rand::RngCore;
+
+/// The paper's extended-UCB policy:
+///
+/// - **round 0** (initial exploration, Alg. 1 steps 2–5): select *all* `M`
+///   sellers so that every estimate is seeded with `L` observations;
+/// - **round t ≥ 1** (steps 7–10): select the top-`K` sellers by the UCB
+///   index `q̂_i = q̄_i + sqrt(w · ln(Σ_j n_j) / n_i)` with `w = K + 1`.
+#[derive(Debug, Clone)]
+pub struct CmabUcbPolicy {
+    estimator: QualityEstimator,
+    config: UcbConfig,
+    k: usize,
+    /// Skip the full initial sweep (used by ablations that want a pure
+    /// UCB cold start; infinite indices then force coverage over the first
+    /// `⌈M/K⌉` rounds instead of one `M`-seller round).
+    full_initial_sweep: bool,
+}
+
+impl CmabUcbPolicy {
+    /// The paper's configuration: full initial sweep, `w = K + 1`.
+    #[must_use]
+    pub fn new(m: usize, k: usize) -> Self {
+        Self {
+            estimator: QualityEstimator::new(m),
+            config: UcbConfig::paper(k),
+            k,
+            full_initial_sweep: true,
+        }
+    }
+
+    /// Overrides the exploration weight (ablation).
+    #[must_use]
+    pub fn with_exploration_weight(mut self, w: f64) -> Self {
+        self.config = UcbConfig::with_weight(w);
+        self
+    }
+
+    /// Disables the round-0 full sweep (ablation).
+    #[must_use]
+    pub fn without_initial_sweep(mut self) -> Self {
+        self.full_initial_sweep = false;
+        self
+    }
+
+    /// The current UCB index of every seller.
+    #[must_use]
+    pub fn indices(&self) -> Vec<f64> {
+        ucb_indices(&self.estimator, &self.config)
+    }
+}
+
+impl SelectionPolicy for CmabUcbPolicy {
+    fn name(&self) -> String {
+        "CMAB-HS".to_owned()
+    }
+
+    fn select(&mut self, round: Round, _rng: &mut dyn RngCore) -> Vec<SellerId> {
+        if round.is_initial() && self.full_initial_sweep {
+            return (0..self.estimator.num_sellers()).map(SellerId).collect();
+        }
+        top_k_by_score(&self.indices(), self.k)
+    }
+
+    fn observe(&mut self, _round: Round, observations: &ObservationMatrix) {
+        self.estimator.update_round(observations);
+    }
+
+    fn game_quality(&self, id: SellerId) -> f64 {
+        self.estimator.mean(id)
+    }
+
+    fn estimator(&self) -> &QualityEstimator {
+        &self.estimator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn observe_all(policy: &mut CmabUcbPolicy, round: Round, selected: &[SellerId], qs: &[f64]) {
+        let rows = selected
+            .iter()
+            .map(|id| vec![qs[id.index()]; 4])
+            .collect::<Vec<_>>();
+        policy.observe(round, &ObservationMatrix::new(selected.to_vec(), rows));
+    }
+
+    #[test]
+    fn round_zero_selects_everyone() {
+        let mut p = CmabUcbPolicy::new(5, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = p.select(Round(0), &mut rng);
+        assert_eq!(sel.len(), 5);
+    }
+
+    #[test]
+    fn later_rounds_select_k() {
+        let mut p = CmabUcbPolicy::new(5, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel0 = p.select(Round(0), &mut rng);
+        observe_all(&mut p, Round(0), &sel0, &[0.1, 0.9, 0.5, 0.3, 0.7]);
+        let sel1 = p.select(Round(1), &mut rng);
+        assert_eq!(sel1.len(), 2);
+    }
+
+    #[test]
+    fn converges_to_true_top_k_with_clean_observations() {
+        // Noise-free observations: after the initial sweep the means are
+        // exact; UCB still explores early, but with a long horizon the
+        // modal selection must be the true top-K.
+        let qs = [0.2, 0.9, 0.4, 0.8, 0.1];
+        let mut p = CmabUcbPolicy::new(5, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sel0 = p.select(Round(0), &mut rng);
+        observe_all(&mut p, Round(0), &sel0, &qs);
+        let mut hits = 0;
+        let rounds = 3000;
+        for t in 1..=rounds {
+            let sel = p.select(Round(t), &mut rng);
+            let mut s: Vec<usize> = sel.iter().map(|x| x.index()).collect();
+            s.sort_unstable();
+            if s == vec![1, 3] {
+                hits += 1;
+            }
+            observe_all(&mut p, Round(t), &sel, &qs);
+        }
+        assert!(
+            hits as f64 / rounds as f64 > 0.9,
+            "true top-K hit rate {hits}/{rounds}"
+        );
+    }
+
+    #[test]
+    fn without_initial_sweep_still_covers_everyone() {
+        let qs = [0.2, 0.9, 0.4];
+        let mut p = CmabUcbPolicy::new(3, 1).without_initial_sweep();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..3 {
+            let sel = p.select(Round(t), &mut rng);
+            assert_eq!(sel.len(), 1);
+            seen.insert(sel[0].index());
+            observe_all(&mut p, Round(t), &sel, &qs);
+        }
+        assert_eq!(seen.len(), 3, "infinite UCB indices force coverage");
+    }
+
+    #[test]
+    fn game_quality_is_sample_mean() {
+        let mut p = CmabUcbPolicy::new(2, 1);
+        observe_all(&mut p, Round(0), &[SellerId(0)], &[0.6, 0.0]);
+        assert!((p.game_quality(SellerId(0)) - 0.6).abs() < 1e-12);
+        assert_eq!(p.game_quality(SellerId(1)), 0.0);
+    }
+
+    #[test]
+    fn exploration_weight_override() {
+        let p = CmabUcbPolicy::new(3, 2).with_exploration_weight(1.0);
+        assert_eq!(p.config.exploration_weight, 1.0);
+    }
+}

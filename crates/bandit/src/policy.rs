@@ -1,0 +1,96 @@
+//! The [`SelectionPolicy`] abstraction: anything that can pick `K` sellers
+//! per round and learn from the resulting observations.
+//!
+//! The trait is object-safe (`&mut dyn RngCore`) so the simulation engine
+//! can run a heterogeneous set of policies side by side on identical
+//! workloads.
+
+use crate::estimator::QualityEstimator;
+use cdt_quality::ObservationMatrix;
+use cdt_types::{Round, SellerId};
+use rand::RngCore;
+
+/// A per-round seller-selection policy (a CMAB arm-pulling policy, Def. 7).
+pub trait SelectionPolicy {
+    /// Human-readable name, including distinguishing parameters
+    /// (e.g. `"CMAB-HS"`, `"0.1-first"`, `"random"`).
+    fn name(&self) -> String;
+
+    /// Chooses the sellers for `round`. Must return exactly `K` distinct
+    /// ids — except policies that perform a full initial sweep
+    /// (Algorithm 1 selects *all* `M` sellers in round 0).
+    fn select(&mut self, round: Round, rng: &mut dyn RngCore) -> Vec<SellerId>;
+
+    /// Feeds back the observed qualities of the sellers selected in
+    /// `round`. Every policy learns (the platform sees the data it buys
+    /// regardless of how it selected), even if its *selection* ignores the
+    /// estimates (e.g. `random`).
+    fn observe(&mut self, round: Round, observations: &ObservationMatrix);
+
+    /// The quality estimate handed to the Stackelberg game for seller `id`
+    /// (`q̄_i^t` for learning policies; the true `q_i` for the clairvoyant
+    /// optimal policy).
+    fn game_quality(&self, id: SellerId) -> f64;
+
+    /// Read access to the policy's estimator state.
+    fn estimator(&self) -> &QualityEstimator;
+}
+
+/// Draws `k` distinct seller ids uniformly at random from `0..m`.
+///
+/// # Panics
+/// Panics if `k > m`.
+pub(crate) fn random_k_subset(m: usize, k: usize, rng: &mut dyn RngCore) -> Vec<SellerId> {
+    assert!(k <= m, "cannot draw {k} distinct sellers from {m}");
+    rand::seq::index::sample(rng, m, k)
+        .into_iter()
+        .map(SellerId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn random_subset_is_distinct_and_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = random_k_subset(10, 4, &mut rng);
+            let set: HashSet<_> = s.iter().collect();
+            assert_eq!(s.len(), 4);
+            assert_eq!(set.len(), 4);
+            assert!(s.iter().all(|id| id.index() < 10));
+        }
+    }
+
+    #[test]
+    fn random_subset_k_equals_m() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = random_k_subset(5, 5, &mut rng);
+        let set: HashSet<_> = s.iter().map(|id| id.index()).collect();
+        assert_eq!(set, (0..5).collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn random_subset_rejects_k_beyond_m() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = random_k_subset(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn random_subset_covers_all_sellers_eventually() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            for id in random_k_subset(20, 3, &mut rng) {
+                seen.insert(id.index());
+            }
+        }
+        assert_eq!(seen.len(), 20, "uniform sampling must reach every arm");
+    }
+}

@@ -1,0 +1,260 @@
+//! Regret accounting (Eq. 34) and the closed-form bound of
+//! Lemma 18 / Theorem 19.
+//!
+//! Following Sec. IV-A, regret is measured against the clairvoyant policy
+//! that always selects the true top-K set `S*`, in *expected* quality
+//! units: each round contributes `L · (Σ_{i∈S*} q_i − Σ_{i∈S^t} q_i)`
+//! (the factor `L` because every selected seller is observed at `L` PoIs,
+//! matching the revenue definition of Eq. 1).
+
+use cdt_types::SellerId;
+use serde::{Deserialize, Serialize};
+
+/// The reward-gap statistics `Δ_min`, `Δ_max` of Eqs. 35–36.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapStatistics {
+    /// `Δ_min = Σ_{S*} q − max_{S ≠ S*} Σ_S q`: the smallest revenue gap to
+    /// a non-optimal set (= the gap between the K-th and (K+1)-th best
+    /// seller).
+    pub delta_min: f64,
+    /// `Δ_max = Σ_{S*} q − min_S Σ_S q`: the largest revenue gap (= top-K
+    /// sum minus bottom-K sum).
+    pub delta_max: f64,
+}
+
+/// Computes `Δ_min`/`Δ_max` from the true expected qualities.
+///
+/// Returns `None` when `K = M` (only one selectable set exists, so the
+/// gaps are undefined and the regret is identically zero) or when the
+/// (K+1)-th seller ties the K-th (then `Δ_min = 0` and the logarithmic
+/// bound degenerates).
+#[must_use]
+pub fn gap_statistics(true_qualities: &[f64], k: usize) -> Option<GapStatistics> {
+    let m = true_qualities.len();
+    if k == 0 || k >= m {
+        return None;
+    }
+    let mut sorted: Vec<f64> = true_qualities.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("qualities are finite"));
+    let delta_min = sorted[k - 1] - sorted[k];
+    if delta_min <= 0.0 {
+        return None;
+    }
+    let top_k: f64 = sorted[..k].iter().sum();
+    let bottom_k: f64 = sorted[m - k..].iter().sum();
+    Some(GapStatistics {
+        delta_min,
+        delta_max: top_k - bottom_k,
+    })
+}
+
+/// The closed-form expected-regret bound of Theorem 19 (via Lemma 18):
+///
+/// `Reg ≤ M · Δ_max · ( 4K²(K+1)·ln(NKL)/Δ_min² + 1 + π²/(3·K^{2K+1}·L^{K+2}) )`
+///
+/// in per-observation quality units, scaled by `L` to match the
+/// [`RegretAccountant`]'s revenue units.
+///
+/// For large `K` the `K^{2K+1}` term overflows to `+∞`, which correctly
+/// sends the vanishing tail term to 0.
+#[must_use]
+pub fn theoretical_regret_bound(
+    n: usize,
+    m: usize,
+    k: usize,
+    l: usize,
+    gaps: GapStatistics,
+) -> f64 {
+    let kf = k as f64;
+    let lf = l as f64;
+    let log_term = (n as f64 * kf * lf).ln().max(0.0);
+    let main = 4.0 * kf * kf * (kf + 1.0) * log_term / (gaps.delta_min * gaps.delta_min);
+    let tail = std::f64::consts::PI.powi(2) / (3.0 * kf.powf(2.0 * kf + 1.0) * lf.powf(kf + 2.0));
+    m as f64 * gaps.delta_max * (main + 1.0 + tail) * lf
+}
+
+/// Online regret accumulator for one policy run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegretAccountant {
+    true_qualities: Vec<f64>,
+    num_pois: usize,
+    optimal_per_round: f64,
+    cumulative_regret: f64,
+    cumulative_expected_revenue: f64,
+    rounds: usize,
+}
+
+impl RegretAccountant {
+    /// Creates an accountant; `k` is the per-round selection size of the
+    /// *optimal* reference policy (Eq. 34 compares against `S*` of size
+    /// `K` even in the initial all-seller round).
+    ///
+    /// # Panics
+    /// Panics if `k > M`.
+    #[must_use]
+    pub fn new(true_qualities: Vec<f64>, k: usize, num_pois: usize) -> Self {
+        assert!(k <= true_qualities.len());
+        let mut sorted = true_qualities.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("qualities are finite"));
+        let optimal_per_round = sorted[..k].iter().sum::<f64>() * num_pois as f64;
+        Self {
+            true_qualities,
+            num_pois,
+            optimal_per_round,
+            cumulative_regret: 0.0,
+            cumulative_expected_revenue: 0.0,
+            rounds: 0,
+        }
+    }
+
+    /// Records one round's selection.
+    pub fn record(&mut self, selected: &[SellerId]) {
+        let selected_sum: f64 = selected
+            .iter()
+            .map(|id| self.true_qualities[id.index()])
+            .sum::<f64>()
+            * self.num_pois as f64;
+        self.cumulative_expected_revenue += selected_sum;
+        // The initial all-seller exploration can out-earn S* in raw revenue
+        // (it pulls M > K arms); Eq. 34 regret still counts it against the
+        // K-seller optimum, so per-round regret can be negative there.
+        self.cumulative_regret += self.optimal_per_round - selected_sum;
+        self.rounds += 1;
+    }
+
+    /// Cumulative expected regret after all recorded rounds (Eq. 34).
+    #[must_use]
+    pub fn regret(&self) -> f64 {
+        self.cumulative_regret
+    }
+
+    /// Cumulative expected revenue `E[R(χ)]` of the recorded policy.
+    #[must_use]
+    pub fn expected_revenue(&self) -> f64 {
+        self.cumulative_expected_revenue
+    }
+
+    /// The optimal policy's cumulative expected revenue so far.
+    #[must_use]
+    pub fn optimal_revenue(&self) -> f64 {
+        self.optimal_per_round * self.rounds as f64
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Per-round optimal expected revenue `L · Σ_{i∈S*} q_i`.
+    #[must_use]
+    pub fn optimal_per_round(&self) -> f64 {
+        self.optimal_per_round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gaps_hand_computed() {
+        // Sorted desc: [0.9, 0.7, 0.4, 0.2], K = 2.
+        let g = gap_statistics(&[0.4, 0.9, 0.2, 0.7], 2).unwrap();
+        assert!((g.delta_min - 0.3).abs() < 1e-12); // 0.7 − 0.4
+        assert!((g.delta_max - 1.0).abs() < 1e-12); // (0.9+0.7) − (0.4+0.2)
+    }
+
+    #[test]
+    fn gaps_undefined_for_degenerate_k() {
+        assert!(gap_statistics(&[0.1, 0.2], 2).is_none()); // K = M
+        assert!(gap_statistics(&[0.1, 0.2], 0).is_none());
+        assert!(gap_statistics(&[0.5, 0.5, 0.1], 1).is_none()); // tie at the boundary
+    }
+
+    #[test]
+    fn regret_zero_for_optimal_selection() {
+        let mut acc = RegretAccountant::new(vec![0.9, 0.1, 0.7], 2, 10);
+        acc.record(&[SellerId(0), SellerId(2)]);
+        acc.record(&[SellerId(2), SellerId(0)]); // order irrelevant
+        assert!(acc.regret().abs() < 1e-12);
+        assert!((acc.expected_revenue() - acc.optimal_revenue()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regret_counts_suboptimal_rounds() {
+        let mut acc = RegretAccountant::new(vec![0.9, 0.1, 0.7], 2, 10);
+        acc.record(&[SellerId(0), SellerId(1)]); // 0.9+0.1 instead of 0.9+0.7
+        assert!((acc.regret() - 6.0).abs() < 1e-12); // (1.6 − 1.0)·10
+    }
+
+    #[test]
+    fn initial_full_sweep_has_negative_regret() {
+        let mut acc = RegretAccountant::new(vec![0.9, 0.1, 0.7], 2, 10);
+        acc.record(&[SellerId(0), SellerId(1), SellerId(2)]);
+        assert!(acc.regret() < 0.0, "M-seller round out-earns the K-optimum");
+    }
+
+    #[test]
+    fn bound_grows_logarithmically_in_n() {
+        let gaps = GapStatistics {
+            delta_min: 0.1,
+            delta_max: 1.0,
+        };
+        let b1 = theoretical_regret_bound(10_000, 300, 10, 10, gaps);
+        let b2 = theoretical_regret_bound(100_000, 300, 10, 10, gaps);
+        let b3 = theoretical_regret_bound(1_000_000, 300, 10, 10, gaps);
+        assert!(b2 > b1 && b3 > b2);
+        // Log growth: equal increments for equal N-ratios (the constant and
+        // tail terms break exactness only marginally).
+        let d1 = b2 - b1;
+        let d2 = b3 - b2;
+        assert!((d1 - d2).abs() / d1 < 1e-6, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn bound_survives_large_k_without_nan() {
+        let gaps = GapStatistics {
+            delta_min: 0.01,
+            delta_max: 5.0,
+        };
+        let b = theoretical_regret_bound(100_000, 300, 60, 10, gaps);
+        assert!(b.is_finite() && b > 0.0);
+    }
+
+    proptest! {
+        /// Regret is never negative once every recorded round selects K
+        /// sellers, and revenue + regret = optimal revenue.
+        #[test]
+        fn regret_revenue_identity(
+            qs in proptest::collection::vec(0.01f64..1.0, 4..20),
+            seed in 0u64..1000,
+        ) {
+            use rand::{rngs::StdRng, SeedableRng};
+            let k = qs.len() / 2;
+            let mut acc = RegretAccountant::new(qs.clone(), k, 5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..20 {
+                let sel = crate::policy::random_k_subset(qs.len(), k, &mut rng);
+                acc.record(&sel);
+            }
+            prop_assert!(acc.regret() >= -1e-9);
+            let identity = acc.expected_revenue() + acc.regret() - acc.optimal_revenue();
+            prop_assert!(identity.abs() < 1e-9);
+        }
+
+        /// Δ_min ≤ Δ_max whenever both are defined.
+        #[test]
+        fn delta_min_le_delta_max(
+            qs in proptest::collection::vec(0.0f64..1.0, 3..30),
+            k_seed in 1usize..10,
+        ) {
+            let k = 1 + k_seed % (qs.len() - 1);
+            if let Some(g) = gap_statistics(&qs, k) {
+                prop_assert!(g.delta_min <= g.delta_max + 1e-12);
+                prop_assert!(g.delta_min > 0.0);
+            }
+        }
+    }
+}

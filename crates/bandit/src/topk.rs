@@ -1,0 +1,134 @@
+//! Deterministic top-K selection by score.
+//!
+//! Step 7 of Algorithm 1 sorts sellers by UCB value and greedily takes the
+//! top `K`. Ties are broken by the lower seller id so that runs are
+//! reproducible regardless of the underlying sort's stability.
+
+use cdt_types::SellerId;
+
+/// Returns the `k` seller ids with the largest scores, ordered best-first.
+///
+/// `NaN` scores are treated as `−∞` (never selected unless unavoidable);
+/// `+∞` scores (unexplored sellers under UCB) sort first. Ties break toward
+/// the smaller id.
+///
+/// Cost is `O(M log M)`; for the paper's scales (`M ≤ 300`) a full sort is
+/// both simplest and fastest in practice (see the `topk` bench).
+///
+/// # Panics
+/// Panics if `k > scores.len()`.
+#[must_use]
+pub fn top_k_by_score(scores: &[f64], k: usize) -> Vec<SellerId> {
+    assert!(
+        k <= scores.len(),
+        "cannot select top {k} of {} sellers",
+        scores.len()
+    );
+    let mut ids: Vec<usize> = (0..scores.len()).collect();
+    ids.sort_unstable_by(|&x, &y| {
+        let sx = normalize(scores[x]);
+        let sy = normalize(scores[y]);
+        sy.partial_cmp(&sx)
+            .expect("normalized scores are comparable")
+            .then(x.cmp(&y))
+    });
+    ids.truncate(k);
+    ids.into_iter().map(SellerId).collect()
+}
+
+fn normalize(score: f64) -> f64 {
+    if score.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selects_largest_scores_in_order() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(
+            top_k_by_score(&scores, 3),
+            vec![SellerId(1), SellerId(3), SellerId(2)]
+        );
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_id() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_by_score(&scores, 2), vec![SellerId(0), SellerId(1)]);
+    }
+
+    #[test]
+    fn infinite_scores_sort_first() {
+        let scores = [0.9, f64::INFINITY, 0.8];
+        assert_eq!(top_k_by_score(&scores, 2), vec![SellerId(1), SellerId(0)]);
+    }
+
+    #[test]
+    fn nan_scores_sort_last() {
+        let scores = [f64::NAN, 0.1, 0.2];
+        assert_eq!(top_k_by_score(&scores, 2), vec![SellerId(2), SellerId(1)]);
+        // NaN is only picked when k forces it.
+        assert_eq!(top_k_by_score(&scores, 3)[2], SellerId(0));
+    }
+
+    #[test]
+    fn k_equals_m_returns_everyone() {
+        let scores = [0.3, 0.1, 0.2];
+        let all = top_k_by_score(&scores, 3);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], SellerId(0));
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(top_k_by_score(&[0.1, 0.2], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select top")]
+    fn k_beyond_m_panics() {
+        let _ = top_k_by_score(&[0.1], 2);
+    }
+
+    proptest! {
+        /// Every selected score dominates every unselected score.
+        #[test]
+        fn selected_dominate_unselected(
+            scores in proptest::collection::vec(0.0f64..1.0, 1..40),
+            k_frac in 0.0f64..1.0,
+        ) {
+            let k = ((scores.len() as f64) * k_frac) as usize;
+            let picked = top_k_by_score(&scores, k);
+            let picked_set: std::collections::HashSet<usize> =
+                picked.iter().map(|s| s.index()).collect();
+            let min_picked = picked
+                .iter()
+                .map(|s| scores[s.index()])
+                .fold(f64::INFINITY, f64::min);
+            for (i, &s) in scores.iter().enumerate() {
+                if !picked_set.contains(&i) {
+                    prop_assert!(s <= min_picked + 1e-15);
+                }
+            }
+        }
+
+        /// The result has no duplicates and exactly k entries.
+        #[test]
+        fn result_is_a_k_subset(
+            scores in proptest::collection::vec(0.0f64..1.0, 1..40),
+        ) {
+            let k = scores.len() / 2;
+            let picked = top_k_by_score(&scores, k);
+            let set: std::collections::HashSet<_> = picked.iter().collect();
+            prop_assert_eq!(picked.len(), k);
+            prop_assert_eq!(set.len(), k);
+        }
+    }
+}

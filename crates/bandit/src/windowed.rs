@@ -1,0 +1,270 @@
+//! Non-stationary estimators: sliding-window and discounted sample means.
+//!
+//! The paper assumes fixed expected qualities `q_i` (Def. 3); its Remark
+//! acknowledges exogenous factors can move them. These estimators forget
+//! old observations so the UCB machinery can track drifting qualities:
+//!
+//! - [`SlidingWindowEstimator`]: exact mean over the last `W` observations
+//!   per seller (Garivier & Moulines' SW-UCB statistic);
+//! - [`DiscountedEstimator`]: exponentially-weighted mean with discount
+//!   `γ ∈ (0, 1)` (D-UCB statistic), O(1) memory.
+
+use cdt_quality::ObservationMatrix;
+use cdt_types::SellerId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-seller mean over the most recent `W` observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingWindowEstimator {
+    windows: Vec<VecDeque<f64>>,
+    sums: Vec<f64>,
+    window: usize,
+    total_seen: u64,
+}
+
+impl SlidingWindowEstimator {
+    /// Creates an estimator over `m` sellers with window size `window`.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(m: usize, window: usize) -> Self {
+        assert!(window > 0, "window must hold at least one observation");
+        Self {
+            windows: (0..m).map(|_| VecDeque::with_capacity(window)).collect(),
+            sums: vec![0.0; m],
+            window,
+            total_seen: 0,
+        }
+    }
+
+    /// Number of sellers.
+    #[must_use]
+    pub fn num_sellers(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Observations currently inside seller `i`'s window.
+    #[must_use]
+    pub fn count(&self, id: SellerId) -> u64 {
+        self.windows[id.index()].len() as u64
+    }
+
+    /// Lifetime observation count across all sellers (for the UCB log).
+    #[must_use]
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Windowed mean of seller `i` (0 before any observation).
+    #[must_use]
+    pub fn mean(&self, id: SellerId) -> f64 {
+        let i = id.index();
+        if self.windows[i].is_empty() {
+            0.0
+        } else {
+            self.sums[i] / self.windows[i].len() as f64
+        }
+    }
+
+    /// Folds one seller's per-PoI observations in, evicting beyond the
+    /// window.
+    pub fn update(&mut self, id: SellerId, observations: &[f64]) {
+        let i = id.index();
+        for &q in observations {
+            debug_assert!((0.0..=1.0).contains(&q));
+            if self.windows[i].len() == self.window {
+                let old = self.windows[i].pop_front().expect("window is full");
+                self.sums[i] -= old;
+            }
+            self.windows[i].push_back(q);
+            self.sums[i] += q;
+            self.total_seen += 1;
+        }
+        // Guard against drift of the incremental sum over very long runs.
+        if self.total_seen.is_multiple_of(1 << 20) {
+            self.sums[i] = self.windows[i].iter().sum();
+        }
+    }
+
+    /// Folds a whole round in.
+    pub fn update_round(&mut self, observations: &ObservationMatrix) {
+        for (id, row) in observations.iter() {
+            self.update(id, row);
+        }
+    }
+}
+
+/// Exponentially-discounted per-seller mean: after each new observation
+/// batch, older weight decays by `γ` per observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscountedEstimator {
+    weighted_sums: Vec<f64>,
+    weights: Vec<f64>,
+    gamma: f64,
+    total_seen: u64,
+}
+
+impl DiscountedEstimator {
+    /// Creates an estimator with discount factor `γ ∈ (0, 1]` (`γ = 1`
+    /// degenerates to the plain sample mean).
+    ///
+    /// # Panics
+    /// Panics unless `γ ∈ (0, 1]`.
+    #[must_use]
+    pub fn new(m: usize, gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must lie in (0, 1]");
+        Self {
+            weighted_sums: vec![0.0; m],
+            weights: vec![0.0; m],
+            gamma,
+            total_seen: 0,
+        }
+    }
+
+    /// Number of sellers.
+    #[must_use]
+    pub fn num_sellers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The effective (discounted) observation count of seller `i`.
+    #[must_use]
+    pub fn effective_count(&self, id: SellerId) -> f64 {
+        self.weights[id.index()]
+    }
+
+    /// Lifetime observation count across all sellers.
+    #[must_use]
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Discounted mean of seller `i` (0 before any observation).
+    #[must_use]
+    pub fn mean(&self, id: SellerId) -> f64 {
+        let i = id.index();
+        if self.weights[i] <= 0.0 {
+            0.0
+        } else {
+            self.weighted_sums[i] / self.weights[i]
+        }
+    }
+
+    /// Folds one seller's observations in.
+    pub fn update(&mut self, id: SellerId, observations: &[f64]) {
+        let i = id.index();
+        for &q in observations {
+            debug_assert!((0.0..=1.0).contains(&q));
+            self.weighted_sums[i] = self.gamma * self.weighted_sums[i] + q;
+            self.weights[i] = self.gamma * self.weights[i] + 1.0;
+            self.total_seen += 1;
+        }
+    }
+
+    /// Folds a whole round in.
+    pub fn update_round(&mut self, observations: &ObservationMatrix) {
+        for (id, row) in observations.iter() {
+            self.update(id, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn window_mean_tracks_recent_values() {
+        let mut e = SlidingWindowEstimator::new(1, 4);
+        e.update(SellerId(0), &[0.2, 0.2, 0.2, 0.2]);
+        assert!((e.mean(SellerId(0)) - 0.2).abs() < 1e-12);
+        // Regime change: four new high values evict the old ones.
+        e.update(SellerId(0), &[0.9, 0.9, 0.9, 0.9]);
+        assert!((e.mean(SellerId(0)) - 0.9).abs() < 1e-12);
+        assert_eq!(e.count(SellerId(0)), 4);
+        assert_eq!(e.total_seen(), 8);
+    }
+
+    #[test]
+    fn partial_window() {
+        let mut e = SlidingWindowEstimator::new(2, 10);
+        e.update(SellerId(1), &[0.4, 0.8]);
+        assert!((e.mean(SellerId(1)) - 0.6).abs() < 1e-12);
+        assert_eq!(e.count(SellerId(1)), 2);
+        assert_eq!(e.mean(SellerId(0)), 0.0);
+    }
+
+    #[test]
+    fn window_eviction_is_fifo() {
+        let mut e = SlidingWindowEstimator::new(1, 3);
+        e.update(SellerId(0), &[0.0, 0.3, 0.6, 0.9]);
+        // Window holds {0.3, 0.6, 0.9}.
+        assert!((e.mean(SellerId(0)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discounted_mean_follows_regime_change_smoothly() {
+        let mut e = DiscountedEstimator::new(1, 0.9);
+        for _ in 0..100 {
+            e.update(SellerId(0), &[0.2]);
+        }
+        assert!((e.mean(SellerId(0)) - 0.2).abs() < 1e-9);
+        for _ in 0..50 {
+            e.update(SellerId(0), &[0.9]);
+        }
+        // With γ = 0.9, after 50 new samples the old regime's weight is
+        // 0.9^50 ≈ 0.005 — essentially forgotten.
+        assert!((e.mean(SellerId(0)) - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn gamma_one_is_plain_mean() {
+        let mut e = DiscountedEstimator::new(1, 1.0);
+        e.update(SellerId(0), &[0.2, 0.4, 0.9]);
+        assert!((e.mean(SellerId(0)) - 0.5).abs() < 1e-12);
+        assert!((e.effective_count(SellerId(0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must hold")]
+    fn zero_window_rejected() {
+        let _ = SlidingWindowEstimator::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must lie in (0, 1]")]
+    fn bad_gamma_rejected() {
+        let _ = DiscountedEstimator::new(1, 0.0);
+    }
+
+    proptest! {
+        /// The windowed mean equals the mean of the last W observations.
+        #[test]
+        fn window_matches_suffix_mean(
+            obs in proptest::collection::vec(0.0f64..=1.0, 1..100),
+            window in 1usize..20,
+        ) {
+            let mut e = SlidingWindowEstimator::new(1, window);
+            e.update(SellerId(0), &obs);
+            let tail = &obs[obs.len().saturating_sub(window)..];
+            let expect = tail.iter().sum::<f64>() / tail.len() as f64;
+            prop_assert!((e.mean(SellerId(0)) - expect).abs() < 1e-9);
+            prop_assert_eq!(e.count(SellerId(0)) as usize, tail.len());
+        }
+
+        /// Discounted means stay inside the observation hull.
+        #[test]
+        fn discounted_mean_in_hull(
+            obs in proptest::collection::vec(0.0f64..=1.0, 1..100),
+            gamma in 0.5f64..1.0,
+        ) {
+            let mut e = DiscountedEstimator::new(1, gamma);
+            e.update(SellerId(0), &obs);
+            let m = e.mean(SellerId(0));
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+    }
+}

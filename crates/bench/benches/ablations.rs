@@ -1,0 +1,204 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//!
+//! - **closed-form vs numeric equilibrium**: how much the paper's
+//!   Theorems 14–16 buy over golden-section backward induction;
+//! - **UCB exploration width**: runtime of full runs across `w` values
+//!   (their *regret* comparison lives in `examples/regret_study.rs` and
+//!   the integration tests — Criterion measures time);
+//! - **initial full sweep vs cold start**;
+//! - **batch-of-L vs one-at-a-time estimator updates** (Eq. 17's
+//!   increment-by-L).
+
+use cdt_bandit::QualityEstimator;
+use cdt_core::{LedgerMode, Scenario};
+use cdt_game::{
+    best_response::all_seller_best_responses, equilibrium::profits_at,
+    numeric::grid_then_golden, platform_best_response, solve_equilibrium, Aggregates,
+    GameContext, SelectedSeller,
+};
+use cdt_sim::PolicySpec;
+use cdt_types::{
+    PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn game_context(k: usize) -> GameContext {
+    let mut rng = StdRng::seed_from_u64(3);
+    let sellers = (0..k)
+        .map(|i| {
+            SelectedSeller::new(
+                SellerId(i),
+                rng.gen_range(0.3..1.0),
+                SellerCostParams {
+                    a: rng.gen_range(0.1..0.5),
+                    b: rng.gen_range(0.1..1.0),
+                },
+            )
+        })
+        .collect();
+    GameContext::new(
+        sellers,
+        PlatformCostParams {
+            theta: 0.1,
+            lambda: 1.0,
+        },
+        ValuationParams { omega: 1000.0 },
+        PriceBounds::unbounded(),
+        PriceBounds::unbounded(),
+        f64::MAX,
+    )
+    .unwrap()
+}
+
+/// Closed-form backward induction (the paper's contribution) vs a fully
+/// numeric Stage-1 maximization. Also asserts they agree, so the bench
+/// doubles as a correctness check.
+fn bench_closed_vs_numeric(c: &mut Criterion) {
+    let ctx = game_context(10);
+    let closed = solve_equilibrium(&ctx);
+    let agg = Aggregates::from_context(&ctx);
+    let numeric_solve = || {
+        grid_then_golden(
+            |pj| {
+                let p = platform_best_response(&ctx, pj, &agg);
+                let taus = all_seller_best_responses(&ctx, p);
+                profits_at(&ctx, pj, p, &taus).consumer
+            },
+            0.0,
+            5.0 * closed.service_price,
+            2001,
+            1e-9,
+        )
+    };
+    let numeric = numeric_solve();
+    assert!(
+        (numeric.argmax - closed.service_price).abs() / closed.service_price < 1e-2,
+        "numeric {} vs closed {}",
+        numeric.argmax,
+        closed.service_price
+    );
+
+    let mut g = c.benchmark_group("equilibrium_closed_vs_numeric");
+    g.bench_function("closed_form_k10", |b| {
+        b.iter(|| black_box(solve_equilibrium(black_box(&ctx))))
+    });
+    g.bench_function("numeric_grid_golden_k10", |b| b.iter(&numeric_solve));
+    g.finish();
+}
+
+/// Full-run time across UCB exploration weights (Eq. 19 ablation).
+fn bench_ucb_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ucb_width_ablation");
+    g.sample_size(10);
+    for w in [1.0f64, 6.0, 12.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(8);
+                let scenario = Scenario::paper_defaults(60, 6, 5, 300, &mut rng).unwrap();
+                let run = cdt_sim::run_policy(
+                    &scenario,
+                    PolicySpec::CmabHsWithWeight(w),
+                    9,
+                    &[],
+                )
+                .unwrap();
+                black_box(run.regret)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Initial full sweep (Algorithm 1 steps 2–5) vs a pure UCB cold start.
+fn bench_initial_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("initial_sweep_ablation");
+    g.sample_size(10);
+    for (name, sweep) in [("with_sweep", true), ("cold_start", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let scenario = Scenario::paper_defaults(60, 6, 5, 300, &mut rng).unwrap();
+                let mut policy = cdt_bandit::CmabUcbPolicy::new(60, 6);
+                if !sweep {
+                    policy = policy.without_initial_sweep();
+                }
+                let observer = scenario.observer();
+                let mut total = 0.0;
+                for t in 0..scenario.config.n() {
+                    let out = cdt_core::execute_round(
+                        &mut policy,
+                        &scenario.config,
+                        &observer,
+                        cdt_types::Round(t),
+                        &mut rng,
+                    )
+                    .unwrap();
+                    total += out.observed_revenue;
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Eq. 17 credits all L observations at once; the ablation feeds them one
+/// by one (L× more update calls — same result, different cost).
+fn bench_batch_updates(c: &mut Criterion) {
+    let obs: Vec<f64> = (0..10).map(|i| 0.05 + 0.09 * i as f64).collect();
+    let mut g = c.benchmark_group("estimator_batch_ablation");
+    g.bench_function("batch_of_l", |b| {
+        let mut est = QualityEstimator::new(300);
+        b.iter(|| est.update(black_box(SellerId(5)), black_box(&obs)))
+    });
+    g.bench_function("one_at_a_time", |b| {
+        let mut est = QualityEstimator::new(300);
+        b.iter(|| {
+            for &q in &obs {
+                est.update(black_box(SellerId(5)), black_box(&[q]));
+            }
+        })
+    });
+    g.finish();
+
+    // The two orders must agree numerically.
+    let mut batched = QualityEstimator::new(1);
+    batched.update(SellerId(0), &obs);
+    let mut single = QualityEstimator::new(1);
+    for &q in &obs {
+        single.update(SellerId(0), &[q]);
+    }
+    assert!((batched.mean(SellerId(0)) - single.mean(SellerId(0))).abs() < 1e-12);
+}
+
+/// Run the ledger in Summary vs Full mode over a long horizon.
+fn bench_ledger_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ledger_mode_ablation");
+    g.sample_size(10);
+    for (name, mode) in [("summary", LedgerMode::Summary), ("full", LedgerMode::Full)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(10);
+                let scenario = Scenario::paper_defaults(40, 5, 5, 400, &mut rng).unwrap();
+                let mut mech = cdt_core::CmabHs::new(scenario.config.clone()).unwrap();
+                black_box(
+                    mech.run_with_mode(&scenario.observer(), &mut rng, mode)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closed_vs_numeric,
+    bench_ucb_width,
+    bench_initial_sweep,
+    bench_batch_updates,
+    bench_ledger_modes
+);
+criterion_main!(benches);

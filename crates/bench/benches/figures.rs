@@ -1,0 +1,42 @@
+//! One benchmark per paper table/figure: times the experiment that
+//! regenerates it (test scale, so `cargo bench` completes in minutes; the
+//! `repro` binary runs the same code at `--paper` scale).
+//!
+//! The mapping figure → bench id mirrors DESIGN.md's per-experiment index.
+
+use cdt_sim::experiments::{run_experiment, Scale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    // Multi-round sweeps are the expensive ones; keep samples low.
+    g.sample_size(10);
+    for id in [
+        "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    ] {
+        g.bench_function(id, |b| {
+            b.iter(|| black_box(run_experiment(black_box(id), Scale::Test).unwrap()))
+        });
+    }
+    g.finish();
+
+    // Single-round game figures are cheap; default sampling is fine.
+    let mut g = c.benchmark_group("figures_game");
+    for id in ["fig13", "fig14", "fig15", "fig16", "fig17", "fig18"] {
+        g.bench_function(id, |b| {
+            b.iter(|| black_box(run_experiment(black_box(id), Scale::Test).unwrap()))
+        });
+    }
+    g.finish();
+
+    // The non-stationarity extension runs a 4-policy drift comparison.
+    let mut g = c.benchmark_group("figures_extensions");
+    g.sample_size(10);
+    g.bench_function("nonstat", |b| {
+        b.iter(|| black_box(run_experiment(black_box("nonstat"), Scale::Test).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Microbenchmarks of the mechanism's hot paths: UCB index computation,
+//! top-K selection, estimator updates, equilibrium solving, and full
+//! round execution.
+//!
+//! Paper scale is `M = 300` candidates per round over `N = 10⁵` rounds, so
+//! per-round costs are the ones that matter.
+
+use cdt_aggregate::aggregate_round;
+use cdt_bandit::{top_k_by_score, ucb_indices, QualityEstimator, SlidingWindowEstimator, UcbConfig};
+use cdt_core::{CmabHs, LedgerMode, Scenario};
+use cdt_game::{solve_equilibrium, GameContext, SelectedSeller};
+use cdt_types::{
+    PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn seeded_estimator(m: usize) -> QualityEstimator {
+    let mut est = QualityEstimator::new(m);
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..m {
+        let obs: Vec<f64> = (0..10).map(|_| rng.gen_range(0.0..1.0)).collect();
+        est.update(SellerId(i), &obs);
+    }
+    est
+}
+
+fn bench_ucb_indices(c: &mut Criterion) {
+    let est = seeded_estimator(300);
+    let cfg = UcbConfig::paper(10);
+    c.bench_function("ucb_indices_m300", |b| {
+        b.iter(|| black_box(ucb_indices(black_box(&est), &cfg)))
+    });
+}
+
+fn bench_top_k(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let scores: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut g = c.benchmark_group("top_k_m300");
+    for k in [10usize, 60] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(top_k_by_score(black_box(&scores), k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimator_update(c: &mut Criterion) {
+    let obs: Vec<f64> = (0..10).map(|i| 0.05 * i as f64).collect();
+    c.bench_function("estimator_update_l10", |b| {
+        let mut est = QualityEstimator::new(300);
+        b.iter(|| est.update(black_box(SellerId(7)), black_box(&obs)))
+    });
+    c.bench_function("sliding_window_update_l10", |b| {
+        let mut est = SlidingWindowEstimator::new(300, 400);
+        b.iter(|| est.update(black_box(SellerId(7)), black_box(&obs)))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    // One round's statistics bundle at paper scale: K = 10 sellers x L = 10 PoIs.
+    let mut rng = StdRng::seed_from_u64(5);
+    let sellers: Vec<SellerId> = (0..10).map(SellerId).collect();
+    let values: Vec<Vec<f64>> = (0..10)
+        .map(|_| (0..10).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let obs = cdt_quality::ObservationMatrix::new(sellers, values);
+    let weights = vec![0.7; 10];
+    c.bench_function("aggregate_round_k10_l10", |b| {
+        b.iter(|| black_box(aggregate_round(black_box(&obs), black_box(&weights))))
+    });
+}
+
+fn game_context(k: usize) -> GameContext {
+    let mut rng = StdRng::seed_from_u64(3);
+    let sellers = (0..k)
+        .map(|i| {
+            SelectedSeller::new(
+                SellerId(i),
+                rng.gen_range(0.3..1.0),
+                SellerCostParams {
+                    a: rng.gen_range(0.1..0.5),
+                    b: rng.gen_range(0.1..1.0),
+                },
+            )
+        })
+        .collect();
+    GameContext::new(
+        sellers,
+        PlatformCostParams {
+            theta: 0.1,
+            lambda: 1.0,
+        },
+        ValuationParams { omega: 1000.0 },
+        PriceBounds::unbounded(),
+        PriceBounds::unbounded(),
+        f64::MAX,
+    )
+    .unwrap()
+}
+
+fn bench_equilibrium(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_equilibrium");
+    for k in [10usize, 30, 60] {
+        let ctx = game_context(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &ctx, |b, ctx| {
+            b.iter(|| black_box(solve_equilibrium(black_box(ctx))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    // A complete 200-round trading run at M = 100: dominated by the
+    // per-round select + game + observe pipeline.
+    let mut g = c.benchmark_group("full_run");
+    g.sample_size(10);
+    g.bench_function("m100_k10_l10_n200", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let scenario = Scenario::paper_defaults(100, 10, 10, 200, &mut rng).unwrap();
+            let mut mech = CmabHs::new(scenario.config.clone()).unwrap();
+            black_box(
+                mech.run_with_mode(&scenario.observer(), &mut rng, LedgerMode::Summary)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ucb_indices,
+    bench_top_k,
+    bench_estimator_update,
+    bench_aggregation,
+    bench_equilibrium,
+    bench_full_run
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Figure-reproduction harness.
+//!
+//! Regenerates the data series behind every table and figure of the
+//! paper's evaluation (Sec. V) and prints them as aligned text tables.
+//!
+//! ```sh
+//! # everything, CI scale (~seconds):
+//! cargo run --release -p cdt-bench --bin repro
+//!
+//! # one figure at the paper's full workload (minutes):
+//! cargo run --release -p cdt-bench --bin repro -- --exp fig7 --paper
+//!
+//! # export CSVs next to the printout:
+//! cargo run --release -p cdt-bench --bin repro -- --csv out/
+//! ```
+
+use cdt_sim::experiments::{all_experiment_ids, run_experiment, Scale};
+use std::io::Write as _;
+
+struct Args {
+    experiments: Vec<String>,
+    scale: Scale,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments = Vec::new();
+    let mut scale = Scale::Test;
+    let mut csv_dir = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--exp" => {
+                let id = argv.next().ok_or("--exp needs an id (e.g. fig7)")?;
+                experiments.push(id);
+            }
+            "--paper" => scale = Scale::Paper,
+            "--test" => scale = Scale::Test,
+            "--csv" => csv_dir = Some(argv.next().ok_or("--csv needs a directory")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--exp <id>]... [--paper|--test] [--csv <dir>]\n\
+                     known ids: {}",
+                    all_experiment_ids().join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments = all_experiment_ids().iter().map(|s| (*s).to_owned()).collect();
+    }
+    Ok(Args {
+        experiments,
+        scale,
+        csv_dir,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scale_name = match args.scale {
+        Scale::Paper => "paper",
+        Scale::Test => "test",
+    };
+    println!("# CMAB-HS figure reproduction (scale: {scale_name})\n");
+
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create `{dir}`: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut failed = false;
+    for id in &args.experiments {
+        let started = std::time::Instant::now();
+        match run_experiment(id, args.scale) {
+            Ok(tables) => {
+                println!(
+                    "=== {id} ({} table{}, {:.1?}) ===\n",
+                    tables.len(),
+                    if tables.len() == 1 { "" } else { "s" },
+                    started.elapsed()
+                );
+                for (i, t) in tables.iter().enumerate() {
+                    println!("{t}");
+                    if let Some(dir) = &args.csv_dir {
+                        let path = format!("{dir}/{id}_{i}.csv");
+                        match std::fs::File::create(&path)
+                            .and_then(|mut f| f.write_all(t.to_csv().as_bytes()))
+                        {
+                            Ok(()) => println!("[csv written to {path}]\n"),
+                            Err(e) => eprintln!("warning: csv export to {path} failed: {e}"),
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: experiment {id} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal `--flag value` parsing (no external CLI dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--name value` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlagMap {
+    values: HashMap<String, String>,
+}
+
+impl FlagMap {
+    /// Raw lookup.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A `usize` flag with a default.
+    ///
+    /// # Errors
+    /// Returns a message when the value does not parse.
+    pub fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// A `u64` flag with a default.
+    ///
+    /// # Errors
+    /// Returns a message when the value does not parse.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// An `f64` flag with a default.
+    ///
+    /// # Errors
+    /// Returns a message when the value does not parse.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+}
+
+/// Parses a `--name value …` argument list.
+///
+/// # Errors
+/// Returns a message on a positional token, a flag without a value, or a
+/// duplicated flag.
+pub fn parse_flags(args: &[String]) -> Result<FlagMap, String> {
+    let mut values = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let name = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{arg}`"))?;
+        if name.is_empty() {
+            return Err("empty flag `--`".into());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        if values.insert(name.to_owned(), value.clone()).is_some() {
+            return Err(format!("--{name} given twice"));
+        }
+    }
+    Ok(FlagMap { values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = parse_flags(&v(&["--m", "300", "--seed", "7"])).unwrap();
+        assert_eq!(f.usize_or("m", 0).unwrap(), 300);
+        assert_eq!(f.u64_or("seed", 0).unwrap(), 7);
+        assert_eq!(f.usize_or("k", 10).unwrap(), 10); // default
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(parse_flags(&v(&["300"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse_flags(&v(&["--m"])).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(parse_flags(&v(&["--m", "1", "--m", "2"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let f = parse_flags(&v(&["--omega", "abc"])).unwrap();
+        assert!(f.f64_or("omega", 1000.0).is_err());
+    }
+
+    #[test]
+    fn f64_parses() {
+        let f = parse_flags(&v(&["--theta", "0.25"])).unwrap();
+        assert_eq!(f.f64_or("theta", 0.1).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn empty_args_is_empty_map() {
+        let f = parse_flags(&[]).unwrap();
+        assert_eq!(f.get("anything"), None);
+    }
+}

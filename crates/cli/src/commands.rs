@@ -1,0 +1,347 @@
+//! Implementations of the `cdt` subcommands.
+
+use crate::args::FlagMap;
+use cdt_core::{BudgetedCmabHs, CmabHs, LedgerMode, Scenario, StopReason};
+use cdt_game::{solve_equilibrium, verify_equilibrium, welfare_report};
+use cdt_sim::experiments::{game_curves, Scale};
+use cdt_sim::{compare_policies, replicate, replication_table, PolicySpec};
+use cdt_trace::{csv, generate_trace, trace_stats, TraceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cdt — CMAB-HS crowdsensing data trading (ICDE 2021 reproduction)
+
+USAGE:
+  cdt trace generate [--records N] [--taxis M] [--seed S] [--out FILE]
+  cdt trace stats FILE
+  cdt run      [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
+  cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B
+  cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R]
+  cdt game     [--k K] [--omega W] [--theta T]
+
+Defaults follow the paper's Table II (M=300, K=10, L=10, omega=1000,
+theta=0.1); `run`/`compare` default to N=2000 so they finish in seconds —
+pass --n 100000 for the paper's horizon.";
+
+/// `cdt trace generate`.
+///
+/// # Errors
+/// Returns a message on flag or I/O failure.
+pub fn trace_generate(flags: &FlagMap) -> Result<(), String> {
+    let config = TraceConfig {
+        num_records: flags.usize_or("records", 27_465)?,
+        num_taxis: flags.u64_or("taxis", 300)? as u32,
+        ..TraceConfig::paper_scale()
+    };
+    let seed = flags.u64_or("seed", 20_210_419)?;
+    let records = generate_trace(&config, &mut StdRng::seed_from_u64(seed));
+    let stats = trace_stats(&records);
+    println!(
+        "generated {} records, {} taxis, {} areas, mean trip {:.2} mi, area gini {:.3}",
+        stats.num_records, stats.num_taxis, stats.num_areas, stats.mean_trip_miles, stats.area_gini
+    );
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, csv::to_csv(&records))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+/// `cdt trace stats FILE`.
+///
+/// # Errors
+/// Returns a message on I/O or parse failure.
+pub fn trace_stats_cmd(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let records = csv::from_csv(&text).map_err(|e| e.to_string())?;
+    let s = trace_stats(&records);
+    println!("records:            {}", s.num_records);
+    println!("taxis:              {}", s.num_taxis);
+    println!("areas touched:      {}", s.num_areas);
+    println!("mean trip miles:    {:.2}", s.mean_trip_miles);
+    println!("area gini:          {:.3}", s.area_gini);
+    println!("busiest taxi trips: {}", s.max_trips_per_taxi);
+    let peak = s
+        .hourly_counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .map(|(h, _)| h)
+        .unwrap_or(0);
+    println!("peak hour:          {peak}:00");
+    Ok(())
+}
+
+fn print_ledger(scenario: &Scenario, ledger: &cdt_core::TradingLedger) {
+    println!(
+        "CMAB-HS: M={} K={} L={} N={}",
+        scenario.config.m(),
+        scenario.config.k(),
+        scenario.config.l(),
+        scenario.config.n()
+    );
+    println!("rounds:            {}", ledger.rounds());
+    println!("observed revenue:  {:.1}", ledger.total_observed_revenue());
+    println!("consumer paid:     {:.1}", ledger.total_consumer_payment());
+    println!("sellers received:  {:.1}", ledger.total_seller_payment());
+    println!(
+        "mean PoC/PoP/PoS:  {:.2} / {:.2} / {:.2}",
+        ledger.mean_consumer_profit(),
+        ledger.mean_platform_profit(),
+        ledger.mean_seller_profit()
+    );
+}
+
+fn scenario_from_flags(flags: &FlagMap) -> Result<(Scenario, StdRng, u64), String> {
+    let m = flags.usize_or("m", 300)?;
+    let k = flags.usize_or("k", 10)?;
+    let l = flags.usize_or("l", 10)?;
+    let n = flags.usize_or("n", 2_000)?;
+    let seed = flags.u64_or("seed", 20_210_419)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scenario = Scenario::paper_defaults(m, k, l, n, &mut rng).map_err(|e| e.to_string())?;
+    Ok((scenario, rng, seed))
+}
+
+/// `cdt run` — run CMAB-HS end to end and print the settlement.
+///
+/// # Errors
+/// Returns a message on flag, run, or I/O failure.
+pub fn run_mechanism(flags: &FlagMap) -> Result<(), String> {
+    let (scenario, mut rng, _) = scenario_from_flags(flags)?;
+    let mut mech = CmabHs::new(scenario.config.clone()).map_err(|e| e.to_string())?;
+    let observer = scenario.observer();
+
+    // With --journal, step manually and journal every round through the
+    // Fig. 2 protocol; the journal is replay-validated before writing.
+    if let Some(path) = flags.get("journal") {
+        let mut log = cdt_protocol::EventLog::new();
+        log.append(cdt_protocol::MarketEvent::JobPublished {
+            job: scenario.config.job.clone(),
+        })
+        .map_err(|e| e.to_string())?;
+        let mut ledger = cdt_core::TradingLedger::new(LedgerMode::Summary);
+        let mut rounds = 0;
+        while !mech.is_finished() {
+            let outcome = mech.step(&observer, &mut rng).map_err(|e| e.to_string())?;
+            for event in cdt_protocol::events_for_round(&outcome) {
+                log.append(event).map_err(|e| e.to_string())?;
+            }
+            ledger.record(outcome);
+            rounds += 1;
+        }
+        log.append(cdt_protocol::MarketEvent::JobCompleted { rounds })
+            .map_err(|e| e.to_string())?;
+        let journal = log.to_json_lines();
+        cdt_protocol::EventLog::from_json_lines(&journal).map_err(|e| e.to_string())?;
+        std::fs::write(path, journal).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "journaled {} events over {rounds} rounds to {path} (replay-validated)",
+            log.len()
+        );
+        print_ledger(&scenario, &ledger);
+        return Ok(());
+    }
+
+    let ledger = mech
+        .run_with_mode(&observer, &mut rng, LedgerMode::Summary)
+        .map_err(|e| e.to_string())?;
+    print_ledger(&scenario, &ledger);
+    if let Some(path) = flags.get("json") {
+        let json = serde_json::to_string_pretty(&ledger)
+            .map_err(|e| format!("serialization failed: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("ledger written to {path}");
+    }
+    Ok(())
+}
+
+/// `cdt budget` — budget-constrained trading: stop when the consumer's
+/// spend ceiling binds.
+///
+/// # Errors
+/// Returns a message on flag or run failure.
+pub fn budget(flags: &FlagMap) -> Result<(), String> {
+    let cap = flags
+        .get("budget")
+        .ok_or("--budget is required")?
+        .parse::<f64>()
+        .map_err(|_| "--budget expects a number".to_owned())?;
+    let (scenario, mut rng, _) = scenario_from_flags(flags)?;
+    let mut mech =
+        BudgetedCmabHs::new(scenario.config.clone(), cap).map_err(|e| e.to_string())?;
+    let run = mech
+        .run(&scenario.observer(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "budgeted run: {} rounds, spent {:.1} of {:.1} ({})",
+        run.ledger.rounds(),
+        run.spent,
+        cap,
+        match run.stop_reason {
+            StopReason::HorizonReached => "horizon reached",
+            StopReason::BudgetExhausted => "budget exhausted",
+        }
+    );
+    println!(
+        "observed revenue {:.1}, mean PoC {:.2}",
+        run.ledger.total_observed_revenue(),
+        run.ledger.mean_consumer_profit()
+    );
+    Ok(())
+}
+
+/// `cdt compare` — the paper's policy comparison (optionally replicated).
+///
+/// # Errors
+/// Returns a message on flag or run failure.
+pub fn compare(flags: &FlagMap) -> Result<(), String> {
+    let reps = flags.usize_or("reps", 1)?;
+    if reps > 1 {
+        let m = flags.usize_or("m", 300)?;
+        let k = flags.usize_or("k", 10)?;
+        let l = flags.usize_or("l", 10)?;
+        let n = flags.usize_or("n", 2_000)?;
+        let seed = flags.u64_or("seed", 20_210_419)?;
+        let runs = replicate(m, k, l, n, &PolicySpec::paper_set(), reps, seed)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            replication_table(&format!("policy comparison ({reps} replications)"), &runs)
+        );
+        return Ok(());
+    }
+    let (scenario, _, seed) = scenario_from_flags(flags)?;
+    let cmp = compare_policies(&scenario, &PolicySpec::paper_set(), seed, &[])
+        .map_err(|e| e.to_string())?;
+    println!("{}", cmp.summary_table("policy comparison"));
+    Ok(())
+}
+
+/// `cdt game` — solve one round's Stackelberg game, verify the SE, report
+/// welfare efficiency.
+///
+/// # Errors
+/// Returns a message on flag or construction failure.
+pub fn game(flags: &FlagMap) -> Result<(), String> {
+    let omega = flags.f64_or("omega", 1000.0)?;
+    let theta = flags.f64_or("theta", 0.1)?;
+    let _k = flags.usize_or("k", 10)?;
+    let ctx = game_curves::round_context(Scale::Paper, omega, theta).map_err(|e| e.to_string())?;
+    let eq = solve_equilibrium(&ctx);
+    println!("equilibrium (K = {}, omega = {omega}, theta = {theta}):", ctx.k());
+    println!("  p^J* = {:.4}", eq.service_price);
+    println!("  p*   = {:.4}", eq.collection_price);
+    println!("  total sensing time = {:.4}", eq.total_sensing_time());
+    println!(
+        "  PoC = {:.2}, PoP = {:.2}, sum PoS = {:.2}",
+        eq.profits.consumer,
+        eq.profits.platform,
+        eq.profits.total_seller()
+    );
+    let report = verify_equilibrium(&ctx, &eq, 2000, 1e-3 * eq.profits.consumer.abs());
+    println!(
+        "  Stackelberg equilibrium verified: {} (max deviation gain {:.3e})",
+        report.is_equilibrium(),
+        report.max_gain()
+    );
+    let w = welfare_report(&ctx, &eq);
+    println!(
+        "  welfare: equilibrium {:.2} / first-best {:.2} (efficiency {:.1}%)",
+        w.equilibrium_welfare,
+        w.efficient_welfare,
+        100.0 * w.efficiency()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_flags;
+
+    fn flags(args: &[&str]) -> FlagMap {
+        parse_flags(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn run_small_mechanism() {
+        run_mechanism(&flags(&["--m", "10", "--k", "3", "--l", "4", "--n", "20"])).unwrap();
+    }
+
+    #[test]
+    fn run_with_journal_writes_valid_log() {
+        let dir = std::env::temp_dir().join("cdt_cli_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let path_str = path.to_str().unwrap();
+        run_mechanism(&flags(&[
+            "--m", "6", "--k", "2", "--l", "3", "--n", "8", "--journal", path_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let log = cdt_protocol::EventLog::from_json_lines(&text).unwrap();
+        assert!(log.state().is_completed());
+        assert_eq!(log.state().settled_rounds(), 8);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn compare_small() {
+        compare(&flags(&["--m", "10", "--k", "3", "--l", "4", "--n", "30"])).unwrap();
+    }
+
+    #[test]
+    fn compare_replicated() {
+        compare(&flags(&[
+            "--m", "8", "--k", "2", "--l", "3", "--n", "20", "--reps", "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn budget_command_stops_on_cap() {
+        budget(&flags(&[
+            "--m", "8", "--k", "2", "--l", "3", "--n", "200", "--budget", "50",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn budget_requires_flag() {
+        assert!(budget(&flags(&["--m", "8"])).is_err());
+    }
+
+    #[test]
+    fn game_solves() {
+        game(&flags(&["--omega", "800", "--theta", "0.2"])).unwrap();
+    }
+
+    #[test]
+    fn trace_generate_and_stats_round_trip() {
+        let dir = std::env::temp_dir().join("cdt_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let path_str = path.to_str().unwrap();
+        trace_generate(&flags(&[
+            "--records", "500", "--taxis", "20", "--seed", "1", "--out", path_str,
+        ]))
+        .unwrap();
+        trace_stats_cmd(path_str).unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn trace_stats_missing_file_errors() {
+        assert!(trace_stats_cmd("/nonexistent/definitely/missing.csv").is_err());
+    }
+
+    #[test]
+    fn rejects_k_above_m() {
+        let err = run_mechanism(&flags(&["--m", "3", "--k", "5", "--n", "5"])).unwrap_err();
+        assert!(err.contains("K=5"), "{err}");
+    }
+}

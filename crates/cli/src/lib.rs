@@ -1,0 +1,8 @@
+//! Library half of the `cdt` CLI: flag parsing and command
+//! implementations, kept in a lib target so they are unit-testable.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,59 @@
+//! `cdt` — command-line driver for the CMAB-HS crowdsensing data trading
+//! system.
+//!
+//! ```text
+//! cdt trace generate [--records N] [--taxis M] [--seed S] [--out FILE]
+//! cdt trace stats FILE
+//! cdt run [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE]
+//! cdt compare [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R]
+//! cdt game [--k K] [--omega W] [--theta T]
+//! ```
+
+use cdt_cli::args::{parse_flags, FlagMap};
+use cdt_cli::commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&argv);
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> i32 {
+    let mut words = argv.iter().map(String::as_str);
+    let result = match (words.next(), words.next()) {
+        (Some("trace"), Some("generate")) => {
+            with_flags(&argv[2..], commands::trace_generate)
+        }
+        (Some("trace"), Some("stats")) => {
+            let path = argv.get(2).map(String::as_str);
+            match path {
+                Some(p) => commands::trace_stats_cmd(p),
+                None => Err("usage: cdt trace stats FILE".into()),
+            }
+        }
+        (Some("run"), _) => with_flags(&argv[1..], commands::run_mechanism),
+        (Some("budget"), _) => with_flags(&argv[1..], commands::budget),
+        (Some("compare"), _) => with_flags(&argv[1..], commands::compare),
+        (Some("game"), _) => with_flags(&argv[1..], commands::game),
+        (Some("--help" | "-h"), _) | (None, _) => {
+            println!("{}", commands::USAGE);
+            return 0;
+        }
+        (Some(other), _) => Err(format!("unknown command `{other}`\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn with_flags(
+    rest: &[String],
+    f: impl FnOnce(&FlagMap) -> Result<(), String>,
+) -> Result<(), String> {
+    let flags = parse_flags(rest)?;
+    f(&flags)
+}

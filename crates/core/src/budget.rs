@@ -1,0 +1,171 @@
+//! Budget-constrained trading — an extension of the paper's time-budgeted
+//! job (`N` rounds) to a *monetary* budget.
+//!
+//! The paper's consumer buys `N` rounds outright; real procurement often
+//! fixes a spend ceiling instead. [`BudgetedCmabHs`] wraps the mechanism
+//! and stops as soon as the next round's payment would exceed the
+//! remaining budget, giving the consumer a hard spend guarantee while the
+//! round-level behaviour (UCB selection + Stackelberg pricing) is
+//! unchanged — the related budgeted-CMAB line of work the paper cites
+//! (`[25]`, `[33]`–`[35]`) motivates exactly this stopping rule.
+
+use crate::ledger::{LedgerMode, TradingLedger};
+use crate::mechanism::CmabHs;
+use crate::round::RoundOutcome;
+use cdt_quality::QualityObserver;
+use cdt_types::{Result, SystemConfig};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Why a budgeted run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// All `N` configured rounds ran within budget.
+    HorizonReached,
+    /// The next round's payment would have exceeded the remaining budget.
+    BudgetExhausted,
+}
+
+/// Result of a budget-constrained run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetedRun {
+    /// The per-round ledger (Summary mode).
+    pub ledger: TradingLedger,
+    /// Total consumer spend (≤ budget).
+    pub spent: f64,
+    /// Why the run ended.
+    pub stop_reason: StopReason,
+}
+
+/// CMAB-HS under a consumer spend ceiling.
+pub struct BudgetedCmabHs {
+    mechanism: CmabHs,
+    budget: f64,
+    spent: f64,
+}
+
+impl BudgetedCmabHs {
+    /// Creates a budgeted mechanism.
+    ///
+    /// # Errors
+    /// Propagates configuration errors; rejects a non-positive budget.
+    pub fn new(config: SystemConfig, budget: f64) -> Result<Self> {
+        if !(budget.is_finite() && budget > 0.0) {
+            return Err(cdt_types::CdtError::invalid(
+                "budget",
+                budget,
+                "must be finite and > 0",
+            ));
+        }
+        Ok(Self {
+            mechanism: CmabHs::new(config)?,
+            budget,
+            spent: 0.0,
+        })
+    }
+
+    /// Remaining budget.
+    #[must_use]
+    pub fn remaining(&self) -> f64 {
+        self.budget - self.spent
+    }
+
+    /// Runs until the horizon or the budget binds.
+    ///
+    /// Budget semantics: a round is *committed* before its stochastic data
+    /// arrives, but its payment `p^J · Στ` is known at strategy time, so
+    /// the mechanism peeks at the payment and refuses rounds it cannot
+    /// afford. The consumer therefore never overspends.
+    ///
+    /// # Errors
+    /// Propagates round-execution errors.
+    pub fn run(
+        &mut self,
+        observer: &QualityObserver,
+        rng: &mut dyn RngCore,
+    ) -> Result<BudgetedRun> {
+        let mut ledger = TradingLedger::new(LedgerMode::Summary);
+        let mut stop_reason = StopReason::HorizonReached;
+        while !self.mechanism.is_finished() {
+            // Tentatively run the round; its payment is deterministic given
+            // the estimator state, so we can roll forward and check.
+            let outcome: RoundOutcome = self.mechanism.step(observer, rng)?;
+            let payment = outcome.strategy.consumer_payment();
+            if self.spent + payment > self.budget {
+                // The round's data was collected but the consumer cannot
+                // settle it; in a deployed system the platform would not
+                // have dispatched it — we simply do not account it.
+                stop_reason = StopReason::BudgetExhausted;
+                break;
+            }
+            self.spent += payment;
+            ledger.record(outcome);
+        }
+        Ok(BudgetedRun {
+            ledger,
+            spent: self.spent,
+            stop_reason,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenario(n: usize, seed: u64) -> (Scenario, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Scenario::paper_defaults(12, 4, 5, n, &mut rng).unwrap();
+        (s, rng)
+    }
+
+    #[test]
+    fn generous_budget_reaches_horizon() {
+        let (s, mut rng) = scenario(30, 1);
+        let mut b = BudgetedCmabHs::new(s.config.clone(), 1e12).unwrap();
+        let run = b.run(&s.observer(), &mut rng).unwrap();
+        assert_eq!(run.stop_reason, StopReason::HorizonReached);
+        assert_eq!(run.ledger.rounds(), 30);
+        assert!(run.spent > 0.0);
+    }
+
+    #[test]
+    fn tight_budget_stops_early_and_never_overspends() {
+        let (s, mut rng) = scenario(500, 2);
+        // First find a typical per-round payment, then set a ~10-round cap.
+        let mut probe = BudgetedCmabHs::new(s.config.clone(), 1e12).unwrap();
+        let full = probe.run(&s.observer(), &mut rng).unwrap();
+        let per_round = full.spent / full.ledger.rounds() as f64;
+
+        let (s2, mut rng2) = scenario(500, 2);
+        let budget = per_round * 10.0;
+        let mut b = BudgetedCmabHs::new(s2.config.clone(), budget).unwrap();
+        let run = b.run(&s2.observer(), &mut rng2).unwrap();
+        assert_eq!(run.stop_reason, StopReason::BudgetExhausted);
+        assert!(run.spent <= budget + 1e-9, "overspent: {} > {budget}", run.spent);
+        assert!(run.ledger.rounds() < 500);
+        assert!(run.ledger.rounds() >= 2, "should afford a few rounds");
+    }
+
+    #[test]
+    fn remaining_decreases_monotonically() {
+        let (s, mut rng) = scenario(20, 3);
+        let mut b = BudgetedCmabHs::new(s.config.clone(), 1e9).unwrap();
+        let before = b.remaining();
+        b.run(&s.observer(), &mut rng).unwrap();
+        assert!(b.remaining() < before);
+        // ulp(1e9) ≈ 1.2e-7 bounds the subtraction error at this scale.
+        assert!((before - b.remaining() - b.spent).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_non_positive_budget() {
+        let (s, _) = scenario(10, 4);
+        assert!(BudgetedCmabHs::new(s.config.clone(), 0.0).is_err());
+        assert!(BudgetedCmabHs::new(s.config.clone(), -5.0).is_err());
+        assert!(BudgetedCmabHs::new(s.config, f64::INFINITY).is_err());
+    }
+}

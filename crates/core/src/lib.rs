@@ -1,0 +1,65 @@
+//! # cdt-core
+//!
+//! The **CMAB-HS** crowdsensing data trading mechanism of
+//! *"Crowdsensing Data Trading based on Combinatorial Multi-Armed Bandit
+//! and Stackelberg Game"* (An, Xiao, Liu, Xie, Zhou — ICDE 2021).
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! workspace substrates:
+//!
+//! - seller selection: the extended-UCB CMAB policy
+//!   ([`cdt_bandit::CmabUcbPolicy`], Eq. 19 / Algorithm 1 steps 7–10);
+//! - incentive strategy: the three-stage hierarchical Stackelberg game
+//!   ([`cdt_game::solve_equilibrium`], Theorems 14–16 / step 11);
+//! - the initial exploration round (steps 2–5);
+//! - a per-round trading ledger with revenues, strategies, payments, and
+//!   profits.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cdt_core::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A ready-made paper-default scenario: M sellers, K selected per
+//! // round, L PoIs, N rounds.
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let scenario = Scenario::paper_defaults(20, 5, 4, 50, &mut rng).unwrap();
+//! let mut mechanism = CmabHs::new(scenario.config.clone()).unwrap();
+//! let observer = scenario.observer();
+//! let ledger = mechanism.run_to_completion(&observer, &mut rng).unwrap();
+//! assert_eq!(ledger.rounds(), 50);
+//! assert!(ledger.total_observed_revenue() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod budget;
+pub mod ledger;
+pub mod mechanism;
+pub mod round;
+pub mod scenario;
+
+pub use budget::{BudgetedCmabHs, BudgetedRun, StopReason};
+pub use ledger::{LedgerMode, TradingLedger};
+pub use mechanism::CmabHs;
+pub use round::{execute_round, RoundOutcome};
+pub use scenario::Scenario;
+
+/// Convenient re-exports for downstream users and examples.
+pub mod prelude {
+    pub use crate::ledger::{LedgerMode, TradingLedger};
+    pub use crate::mechanism::CmabHs;
+    pub use crate::round::{execute_round, RoundOutcome};
+    pub use crate::scenario::Scenario;
+    pub use cdt_bandit::{
+        CmabUcbPolicy, EpsilonFirstPolicy, OraclePolicy, RandomPolicy, SelectionPolicy,
+    };
+    pub use cdt_game::{solve_equilibrium, GameContext, SelectedSeller, StackelbergSolution};
+    pub use cdt_quality::{QualityObserver, SellerPopulation};
+    pub use cdt_types::{
+        JobSpec, PlatformCostParams, PriceBounds, Round, SellerCostParams, SellerId,
+        SystemConfig, ValuationParams,
+    };
+}

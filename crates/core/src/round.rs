@@ -1,0 +1,169 @@
+//! One trading round: selection → incentive game → data collection →
+//! learning (the loop body of Algorithm 1).
+
+use cdt_bandit::SelectionPolicy;
+use cdt_game::{initial_round_strategy, solve_equilibrium, GameContext, SelectedSeller, StackelbergSolution};
+use cdt_quality::QualityObserver;
+use cdt_types::{Result, Round, SellerId, SystemConfig};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Everything that happened in one round of data trading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundOutcome {
+    /// Which round this was.
+    pub round: Round,
+    /// The sellers selected this round (all `M` in round 0, `K` after).
+    pub selected: Vec<SellerId>,
+    /// The incentive strategy `⟨p^J, p, τ⟩` and the induced profits.
+    pub strategy: StackelbergSolution,
+    /// Realized revenue: the sum of all observed qualities
+    /// `Σ_i Σ_l q_{i,l}^t` (Eq. 1's per-round contribution).
+    pub observed_revenue: f64,
+}
+
+impl RoundOutcome {
+    /// Number of sellers selected this round.
+    #[must_use]
+    pub fn selection_size(&self) -> usize {
+        self.selected.len()
+    }
+}
+
+/// Executes one complete round against a hidden environment:
+///
+/// 1. the policy selects sellers (Alg. 1 steps 2–3 / 7–10);
+/// 2. the incentive strategy is determined — the fixed initial-round
+///    profile in round 0 (steps 3–4), the Stackelberg equilibrium
+///    otherwise (step 11);
+/// 3. the selected sellers collect data at all `L` PoIs
+///    ([`QualityObserver::observe_round`]);
+/// 4. the policy learns from the observations (steps 5 / 12).
+///
+/// This free function is policy-generic so the evaluation engine can run
+/// baselines (ε-first, random, optimal) through the *identical* trading
+/// loop; [`crate::CmabHs`] wraps it with the paper's UCB policy.
+///
+/// # Errors
+/// Propagates [`cdt_types::CdtError`] from game-context construction
+/// (e.g. an empty selection).
+pub fn execute_round(
+    policy: &mut dyn SelectionPolicy,
+    config: &SystemConfig,
+    observer: &QualityObserver,
+    round: Round,
+    rng: &mut dyn RngCore,
+) -> Result<RoundOutcome> {
+    let selected = policy.select(round, rng);
+
+    let game_sellers: Vec<SelectedSeller> = selected
+        .iter()
+        .map(|&id| SelectedSeller::new(id, policy.game_quality(id), config.seller_cost(id)))
+        .collect();
+    let ctx = GameContext::new(
+        game_sellers,
+        config.platform_cost,
+        config.valuation,
+        config.collection_price_bounds,
+        config.service_price_bounds,
+        config.job.round_duration,
+    )?;
+
+    let strategy = if round.is_initial() {
+        initial_round_strategy(&ctx, config.initial_sensing_time)
+    } else {
+        solve_equilibrium(&ctx)
+    };
+
+    let observations = observer.observe_round(&selected, rng);
+    let observed_revenue = observations.total();
+    policy.observe(round, &observations);
+
+    Ok(RoundOutcome {
+        round,
+        selected,
+        strategy,
+        observed_revenue,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdt_bandit::{CmabUcbPolicy, RandomPolicy};
+    use cdt_quality::{BernoulliQuality, QualityObserver, SellerPopulation};
+    use cdt_quality::{SellerProfile};
+    use cdt_types::{JobSpec, SellerCostParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(m: usize, k: usize, l: usize) -> (SystemConfig, QualityObserver) {
+        let profiles: Vec<SellerProfile> = (0..m)
+            .map(|i| SellerProfile {
+                quality: cdt_quality::distribution::QualityModel::Bernoulli(
+                    BernoulliQuality::new(0.2 + 0.6 * (i as f64 / m as f64)),
+                ),
+                cost: SellerCostParams {
+                    a: 0.2,
+                    b: 0.3,
+                },
+            })
+            .collect();
+        let pop = SellerPopulation::from_profiles(profiles);
+        let config = SystemConfig::builder()
+            .job(JobSpec::new(l, 20, 1e6).unwrap())
+            .sellers(m, k)
+            .seller_costs(pop.cost_params())
+            .collection_price_bounds(cdt_types::PriceBounds::new(0.0, 5.0).unwrap())
+            .build()
+            .unwrap();
+        (config, QualityObserver::new(pop, l))
+    }
+
+    #[test]
+    fn initial_round_selects_all_and_breaks_even() {
+        let (config, observer) = setup(6, 2, 4);
+        let mut policy = CmabUcbPolicy::new(6, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = execute_round(&mut policy, &config, &observer, Round(0), &mut rng).unwrap();
+        assert_eq!(out.selection_size(), 6);
+        assert_eq!(out.strategy.collection_price, 5.0);
+        assert!(out.strategy.profits.platform.abs() < 1e-9);
+        // Everyone contributes τ⁰ = 1.
+        assert!(out.strategy.sensing_times.iter().all(|&t| t == 1.0));
+    }
+
+    #[test]
+    fn later_rounds_select_k_and_play_equilibrium() {
+        let (config, observer) = setup(6, 2, 4);
+        let mut policy = CmabUcbPolicy::new(6, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        execute_round(&mut policy, &config, &observer, Round(0), &mut rng).unwrap();
+        let out = execute_round(&mut policy, &config, &observer, Round(1), &mut rng).unwrap();
+        assert_eq!(out.selection_size(), 2);
+        assert!(out.strategy.service_price > out.strategy.collection_price);
+        assert!(out.strategy.profits.consumer > 0.0);
+    }
+
+    #[test]
+    fn observed_revenue_is_bounded_by_selection() {
+        let (config, observer) = setup(5, 3, 4);
+        let mut policy = RandomPolicy::new(5, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in 0..10 {
+            let out = execute_round(&mut policy, &config, &observer, Round(t), &mut rng).unwrap();
+            let max = (out.selection_size() * 4) as f64; // K sellers × L PoIs × q ≤ 1
+            assert!(out.observed_revenue >= 0.0 && out.observed_revenue <= max);
+        }
+    }
+
+    #[test]
+    fn policy_learns_from_executed_rounds() {
+        let (config, observer) = setup(4, 2, 8);
+        let mut policy = CmabUcbPolicy::new(4, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        execute_round(&mut policy, &config, &observer, Round(0), &mut rng).unwrap();
+        use cdt_bandit::SelectionPolicy as _;
+        assert_eq!(policy.estimator().total_count(), 4 * 8);
+    }
+}

@@ -1,0 +1,165 @@
+//! The per-round game context: who was selected, with what learned
+//! qualities, and under which economic parameters the game is played.
+
+use cdt_types::{
+    CdtError, PlatformCostParams, PriceBounds, Result, SellerCostParams, SellerId,
+    ValuationParams, QUALITY_FLOOR,
+};
+use serde::{Deserialize, Serialize};
+
+/// One selected seller as the game sees it: the platform's current quality
+/// estimate `q̄_i^t` (floored away from zero, see [`QUALITY_FLOOR`]) and the
+/// seller's cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectedSeller {
+    /// Which seller this is.
+    pub id: SellerId,
+    /// Estimated quality `q̄_i^t ∈ [QUALITY_FLOOR, 1]`.
+    pub quality: f64,
+    /// Cost parameters `(a_i, b_i)`.
+    pub cost: SellerCostParams,
+}
+
+impl SelectedSeller {
+    /// Creates a selected seller, flooring the quality estimate into
+    /// `[QUALITY_FLOOR, 1]` so that Stage-3 denominators `2 q̄_i a_i` stay
+    /// bounded away from zero.
+    #[must_use]
+    pub fn new(id: SellerId, quality: f64, cost: SellerCostParams) -> Self {
+        Self {
+            id,
+            quality: quality.clamp(QUALITY_FLOOR, 1.0),
+            cost,
+        }
+    }
+}
+
+/// Everything needed to play one round's HS game.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameContext {
+    sellers: Vec<SelectedSeller>,
+    /// Platform aggregation cost parameters `(θ, λ)`.
+    pub platform_cost: PlatformCostParams,
+    /// Consumer valuation parameter `ω`.
+    pub valuation: ValuationParams,
+    /// Bounds on the platform's collection price `p`.
+    pub collection_price_bounds: PriceBounds,
+    /// Bounds on the consumer's service price `p^J`.
+    pub service_price_bounds: PriceBounds,
+    /// Upper bound `T` on any seller's sensing time.
+    pub max_sensing_time: f64,
+}
+
+impl GameContext {
+    /// Creates a validated context.
+    ///
+    /// # Errors
+    /// Returns [`CdtError::EmptySelection`] when no sellers were selected and
+    /// [`CdtError::InvalidParameter`] when `T` is not positive.
+    pub fn new(
+        sellers: Vec<SelectedSeller>,
+        platform_cost: PlatformCostParams,
+        valuation: ValuationParams,
+        collection_price_bounds: PriceBounds,
+        service_price_bounds: PriceBounds,
+        max_sensing_time: f64,
+    ) -> Result<Self> {
+        if sellers.is_empty() {
+            return Err(CdtError::EmptySelection);
+        }
+        if max_sensing_time <= 0.0 || max_sensing_time.is_nan() {
+            return Err(CdtError::invalid(
+                "T",
+                max_sensing_time,
+                "max sensing time must be > 0",
+            ));
+        }
+        Ok(Self {
+            sellers,
+            platform_cost,
+            valuation,
+            collection_price_bounds,
+            service_price_bounds,
+            max_sensing_time,
+        })
+    }
+
+    /// The selected sellers (`K` of them), in selection order.
+    #[must_use]
+    pub fn sellers(&self) -> &[SelectedSeller] {
+        &self.sellers
+    }
+
+    /// Number of selected sellers `K`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.sellers.len()
+    }
+
+    /// The overall mean estimated quality
+    /// `q̄^t = (Σ q̄_i χ_i) / (Σ χ_i)` of the selected set (used in Eq. 10).
+    #[must_use]
+    pub fn mean_quality(&self) -> f64 {
+        let sum: f64 = self.sellers.iter().map(|s| s.quality).sum();
+        sum / self.sellers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seller(id: usize, q: f64) -> SelectedSeller {
+        SelectedSeller::new(SellerId(id), q, SellerCostParams { a: 0.2, b: 0.3 })
+    }
+
+    fn ctx(sellers: Vec<SelectedSeller>) -> Result<GameContext> {
+        GameContext::new(
+            sellers,
+            PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            ValuationParams { omega: 1000.0 },
+            PriceBounds::unbounded(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+    }
+
+    #[test]
+    fn quality_is_floored_and_capped() {
+        assert_eq!(seller(0, -0.5).quality, QUALITY_FLOOR);
+        assert_eq!(seller(0, 0.0).quality, QUALITY_FLOOR);
+        assert_eq!(seller(0, 2.0).quality, 1.0);
+        assert_eq!(seller(0, 0.5).quality, 0.5);
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        assert!(matches!(ctx(vec![]), Err(CdtError::EmptySelection)));
+    }
+
+    #[test]
+    fn mean_quality_averages_selected() {
+        let c = ctx(vec![seller(0, 0.2), seller(1, 0.8)]).unwrap();
+        assert!((c.mean_quality() - 0.5).abs() < 1e-12);
+        assert_eq!(c.k(), 2);
+    }
+
+    #[test]
+    fn non_positive_t_rejected() {
+        let bad = GameContext::new(
+            vec![seller(0, 0.5)],
+            PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            ValuationParams { omega: 1000.0 },
+            PriceBounds::unbounded(),
+            PriceBounds::unbounded(),
+            0.0,
+        );
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Backward-induction solution of the full three-stage game
+//! (Algorithm 1, step 11).
+
+use crate::best_response::{
+    all_seller_best_responses, consumer_best_response, platform_best_response, Aggregates,
+};
+use crate::context::GameContext;
+use crate::profit::{consumer_profit, platform_profit, seller_profit};
+use cdt_types::SellerId;
+use serde::{Deserialize, Serialize};
+
+/// Realized profits of all parties at a strategy profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profits {
+    /// Consumer profit `Φ` (Eq. 9).
+    pub consumer: f64,
+    /// Platform profit `Ω` (Eq. 7).
+    pub platform: f64,
+    /// Per-selected-seller profits `Ψ_i` (Eq. 5), in selection order.
+    pub sellers: Vec<f64>,
+}
+
+impl Profits {
+    /// Sum of all seller profits.
+    #[must_use]
+    pub fn total_seller(&self) -> f64 {
+        self.sellers.iter().sum()
+    }
+
+    /// Social welfare: consumer + platform + all sellers.
+    #[must_use]
+    pub fn social_welfare(&self) -> f64 {
+        self.consumer + self.platform + self.total_seller()
+    }
+}
+
+/// The complete Stackelberg solution `⟨p^{J*}, p*, τ*⟩` for one round,
+/// plus the induced profits and the aggregates used to derive it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackelbergSolution {
+    /// Consumer's optimal service price `p^{J*}` (Theorem 16, clamped).
+    pub service_price: f64,
+    /// Platform's optimal collection price `p*` (Theorem 15, clamped).
+    pub collection_price: f64,
+    /// Sellers' optimal sensing times `τ*`, parallel to
+    /// [`StackelbergSolution::seller_ids`].
+    pub sensing_times: Vec<f64>,
+    /// Ids of the selected sellers, in the game context's order.
+    pub seller_ids: Vec<SellerId>,
+    /// Realized profits at the equilibrium.
+    pub profits: Profits,
+    /// The aggregate statistics (A, B, q̄, Θ, Λ).
+    pub aggregates: Aggregates,
+}
+
+impl StackelbergSolution {
+    /// Total sensing time `Σ τ_i*`.
+    #[must_use]
+    pub fn total_sensing_time(&self) -> f64 {
+        self.sensing_times.iter().sum()
+    }
+
+    /// Payment from the consumer to the platform: `p^{J*} · Στ*`.
+    #[must_use]
+    pub fn consumer_payment(&self) -> f64 {
+        self.service_price * self.total_sensing_time()
+    }
+
+    /// Total payment from the platform to the sellers: `p* · Στ*`.
+    #[must_use]
+    pub fn seller_payment(&self) -> f64 {
+        self.collection_price * self.total_sensing_time()
+    }
+
+    /// Sensing time of a particular seller, if selected.
+    #[must_use]
+    pub fn sensing_time_of(&self, id: SellerId) -> Option<f64> {
+        self.seller_ids
+            .iter()
+            .position(|&s| s == id)
+            .map(|i| self.sensing_times[i])
+    }
+
+    /// `true` when the solution is *interior*: every sensing time is
+    /// strictly inside `(0, T)` and both prices are strictly inside their
+    /// bounds.
+    ///
+    /// The paper's closed forms (Theorems 14–16) derive the exact
+    /// equilibrium under the implicit assumption that no constraint binds
+    /// — e.g. `Στ_i* = p·A − B` silently requires every
+    /// `τ_i* = (p − q̄_i b_i)/(2 q̄_i a_i)` to be non-negative. When a
+    /// seller is priced below its reservation (`p < q̄_i b_i`) it opts out
+    /// (`τ_i = 0` after clamping) and the Stage-1/2 algebra is only an
+    /// approximation of the constrained optimum. In the paper's parameter
+    /// regime (Table II) equilibria are interior; this predicate lets
+    /// callers check.
+    #[must_use]
+    pub fn is_interior(&self, ctx: &GameContext) -> bool {
+        let t = ctx.max_sensing_time;
+        let taus_ok = self.sensing_times.iter().all(|&tau| tau > 0.0 && tau < t);
+        let p = self.collection_price;
+        let pj = self.service_price;
+        let pb = &ctx.collection_price_bounds;
+        let sb = &ctx.service_price_bounds;
+        taus_ok && p > pb.min && p < pb.max && pj > sb.min && pj < sb.max
+    }
+}
+
+/// Solves the three-stage game by backward induction:
+///
+/// 1. compute the aggregates `A, B, q̄, Θ, Λ`;
+/// 2. Stage 1 — consumer's `p^{J*}` (Theorem 16, clamped into bounds);
+/// 3. Stage 2 — platform's `p*` at `p^{J*}` (Theorem 15, clamped);
+/// 4. Stage 3 — every seller's `τ_i*` at `p*` (Theorem 14, clamped to `[0, T]`);
+/// 5. evaluate all profits at the resulting profile.
+///
+/// By Theorem 20 this profile is the unique Stackelberg Equilibrium.
+#[must_use]
+pub fn solve_equilibrium(ctx: &GameContext) -> StackelbergSolution {
+    let aggregates = Aggregates::from_context(ctx);
+    let service_price = consumer_best_response(ctx, &aggregates);
+    let collection_price = platform_best_response(ctx, service_price, &aggregates);
+    let sensing_times = all_seller_best_responses(ctx, collection_price);
+
+    let profits = profits_at(ctx, service_price, collection_price, &sensing_times);
+    StackelbergSolution {
+        service_price,
+        collection_price,
+        seller_ids: ctx.sellers().iter().map(|s| s.id).collect(),
+        sensing_times,
+        profits,
+        aggregates,
+    }
+}
+
+/// Evaluates all three parties' profits at an arbitrary strategy profile.
+#[must_use]
+pub fn profits_at(
+    ctx: &GameContext,
+    service_price: f64,
+    collection_price: f64,
+    sensing_times: &[f64],
+) -> Profits {
+    let sellers = ctx
+        .sellers()
+        .iter()
+        .zip(sensing_times)
+        .map(|(s, &tau)| seller_profit(collection_price, tau, s.quality, s.cost))
+        .collect();
+    Profits {
+        consumer: consumer_profit(ctx, service_price, sensing_times),
+        platform: platform_profit(ctx, service_price, collection_price, sensing_times),
+        sellers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SelectedSeller;
+    use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, ValuationParams};
+
+    fn paper_like_ctx(k: usize) -> GameContext {
+        let sellers = (0..k)
+            .map(|i| {
+                SelectedSeller::new(
+                    SellerId(i),
+                    0.3 + 0.6 * (i as f64 / k.max(2) as f64),
+                    SellerCostParams {
+                        a: 0.1 + 0.4 * (i as f64 / k.max(2) as f64),
+                        b: 0.1 + 0.9 * (i as f64 / k.max(2) as f64),
+                    },
+                )
+            })
+            .collect();
+        GameContext::new(
+            sellers,
+            PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            ValuationParams { omega: 1000.0 },
+            PriceBounds::unbounded(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equilibrium_prices_are_ordered() {
+        let eq = solve_equilibrium(&paper_like_ctx(10));
+        // The platform must be able to profit: pJ* > p* > 0.
+        assert!(eq.service_price > eq.collection_price);
+        assert!(eq.collection_price > 0.0);
+    }
+
+    #[test]
+    fn all_parties_profit_at_equilibrium() {
+        let eq = solve_equilibrium(&paper_like_ctx(10));
+        assert!(eq.profits.consumer > 0.0, "PoC = {}", eq.profits.consumer);
+        assert!(eq.profits.platform > 0.0, "PoP = {}", eq.profits.platform);
+        for (i, &psi) in eq.profits.sellers.iter().enumerate() {
+            assert!(psi >= 0.0, "PoS-{i} = {psi}");
+        }
+    }
+
+    #[test]
+    fn sensing_times_positive_at_equilibrium() {
+        let eq = solve_equilibrium(&paper_like_ctx(5));
+        assert!(eq.sensing_times.iter().all(|&t| t > 0.0));
+        assert!(eq.total_sensing_time() > 0.0);
+    }
+
+    #[test]
+    fn payments_are_consistent() {
+        let eq = solve_equilibrium(&paper_like_ctx(4));
+        // Consumer payment = platform income + platform margin incl. cost:
+        // Ω = consumer_payment − seller_payment − C^J(Στ).
+        let cj = 0.1 * eq.total_sensing_time().powi(2) + 1.0 * eq.total_sensing_time();
+        let omega = eq.consumer_payment() - eq.seller_payment() - cj;
+        assert!((omega - eq.profits.platform).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensing_time_of_finds_sellers() {
+        let eq = solve_equilibrium(&paper_like_ctx(3));
+        assert!(eq.sensing_time_of(SellerId(1)).is_some());
+        assert!(eq.sensing_time_of(SellerId(99)).is_none());
+    }
+
+    #[test]
+    fn social_welfare_decomposition() {
+        let eq = solve_equilibrium(&paper_like_ctx(6));
+        let p = &eq.profits;
+        assert!(
+            (p.social_welfare() - (p.consumer + p.platform + p.total_seller())).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn higher_quality_seller_contributes_more_time() {
+        // Two sellers identical except in quality. Theorem 14:
+        // τ* = p/(2qa) − b/(2a) decreases in q — a *higher*-quality seller
+        // needs less time for the same pay and its cost scales with q, so it
+        // supplies less. Verify the closed form's comparative statics.
+        let cost = SellerCostParams { a: 0.2, b: 0.2 };
+        let sellers = vec![
+            SelectedSeller::new(SellerId(0), 0.9, cost),
+            SelectedSeller::new(SellerId(1), 0.4, cost),
+        ];
+        let ctx = GameContext::new(
+            sellers,
+            PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            ValuationParams { omega: 1000.0 },
+            PriceBounds::unbounded(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+        .unwrap();
+        let eq = solve_equilibrium(&ctx);
+        let t_high = eq.sensing_time_of(SellerId(0)).unwrap();
+        let t_low = eq.sensing_time_of(SellerId(1)).unwrap();
+        assert!(t_low > t_high);
+    }
+
+    #[test]
+    fn clamped_service_price_propagates() {
+        let mut ctx = paper_like_ctx(5);
+        let unbounded = solve_equilibrium(&ctx);
+        ctx.service_price_bounds = PriceBounds::new(0.0, unbounded.service_price * 0.5).unwrap();
+        let clamped = solve_equilibrium(&ctx);
+        assert_eq!(clamped.service_price, unbounded.service_price * 0.5);
+        // Lower pJ ⇒ lower p ⇒ less sensing time.
+        assert!(clamped.collection_price < unbounded.collection_price);
+        assert!(clamped.total_sensing_time() < unbounded.total_sensing_time());
+    }
+
+    #[test]
+    fn single_seller_game_solves() {
+        let eq = solve_equilibrium(&paper_like_ctx(1));
+        assert_eq!(eq.sensing_times.len(), 1);
+        assert!(eq.profits.consumer > 0.0);
+    }
+}

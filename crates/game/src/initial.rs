@@ -1,0 +1,174 @@
+//! The initial-exploration round's incentive strategy
+//! (Algorithm 1, steps 2–4).
+//!
+//! In round 1 the platform has no quality knowledge, so the HS game cannot
+//! be played. The paper instead fixes:
+//!
+//! - every seller is selected and contributes a fixed time `τ⁰`;
+//! - the platform pays the *highest* collection price `p¹* = p_max`
+//!   (maximally encouraging participation);
+//! - the consumer pays the *smallest* service price that keeps the
+//!   platform's profit non-negative:
+//!   `p^{J,1*} = argmin_{p^J} { Ω ≥ 0 }`.
+//!
+//! `Ω = (p^J − p)·Στ − C^J(Στ)` is linear and increasing in `p^J`, so the
+//! argmin is the zero-profit price `p^J = p + C^J(Στ)/Στ`, clamped into the
+//! consumer's bounds.
+
+use crate::context::GameContext;
+use crate::equilibrium::{profits_at, StackelbergSolution};
+use crate::best_response::Aggregates;
+
+/// Computes the initial-round strategy profile (all sellers selected at
+/// sensing time `τ⁰`).
+///
+/// When the platform's price interval is unbounded above (no `p_max`
+/// configured), the collection price falls back to the smallest price at
+/// which *every* seller earns a non-negative profit at `τ⁰`:
+/// `p = max_i q̄_i (a_i τ⁰ + b_i)` evaluated at the pessimistic quality
+/// bound `q̄_i = 1` — i.e. `max_i (a_i τ⁰ + b_i)`.
+#[must_use]
+pub fn initial_round_strategy(ctx: &GameContext, tau0: f64) -> StackelbergSolution {
+    let k = ctx.k();
+    let sensing_times = vec![tau0; k];
+    let total = tau0 * k as f64;
+
+    let p_max = ctx.collection_price_bounds.max;
+    let collection_price = if p_max.is_finite() && p_max < 1e100 {
+        p_max
+    } else {
+        ctx.sellers()
+            .iter()
+            .map(|s| s.cost.a * tau0 + s.cost.b)
+            .fold(0.0, f64::max)
+    };
+
+    // Zero-profit service price for the platform (Ω is linear in p^J).
+    let break_even = collection_price + ctx.platform_cost.cost(total) / total;
+    let service_price = ctx.service_price_bounds.clamp(break_even);
+
+    let profits = profits_at(ctx, service_price, collection_price, &sensing_times);
+    StackelbergSolution {
+        service_price,
+        collection_price,
+        seller_ids: ctx.sellers().iter().map(|s| s.id).collect(),
+        sensing_times,
+        profits,
+        aggregates: Aggregates::from_context(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SelectedSeller;
+    use cdt_types::{
+        PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
+    };
+
+    fn ctx(p_max: f64) -> GameContext {
+        let sellers = (0..3)
+            .map(|i| {
+                SelectedSeller::new(
+                    SellerId(i),
+                    0.5,
+                    SellerCostParams {
+                        a: 0.2 + 0.1 * i as f64,
+                        b: 0.3,
+                    },
+                )
+            })
+            .collect();
+        GameContext::new(
+            sellers,
+            PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            ValuationParams { omega: 1000.0 },
+            PriceBounds::new(0.0, p_max).unwrap(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uses_p_max_when_bounded() {
+        let s = initial_round_strategy(&ctx(5.0), 1.0);
+        assert_eq!(s.collection_price, 5.0);
+        assert_eq!(s.sensing_times, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn platform_profit_is_break_even() {
+        let s = initial_round_strategy(&ctx(5.0), 1.0);
+        assert!(
+            s.profits.platform.abs() < 1e-9,
+            "break-even pricing: Ω = {}",
+            s.profits.platform
+        );
+    }
+
+    #[test]
+    fn sellers_profit_at_p_max() {
+        // p_max = 5 ≫ marginal cost at τ⁰ = 1 ⇒ all sellers profit.
+        let s = initial_round_strategy(&ctx(5.0), 1.0);
+        for &psi in &s.profits.sellers {
+            assert!(psi > 0.0);
+        }
+    }
+
+    #[test]
+    fn unbounded_price_falls_back_to_cost_cover() {
+        let c = GameContext::new(
+            vec![SelectedSeller::new(
+                SellerId(0),
+                0.5,
+                SellerCostParams { a: 0.4, b: 0.3 },
+            )],
+            PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            ValuationParams { omega: 1000.0 },
+            PriceBounds::unbounded(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+        .unwrap();
+        let s = initial_round_strategy(&c, 2.0);
+        // p = a·τ⁰ + b = 0.4·2 + 0.3 = 1.1
+        assert!((s.collection_price - 1.1).abs() < 1e-12);
+        assert!(s.profits.sellers[0] >= 0.0);
+    }
+
+    #[test]
+    fn paper_example_prices() {
+        // Sec. III-D: 3 sellers, τ⁰ = 1, p_max = 5 ⇒ p¹* = 5 and
+        // p^{J,1*} ensures Ω = 0. With θ, λ such that
+        // C^J(3) = θ·9 + λ·3, p^J = 5 + (θ·9 + λ·3)/3. The paper reports
+        // p^{J,1*} = 7.5 which corresponds to θ·3 + λ = 2.5
+        // (e.g. θ = 0.5, λ = 1).
+        let sellers = (0..3)
+            .map(|i| {
+                SelectedSeller::new(SellerId(i), 0.5, SellerCostParams { a: 0.2, b: 0.3 })
+            })
+            .collect();
+        let c = GameContext::new(
+            sellers,
+            PlatformCostParams {
+                theta: 0.5,
+                lambda: 1.0,
+            },
+            ValuationParams { omega: 1000.0 },
+            PriceBounds::new(0.0, 5.0).unwrap(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+        .unwrap();
+        let s = initial_round_strategy(&c, 1.0);
+        assert_eq!(s.collection_price, 5.0);
+        assert!((s.service_price - 7.5).abs() < 1e-12);
+    }
+}

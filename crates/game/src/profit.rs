@@ -1,0 +1,115 @@
+//! The three profit functions of Defs. 9–11.
+//!
+//! These are the *primitive* payoffs — the equilibrium module composes them
+//! with best responses, and the verification module probes them directly
+//! with deviating strategies.
+
+use crate::context::GameContext;
+use cdt_types::SellerCostParams;
+
+/// Seller `i`'s profit (Eq. 5): `Ψ_i = p τ_i − C_i(τ_i, q̄_i)`, where
+/// `C_i(τ, q̄) = (a_i τ² + b_i τ) q̄` (Eq. 6). The selection indicator
+/// `χ_i^t` is implicit: only selected sellers are evaluated.
+#[must_use]
+pub fn seller_profit(
+    collection_price: f64,
+    sensing_time: f64,
+    quality: f64,
+    cost: SellerCostParams,
+) -> f64 {
+    collection_price * sensing_time - cost.cost(sensing_time, quality)
+}
+
+/// The platform's profit (Eq. 7):
+/// `Ω = p^J Στ − p Στ − C^J(τ)`, with `C^J(τ) = θ(Στ)² + λΣτ` (Eq. 8).
+#[must_use]
+pub fn platform_profit(ctx: &GameContext, service_price: f64, collection_price: f64, sensing_times: &[f64]) -> f64 {
+    let total: f64 = sensing_times.iter().sum();
+    (service_price - collection_price) * total - ctx.platform_cost.cost(total)
+}
+
+/// The consumer's profit (Eq. 9): `Φ = φ(τ, q̄) − p^J Στ`, with
+/// `φ(τ, q̄) = ω ln(1 + q̄ Στ)` (Eq. 10). `q̄` is the mean estimated quality
+/// of the selected sellers.
+#[must_use]
+pub fn consumer_profit(ctx: &GameContext, service_price: f64, sensing_times: &[f64]) -> f64 {
+    let total: f64 = sensing_times.iter().sum();
+    ctx.valuation.valuation(ctx.mean_quality(), total) - service_price * total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SelectedSeller;
+    use cdt_types::{PlatformCostParams, PriceBounds, SellerId, ValuationParams};
+
+    fn ctx() -> GameContext {
+        GameContext::new(
+            vec![
+                SelectedSeller::new(SellerId(0), 0.8, SellerCostParams { a: 0.3, b: 0.5 }),
+                SelectedSeller::new(SellerId(1), 0.4, SellerCostParams { a: 0.2, b: 0.1 }),
+            ],
+            PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            ValuationParams { omega: 100.0 },
+            PriceBounds::unbounded(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn seller_profit_matches_hand_computation() {
+        // Ψ = 2·1.5 − (0.3·2.25 + 0.5·1.5)·0.8 = 3 − (0.675+0.75)·0.8 = 3 − 1.14
+        let psi = seller_profit(2.0, 1.5, 0.8, SellerCostParams { a: 0.3, b: 0.5 });
+        assert!((psi - 1.86).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seller_profit_zero_time_is_zero() {
+        assert_eq!(
+            seller_profit(5.0, 0.0, 0.9, SellerCostParams { a: 0.3, b: 0.5 }),
+            0.0
+        );
+    }
+
+    #[test]
+    fn seller_profit_can_be_negative() {
+        // Price far below marginal cost.
+        let psi = seller_profit(0.01, 2.0, 1.0, SellerCostParams { a: 1.0, b: 1.0 });
+        assert!(psi < 0.0);
+    }
+
+    #[test]
+    fn platform_profit_matches_hand_computation() {
+        let c = ctx();
+        // Στ = 3; Ω = (4−2)·3 − (0.1·9 + 1·3) = 6 − 3.9 = 2.1
+        let omega = platform_profit(&c, 4.0, 2.0, &[1.0, 2.0]);
+        assert!((omega - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_profit_decreases_in_collection_price() {
+        let c = ctx();
+        let lo = platform_profit(&c, 4.0, 1.0, &[1.0, 2.0]);
+        let hi = platform_profit(&c, 4.0, 3.0, &[1.0, 2.0]);
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn consumer_profit_matches_hand_computation() {
+        let c = ctx();
+        // q̄ = 0.6, Στ = 3 → Φ = 100 ln(1 + 1.8) − p^J·3
+        let expected = 100.0 * (2.8_f64).ln() - 2.0 * 3.0;
+        assert!((consumer_profit(&c, 2.0, &[1.0, 2.0]) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consumer_profit_zero_time_is_zero() {
+        let c = ctx();
+        assert_eq!(consumer_profit(&c, 7.0, &[0.0, 0.0]), 0.0);
+    }
+}

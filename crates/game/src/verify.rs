@@ -1,0 +1,267 @@
+//! Direct verification of the Stackelberg-Equilibrium inequalities
+//! (Def. 13): no party can improve its profit by unilaterally deviating
+//! from the solved strategy profile.
+//!
+//! This module does *not* trust the closed forms — it probes the raw profit
+//! functions with grids of deviating strategies. It backs Theorem 20's
+//! uniqueness/equilibrium claim empirically and guards the implementation
+//! against sign errors in the algebra.
+
+use crate::best_response::{all_seller_best_responses, platform_best_response, Aggregates};
+use crate::context::GameContext;
+use crate::equilibrium::StackelbergSolution;
+use crate::profit::{consumer_profit, platform_profit, seller_profit};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of probing one party's deviations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deviation {
+    /// Best profit found among the probed deviating strategies.
+    pub best_deviation_profit: f64,
+    /// Profit at the solved equilibrium strategy.
+    pub equilibrium_profit: f64,
+    /// The deviating strategy value that achieved
+    /// [`Deviation::best_deviation_profit`].
+    pub best_strategy: f64,
+}
+
+impl Deviation {
+    /// How much the best probed deviation gains over the equilibrium
+    /// (positive ⇒ the equilibrium property is violated beyond `tol`).
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.best_deviation_profit - self.equilibrium_profit
+    }
+}
+
+/// Report of an equilibrium verification sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviationReport {
+    /// Consumer deviations in `p^J` (Eq. 14). When the consumer deviates,
+    /// the lower stages re-optimize (leaders anticipate followers).
+    pub consumer: Deviation,
+    /// Platform deviations in `p` at fixed `p^{J*}` (Eq. 15); sellers
+    /// re-optimize.
+    pub platform: Deviation,
+    /// Per-seller deviations in `τ_i` at fixed prices and fixed `τ_{−i}*`
+    /// (Eq. 16).
+    pub sellers: Vec<Deviation>,
+    /// Tolerance used for the `is_equilibrium` verdict.
+    pub tolerance: f64,
+}
+
+impl DeviationReport {
+    /// `true` when no probed deviation improves any party's profit by more
+    /// than the tolerance.
+    #[must_use]
+    pub fn is_equilibrium(&self) -> bool {
+        self.consumer.gain() <= self.tolerance
+            && self.platform.gain() <= self.tolerance
+            && self.sellers.iter().all(|d| d.gain() <= self.tolerance)
+    }
+
+    /// The largest deviation gain across all parties (≤ tolerance at a SE).
+    #[must_use]
+    pub fn max_gain(&self) -> f64 {
+        let seller_max = self
+            .sellers
+            .iter()
+            .map(Deviation::gain)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.consumer.gain().max(self.platform.gain()).max(seller_max)
+    }
+}
+
+/// Probes `grid_points` deviations per party around the solution and
+/// reports the best gain each party could achieve.
+///
+/// Deviation semantics follow Def. 13 exactly:
+/// - the **consumer** deviates in `p^J` over its bounds (or `[0, 3·p^{J*}]`
+///   when unbounded) — as the first-tier leader, the platform's and
+///   sellers' responses re-optimize against the deviating price;
+/// - the **platform** deviates in `p` at fixed `p^{J*}`; sellers
+///   re-optimize;
+/// - each **seller** deviates in `τ_i ∈ [0, min(T, 3·τ_i*)]` at fixed
+///   prices and fixed other-seller times.
+#[must_use]
+pub fn verify_equilibrium(
+    ctx: &GameContext,
+    solution: &StackelbergSolution,
+    grid_points: usize,
+    tolerance: f64,
+) -> DeviationReport {
+    let agg = Aggregates::from_context(ctx);
+
+    // --- Consumer deviations (Eq. 14) ---
+    let pj_star = solution.service_price;
+    let (pj_lo, pj_hi) = probe_interval(&ctx.service_price_bounds, pj_star);
+    let consumer_at = |pj: f64| {
+        let p = platform_best_response(ctx, pj, &agg);
+        let taus = all_seller_best_responses(ctx, p);
+        consumer_profit(ctx, pj, &taus)
+    };
+    let consumer = probe(consumer_at, pj_lo, pj_hi, grid_points, pj_star);
+
+    // --- Platform deviations (Eq. 15) ---
+    let p_star = solution.collection_price;
+    let (p_lo, p_hi) = probe_interval(&ctx.collection_price_bounds, p_star.max(1.0));
+    let platform_at = |p: f64| {
+        let taus = all_seller_best_responses(ctx, p);
+        platform_profit(ctx, pj_star, p, &taus)
+    };
+    let platform = probe(platform_at, p_lo, p_hi, grid_points, p_star);
+
+    // --- Seller deviations (Eq. 16) ---
+    let sellers = ctx
+        .sellers()
+        .iter()
+        .zip(&solution.sensing_times)
+        .map(|(s, &tau_star)| {
+            let hi = (3.0 * tau_star.max(1.0)).min(ctx.max_sensing_time);
+            probe(
+                |tau| seller_profit(p_star, tau, s.quality, s.cost),
+                0.0,
+                hi,
+                grid_points,
+                tau_star,
+            )
+        })
+        .collect();
+
+    DeviationReport {
+        consumer,
+        platform,
+        sellers,
+        tolerance,
+    }
+}
+
+/// A finite probing interval: the party's bounds when finite, otherwise
+/// `[0, 3·reference]`.
+fn probe_interval(bounds: &cdt_types::PriceBounds, reference: f64) -> (f64, f64) {
+    let hi = if bounds.max.is_finite() && bounds.max < 1e100 {
+        bounds.max
+    } else {
+        3.0 * reference.max(1.0)
+    };
+    (bounds.min, hi)
+}
+
+fn probe<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    grid_points: usize,
+    equilibrium_strategy: f64,
+) -> Deviation {
+    let equilibrium_profit = f(equilibrium_strategy);
+    let mut best_deviation_profit = f64::NEG_INFINITY;
+    let mut best_strategy = lo;
+    let n = grid_points.max(2);
+    let step = (hi - lo) / (n - 1) as f64;
+    for i in 0..n {
+        let x = lo + step * i as f64;
+        let v = f(x);
+        if v > best_deviation_profit {
+            best_deviation_profit = v;
+            best_strategy = x;
+        }
+    }
+    Deviation {
+        best_deviation_profit,
+        equilibrium_profit,
+        best_strategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SelectedSeller;
+    use crate::equilibrium::solve_equilibrium;
+    use cdt_types::{
+        PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
+    };
+
+    fn ctx(k: usize, omega: f64) -> GameContext {
+        let sellers = (0..k)
+            .map(|i| {
+                SelectedSeller::new(
+                    SellerId(i),
+                    0.25 + 0.7 * (i as f64 + 0.5) / k as f64,
+                    SellerCostParams {
+                        a: 0.1 + 0.35 * (i as f64 + 0.3) / k as f64,
+                        b: 0.1 + 0.8 * (i as f64 + 0.7) / k as f64,
+                    },
+                )
+            })
+            .collect();
+        GameContext::new(
+            sellers,
+            PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            ValuationParams { omega },
+            PriceBounds::unbounded(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solved_profile_is_an_equilibrium() {
+        for k in [1, 3, 10] {
+            let c = ctx(k, 1000.0);
+            let eq = solve_equilibrium(&c);
+            let report = verify_equilibrium(&c, &eq, 2000, 1e-3 * eq.profits.consumer.abs());
+            assert!(
+                report.is_equilibrium(),
+                "K={k}: max deviation gain {}",
+                report.max_gain()
+            );
+        }
+    }
+
+    #[test]
+    fn equilibrium_holds_across_omegas() {
+        for omega in [600.0, 1000.0, 1400.0] {
+            let c = ctx(5, omega);
+            let eq = solve_equilibrium(&c);
+            let report = verify_equilibrium(&c, &eq, 2000, 1e-3 * eq.profits.consumer.abs());
+            assert!(report.is_equilibrium(), "omega={omega}");
+        }
+    }
+
+    #[test]
+    fn perturbed_profile_is_not_an_equilibrium() {
+        let c = ctx(5, 1000.0);
+        let mut eq = solve_equilibrium(&c);
+        // Corrupt the platform's price: someone must now gain by deviating.
+        eq.collection_price *= 0.5;
+        eq.sensing_times = all_seller_best_responses(&c, eq.collection_price);
+        let report = verify_equilibrium(&c, &eq, 2000, 1e-6);
+        assert!(!report.is_equilibrium());
+        assert!(report.platform.gain() > 0.0);
+    }
+
+    #[test]
+    fn deviation_gain_sign() {
+        let d = Deviation {
+            best_deviation_profit: 10.0,
+            equilibrium_profit: 9.0,
+            best_strategy: 1.0,
+        };
+        assert!((d.gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_max_gain_covers_sellers() {
+        let c = ctx(4, 1000.0);
+        let eq = solve_equilibrium(&c);
+        let report = verify_equilibrium(&c, &eq, 500, 1e-2);
+        assert!(report.max_gain() <= 1e-2 + 1e-9);
+        assert_eq!(report.sellers.len(), 4);
+    }
+}

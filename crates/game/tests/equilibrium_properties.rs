@@ -1,0 +1,136 @@
+//! Property-based tests of the Stackelberg equilibrium over the paper's
+//! parameter ranges (Table II): structural invariants that must hold for
+//! *every* interior game, not just hand-picked examples.
+
+use cdt_game::{
+    seller_best_response, social_welfare, solve_equilibrium, GameContext, SelectedSeller,
+};
+use cdt_types::{
+    PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
+};
+use proptest::prelude::*;
+
+/// Strategy generating a game context inside the paper's Table II ranges.
+fn arb_context() -> impl Strategy<Value = GameContext> {
+    let seller = (0.2f64..1.0, 0.1f64..0.5, 0.1f64..1.0).prop_map(|(q, a, b)| (q, a, b));
+    (
+        proptest::collection::vec(seller, 1..12),
+        0.1f64..1.0,   // theta
+        0.5f64..2.0,   // lambda
+        600.0f64..1400.0, // omega
+    )
+        .prop_map(|(sellers, theta, lambda, omega)| {
+            let sellers = sellers
+                .into_iter()
+                .enumerate()
+                .map(|(i, (q, a, b))| {
+                    SelectedSeller::new(SellerId(i), q, SellerCostParams { a, b })
+                })
+                .collect();
+            GameContext::new(
+                sellers,
+                PlatformCostParams { theta, lambda },
+                ValuationParams { omega },
+                PriceBounds::unbounded(),
+                PriceBounds::unbounded(),
+                f64::MAX,
+            )
+            .expect("generated parameters are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Price ordering: the consumer pays more per unit than the platform
+    /// passes on (otherwise the platform would not broker), and both are
+    /// positive.
+    #[test]
+    fn prices_are_ordered(ctx in arb_context()) {
+        let eq = solve_equilibrium(&ctx);
+        prop_assert!(eq.service_price.is_finite() && eq.service_price > 0.0);
+        prop_assert!(eq.collection_price.is_finite() && eq.collection_price >= 0.0);
+        prop_assert!(eq.service_price > eq.collection_price);
+    }
+
+    /// Non-negativity: at the equilibrium no seller loses money (τ_i* is
+    /// its own best response, and τ = 0 guarantees Ψ = 0), and the
+    /// consumer's profit is non-negative (p^J* maximizes Φ and Φ(Υ→0) = 0).
+    #[test]
+    fn participation_is_individually_rational(ctx in arb_context()) {
+        let eq = solve_equilibrium(&ctx);
+        for (i, &psi) in eq.profits.sellers.iter().enumerate() {
+            prop_assert!(psi >= -1e-9, "seller {i} loses: {psi}");
+        }
+        prop_assert!(eq.profits.consumer >= -1e-6, "PoC = {}", eq.profits.consumer);
+    }
+
+    /// Consistency: every sensing time is the seller's Stage-3 best
+    /// response to the equilibrium collection price.
+    #[test]
+    fn sensing_times_are_best_responses(ctx in arb_context()) {
+        let eq = solve_equilibrium(&ctx);
+        for (s, &tau) in ctx.sellers().iter().zip(&eq.sensing_times) {
+            let br = seller_best_response(eq.collection_price, s.quality, s.cost, ctx.max_sensing_time);
+            prop_assert!((tau - br).abs() < 1e-9);
+        }
+    }
+
+    /// Welfare accounting: prices are pure transfers, so profit sum equals
+    /// social welfare at the equilibrium profile.
+    #[test]
+    fn profits_sum_to_welfare(ctx in arb_context()) {
+        let eq = solve_equilibrium(&ctx);
+        let w = social_welfare(&ctx, &eq.sensing_times);
+        let sum = eq.profits.social_welfare();
+        prop_assert!((w - sum).abs() < 1e-6 * w.abs().max(1.0), "welfare {w} vs sum {sum}");
+    }
+
+    /// Monotonicity in ω: a consumer who values data more offers a
+    /// (weakly) higher price and elicits (weakly) more sensing time.
+    #[test]
+    fn omega_monotonicity(ctx in arb_context(), bump in 1.05f64..2.0) {
+        let eq_lo = solve_equilibrium(&ctx);
+        let mut hi = ctx.clone();
+        hi.valuation = ValuationParams { omega: ctx.valuation.omega * bump };
+        let eq_hi = solve_equilibrium(&hi);
+        prop_assert!(eq_hi.service_price >= eq_lo.service_price - 1e-9);
+        prop_assert!(eq_hi.total_sensing_time() >= eq_lo.total_sensing_time() - 1e-9);
+        prop_assert!(eq_hi.profits.consumer >= eq_lo.profits.consumer - 1e-6);
+    }
+
+    /// Scale coherence: doubling every seller duplicates the selection;
+    /// total sensing time must grow, per-seller time must not.
+    #[test]
+    fn duplication_grows_supply(ctx in arb_context()) {
+        let eq1 = solve_equilibrium(&ctx);
+        let doubled: Vec<SelectedSeller> = ctx
+            .sellers()
+            .iter()
+            .chain(ctx.sellers())
+            .enumerate()
+            .map(|(i, s)| SelectedSeller::new(SellerId(i), s.quality, s.cost))
+            .collect();
+        let ctx2 = GameContext::new(
+            doubled,
+            ctx.platform_cost,
+            ctx.valuation,
+            ctx.collection_price_bounds,
+            ctx.service_price_bounds,
+            ctx.max_sensing_time,
+        )
+        .unwrap();
+        let eq2 = solve_equilibrium(&ctx2);
+        prop_assert!(eq2.total_sensing_time() >= eq1.total_sensing_time() - 1e-9);
+        // With more competition the platform needs a lower unit price.
+        prop_assert!(eq2.collection_price <= eq1.collection_price + 1e-9);
+    }
+
+    /// The initial-round strategy never leaves the platform under water
+    /// when the service-price bound admits break-even.
+    #[test]
+    fn initial_round_platform_break_even(ctx in arb_context()) {
+        let s = cdt_game::initial_round_strategy(&ctx, 1.0);
+        prop_assert!(s.profits.platform >= -1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! The typed events of the CDT trading workflow (paper Fig. 2).
+
+use cdt_types::{JobSpec, Round, SellerId};
+use serde::{Deserialize, Serialize};
+
+/// One event in the market's life. Monetary amounts are carried on the
+/// events so the log alone suffices for settlement audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MarketEvent {
+    /// The consumer publishes the data collection job (Fig. 2 step 1).
+    JobPublished {
+        /// The job specification `⟨L, N, T, Des⟩`.
+        job: JobSpec,
+    },
+    /// The platform selects this round's sellers (step 2).
+    SellersSelected {
+        /// The trading round.
+        round: Round,
+        /// The selected sellers, in selection order.
+        sellers: Vec<SellerId>,
+    },
+    /// The parties fix the incentive strategy `⟨p^J, p, τ⟩` (step 3).
+    StrategyDetermined {
+        /// The trading round.
+        round: Round,
+        /// Unit data-service price `p^J`.
+        service_price: f64,
+        /// Unit data-collection price `p`.
+        collection_price: f64,
+        /// Per-seller sensing times, parallel to the selection.
+        sensing_times: Vec<f64>,
+    },
+    /// The selected sellers return their data (step 4).
+    DataCollected {
+        /// The trading round.
+        round: Round,
+        /// Realized revenue `Σ_i Σ_l q_{i,l}`.
+        observed_revenue: f64,
+    },
+    /// The platform delivers the aggregated statistics (step 5).
+    StatisticsDelivered {
+        /// The trading round.
+        round: Round,
+    },
+    /// Payments settle (step 6): consumer → platform → sellers.
+    PaymentsSettled {
+        /// The trading round.
+        round: Round,
+        /// `p^J · Στ`, consumer to platform.
+        consumer_payment: f64,
+        /// `p · τ_i` per seller, platform to sellers (selection order).
+        seller_payments: Vec<f64>,
+    },
+    /// The job's `N` rounds are complete.
+    JobCompleted {
+        /// Total rounds traded.
+        rounds: usize,
+    },
+}
+
+impl MarketEvent {
+    /// The round an event belongs to (`None` for job-level events).
+    #[must_use]
+    pub fn round(&self) -> Option<Round> {
+        match self {
+            MarketEvent::JobPublished { .. } | MarketEvent::JobCompleted { .. } => None,
+            MarketEvent::SellersSelected { round, .. }
+            | MarketEvent::StrategyDetermined { round, .. }
+            | MarketEvent::DataCollected { round, .. }
+            | MarketEvent::StatisticsDelivered { round }
+            | MarketEvent::PaymentsSettled { round, .. } => Some(*round),
+        }
+    }
+
+    /// Short kind tag (used in error messages and log summaries).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MarketEvent::JobPublished { .. } => "JobPublished",
+            MarketEvent::SellersSelected { .. } => "SellersSelected",
+            MarketEvent::StrategyDetermined { .. } => "StrategyDetermined",
+            MarketEvent::DataCollected { .. } => "DataCollected",
+            MarketEvent::StatisticsDelivered { .. } => "StatisticsDelivered",
+            MarketEvent::PaymentsSettled { .. } => "PaymentsSettled",
+            MarketEvent::JobCompleted { .. } => "JobCompleted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_are_attached_to_round_events() {
+        let e = MarketEvent::DataCollected {
+            round: Round(3),
+            observed_revenue: 1.0,
+        };
+        assert_eq!(e.round(), Some(Round(3)));
+        let job = MarketEvent::JobCompleted { rounds: 10 };
+        assert_eq!(job.round(), None);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            MarketEvent::JobPublished {
+                job: JobSpec::new(1, 1, 1.0).unwrap(),
+            }
+            .kind(),
+            MarketEvent::SellersSelected {
+                round: Round(0),
+                sellers: vec![],
+            }
+            .kind(),
+            MarketEvent::JobCompleted { rounds: 0 }.kind(),
+        ];
+        let set: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(set.len(), kinds.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = MarketEvent::PaymentsSettled {
+            round: Round(7),
+            consumer_payment: 12.5,
+            seller_payments: vec![3.0, 4.5],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: MarketEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

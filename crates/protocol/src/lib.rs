@@ -1,0 +1,37 @@
+//! # cdt-protocol
+//!
+//! The CDT trading workflow of the paper's Fig. 2, as an auditable event
+//! protocol. Each round proceeds:
+//!
+//! 1. consumer publishes the job (once, before round 0);
+//! 2. platform selects sellers;
+//! 3. the three parties determine the incentive strategy (HS game);
+//! 4. selected sellers collect data;
+//! 5. platform aggregates and delivers statistics;
+//! 6. consumer and platform settle payments.
+//!
+//! The paper treats this loop informally; a deployable market needs the
+//! ordering *enforced* and the history *replayable* for dispute audit.
+//! This crate provides:
+//!
+//! - [`event`]: the typed [`MarketEvent`]s of the workflow;
+//! - [`state`]: a per-round state machine rejecting out-of-order or
+//!   inconsistent events (e.g. settling a round whose data never arrived,
+//!   or paying a different amount than the agreed strategy implies);
+//! - [`log`]: an append-only [`EventLog`] with JSON-lines round-trip and
+//!   full-replay validation;
+//! - [`bridge`]: adapters from [`cdt_core::RoundOutcome`] to the event
+//!   stream, so a mechanism run can be journaled with one call per round.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bridge;
+pub mod event;
+pub mod log;
+pub mod state;
+
+pub use bridge::events_for_round;
+pub use event::MarketEvent;
+pub use log::EventLog;
+pub use state::{ProtocolError, ProtocolState};

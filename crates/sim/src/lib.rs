@@ -1,0 +1,34 @@
+//! # cdt-sim
+//!
+//! The evaluation engine for CMAB-HS: runs the paper's comparison
+//! algorithms through the identical trading loop, accounts revenue /
+//! regret / per-party profits, sweeps parameters, and regenerates the data
+//! series behind every figure of the paper's evaluation (Sec. V).
+//!
+//! Layout:
+//! - [`settings`]: the Table II simulation grid and defaults;
+//! - [`policy_spec`]: declarative policy construction
+//!   ([`PolicySpec::CmabHs`], [`PolicySpec::EpsilonFirst`], …);
+//! - [`runner`]: one policy × one scenario → a [`RunResult`] with
+//!   checkpointed revenue/regret/profit series;
+//! - [`compare`]: many policies on a common scenario;
+//! - [`report`]: plain-text tables and CSV export;
+//! - [`experiments`]: one module per paper figure (7–18).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod compare;
+pub mod experiments;
+pub mod policy_spec;
+pub mod replicate;
+pub mod report;
+pub mod runner;
+pub mod settings;
+
+pub use compare::{compare_policies, ComparisonResult};
+pub use policy_spec::PolicySpec;
+pub use replicate::{replicate, replication_table, Replicated, ReplicatedRun};
+pub use report::{Series, Table};
+pub use runner::{run_policy, Checkpoint, RunResult};
+pub use settings::SimSettings;

@@ -1,0 +1,205 @@
+//! Multi-seed replication: run the same (scenario-shape, policy) cell
+//! across independent seeds and report mean ± confidence interval.
+//!
+//! The paper plots single-run curves; a credible open-source evaluation
+//! harness should quantify run-to-run variance, so the `repro` numbers can
+//! be read with error bars.
+
+use crate::policy_spec::PolicySpec;
+use crate::report::Table;
+use crate::runner::run_policy;
+use cdt_core::Scenario;
+use cdt_types::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Mean and spread of one scalar metric across replications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Replicated {
+    /// Sample mean across replications.
+    pub mean: f64,
+    /// Sample (Bessel-corrected) standard deviation.
+    pub std_dev: f64,
+    /// Number of replications.
+    pub n: usize,
+}
+
+impl Replicated {
+    fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        Self {
+            mean,
+            std_dev: var.sqrt(),
+            n,
+        }
+    }
+
+    /// Half-width of the ~95% normal confidence interval
+    /// (`1.96 · s / √n`; exact small-sample t-quantiles are overkill for a
+    /// simulation harness).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Replicated metrics of one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedRun {
+    /// The policy's display label.
+    pub name: String,
+    /// Expected revenue across replications.
+    pub expected_revenue: Replicated,
+    /// Regret across replications.
+    pub regret: Replicated,
+    /// Mean per-round consumer profit across replications.
+    pub mean_consumer_profit: Replicated,
+}
+
+/// Runs each policy `replications` times on freshly generated scenarios of
+/// the same shape (`m`, `k`, `l`, `n`), with both the hidden population
+/// and the run randomness re-seeded per replication.
+///
+/// # Errors
+/// Propagates scenario-construction and run errors.
+pub fn replicate(
+    m: usize,
+    k: usize,
+    l: usize,
+    n: usize,
+    specs: &[PolicySpec],
+    replications: usize,
+    base_seed: u64,
+) -> Result<Vec<ReplicatedRun>> {
+    /// Accumulator of raw per-replication samples for one policy.
+    struct Samples {
+        name: String,
+        revenue: Vec<f64>,
+        regret: Vec<f64>,
+        poc: Vec<f64>,
+    }
+    let mut per_policy: Vec<Samples> = specs
+        .iter()
+        .map(|s| Samples {
+            name: s.label(),
+            revenue: Vec::new(),
+            regret: Vec::new(),
+            poc: Vec::new(),
+        })
+        .collect();
+
+    for rep in 0..replications {
+        let seed = base_seed.wrapping_add(rep as u64 * 7919);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scenario = Scenario::paper_defaults(m, k, l, n, &mut rng)?;
+        for (i, spec) in specs.iter().enumerate() {
+            let r = run_policy(&scenario, *spec, seed.wrapping_add(i as u64 + 1), &[])?;
+            per_policy[i].revenue.push(r.expected_revenue);
+            per_policy[i].regret.push(r.regret);
+            per_policy[i].poc.push(r.mean_consumer_profit);
+        }
+    }
+
+    Ok(per_policy
+        .into_iter()
+        .map(|s| ReplicatedRun {
+            name: s.name,
+            expected_revenue: Replicated::from_samples(&s.revenue),
+            regret: Replicated::from_samples(&s.regret),
+            mean_consumer_profit: Replicated::from_samples(&s.poc),
+        })
+        .collect())
+}
+
+/// Renders replicated runs as a table with ±95% CI columns.
+#[must_use]
+pub fn replication_table(title: &str, runs: &[ReplicatedRun]) -> Table {
+    let mut t = Table::new(
+        title,
+        vec![
+            "policy".into(),
+            "revenue mean".into(),
+            "revenue ±95%".into(),
+            "regret mean".into(),
+            "regret ±95%".into(),
+            "PoC mean".into(),
+            "PoC ±95%".into(),
+        ],
+    );
+    for r in runs {
+        t.push_labeled_row(
+            r.name.clone(),
+            vec![
+                r.expected_revenue.mean,
+                r.expected_revenue.ci95_half_width(),
+                r.regret.mean,
+                r.regret.ci95_half_width(),
+                r.mean_consumer_profit.mean,
+                r.mean_consumer_profit.ci95_half_width(),
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicated_statistics() {
+        let r = Replicated::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((r.mean - 2.0).abs() < 1e-12);
+        assert!((r.std_dev - 1.0).abs() < 1e-12);
+        assert!((r.ci95_half_width() - 1.96 / 3.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let r = Replicated::from_samples(&[5.0]);
+        assert_eq!(r.std_dev, 0.0);
+        assert_eq!(r.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn replication_orders_policies_consistently() {
+        let runs = replicate(
+            16,
+            4,
+            4,
+            150,
+            &[PolicySpec::Optimal, PolicySpec::CmabHs, PolicySpec::Random],
+            4,
+            99,
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 3);
+        // Mean ordering must be robust across the replications.
+        assert!(runs[0].expected_revenue.mean >= runs[1].expected_revenue.mean);
+        assert!(runs[1].expected_revenue.mean > runs[2].expected_revenue.mean);
+        // Optimal's regret is identically zero ⇒ zero variance.
+        assert!(runs[0].regret.mean.abs() < 1e-9);
+        assert!(runs[0].regret.std_dev.abs() < 1e-9);
+        // Random's regret varies across seeds.
+        assert!(runs[2].regret.std_dev > 0.0);
+    }
+
+    #[test]
+    fn table_renders_all_policies() {
+        let runs = replicate(10, 3, 3, 60, &[PolicySpec::Random], 2, 5).unwrap();
+        let t = replication_table("replications", &runs);
+        assert_eq!(t.rows.len(), 1);
+        assert!(t.to_string().contains("random"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Plain-text tables and CSV export for experiment results.
+//!
+//! The benchmark harness prints the same rows/series the paper's figures
+//! plot; EXPERIMENTS.md records them next to the paper's qualitative
+//! claims.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cell of a report table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// A numeric value, rendered with adaptive precision.
+    Num(f64),
+    /// A text label.
+    Text(String),
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Num(x) => {
+                let a = x.abs();
+                if *x == 0.0 {
+                    write!(f, "0")
+                } else if !(1e-3..1e6).contains(&a) {
+                    write!(f, "{x:.3e}")
+                } else if a >= 100.0 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x:.4}")
+                }
+            }
+        }
+    }
+}
+
+/// A titled table with a header row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (printed above the grid).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of numbers.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row.into_iter().map(Cell::Num).collect());
+    }
+
+    /// Appends a row whose first cell is a label and the rest numbers.
+    ///
+    /// # Panics
+    /// Panics if `1 + values.len()` differs from the header width.
+    pub fn push_labeled_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len() + 1, self.columns.len(), "row width mismatch");
+        let mut row = vec![Cell::Text(label.into())];
+        row.extend(values.into_iter().map(Cell::Num));
+        self.rows.push(row);
+    }
+
+    /// Appends a row of text cells.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_text_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row.into_iter().map(Cell::Text).collect());
+    }
+
+    /// CSV rendering (header + rows, comma-separated, numbers at full
+    /// precision).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .map(|c| match c {
+                    Cell::Num(x) => format!("{x}"),
+                    Cell::Text(s) => s.replace(',', ";"),
+                })
+                .collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Compute column widths over header + rendered cells.
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::to_string).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A named 1-D data series (one curve of a figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (e.g. `"CMAB-HS"`).
+    pub name: String,
+    /// X values.
+    pub x: Vec<f64>,
+    /// Y values, parallel to `x`.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ.
+    #[must_use]
+    pub fn new(name: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series lengths differ");
+        Self {
+            name: name.into(),
+            x,
+            y,
+        }
+    }
+
+    /// Collects several same-x series into a table with one column per
+    /// series.
+    ///
+    /// # Panics
+    /// Panics if the series do not share identical x grids.
+    #[must_use]
+    pub fn tabulate(title: impl Into<String>, x_name: &str, series: &[Series]) -> Table {
+        let mut columns = vec![x_name.to_owned()];
+        columns.extend(series.iter().map(|s| s.name.clone()));
+        let mut table = Table::new(title, columns);
+        if let Some(first) = series.first() {
+            for s in series {
+                assert_eq!(s.x, first.x, "series x grids differ");
+            }
+            for (i, &x) in first.x.iter().enumerate() {
+                let mut row = vec![x];
+                row.extend(series.iter().map(|s| s.y[i]));
+                table.push_row(row);
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_display_aligns_columns() {
+        let mut t = Table::new("demo", vec!["x".into(), "value".into()]);
+        t.push_row(vec![1.0, 123.456]);
+        t.push_row(vec![2.0, 0.5]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("value"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_round_numbers_full_precision() {
+        let mut t = Table::new("demo", vec!["x".into()]);
+        t.push_row(vec![0.1234567890123]);
+        assert!(t.to_csv().contains("0.1234567890123"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_text() {
+        let mut t = Table::new("demo", vec!["label".into()]);
+        t.push_text_row(vec!["a,b".into()]);
+        assert!(t.to_csv().contains("a;b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn labeled_rows() {
+        let mut t = Table::new("demo", vec!["algo".into(), "rev".into()]);
+        t.push_labeled_row("CMAB-HS", vec![42.0]);
+        assert!(t.to_string().contains("CMAB-HS"));
+    }
+
+    #[test]
+    fn tabulate_merges_series() {
+        let a = Series::new("a", vec![1.0, 2.0], vec![10.0, 20.0]);
+        let b = Series::new("b", vec![1.0, 2.0], vec![30.0, 40.0]);
+        let t = Series::tabulate("fig", "n", &[a, b]);
+        assert_eq!(t.columns, vec!["n", "a", "b"]);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "series x grids differ")]
+    fn tabulate_rejects_mismatched_grids() {
+        let a = Series::new("a", vec![1.0], vec![10.0]);
+        let b = Series::new("b", vec![2.0], vec![30.0]);
+        let _ = Series::tabulate("fig", "n", &[a, b]);
+    }
+
+    #[test]
+    fn cell_formatting_adapts() {
+        assert_eq!(Cell::Num(0.0).to_string(), "0");
+        assert_eq!(Cell::Num(1234567.0).to_string(), "1.235e6");
+        assert_eq!(Cell::Num(0.00001).to_string(), "1.000e-5");
+        assert_eq!(Cell::Num(123.4).to_string(), "123.4");
+        assert_eq!(Cell::Num(1.5).to_string(), "1.5000");
+    }
+}

@@ -1,0 +1,220 @@
+//! CSV round-trip for trip records.
+//!
+//! Format (header + one line per record, matching the field order of the
+//! Kaggle dump's columns we consume):
+//!
+//! ```csv
+//! taxi_id,timestamp,trip_miles,pickup_area,dropoff_area
+//! 17,3600,2.85,8,32
+//! ```
+
+use crate::record::{AreaId, TaxiId, TripRecord};
+use cdt_types::{CdtError, Result};
+use std::fmt::Write as _;
+
+/// The header line.
+pub const HEADER: &str = "taxi_id,timestamp,trip_miles,pickup_area,dropoff_area";
+
+/// Serializes records to a CSV string (with header).
+#[must_use]
+pub fn to_csv(records: &[TripRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 24 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in records {
+        // trip_miles at fixed 4-decimal precision: plenty for miles, keeps
+        // files compact and diff-friendly.
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{},{}",
+            r.taxi.0, r.timestamp, r.trip_miles, r.pickup.0, r.dropoff.0
+        );
+    }
+    out
+}
+
+/// Parses a CSV string produced by [`to_csv`] (header required).
+///
+/// # Errors
+/// Returns [`CdtError::TraceParse`] with a 1-based line number on any
+/// malformed input.
+pub fn from_csv(input: &str) -> Result<Vec<TripRecord>> {
+    let mut lines = input.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, h)) => {
+            return Err(CdtError::TraceParse {
+                line: 1,
+                message: format!("expected header `{HEADER}`, got `{h}`"),
+            })
+        }
+        None => {
+            return Err(CdtError::TraceParse {
+                line: 1,
+                message: "empty input".to_owned(),
+            })
+        }
+    }
+
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let taxi = parse_field::<u32>(&mut fields, "taxi_id", line_no)?;
+        let timestamp = parse_field::<u64>(&mut fields, "timestamp", line_no)?;
+        let trip_miles = parse_field::<f64>(&mut fields, "trip_miles", line_no)?;
+        let pickup = parse_field::<u16>(&mut fields, "pickup_area", line_no)?;
+        let dropoff = parse_field::<u16>(&mut fields, "dropoff_area", line_no)?;
+        if fields.next().is_some() {
+            return Err(CdtError::TraceParse {
+                line: line_no,
+                message: "too many fields".to_owned(),
+            });
+        }
+        if !(trip_miles.is_finite() && trip_miles >= 0.0) {
+            return Err(CdtError::TraceParse {
+                line: line_no,
+                message: format!("invalid trip_miles {trip_miles}"),
+            });
+        }
+        records.push(TripRecord {
+            taxi: TaxiId(taxi),
+            timestamp,
+            trip_miles,
+            pickup: AreaId(pickup),
+            dropoff: AreaId(dropoff),
+        });
+    }
+    Ok(records)
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    name: &str,
+    line: usize,
+) -> Result<T> {
+    let raw = fields.next().ok_or_else(|| CdtError::TraceParse {
+        line,
+        message: format!("missing field `{name}`"),
+    })?;
+    raw.trim().parse::<T>().map_err(|_| CdtError::TraceParse {
+        line,
+        message: format!("cannot parse `{raw}` as {name}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_trace, TraceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let records = generate_trace(&TraceConfig::small(), &mut StdRng::seed_from_u64(1));
+        let csv = to_csv(&records);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (a, b) in records.iter().zip(&parsed) {
+            assert_eq!(a.taxi, b.taxi);
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.pickup, b.pickup);
+            assert_eq!(a.dropoff, b.dropoff);
+            assert!((a.trip_miles - b.trip_miles).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = from_csv("1,2,3.0,4,5\n").unwrap_err();
+        assert!(matches!(err, CdtError::TraceParse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(from_csv("").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_field_with_line_number() {
+        let input = format!("{HEADER}\n1,2,3.0,4,5\n1,xx,3.0,4,5\n");
+        match from_csv(&input).unwrap_err() {
+            CdtError::TraceParse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("timestamp"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_short_and_long_rows() {
+        let short = format!("{HEADER}\n1,2,3.0,4\n");
+        assert!(from_csv(&short).is_err());
+        let long = format!("{HEADER}\n1,2,3.0,4,5,6\n");
+        assert!(from_csv(&long).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_miles() {
+        let input = format!("{HEADER}\n1,2,-3.0,4,5\n");
+        assert!(from_csv(&input).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = format!("{HEADER}\n\n1,2,3.0,4,5\n\n");
+        assert_eq!(from_csv(&input).unwrap().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_record() -> impl Strategy<Value = TripRecord> {
+        (
+            0u32..1000,
+            0u64..7 * 86_400,
+            0.0f64..60.0,
+            0u16..77,
+            0u16..77,
+        )
+            .prop_map(|(taxi, timestamp, trip_miles, pickup, dropoff)| TripRecord {
+                taxi: TaxiId(taxi),
+                timestamp,
+                trip_miles,
+                pickup: AreaId(pickup),
+                dropoff: AreaId(dropoff),
+            })
+    }
+
+    proptest! {
+        /// Any batch of records round-trips through CSV with miles intact
+        /// to the serialized 4-decimal precision.
+        #[test]
+        fn arbitrary_records_round_trip(records in proptest::collection::vec(arb_record(), 0..50)) {
+            let parsed = from_csv(&to_csv(&records)).unwrap();
+            prop_assert_eq!(parsed.len(), records.len());
+            for (a, b) in records.iter().zip(&parsed) {
+                prop_assert_eq!(a.taxi, b.taxi);
+                prop_assert_eq!(a.timestamp, b.timestamp);
+                prop_assert_eq!(a.pickup, b.pickup);
+                prop_assert_eq!(a.dropoff, b.dropoff);
+                prop_assert!((a.trip_miles - b.trip_miles).abs() <= 5e-5);
+            }
+        }
+
+        /// The parser never panics on arbitrary input — it errors.
+        #[test]
+        fn parser_is_total(input in ".{0,200}") {
+            let _ = from_csv(&input);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The assembled dataset pipeline: trace → PoIs → candidate sellers.
+
+use crate::generator::{generate_trace, TraceConfig};
+use crate::poi::extract_pois;
+use crate::record::{AreaId, TripRecord};
+use crate::sellers::{derive_sellers, TaxiActivity};
+use rand::Rng;
+
+/// A ready-to-use evaluation dataset: the raw trace plus the derived PoIs
+/// and the ranked candidate-seller pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The raw trip records.
+    pub records: Vec<TripRecord>,
+    /// The `L` extracted PoIs, most popular first.
+    pub pois: Vec<AreaId>,
+    /// The candidate sellers (up to `M`), best coverage first.
+    pub sellers: Vec<TaxiActivity>,
+}
+
+impl Dataset {
+    /// Builds a dataset: generates the trace, extracts `l` PoIs, derives
+    /// up to `m` sellers.
+    pub fn build<R: Rng + ?Sized>(config: &TraceConfig, l: usize, m: usize, rng: &mut R) -> Self {
+        let records = generate_trace(config, rng);
+        let pois = extract_pois(&records, l);
+        let sellers = derive_sellers(&records, &pois, m);
+        Self {
+            records,
+            pois,
+            sellers,
+        }
+    }
+
+    /// Number of PoIs `L`.
+    #[must_use]
+    pub fn l(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Number of candidate sellers `M` actually available.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.sellers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn build_assembles_paper_scale_dataset() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Dataset::build(&TraceConfig::paper_scale(), 10, 300, &mut rng);
+        assert_eq!(d.l(), 10);
+        assert!(d.m() >= 295 && d.m() <= 300);
+        assert_eq!(d.records.len(), 27_465);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Dataset::build(
+            &TraceConfig::small(),
+            5,
+            40,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let b = Dataset::build(
+            &TraceConfig::small(),
+            5,
+            40,
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sellers_all_touch_pois() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dataset::build(&TraceConfig::small(), 5, 40, &mut rng);
+        for s in &d.sellers {
+            assert!(s.pois_covered >= 1);
+            let touched = d
+                .records
+                .iter()
+                .any(|r| r.taxi == s.taxi && d.pois.iter().any(|&p| r.touches(p)));
+            assert!(touched);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The seeded synthetic trace generator.
+//!
+//! Structural properties matched to the real Chicago dump (and to what the
+//! paper's pipeline actually consumes):
+//!
+//! - **Zipf-popular areas**: pickup/dropoff demand concentrates on a few
+//!   hotspot community areas (the Loop, airports…), so a top-`L` PoI
+//!   extraction is meaningful;
+//! - **home-area-biased taxis**: each taxi favours trips near its home
+//!   area, so different taxis cover different PoIs (seller derivation is
+//!   non-trivial);
+//! - **two-peak demand curve**: trip timestamps follow a morning/evening
+//!   rush-hour mixture;
+//! - **distance-consistent miles**: `trip_miles` = centroid distance plus
+//!   log-normal-ish noise.
+
+use crate::record::{AreaId, TaxiId, TripRecord, NUM_COMMUNITY_AREAS};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of distinct taxis (the paper finds 300 in its window).
+    pub num_taxis: u32,
+    /// Number of trip records (the paper's window holds 27 465).
+    pub num_records: usize,
+    /// Number of days the trace spans.
+    pub num_days: u32,
+    /// Zipf exponent of area popularity (≈1 gives a realistic skew).
+    pub popularity_exponent: f64,
+    /// Probability that a trip starts from the taxi's home neighbourhood
+    /// instead of a popularity-sampled area.
+    pub home_bias: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            num_taxis: 300,
+            num_records: 27_465,
+            num_days: 7,
+            popularity_exponent: 1.0,
+            home_bias: 0.35,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The paper's evaluation-scale trace (300 taxis, 27 465 records).
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self::default()
+    }
+
+    /// A small trace for fast tests and examples.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            num_taxis: 40,
+            num_records: 2_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a trace, deterministically for a given RNG state.
+pub fn generate_trace<R: Rng + ?Sized>(config: &TraceConfig, rng: &mut R) -> Vec<TripRecord> {
+    let popularity = zipf_weights(NUM_COMMUNITY_AREAS as usize, config.popularity_exponent);
+    let hourly = hourly_weights();
+
+    // Each taxi gets a home area, itself popularity-weighted (drivers base
+    // where the work is).
+    let homes: Vec<AreaId> = (0..config.num_taxis)
+        .map(|_| AreaId(sample_weighted(&popularity, rng) as u16))
+        .collect();
+
+    let mut records = Vec::with_capacity(config.num_records);
+    for _ in 0..config.num_records {
+        let taxi_idx = rng.gen_range(0..config.num_taxis);
+        let taxi = TaxiId(taxi_idx);
+        let home = homes[taxi_idx as usize];
+
+        let pickup = if rng.gen_bool(config.home_bias) {
+            neighbour_of(home, rng)
+        } else {
+            AreaId(sample_weighted(&popularity, rng) as u16)
+        };
+        let dropoff = AreaId(sample_weighted(&popularity, rng) as u16);
+
+        let day = rng.gen_range(0..config.num_days) as u64;
+        let hour = sample_weighted(&hourly, rng) as u64;
+        let sec_in_hour = rng.gen_range(0..3600u64);
+        let timestamp = day * 86_400 + hour * 3_600 + sec_in_hour;
+
+        let base = pickup.distance_miles(dropoff).max(0.3);
+        let noise: f64 = rng.gen_range(0.85..1.35); // detours, never shortcuts below 85%
+        let trip_miles = base * noise;
+
+        records.push(TripRecord {
+            taxi,
+            timestamp,
+            trip_miles,
+            pickup,
+            dropoff,
+        });
+    }
+    records.sort_by_key(|r| (r.timestamp, r.taxi.0));
+    records
+}
+
+/// Zipf weights `w_i ∝ 1 / (i+1)^s` over `n` items.
+fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+/// Two-peak hourly demand: base load plus Gaussian bumps at 8 am and 6 pm.
+fn hourly_weights() -> Vec<f64> {
+    (0..24)
+        .map(|h| {
+            let h = h as f64;
+            let morning = (-((h - 8.0) / 2.0).powi(2)).exp();
+            let evening = (-((h - 18.0) / 2.5).powi(2)).exp();
+            0.2 + 1.0 * morning + 1.2 * evening
+        })
+        .collect()
+}
+
+/// Samples an index proportionally to `weights`.
+fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// A uniformly-chosen grid neighbour of `area` (or the area itself).
+fn neighbour_of<R: Rng + ?Sized>(area: AreaId, rng: &mut R) -> AreaId {
+    let side = (f64::from(NUM_COMMUNITY_AREAS)).sqrt().ceil() as i32;
+    let row = i32::from(area.0) / side;
+    let col = i32::from(area.0) % side;
+    let dr = rng.gen_range(-1..=1);
+    let dc = rng.gen_range(-1..=1);
+    let nr = (row + dr).clamp(0, side - 1);
+    let nc = (col + dc).clamp(0, side - 1);
+    let id = (nr * side + nc) as u16;
+    AreaId(id.min(NUM_COMMUNITY_AREAS - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn trace(seed: u64) -> Vec<TripRecord> {
+        generate_trace(&TraceConfig::paper_scale(), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn generates_requested_record_count() {
+        let t = trace(1);
+        assert_eq!(t.len(), 27_465);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(trace(7), trace(7));
+        assert_ne!(trace(7), trace(8));
+    }
+
+    #[test]
+    fn records_are_time_sorted() {
+        let t = trace(2);
+        assert!(t.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn all_fields_are_in_domain() {
+        let cfg = TraceConfig::paper_scale();
+        for r in trace(3) {
+            assert!(r.taxi.0 < cfg.num_taxis);
+            assert!(r.pickup.0 < NUM_COMMUNITY_AREAS);
+            assert!(r.dropoff.0 < NUM_COMMUNITY_AREAS);
+            assert!(r.trip_miles > 0.0 && r.trip_miles < 60.0);
+            assert!(r.timestamp < u64::from(cfg.num_days) * 86_400);
+        }
+    }
+
+    #[test]
+    fn area_popularity_is_skewed() {
+        let t = trace(4);
+        let mut counts: HashMap<u16, usize> = HashMap::new();
+        for r in &t {
+            *counts.entry(r.pickup.0).or_default() += 1;
+        }
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf-ish: the top area should see many times the median load.
+        let median = freq[freq.len() / 2];
+        assert!(
+            freq[0] > 5 * median,
+            "top {} vs median {median} — demand should concentrate",
+            freq[0]
+        );
+    }
+
+    #[test]
+    fn demand_has_rush_hour_peaks() {
+        let t = trace(5);
+        let mut by_hour = [0usize; 24];
+        for r in &t {
+            by_hour[r.hour_of_day() as usize] += 1;
+        }
+        let night = by_hour[3];
+        let evening = by_hour[18];
+        assert!(
+            evening > 3 * night,
+            "evening {evening} should dwarf 3 am {night}"
+        );
+    }
+
+    #[test]
+    fn most_taxis_appear() {
+        let t = trace(6);
+        let distinct: std::collections::HashSet<u32> = t.iter().map(|r| r.taxi.0).collect();
+        assert!(distinct.len() > 290, "{} of 300 taxis active", distinct.len());
+    }
+
+    #[test]
+    fn trip_miles_track_centroid_distance() {
+        for r in trace(7).iter().take(500) {
+            let base = r.pickup.distance_miles(r.dropoff).max(0.3);
+            assert!(r.trip_miles >= base * 0.85 - 1e-9);
+            assert!(r.trip_miles <= base * 1.35 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_config_is_smaller() {
+        let t = generate_trace(&TraceConfig::small(), &mut StdRng::seed_from_u64(1));
+        assert_eq!(t.len(), 2_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cdt-trace
+//!
+//! A seeded synthetic Chicago-style taxi-trip trace — the data substrate
+//! for the paper's evaluation (Sec. V-A).
+//!
+//! The paper uses the *Chicago Taxi Trips* Kaggle dump (27 465 records with
+//! taxi id, timestamp, trip miles, pickup/dropoff locations), from which it
+//! (a) picks `L = 10` pickup/dropoff points as PoIs and (b) treats the
+//! taxis serving those points as candidate data sellers. The trace carries
+//! **no quality information** — qualities are generated synthetically in
+//! the paper too — so a structurally-faithful synthetic trace preserves
+//! everything the experiments consume:
+//!
+//! - [`record`]: the [`TripRecord`] schema mirroring the Kaggle columns;
+//! - [`generator`]: a seeded generator with Zipf-popular community areas,
+//!   a two-peak time-of-day demand curve, and home-area-biased taxis;
+//! - [`csv`]: CSV serialization round-trip (so examples can export/import
+//!   the trace like the real dump);
+//! - [`poi`]: PoI extraction — the top-`L` most visited areas;
+//! - [`sellers`]: seller derivation — taxis ranked by PoI coverage;
+//! - [`dataset`]: the assembled [`Dataset`] pipeline.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod csv;
+pub mod dataset;
+pub mod generator;
+pub mod poi;
+pub mod record;
+pub mod sellers;
+pub mod stats;
+
+pub use dataset::Dataset;
+pub use generator::{generate_trace, TraceConfig};
+pub use poi::extract_pois;
+pub use record::{AreaId, TaxiId, TripRecord};
+pub use sellers::{derive_sellers, TaxiActivity};
+pub use stats::{trace_stats, TraceStats};

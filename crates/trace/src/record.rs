@@ -1,0 +1,144 @@
+//! The trip-record schema, mirroring the columns of the Chicago Taxi Trips
+//! dump the paper evaluates on: taxi id, timestamp, trip miles, and the
+//! pickup/dropoff locations (Chicago community areas).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of Chicago community areas (the real city has 77).
+pub const NUM_COMMUNITY_AREAS: u16 = 77;
+
+/// A taxi's identifier within the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TaxiId(pub u32);
+
+impl fmt::Display for TaxiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "taxi{}", self.0)
+    }
+}
+
+/// A Chicago community-area identifier (`1..=77` in the real data;
+/// zero-based `0..77` here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AreaId(pub u16);
+
+impl AreaId {
+    /// Synthetic centroid of the area on a √77 × √77 unit grid, used to
+    /// derive plausible trip distances.
+    #[must_use]
+    pub fn centroid(self) -> (f64, f64) {
+        let side = (f64::from(NUM_COMMUNITY_AREAS)).sqrt().ceil() as u16;
+        let row = self.0 / side;
+        let col = self.0 % side;
+        (f64::from(row) + 0.5, f64::from(col) + 0.5)
+    }
+
+    /// Grid (Manhattan-ish Euclidean) distance between two area centroids,
+    /// in synthetic miles (one grid cell ≈ 1.9 miles, roughly Chicago's
+    /// community-area pitch).
+    #[must_use]
+    pub fn distance_miles(self, other: AreaId) -> f64 {
+        const MILES_PER_CELL: f64 = 1.9;
+        let (r1, c1) = self.centroid();
+        let (r2, c2) = other.centroid();
+        ((r1 - r2).powi(2) + (c1 - c2).powi(2)).sqrt() * MILES_PER_CELL
+    }
+}
+
+impl fmt::Display for AreaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "area{}", self.0)
+    }
+}
+
+/// One taxi trip, with the fields the paper's evaluation consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TripRecord {
+    /// The taxi that served the trip.
+    pub taxi: TaxiId,
+    /// Trip start, seconds from the start of the trace window.
+    pub timestamp: u64,
+    /// Trip length in miles.
+    pub trip_miles: f64,
+    /// Pickup community area.
+    pub pickup: AreaId,
+    /// Dropoff community area.
+    pub dropoff: AreaId,
+}
+
+impl TripRecord {
+    /// Hour-of-day of the trip start (0–23).
+    #[must_use]
+    pub fn hour_of_day(&self) -> u8 {
+        ((self.timestamp / 3600) % 24) as u8
+    }
+
+    /// `true` if this trip touches (picks up or drops off at) `area`.
+    #[must_use]
+    pub fn touches(&self, area: AreaId) -> bool {
+        self.pickup == area || self.dropoff == area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centroid_is_inside_grid() {
+        for a in 0..NUM_COMMUNITY_AREAS {
+            let (r, c) = AreaId(a).centroid();
+            assert!(r > 0.0 && c > 0.0 && r < 10.0 && c < 10.0);
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_diagonal() {
+        let a = AreaId(3);
+        let b = AreaId(40);
+        assert_eq!(a.distance_miles(a), 0.0);
+        assert!((a.distance_miles(b) - b.distance_miles(a)).abs() < 1e-12);
+        assert!(a.distance_miles(b) > 0.0);
+    }
+
+    #[test]
+    fn distance_respects_triangle_inequality() {
+        let (a, b, c) = (AreaId(0), AreaId(38), AreaId(76));
+        assert!(a.distance_miles(c) <= a.distance_miles(b) + b.distance_miles(c) + 1e-12);
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        let rec = TripRecord {
+            taxi: TaxiId(1),
+            timestamp: 25 * 3600 + 120,
+            trip_miles: 2.0,
+            pickup: AreaId(0),
+            dropoff: AreaId(1),
+        };
+        assert_eq!(rec.hour_of_day(), 1);
+    }
+
+    #[test]
+    fn touches_checks_both_ends() {
+        let rec = TripRecord {
+            taxi: TaxiId(1),
+            timestamp: 0,
+            trip_miles: 2.0,
+            pickup: AreaId(5),
+            dropoff: AreaId(9),
+        };
+        assert!(rec.touches(AreaId(5)));
+        assert!(rec.touches(AreaId(9)));
+        assert!(!rec.touches(AreaId(7)));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(TaxiId(12).to_string(), "taxi12");
+        assert_eq!(AreaId(7).to_string(), "area7");
+    }
+}

@@ -1,0 +1,139 @@
+//! Seller derivation: "the taxis which pick up or drop off passengers at
+//! these points can complete the data collection job, which are regarded
+//! as the data sellers" (Sec. V-A).
+
+use crate::record::{AreaId, TaxiId, TripRecord};
+use std::collections::{HashMap, HashSet};
+
+/// A taxi's activity profile with respect to a PoI set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxiActivity {
+    /// The taxi.
+    pub taxi: TaxiId,
+    /// How many distinct PoIs the taxi touched.
+    pub pois_covered: usize,
+    /// How many trips touched at least one PoI.
+    pub poi_trips: usize,
+}
+
+/// Ranks the taxis that touch at least one PoI by
+/// `(pois_covered, poi_trips)` descending (ties toward the lower taxi id),
+/// and returns up to `m` of them — the candidate seller set `M`.
+///
+/// The paper "choose`[s]` M taxis as satisfied sellers" from the eligible
+/// pool; ranking by coverage picks the taxis most capable of serving all
+/// `L` PoIs per round (Def. 3 requires each selected seller to collect at
+/// every PoI).
+#[must_use]
+pub fn derive_sellers(records: &[TripRecord], pois: &[AreaId], m: usize) -> Vec<TaxiActivity> {
+    let poi_set: HashSet<AreaId> = pois.iter().copied().collect();
+    let mut covered: HashMap<TaxiId, HashSet<AreaId>> = HashMap::new();
+    let mut trips: HashMap<TaxiId, usize> = HashMap::new();
+
+    for r in records {
+        let mut touched = false;
+        for &p in pois {
+            if r.touches(p) {
+                covered.entry(r.taxi).or_default().insert(p);
+                touched = true;
+            }
+        }
+        // `poi_set` guards the degenerate empty-PoI case.
+        if touched && !poi_set.is_empty() {
+            *trips.entry(r.taxi).or_default() += 1;
+        }
+    }
+
+    let mut activities: Vec<TaxiActivity> = covered
+        .into_iter()
+        .map(|(taxi, set)| TaxiActivity {
+            taxi,
+            pois_covered: set.len(),
+            poi_trips: trips.get(&taxi).copied().unwrap_or(0),
+        })
+        .collect();
+    activities.sort_by(|x, y| {
+        y.pois_covered
+            .cmp(&x.pois_covered)
+            .then(y.poi_trips.cmp(&x.poi_trips))
+            .then(x.taxi.0.cmp(&y.taxi.0))
+    });
+    activities.truncate(m);
+    activities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_trace, TraceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rec(taxi: u32, pickup: u16, dropoff: u16) -> TripRecord {
+        TripRecord {
+            taxi: TaxiId(taxi),
+            timestamp: 0,
+            trip_miles: 1.0,
+            pickup: AreaId(pickup),
+            dropoff: AreaId(dropoff),
+        }
+    }
+
+    #[test]
+    fn ranks_by_coverage_then_trips() {
+        let pois = vec![AreaId(1), AreaId(2), AreaId(3)];
+        let records = vec![
+            rec(10, 1, 2), // taxi 10 covers {1,2}, 1 trip
+            rec(11, 1, 5), // taxi 11 covers {1}, 2 trips
+            rec(11, 1, 6),
+            rec(12, 1, 2), // taxi 12 covers {1,2,3}, 2 trips
+            rec(12, 3, 7),
+            rec(13, 8, 9), // taxi 13 never touches a PoI
+        ];
+        let sellers = derive_sellers(&records, &pois, 10);
+        let order: Vec<u32> = sellers.iter().map(|a| a.taxi.0).collect();
+        assert_eq!(order, vec![12, 10, 11]);
+        assert_eq!(sellers[0].pois_covered, 3);
+        assert_eq!(sellers[0].poi_trips, 2);
+    }
+
+    #[test]
+    fn truncates_to_m() {
+        let pois = vec![AreaId(1)];
+        let records = vec![rec(1, 1, 0), rec(2, 1, 0), rec(3, 1, 0)];
+        assert_eq!(derive_sellers(&records, &pois, 2).len(), 2);
+    }
+
+    #[test]
+    fn ineligible_taxis_are_excluded() {
+        let pois = vec![AreaId(1)];
+        let records = vec![rec(1, 1, 0), rec(2, 5, 6)];
+        let sellers = derive_sellers(&records, &pois, 10);
+        assert_eq!(sellers.len(), 1);
+        assert_eq!(sellers[0].taxi, TaxiId(1));
+    }
+
+    #[test]
+    fn paper_scale_yields_enough_sellers() {
+        // The paper finds 300 eligible taxis for L = 10 PoIs; our hotspot
+        // generator should make nearly all 300 taxis touch a top-10 area.
+        let t = generate_trace(&TraceConfig::paper_scale(), &mut StdRng::seed_from_u64(1));
+        let pois = crate::poi::extract_pois(&t, 10);
+        let sellers = derive_sellers(&t, &pois, 300);
+        assert!(sellers.len() >= 295, "{} eligible taxis", sellers.len());
+    }
+
+    #[test]
+    fn tie_breaks_toward_lower_taxi_id() {
+        let pois = vec![AreaId(1)];
+        let records = vec![rec(7, 1, 0), rec(3, 1, 0)];
+        let sellers = derive_sellers(&records, &pois, 2);
+        assert_eq!(sellers[0].taxi, TaxiId(3));
+    }
+
+    #[test]
+    fn empty_pois_yield_no_sellers() {
+        let records = vec![rec(1, 1, 2)];
+        assert!(derive_sellers(&records, &[], 5).is_empty());
+    }
+}

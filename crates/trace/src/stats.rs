@@ -1,0 +1,143 @@
+//! Descriptive statistics over a trip trace — the sanity dashboard a data
+//! engineer would run before trusting a trace-derived experiment.
+
+use crate::record::{AreaId, TaxiId, TripRecord, NUM_COMMUNITY_AREAS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total trip records.
+    pub num_records: usize,
+    /// Distinct taxis appearing in the trace.
+    pub num_taxis: usize,
+    /// Distinct areas touched (pickup or dropoff).
+    pub num_areas: usize,
+    /// Mean trip length in miles.
+    pub mean_trip_miles: f64,
+    /// Trips per hour-of-day (24 buckets).
+    pub hourly_counts: [usize; 24],
+    /// Gini coefficient of per-area visit counts (0 = uniform demand,
+    /// → 1 = all demand in one area). Chicago-style traces are strongly
+    /// concentrated (hotspots), so this should be well above 0.5.
+    pub area_gini: f64,
+    /// Trips of the busiest taxi.
+    pub max_trips_per_taxi: usize,
+}
+
+/// Computes [`TraceStats`] in one pass (plus a sort for the Gini).
+#[must_use]
+pub fn trace_stats(records: &[TripRecord]) -> TraceStats {
+    let mut taxis: HashMap<TaxiId, usize> = HashMap::new();
+    let mut areas: HashMap<AreaId, usize> = HashMap::new();
+    let mut hourly = [0usize; 24];
+    let mut miles = 0.0;
+    for r in records {
+        *taxis.entry(r.taxi).or_default() += 1;
+        *areas.entry(r.pickup).or_default() += 1;
+        *areas.entry(r.dropoff).or_default() += 1;
+        hourly[r.hour_of_day() as usize] += 1;
+        miles += r.trip_miles;
+    }
+    let mean_trip_miles = if records.is_empty() {
+        0.0
+    } else {
+        miles / records.len() as f64
+    };
+    // Gini over all 77 areas (zero-visit areas count — concentration is
+    // relative to the whole city).
+    let mut visit_counts: Vec<f64> = (0..NUM_COMMUNITY_AREAS)
+        .map(|a| *areas.get(&AreaId(a)).unwrap_or(&0) as f64)
+        .collect();
+    let area_gini = gini(&mut visit_counts);
+    TraceStats {
+        num_records: records.len(),
+        num_taxis: taxis.len(),
+        num_areas: areas.len(),
+        mean_trip_miles,
+        hourly_counts: hourly,
+        area_gini,
+        max_trips_per_taxi: taxis.values().copied().max().unwrap_or(0),
+    }
+}
+
+/// Gini coefficient of a non-negative vector (sorted in place).
+/// Returns 0 for empty or all-zero input.
+fn gini(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite counts"));
+    let n = values.len() as f64;
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // G = (2 Σ_i i·x_i) / (n Σ x) − (n + 1)/n, with i 1-based on sorted x.
+    let weighted: f64 = values
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_trace, TraceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = trace_stats(&[]);
+        assert_eq!(s.num_records, 0);
+        assert_eq!(s.num_taxis, 0);
+        assert_eq!(s.mean_trip_miles, 0.0);
+        assert_eq!(s.area_gini, 0.0);
+    }
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        let mut v = vec![5.0; 10];
+        assert!(gini(&mut v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_concentrated_is_high() {
+        let mut v = vec![0.0; 99];
+        v.push(100.0);
+        assert!(gini(&mut v) > 0.98);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0, 4.0];
+        let mut b = vec![10.0, 20.0, 30.0, 40.0];
+        assert!((gini(&mut a) - gini(&mut b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_trace_statistics() {
+        let t = generate_trace(&TraceConfig::paper_scale(), &mut StdRng::seed_from_u64(1));
+        let s = trace_stats(&t);
+        assert_eq!(s.num_records, 27_465);
+        assert!(s.num_taxis >= 295);
+        assert!(s.num_areas >= 70, "most of the 77 areas see some traffic");
+        assert!(s.mean_trip_miles > 1.0 && s.mean_trip_miles < 20.0);
+        // Zipf demand ⇒ strong concentration.
+        assert!(s.area_gini > 0.5, "gini {}", s.area_gini);
+        // Rush hours dominate the small hours.
+        assert!(s.hourly_counts[18] > 3 * s.hourly_counts[3]);
+        assert!(s.max_trips_per_taxi >= 50);
+    }
+
+    #[test]
+    fn hourly_counts_sum_to_records() {
+        let t = generate_trace(&TraceConfig::small(), &mut StdRng::seed_from_u64(2));
+        let s = trace_stats(&t);
+        assert_eq!(s.hourly_counts.iter().sum::<usize>(), s.num_records);
+    }
+}

@@ -1,0 +1,383 @@
+//! Whole-system configuration: the consumer's job spec and the per-party
+//! economic parameters, validated together.
+
+use crate::error::{CdtError, Result};
+use crate::ids::SellerId;
+use crate::params::{PlatformCostParams, PriceBounds, SellerCostParams, ValuationParams};
+use serde::{Deserialize, Serialize};
+
+/// The consumer's long-term data collection job `Job = ⟨L, N, T, Des⟩`
+/// (Def. 1). `Des` (free-text requirements) is represented as `description`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Number of PoIs `L`.
+    pub num_pois: usize,
+    /// Number of rounds `N`.
+    pub num_rounds: usize,
+    /// Duration of one round `T` — the upper bound on any seller's sensing
+    /// time `τ_i^t ∈ [0, T]`.
+    pub round_duration: f64,
+    /// Free-text requirements for collected data and statistics (`Des`).
+    pub description: String,
+}
+
+impl JobSpec {
+    /// Creates a validated job spec.
+    ///
+    /// # Errors
+    /// Returns an error when `L == 0`, `N == 0`, or `T ≤ 0`.
+    pub fn new(num_pois: usize, num_rounds: usize, round_duration: f64) -> Result<Self> {
+        if num_pois == 0 {
+            return Err(CdtError::config("job requires at least one PoI (L >= 1)"));
+        }
+        if num_rounds == 0 {
+            return Err(CdtError::config("job requires at least one round (N >= 1)"));
+        }
+        if !(round_duration.is_finite() && round_duration > 0.0) {
+            return Err(CdtError::invalid(
+                "T",
+                round_duration,
+                "round duration must be finite and > 0",
+            ));
+        }
+        Ok(Self {
+            num_pois,
+            num_rounds,
+            round_duration,
+            description: String::new(),
+        })
+    }
+
+    /// Attaches a human-readable description (`Des`).
+    #[must_use]
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+}
+
+/// Full validated configuration of a CDT system instance.
+///
+/// Built via [`SystemConfigBuilder`]; the builder enforces the cross-field
+/// invariants (`K ≤ M`, one cost-parameter pair per seller).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The consumer's job.
+    pub job: JobSpec,
+    /// Number of candidate sellers `M`.
+    pub num_sellers: usize,
+    /// Number of sellers selected each round `K`.
+    pub selection_size: usize,
+    /// Per-seller cost parameters `(a_i, b_i)`, indexed by [`SellerId`].
+    pub seller_costs: Vec<SellerCostParams>,
+    /// Platform aggregation cost parameters `(θ, λ)`.
+    pub platform_cost: PlatformCostParams,
+    /// Consumer valuation parameter `ω`.
+    pub valuation: ValuationParams,
+    /// Bounds on the platform's unit data-collection price `p`.
+    pub collection_price_bounds: PriceBounds,
+    /// Bounds on the consumer's unit data-service price `p^J`.
+    pub service_price_bounds: PriceBounds,
+    /// Sensing time `τ⁰` each seller contributes in the initial exploration
+    /// round (Algorithm 1, step 3).
+    pub initial_sensing_time: f64,
+}
+
+impl SystemConfig {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+
+    /// Cost parameters for one seller.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; configs are validated to hold exactly
+    /// `M` entries, so an out-of-range id is a logic error.
+    #[must_use]
+    pub fn seller_cost(&self, id: SellerId) -> SellerCostParams {
+        self.seller_costs[id.index()]
+    }
+
+    /// Shorthand accessors matching the paper's symbols.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.num_sellers
+    }
+
+    /// `K`, the per-round selection size.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.selection_size
+    }
+
+    /// `L`, the number of PoIs.
+    #[must_use]
+    pub fn l(&self) -> usize {
+        self.job.num_pois
+    }
+
+    /// `N`, the number of rounds.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.job.num_rounds
+    }
+}
+
+/// Builder for [`SystemConfig`] with paper-default economic parameters.
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    job: Option<JobSpec>,
+    num_sellers: usize,
+    selection_size: usize,
+    seller_costs: Vec<SellerCostParams>,
+    platform_cost: PlatformCostParams,
+    valuation: ValuationParams,
+    collection_price_bounds: PriceBounds,
+    service_price_bounds: PriceBounds,
+    initial_sensing_time: f64,
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        Self {
+            job: None,
+            num_sellers: 0,
+            selection_size: 0,
+            seller_costs: Vec::new(),
+            // Paper defaults (Sec. V-A): θ = 0.1, λ = 1, ω = 1000.
+            platform_cost: PlatformCostParams {
+                theta: 0.1,
+                lambda: 1.0,
+            },
+            valuation: ValuationParams { omega: 1000.0 },
+            collection_price_bounds: PriceBounds {
+                min: 0.0,
+                max: f64::MAX,
+            },
+            service_price_bounds: PriceBounds {
+                min: 0.0,
+                max: f64::MAX,
+            },
+            initial_sensing_time: 1.0,
+        }
+    }
+}
+
+impl SystemConfigBuilder {
+    /// Sets the job spec (required).
+    #[must_use]
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// Sets `M` and `K` (required).
+    #[must_use]
+    pub fn sellers(mut self, num_sellers: usize, selection_size: usize) -> Self {
+        self.num_sellers = num_sellers;
+        self.selection_size = selection_size;
+        self
+    }
+
+    /// Provides the per-seller cost parameters (must have length `M`).
+    #[must_use]
+    pub fn seller_costs(mut self, costs: Vec<SellerCostParams>) -> Self {
+        self.seller_costs = costs;
+        self
+    }
+
+    /// Sets the platform cost parameters `(θ, λ)`.
+    #[must_use]
+    pub fn platform_cost(mut self, cost: PlatformCostParams) -> Self {
+        self.platform_cost = cost;
+        self
+    }
+
+    /// Sets the consumer valuation parameter `ω`.
+    #[must_use]
+    pub fn valuation(mut self, valuation: ValuationParams) -> Self {
+        self.valuation = valuation;
+        self
+    }
+
+    /// Sets the bounds for the platform's collection price `p`.
+    #[must_use]
+    pub fn collection_price_bounds(mut self, bounds: PriceBounds) -> Self {
+        self.collection_price_bounds = bounds;
+        self
+    }
+
+    /// Sets the bounds for the consumer's service price `p^J`.
+    #[must_use]
+    pub fn service_price_bounds(mut self, bounds: PriceBounds) -> Self {
+        self.service_price_bounds = bounds;
+        self
+    }
+
+    /// Sets the initial-exploration sensing time `τ⁰`.
+    #[must_use]
+    pub fn initial_sensing_time(mut self, tau0: f64) -> Self {
+        self.initial_sensing_time = tau0;
+        self
+    }
+
+    /// Validates and builds the [`SystemConfig`].
+    ///
+    /// # Errors
+    /// Returns an error when required fields are missing, `K > M` or `K == 0`,
+    /// the cost vector length differs from `M`, or `τ⁰` is outside `(0, T]`.
+    pub fn build(self) -> Result<SystemConfig> {
+        let job = self
+            .job
+            .ok_or_else(|| CdtError::config("job spec is required"))?;
+        if self.num_sellers == 0 {
+            return Err(CdtError::config("at least one seller is required (M >= 1)"));
+        }
+        if self.selection_size == 0 {
+            return Err(CdtError::config("selection size K must be >= 1"));
+        }
+        if self.selection_size > self.num_sellers {
+            return Err(CdtError::SelectionTooLarge {
+                k: self.selection_size,
+                m: self.num_sellers,
+            });
+        }
+        if self.seller_costs.len() != self.num_sellers {
+            return Err(CdtError::config(format!(
+                "expected {} seller cost entries, got {}",
+                self.num_sellers,
+                self.seller_costs.len()
+            )));
+        }
+        if !(self.initial_sensing_time > 0.0
+            && self.initial_sensing_time <= job.round_duration
+            && self.initial_sensing_time.is_finite())
+        {
+            return Err(CdtError::invalid(
+                "tau0",
+                self.initial_sensing_time,
+                "initial sensing time must lie in (0, T]",
+            ));
+        }
+        Ok(SystemConfig {
+            job,
+            num_sellers: self.num_sellers,
+            selection_size: self.selection_size,
+            seller_costs: self.seller_costs,
+            platform_cost: self.platform_cost,
+            valuation: self.valuation,
+            collection_price_bounds: self.collection_price_bounds,
+            service_price_bounds: self.service_price_bounds,
+            initial_sensing_time: self.initial_sensing_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(m: usize) -> Vec<SellerCostParams> {
+        (0..m)
+            .map(|i| SellerCostParams::new(0.1 + 0.01 * i as f64, 0.2).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let cfg = SystemConfig::builder()
+            .job(JobSpec::new(10, 100, 50.0).unwrap())
+            .sellers(5, 2)
+            .seller_costs(costs(5))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.m(), 5);
+        assert_eq!(cfg.k(), 2);
+        assert_eq!(cfg.l(), 10);
+        assert_eq!(cfg.n(), 100);
+        assert!((cfg.seller_cost(SellerId(2)).a - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_k_greater_than_m() {
+        let err = SystemConfig::builder()
+            .job(JobSpec::new(10, 100, 50.0).unwrap())
+            .sellers(3, 5)
+            .seller_costs(costs(3))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CdtError::SelectionTooLarge { k: 5, m: 3 }));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_cost_count() {
+        assert!(SystemConfig::builder()
+            .job(JobSpec::new(10, 100, 50.0).unwrap())
+            .sellers(4, 2)
+            .seller_costs(costs(3))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_missing_job() {
+        assert!(SystemConfig::builder()
+            .sellers(4, 2)
+            .seller_costs(costs(4))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_zero_k() {
+        assert!(SystemConfig::builder()
+            .job(JobSpec::new(10, 100, 50.0).unwrap())
+            .sellers(4, 0)
+            .seller_costs(costs(4))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_tau0_above_round_duration() {
+        assert!(SystemConfig::builder()
+            .job(JobSpec::new(10, 100, 0.5).unwrap())
+            .sellers(4, 2)
+            .seller_costs(costs(4))
+            .initial_sensing_time(1.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn job_spec_validation() {
+        assert!(JobSpec::new(0, 10, 1.0).is_err());
+        assert!(JobSpec::new(10, 0, 1.0).is_err());
+        assert!(JobSpec::new(10, 10, 0.0).is_err());
+        assert!(JobSpec::new(10, 10, -1.0).is_err());
+        let j = JobSpec::new(10, 10, 1.0)
+            .unwrap()
+            .with_description("air quality");
+        assert_eq!(j.description, "air quality");
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        // Exactly-representable binary fractions so JSON round-trips bit-for-bit.
+        let exact: Vec<SellerCostParams> = [0.5, 0.25, 0.125]
+            .iter()
+            .map(|&a| SellerCostParams::new(a, 0.5).unwrap())
+            .collect();
+        let cfg = SystemConfig::builder()
+            .job(JobSpec::new(4, 10, 10.0).unwrap())
+            .sellers(3, 2)
+            .seller_costs(exact)
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

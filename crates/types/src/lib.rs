@@ -1,0 +1,79 @@
+//! # cdt-types
+//!
+//! Shared domain vocabulary for the CMAB-HS crowdsensing data trading (CDT)
+//! system (An et al., ICDE 2021).
+//!
+//! The crate is deliberately dependency-light: it defines the identifiers,
+//! validated parameter sets, price bounds, and error types used by every
+//! other crate in the workspace, mirroring the notation of Table I of the
+//! paper:
+//!
+//! | Paper symbol | Type here |
+//! |---|---|
+//! | `i ∈ M` (seller index) | [`SellerId`] |
+//! | `l ∈ L` (PoI index) | [`PoiId`] |
+//! | `t ∈ [1, N]` (round index) | [`Round`] |
+//! | `a_i, b_i` (seller cost params) | [`SellerCostParams`] |
+//! | `θ, λ` (platform cost params) | [`PlatformCostParams`] |
+//! | `ω` (consumer valuation param) | [`ValuationParams`] |
+//! | `[p_min, p_max]`, `[p^J_min, p^J_max]` | [`PriceBounds`] |
+//! | `⟨L, N, T, Des⟩` (job) | [`JobSpec`] |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod params;
+
+pub use config::{JobSpec, SystemConfig, SystemConfigBuilder};
+pub use error::{CdtError, Result};
+pub use ids::{PoiId, Round, SellerId};
+pub use params::{
+    PlatformCostParams, PriceBounds, SellerCostParams, ValuationParams, QUALITY_FLOOR,
+};
+
+/// Numerical tolerance used across the workspace when comparing `f64`
+/// quantities that result from closed-form algebra (profits, prices, times).
+pub const EPSILON: f64 = 1e-9;
+
+/// A looser tolerance for comparing closed-form results against iterative
+/// numeric maximizers (golden-section search terminates at ~1e-7 precision).
+pub const NUMERIC_TOLERANCE: f64 = 1e-4;
+
+/// Returns `true` when two floats agree within an absolute tolerance `tol`
+/// *or* a relative tolerance `tol` (whichever is more permissive). This is
+/// the comparison used by equilibrium cross-validation tests.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-10, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        // 1e12 vs 1e12 + 1 differ by 1 absolutely but 1e-12 relatively.
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_zero_vs_tiny() {
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+        assert!(!approx_eq(0.0, 1e-3, 1e-9));
+    }
+}

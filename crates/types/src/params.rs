@@ -1,0 +1,252 @@
+//! Validated parameter sets for the three trading parties.
+//!
+//! All constructors validate the domains the paper's theorems rely on:
+//! strict convexity of costs (`a_i > 0`, `θ > 0`) and strict concavity with
+//! positive marginal value of the consumer valuation (`ω > 1`).
+
+use crate::error::{require_non_negative, require_positive, CdtError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The smallest estimated quality admitted into Stage-3 denominators.
+///
+/// Theorem 14's best response `τ_i* = (p − q̄_i b_i) / (2 q̄_i a_i)` divides by
+/// the estimated quality; a seller whose observed qualities are all ~0 would
+/// otherwise produce an unbounded sensing time. The floor is far below any
+/// quality the paper's truncated-Gaussian observation model produces in
+/// practice, so it never distorts the reproduced experiments.
+pub const QUALITY_FLOOR: f64 = 1e-3;
+
+/// Seller `i`'s quadratic data-collection cost parameters (Eq. 6):
+/// `C_i(τ, q̄) = (a_i τ² + b_i τ) · q̄`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SellerCostParams {
+    /// Quadratic coefficient `a_i > 0` (increasing marginal cost).
+    pub a: f64,
+    /// Linear coefficient `b_i ≥ 0`.
+    pub b: f64,
+}
+
+impl SellerCostParams {
+    /// Creates a validated parameter pair.
+    ///
+    /// # Errors
+    /// Returns [`CdtError::InvalidParameter`] unless `a > 0` and `b ≥ 0`.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        Ok(Self {
+            a: require_positive("a_i", a)?,
+            b: require_non_negative("b_i", b)?,
+        })
+    }
+
+    /// Evaluates the cost `C_i(τ, q̄)` of Eq. 6.
+    #[must_use]
+    pub fn cost(&self, sensing_time: f64, quality: f64) -> f64 {
+        (self.a * sensing_time * sensing_time + self.b * sensing_time) * quality
+    }
+}
+
+/// The platform's quadratic data-aggregation cost parameters (Eq. 8):
+/// `C^J(τ) = θ (Σ τ_i)² + λ Σ τ_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformCostParams {
+    /// Quadratic coefficient `θ > 0`.
+    pub theta: f64,
+    /// Linear coefficient `λ ≥ 0`.
+    pub lambda: f64,
+}
+
+impl PlatformCostParams {
+    /// Creates a validated parameter pair.
+    ///
+    /// # Errors
+    /// Returns [`CdtError::InvalidParameter`] unless `θ > 0` and `λ ≥ 0`.
+    pub fn new(theta: f64, lambda: f64) -> Result<Self> {
+        Ok(Self {
+            theta: require_positive("theta", theta)?,
+            lambda: require_non_negative("lambda", lambda)?,
+        })
+    }
+
+    /// Evaluates the aggregation cost `C^J` of Eq. 8 for a total sensing
+    /// time `Σ τ_i` contributed by the selected sellers.
+    #[must_use]
+    pub fn cost(&self, total_sensing_time: f64) -> f64 {
+        self.theta * total_sensing_time * total_sensing_time + self.lambda * total_sensing_time
+    }
+}
+
+/// The consumer's logarithmic valuation parameter (Eq. 10):
+/// `φ(τ, q̄) = ω · ln(1 + q̄ Σ τ_i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValuationParams {
+    /// System parameter `ω > 1` (diminishing marginal returns scale).
+    pub omega: f64,
+}
+
+impl ValuationParams {
+    /// Creates a validated valuation parameter.
+    ///
+    /// # Errors
+    /// Returns [`CdtError::InvalidParameter`] unless `ω > 1`.
+    pub fn new(omega: f64) -> Result<Self> {
+        if omega.is_finite() && omega > 1.0 {
+            Ok(Self { omega })
+        } else {
+            Err(CdtError::invalid("omega", omega, "must be finite and > 1"))
+        }
+    }
+
+    /// Evaluates the valuation `φ` of Eq. 10 for a mean quality and a
+    /// total sensing time.
+    #[must_use]
+    pub fn valuation(&self, mean_quality: f64, total_sensing_time: f64) -> f64 {
+        self.omega * (1.0 + mean_quality * total_sensing_time).ln()
+    }
+}
+
+/// A closed price interval `[min, max]` used to clamp a party's strategy
+/// (Def. 5: `p^J ∈ [p^J_min, p^J_max]`, `p ∈ [p_min, p_max]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceBounds {
+    /// Lower bound.
+    pub min: f64,
+    /// Upper bound.
+    pub max: f64,
+}
+
+impl PriceBounds {
+    /// Creates a validated interval.
+    ///
+    /// # Errors
+    /// Returns [`CdtError::EmptyPriceRange`] if `min > max`, and
+    /// [`CdtError::InvalidParameter`] when a bound is negative or non-finite.
+    pub fn new(min: f64, max: f64) -> Result<Self> {
+        let min = require_non_negative("price.min", min)?;
+        let max = require_non_negative("price.max", max)?;
+        if min > max {
+            return Err(CdtError::EmptyPriceRange { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// An effectively-unbounded interval, useful in theory-checking tests
+    /// where the paper's interior optimum must not be clipped.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self {
+            min: 0.0,
+            max: f64::MAX,
+        }
+    }
+
+    /// Clamps `p` into the interval.
+    #[must_use]
+    pub fn clamp(&self, p: f64) -> f64 {
+        p.clamp(self.min, self.max)
+    }
+
+    /// `true` iff `p` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, p: f64) -> bool {
+        (self.min..=self.max).contains(&p)
+    }
+
+    /// Width of the interval.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seller_cost_matches_eq6() {
+        let p = SellerCostParams::new(0.3, 0.5).unwrap();
+        // C = (0.3·4 + 0.5·2) · 0.8 = (1.2 + 1.0)·0.8 = 1.76
+        assert!((p.cost(2.0, 0.8) - 1.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seller_cost_is_zero_at_zero_time() {
+        let p = SellerCostParams::new(0.1, 0.9).unwrap();
+        assert_eq!(p.cost(0.0, 0.7), 0.0);
+    }
+
+    #[test]
+    fn seller_cost_rejects_bad_params() {
+        assert!(SellerCostParams::new(0.0, 0.1).is_err());
+        assert!(SellerCostParams::new(-1.0, 0.1).is_err());
+        assert!(SellerCostParams::new(0.1, -0.1).is_err());
+        assert!(SellerCostParams::new(f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn platform_cost_matches_eq8() {
+        let p = PlatformCostParams::new(0.1, 1.0).unwrap();
+        // C^J = 0.1·9 + 1·3 = 3.9
+        assert!((p.cost(3.0) - 3.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_cost_rejects_bad_params() {
+        assert!(PlatformCostParams::new(0.0, 1.0).is_err());
+        assert!(PlatformCostParams::new(0.1, -1.0).is_err());
+    }
+
+    #[test]
+    fn valuation_matches_eq10() {
+        let v = ValuationParams::new(1000.0).unwrap();
+        let expected = 1000.0 * (1.0 + 0.6 * 5.0_f64).ln();
+        assert!((v.valuation(0.6, 5.0) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valuation_requires_omega_above_one() {
+        assert!(ValuationParams::new(1.0).is_err());
+        assert!(ValuationParams::new(0.5).is_err());
+        assert!(ValuationParams::new(1.0001).is_ok());
+    }
+
+    #[test]
+    fn valuation_diminishing_marginal_returns() {
+        let v = ValuationParams::new(100.0).unwrap();
+        let d1 = v.valuation(0.5, 2.0) - v.valuation(0.5, 1.0);
+        let d2 = v.valuation(0.5, 3.0) - v.valuation(0.5, 2.0);
+        assert!(d1 > d2, "marginal value must shrink: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn price_bounds_clamp_and_contains() {
+        let b = PriceBounds::new(1.0, 5.0).unwrap();
+        assert_eq!(b.clamp(0.0), 1.0);
+        assert_eq!(b.clamp(9.0), 5.0);
+        assert_eq!(b.clamp(3.0), 3.0);
+        assert!(b.contains(1.0) && b.contains(5.0));
+        assert!(!b.contains(5.0001));
+        assert!((b.width() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn price_bounds_reject_inverted() {
+        assert!(matches!(
+            PriceBounds::new(5.0, 1.0),
+            Err(CdtError::EmptyPriceRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unbounded_contains_everything_reasonable() {
+        let b = PriceBounds::unbounded();
+        assert!(b.contains(0.0));
+        assert!(b.contains(1e100));
+    }
+
+    #[test]
+    fn quality_floor_is_small() {
+        let floor = QUALITY_FLOOR; // bind so the assertion is not constant-folded by clippy
+        assert!(floor > 0.0 && floor < 0.01);
+    }
+}

@@ -1,0 +1,58 @@
+//! Strategy analysis: the single-round Stackelberg landscapes of
+//! Figs. 13–18 — how each party's profit and strategy respond to prices,
+//! sensing-time deviations, and cost parameters.
+//!
+//! Also verifies the Stackelberg Equilibrium directly (Def. 13): no party
+//! can gain by unilaterally deviating from `⟨p^{J*}, p*, τ*⟩`.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p cdt-sim --example strategy_analysis
+//! ```
+
+use cdt_game::{solve_equilibrium, verify_equilibrium};
+use cdt_sim::experiments::{game_curves, param_sweeps, Scale};
+
+fn main() -> cdt_types::Result<()> {
+    let scale = Scale::Test; // dense-enough curves, instant to compute
+
+    // --- The representative round and its equilibrium. ---
+    let ctx = game_curves::round_context(scale, 1000.0, 0.1)?;
+    let eq = solve_equilibrium(&ctx);
+    println!("=== representative round (K = {} top sellers) ===", ctx.k());
+    println!(
+        "equilibrium: p^J* = {:.3}, p* = {:.3}, total sensing time = {:.3}",
+        eq.service_price,
+        eq.collection_price,
+        eq.total_sensing_time()
+    );
+    println!(
+        "profits: PoC = {:.2}, PoP = {:.2}, sum PoS = {:.2}\n",
+        eq.profits.consumer,
+        eq.profits.platform,
+        eq.profits.total_seller()
+    );
+
+    // --- Def. 13 check: probe 2000 deviations per party. ---
+    let report = verify_equilibrium(&ctx, &eq, 2000, 1e-3 * eq.profits.consumer);
+    println!(
+        "Stackelberg equilibrium verified: {} (max deviation gain {:.3e})\n",
+        report.is_equilibrium(),
+        report.max_gain()
+    );
+
+    // --- The paper's strategy figures. ---
+    for tables in [
+        game_curves::figure13(scale)?,
+        game_curves::figure14(scale)?,
+        param_sweeps::figure15(scale)?,
+        param_sweeps::figure16(scale)?,
+        param_sweeps::figure17(scale)?,
+        param_sweeps::figure18(scale)?,
+    ] {
+        for t in tables {
+            println!("{t}");
+        }
+    }
+    Ok(())
+}
