@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, formatting, lints, and an engine-benchmark smoke
+# run (emits BENCH_engine.json on a CI-sized workload and fails unless the
+# serial and parallel results are bit-for-bit identical).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build + tests (tier 1)"
+cargo build --release
+cargo test -q
+
+echo "==> rustfmt"
+cargo fmt --check
+
+echo "==> clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench_engine smoke (BENCH_engine.json)"
+cargo run --release -p cdt-bench --bin bench_engine -- \
+    --m 40 --k 5 --l 5 --n 400 --reps 2 --out BENCH_engine.json
+test -s BENCH_engine.json
+
+echo "==> ci.sh: all gates passed"

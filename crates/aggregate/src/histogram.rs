@@ -96,7 +96,11 @@ impl Histogram {
             let next = cum + c as f64;
             if next >= target && c > 0 {
                 let (lo, hi) = self.bin_range(i);
-                let frac = if c == 0 { 0.0 } else { (target - cum) / c as f64 };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - cum) / c as f64
+                };
                 return Some(lo + frac.clamp(0.0, 1.0) * (hi - lo));
             }
             cum = next;

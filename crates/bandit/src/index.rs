@@ -68,13 +68,20 @@ impl UcbConfig {
 /// Computes the UCB index of every seller from the estimator state.
 #[must_use]
 pub fn ucb_indices(estimator: &QualityEstimator, config: &UcbConfig) -> Vec<f64> {
+    let mut out = Vec::with_capacity(estimator.num_sellers());
+    ucb_indices_into(estimator, config, &mut out);
+    out
+}
+
+/// As [`ucb_indices`], but writes into `out`, reusing its capacity so the
+/// per-round index computation does not allocate after the first call.
+pub fn ucb_indices_into(estimator: &QualityEstimator, config: &UcbConfig, out: &mut Vec<f64>) {
     let total = estimator.total_count();
-    (0..estimator.num_sellers())
-        .map(|i| {
-            let id = SellerId(i);
-            config.index(estimator.mean(id), estimator.count(id), total)
-        })
-        .collect()
+    out.clear();
+    out.extend((0..estimator.num_sellers()).map(|i| {
+        let id = SellerId(i);
+        config.index(estimator.mean(id), estimator.count(id), total)
+    }));
 }
 
 #[cfg(test)]

@@ -32,8 +32,8 @@ pub mod windowed;
 pub use estimator::QualityEstimator;
 pub use index::{ucb_indices, UcbConfig};
 pub use policies::{
-    CmabUcbPolicy, CucbPolicy, EpsilonFirstPolicy, EpsilonGreedyPolicy, OraclePolicy,
-    RandomPolicy, SlidingWindowUcbPolicy, ThompsonPolicy,
+    CmabUcbPolicy, CucbPolicy, EpsilonFirstPolicy, EpsilonGreedyPolicy, OraclePolicy, RandomPolicy,
+    SlidingWindowUcbPolicy, ThompsonPolicy,
 };
 pub use policy::SelectionPolicy;
 pub use regret::{gap_statistics, theoretical_regret_bound, GapStatistics, RegretAccountant};

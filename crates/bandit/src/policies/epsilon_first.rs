@@ -2,8 +2,8 @@
 //! in the paper's evaluation).
 
 use crate::estimator::QualityEstimator;
-use crate::policy::{random_k_subset, SelectionPolicy};
-use crate::topk::top_k_by_score;
+use crate::policy::{random_k_subset_into, SelectionPolicy};
+use crate::topk::top_k_by_score_into;
 use cdt_quality::ObservationMatrix;
 use cdt_types::{Round, SellerId};
 use rand::RngCore;
@@ -17,6 +17,8 @@ pub struct EpsilonFirstPolicy {
     k: usize,
     epsilon: f64,
     horizon: usize,
+    /// Reused index-permutation buffer for partial top-K selection.
+    topk_scratch: Vec<usize>,
 }
 
 impl EpsilonFirstPolicy {
@@ -36,6 +38,7 @@ impl EpsilonFirstPolicy {
             k,
             epsilon,
             horizon: n,
+            topk_scratch: Vec::new(),
         }
     }
 
@@ -58,10 +61,16 @@ impl SelectionPolicy for EpsilonFirstPolicy {
     }
 
     fn select(&mut self, round: Round, rng: &mut dyn RngCore) -> Vec<SellerId> {
+        let mut out = Vec::new();
+        self.select_into(round, rng, &mut out);
+        out
+    }
+
+    fn select_into(&mut self, round: Round, rng: &mut dyn RngCore, out: &mut Vec<SellerId>) {
         if self.is_exploring(round) {
-            random_k_subset(self.estimator.num_sellers(), self.k, rng)
+            random_k_subset_into(self.estimator.num_sellers(), self.k, rng, out);
         } else {
-            top_k_by_score(self.estimator.means(), self.k)
+            top_k_by_score_into(self.estimator.means(), self.k, &mut self.topk_scratch, out);
         }
     }
 

@@ -64,6 +64,11 @@ impl SelectionPolicy for OraclePolicy {
         self.selection.clone()
     }
 
+    fn select_into(&mut self, _round: Round, _rng: &mut dyn RngCore, out: &mut Vec<SellerId>) {
+        out.clear();
+        out.extend_from_slice(&self.selection);
+    }
+
     fn observe(&mut self, _round: Round, observations: &ObservationMatrix) {
         self.estimator.update_round(observations);
     }

@@ -1,7 +1,7 @@
 //! The uniform-random baseline of the paper's evaluation.
 
 use crate::estimator::QualityEstimator;
-use crate::policy::{random_k_subset, SelectionPolicy};
+use crate::policy::{random_k_subset, random_k_subset_into, SelectionPolicy};
 use cdt_quality::ObservationMatrix;
 use cdt_types::{Round, SellerId};
 use rand::RngCore;
@@ -34,6 +34,10 @@ impl SelectionPolicy for RandomPolicy {
 
     fn select(&mut self, _round: Round, rng: &mut dyn RngCore) -> Vec<SellerId> {
         random_k_subset(self.estimator.num_sellers(), self.k, rng)
+    }
+
+    fn select_into(&mut self, _round: Round, rng: &mut dyn RngCore, out: &mut Vec<SellerId>) {
+        random_k_subset_into(self.estimator.num_sellers(), self.k, rng, out);
     }
 
     fn observe(&mut self, _round: Round, observations: &ObservationMatrix) {
@@ -81,7 +85,10 @@ mod tests {
         let expected = rounds as f64 * 2.0 / 10.0;
         for (i, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.05, "seller {i} selected {c} times (expected ~{expected})");
+            assert!(
+                dev < 0.05,
+                "seller {i} selected {c} times (expected ~{expected})"
+            );
         }
     }
 

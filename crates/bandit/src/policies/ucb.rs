@@ -1,9 +1,9 @@
 //! The CMAB-HS selection policy (Algorithm 1, seller-selection half).
 
 use crate::estimator::QualityEstimator;
-use crate::index::{ucb_indices, UcbConfig};
+use crate::index::{ucb_indices, ucb_indices_into, UcbConfig};
 use crate::policy::SelectionPolicy;
-use crate::topk::top_k_by_score;
+use crate::topk::top_k_by_score_into;
 use cdt_quality::ObservationMatrix;
 use cdt_types::{Round, SellerId};
 use rand::RngCore;
@@ -23,6 +23,10 @@ pub struct CmabUcbPolicy {
     /// UCB cold start; infinite indices then force coverage over the first
     /// `⌈M/K⌉` rounds instead of one `M`-seller round).
     full_initial_sweep: bool,
+    /// Reused UCB-index buffer (`select_into` hot path).
+    scores: Vec<f64>,
+    /// Reused index-permutation buffer for partial top-K selection.
+    topk_scratch: Vec<usize>,
 }
 
 impl CmabUcbPolicy {
@@ -34,6 +38,8 @@ impl CmabUcbPolicy {
             config: UcbConfig::paper(k),
             k,
             full_initial_sweep: true,
+            scores: Vec::new(),
+            topk_scratch: Vec::new(),
         }
     }
 
@@ -63,11 +69,20 @@ impl SelectionPolicy for CmabUcbPolicy {
         "CMAB-HS".to_owned()
     }
 
-    fn select(&mut self, round: Round, _rng: &mut dyn RngCore) -> Vec<SellerId> {
+    fn select(&mut self, round: Round, rng: &mut dyn RngCore) -> Vec<SellerId> {
+        let mut out = Vec::new();
+        self.select_into(round, rng, &mut out);
+        out
+    }
+
+    fn select_into(&mut self, round: Round, _rng: &mut dyn RngCore, out: &mut Vec<SellerId>) {
         if round.is_initial() && self.full_initial_sweep {
-            return (0..self.estimator.num_sellers()).map(SellerId).collect();
+            out.clear();
+            out.extend((0..self.estimator.num_sellers()).map(SellerId));
+            return;
         }
-        top_k_by_score(&self.indices(), self.k)
+        ucb_indices_into(&self.estimator, &self.config, &mut self.scores);
+        top_k_by_score_into(&self.scores, self.k, &mut self.topk_scratch, out);
     }
 
     fn observe(&mut self, _round: Round, observations: &ObservationMatrix) {

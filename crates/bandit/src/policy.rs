@@ -21,6 +21,18 @@ pub trait SelectionPolicy {
     /// (Algorithm 1 selects *all* `M` sellers in round 0).
     fn select(&mut self, round: Round, rng: &mut dyn RngCore) -> Vec<SellerId>;
 
+    /// Chooses the sellers for `round`, writing them into `out` so the
+    /// caller can reuse one selection buffer across all `N` rounds.
+    ///
+    /// Must produce exactly the same ids, in the same order, and consume
+    /// the RNG identically to [`SelectionPolicy::select`]. The default
+    /// implementation delegates to `select` (correct but allocating);
+    /// hot-path policies override it to fill `out` in place.
+    fn select_into(&mut self, round: Round, rng: &mut dyn RngCore, out: &mut Vec<SellerId>) {
+        out.clear();
+        out.extend(self.select(round, rng));
+    }
+
     /// Feeds back the observed qualities of the sellers selected in
     /// `round`. Every policy learns (the platform sees the data it buys
     /// regardless of how it selected), even if its *selection* ignores the
@@ -41,11 +53,28 @@ pub trait SelectionPolicy {
 /// # Panics
 /// Panics if `k > m`.
 pub(crate) fn random_k_subset(m: usize, k: usize, rng: &mut dyn RngCore) -> Vec<SellerId> {
+    let mut out = Vec::with_capacity(k);
+    random_k_subset_into(m, k, rng, &mut out);
+    out
+}
+
+/// As [`random_k_subset`], but writes into `out` (same draws, same order).
+///
+/// # Panics
+/// Panics if `k > m`.
+pub(crate) fn random_k_subset_into(
+    m: usize,
+    k: usize,
+    rng: &mut dyn RngCore,
+    out: &mut Vec<SellerId>,
+) {
     assert!(k <= m, "cannot draw {k} distinct sellers from {m}");
-    rand::seq::index::sample(rng, m, k)
-        .into_iter()
-        .map(SellerId)
-        .collect()
+    out.clear();
+    out.extend(
+        rand::seq::index::sample(rng, m, k)
+            .into_iter()
+            .map(SellerId),
+    );
 }
 
 #[cfg(test)]
@@ -80,6 +109,17 @@ mod tests {
     fn random_subset_rejects_k_beyond_m() {
         let mut rng = StdRng::seed_from_u64(3);
         let _ = random_k_subset(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn random_subset_into_matches_owned_variant() {
+        let mut out = Vec::new();
+        for seed in 0..20 {
+            let owned = random_k_subset(12, 5, &mut StdRng::seed_from_u64(seed));
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_k_subset_into(12, 5, &mut rng, &mut out);
+            assert_eq!(owned, out);
+        }
     }
 
     #[test]

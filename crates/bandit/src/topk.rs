@@ -25,15 +25,56 @@ pub fn top_k_by_score(scores: &[f64], k: usize) -> Vec<SellerId> {
         scores.len()
     );
     let mut ids: Vec<usize> = (0..scores.len()).collect();
-    ids.sort_unstable_by(|&x, &y| {
-        let sx = normalize(scores[x]);
-        let sy = normalize(scores[y]);
-        sy.partial_cmp(&sx)
-            .expect("normalized scores are comparable")
-            .then(x.cmp(&y))
-    });
+    ids.sort_unstable_by(|&x, &y| rank(scores, x, y));
     ids.truncate(k);
     ids.into_iter().map(SellerId).collect()
+}
+
+/// Allocation-free top-K: writes the `k` best seller ids into `out`,
+/// reusing `scratch` as the index buffer.
+///
+/// Produces *exactly* the same selection, in the same order, as
+/// [`top_k_by_score`] (property-tested below, including NaN/±∞ scores),
+/// but via `select_nth_unstable_by` partial selection: `O(M + K log K)`
+/// instead of the full `O(M log M)` sort. At the paper's defaults
+/// (`M = 300`, `K = 10`) this runs every one of the `10⁵` rounds, so the
+/// round hot path uses this variant with cached buffers.
+///
+/// # Panics
+/// Panics if `k > scores.len()`.
+pub fn top_k_by_score_into(
+    scores: &[f64],
+    k: usize,
+    scratch: &mut Vec<usize>,
+    out: &mut Vec<SellerId>,
+) {
+    assert!(
+        k <= scores.len(),
+        "cannot select top {k} of {} sellers",
+        scores.len()
+    );
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    scratch.clear();
+    scratch.extend(0..scores.len());
+    if k < scratch.len() {
+        scratch.select_nth_unstable_by(k - 1, |&x, &y| rank(scores, x, y));
+    }
+    scratch[..k].sort_unstable_by(|&x, &y| rank(scores, x, y));
+    out.extend(scratch[..k].iter().map(|&i| SellerId(i)));
+}
+
+/// The selection order: larger (normalized) score first, ties toward the
+/// smaller id. A strict total order, so partial selection and full sorting
+/// agree on the top-K exactly.
+fn rank(scores: &[f64], x: usize, y: usize) -> std::cmp::Ordering {
+    let sx = normalize(scores[x]);
+    let sy = normalize(scores[y]);
+    sy.partial_cmp(&sx)
+        .expect("normalized scores are comparable")
+        .then(x.cmp(&y))
 }
 
 fn normalize(score: f64) -> f64 {
@@ -130,5 +171,58 @@ mod tests {
             prop_assert_eq!(picked.len(), k);
             prop_assert_eq!(set.len(), k);
         }
+
+        /// The partial-selection variant matches the sort-based reference
+        /// exactly — same ids, same order — for every k, on score vectors
+        /// that may contain NaN, ±∞, and repeated values.
+        #[test]
+        fn into_variant_matches_sort_based(
+            scores in proptest::collection::vec(
+                prop_oneof![
+                    5 => -1.0f64..1.0,
+                    1 => proptest::sample::select(vec![
+                        f64::NAN,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        0.0,
+                        0.5,
+                    ]),
+                ],
+                1..50,
+            ),
+            k_frac in 0.0f64..=1.0,
+        ) {
+            let k = ((scores.len() as f64) * k_frac) as usize;
+            let reference = top_k_by_score(&scores, k);
+            let mut scratch = Vec::new();
+            let mut out = Vec::new();
+            top_k_by_score_into(&scores, k, &mut scratch, &mut out);
+            prop_assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers() {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        top_k_by_score_into(&[0.1, 0.9, 0.5, 0.7], 2, &mut scratch, &mut out);
+        assert_eq!(out, vec![SellerId(1), SellerId(3)]);
+        // A second call on smaller input must fully overwrite stale state.
+        top_k_by_score_into(&[0.3, 0.1], 1, &mut scratch, &mut out);
+        assert_eq!(out, vec![SellerId(0)]);
+        let ptr_before = out.as_ptr();
+        top_k_by_score_into(&[0.2, 0.4], 1, &mut scratch, &mut out);
+        assert_eq!(out, vec![SellerId(1)]);
+        assert_eq!(ptr_before, out.as_ptr(), "no reallocation on reuse");
+    }
+
+    #[test]
+    fn into_variant_k_zero_and_k_full() {
+        let mut scratch = Vec::new();
+        let mut out = vec![SellerId(9)];
+        top_k_by_score_into(&[0.1, 0.2], 0, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        top_k_by_score_into(&[0.3, 0.1, 0.2], 3, &mut scratch, &mut out);
+        assert_eq!(out, top_k_by_score(&[0.3, 0.1, 0.2], 3));
     }
 }

@@ -12,14 +12,11 @@
 use cdt_bandit::QualityEstimator;
 use cdt_core::{LedgerMode, Scenario};
 use cdt_game::{
-    best_response::all_seller_best_responses, equilibrium::profits_at,
-    numeric::grid_then_golden, platform_best_response, solve_equilibrium, Aggregates,
-    GameContext, SelectedSeller,
+    best_response::all_seller_best_responses, equilibrium::profits_at, numeric::grid_then_golden,
+    platform_best_response, solve_equilibrium, Aggregates, GameContext, SelectedSeller,
 };
 use cdt_sim::PolicySpec;
-use cdt_types::{
-    PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
-};
+use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,13 +94,8 @@ fn bench_ucb_width(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(8);
                 let scenario = Scenario::paper_defaults(60, 6, 5, 300, &mut rng).unwrap();
-                let run = cdt_sim::run_policy(
-                    &scenario,
-                    PolicySpec::CmabHsWithWeight(w),
-                    9,
-                    &[],
-                )
-                .unwrap();
+                let run = cdt_sim::run_policy(&scenario, PolicySpec::CmabHsWithWeight(w), 9, &[])
+                    .unwrap();
                 black_box(run.regret)
             })
         });

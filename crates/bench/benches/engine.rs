@@ -1,0 +1,35 @@
+//! Engine throughput: sustained rounds/sec of the allocation-free round
+//! hot path at the paper's shape (`M = 300`, `K = 10`, `L = 10`).
+//!
+//! Criterion reports elements/sec where one element is one trading round,
+//! so the headline number is directly comparable across commits.
+
+use cdt_core::{CmabHs, LedgerMode, Scenario};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    const ROUNDS: usize = 500;
+    let mut setup_rng = StdRng::seed_from_u64(7);
+    let scenario = Scenario::paper_defaults(300, 10, 10, ROUNDS, &mut setup_rng).unwrap();
+    let observer = scenario.observer();
+
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROUNDS as u64));
+    g.bench_function("m300_k10_l10", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut mech = CmabHs::new(scenario.config.clone()).unwrap();
+            black_box(
+                mech.run_with_mode(&observer, &mut rng, LedgerMode::Summary)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -11,9 +11,7 @@ fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     // Multi-round sweeps are the expensive ones; keep samples low.
     g.sample_size(10);
-    for id in [
-        "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    ] {
+    for id in ["table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"] {
         g.bench_function(id, |b| {
             b.iter(|| black_box(run_experiment(black_box(id), Scale::Test).unwrap()))
         });

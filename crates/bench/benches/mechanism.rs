@@ -6,12 +6,12 @@
 //! per-round costs are the ones that matter.
 
 use cdt_aggregate::aggregate_round;
-use cdt_bandit::{top_k_by_score, ucb_indices, QualityEstimator, SlidingWindowEstimator, UcbConfig};
+use cdt_bandit::{
+    top_k_by_score, ucb_indices, QualityEstimator, SlidingWindowEstimator, UcbConfig,
+};
 use cdt_core::{CmabHs, LedgerMode, Scenario};
 use cdt_game::{solve_equilibrium, GameContext, SelectedSeller};
-use cdt_types::{
-    PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
-};
+use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,171 @@
+//! Wall-clock engine benchmark: emits `BENCH_engine.json`.
+//!
+//! Runs a fixed replicated policy-comparison workload twice — once pinned
+//! to one worker thread (the exact serial path) and once on the requested
+//! pool — then reports serial throughput, parallel speedup, and whether
+//! the two result sets were bit-for-bit identical (they must be; the
+//! deterministic job pool guarantees it).
+//!
+//! ```sh
+//! # paper-shaped workload (M=300, K=10, L=10, N=20000, 4 replications):
+//! cargo run --release -p cdt-bench --bin bench_engine
+//!
+//! # CI smoke (seconds):
+//! cargo run --release -p cdt-bench --bin bench_engine -- --n 200 --reps 2
+//! ```
+
+use cdt_sim::{configured_threads, replicate, set_thread_override, PolicySpec, ReplicatedRun};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Workload {
+    m: usize,
+    k: usize,
+    l: usize,
+    n: usize,
+    replications: usize,
+    policies: Vec<String>,
+    seed: u64,
+}
+
+#[derive(Serialize)]
+struct Timing {
+    threads: usize,
+    wall_clock_secs: f64,
+    rounds_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    workload: Workload,
+    serial: Timing,
+    parallel: Timing,
+    /// `parallel.wall_clock_secs / serial.wall_clock_secs` inverted:
+    /// how many times faster the pool ran the same workload.
+    speedup: f64,
+    /// Whether the serial and parallel results were bit-for-bit equal.
+    /// Anything but `true` is a determinism bug.
+    identical: bool,
+}
+
+struct Args {
+    m: usize,
+    k: usize,
+    l: usize,
+    n: usize,
+    reps: usize,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        m: 300,
+        k: 10,
+        l: 10,
+        n: 20_000,
+        reps: 4,
+        threads: configured_threads(),
+        out: "BENCH_engine.json".to_owned(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--m" => args.m = parse(&value("--m")?)?,
+            "--k" => args.k = parse(&value("--k")?)?,
+            "--l" => args.l = parse(&value("--l")?)?,
+            "--n" => args.n = parse(&value("--n")?)?,
+            "--reps" => args.reps = parse(&value("--reps")?)?,
+            "--threads" => {
+                args.threads = parse(&value("--threads")?)?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_engine [--m M] [--k K] [--l L] [--n N] \
+                     [--reps R] [--threads T] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse(raw: &str) -> Result<usize, String> {
+    raw.parse()
+        .map_err(|_| format!("expected an integer, got `{raw}`"))
+}
+
+fn timed_replicate(args: &Args, specs: &[PolicySpec], threads: usize) -> (Vec<ReplicatedRun>, f64) {
+    set_thread_override(Some(threads));
+    let started = Instant::now();
+    let runs = replicate(args.m, args.k, args.l, args.n, specs, args.reps, 20_210_419)
+        .expect("benchmark workload must run");
+    (runs, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let specs = PolicySpec::paper_set();
+    // Every replicated run executes `n` rounds per (replication, policy).
+    let total_rounds = (args.n * args.reps * specs.len()) as f64;
+
+    let (serial_runs, serial_secs) = timed_replicate(&args, &specs, 1);
+    let (parallel_runs, parallel_secs) = timed_replicate(&args, &specs, args.threads);
+    set_thread_override(None);
+
+    let report = Report {
+        bench: "engine",
+        workload: Workload {
+            m: args.m,
+            k: args.k,
+            l: args.l,
+            n: args.n,
+            replications: args.reps,
+            policies: specs.iter().map(PolicySpec::label).collect(),
+            seed: 20_210_419,
+        },
+        serial: Timing {
+            threads: 1,
+            wall_clock_secs: serial_secs,
+            rounds_per_sec: total_rounds / serial_secs,
+        },
+        parallel: Timing {
+            threads: args.threads,
+            wall_clock_secs: parallel_secs,
+            rounds_per_sec: total_rounds / parallel_secs,
+        },
+        speedup: serial_secs / parallel_secs,
+        identical: serial_runs == parallel_runs,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("{json}");
+    println!(
+        "\nserial {serial_secs:.2}s, {} threads {parallel_secs:.2}s \
+         (speedup {:.2}x, identical: {}) -> {}",
+        args.threads, report.speedup, report.identical, args.out
+    );
+    if !report.identical {
+        eprintln!("error: parallel results diverged from serial — determinism bug");
+        std::process::exit(1);
+    }
+}

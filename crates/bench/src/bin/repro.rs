@@ -12,6 +12,9 @@
 //!
 //! # export CSVs next to the printout:
 //! cargo run --release -p cdt-bench --bin repro -- --csv out/
+//!
+//! # pin the evaluation pool (results are identical at any thread count):
+//! cargo run --release -p cdt-bench --bin repro -- --threads 1
 //! ```
 
 use cdt_sim::experiments::{all_experiment_ids, run_experiment, Scale};
@@ -37,9 +40,19 @@ fn parse_args() -> Result<Args, String> {
             "--paper" => scale = Scale::Paper,
             "--test" => scale = Scale::Test,
             "--csv" => csv_dir = Some(argv.next().ok_or("--csv needs a directory")?),
+            "--threads" => {
+                let raw = argv.next().ok_or("--threads needs a count")?;
+                let t: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--threads expects an integer, got `{raw}`"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                cdt_sim::set_thread_override(Some(t));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--exp <id>]... [--paper|--test] [--csv <dir>]\n\
+                    "usage: repro [--exp <id>]... [--paper|--test] [--csv <dir>] [--threads T]\n\
                      known ids: {}",
                     all_experiment_ids().join(", ")
                 );
@@ -49,7 +62,10 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if experiments.is_empty() {
-        experiments = all_experiment_ids().iter().map(|s| (*s).to_owned()).collect();
+        experiments = all_experiment_ids()
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
     }
     Ok(Args {
         experiments,

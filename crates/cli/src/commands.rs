@@ -18,12 +18,32 @@ USAGE:
   cdt trace stats FILE
   cdt run      [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
   cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B
-  cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R]
+  cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
   cdt game     [--k K] [--omega W] [--theta T]
 
 Defaults follow the paper's Table II (M=300, K=10, L=10, omega=1000,
 theta=0.1); `run`/`compare` default to N=2000 so they finish in seconds —
-pass --n 100000 for the paper's horizon.";
+pass --n 100000 for the paper's horizon.
+
+`compare` fans its per-policy (and per-replication) runs out over worker
+threads; --threads T (or the CDT_THREADS env var) sets the pool size and
+--threads 1 forces the exact serial path. Results are bit-for-bit
+identical at any thread count.";
+
+/// Applies the `--threads` flag (if present) to the parallel-engine
+/// override; `--threads 1` forces the exact serial path.
+fn apply_threads(flags: &FlagMap) -> Result<(), String> {
+    if let Some(raw) = flags.get("threads") {
+        let t: usize = raw
+            .parse()
+            .map_err(|_| format!("--threads expects an integer, got `{raw}`"))?;
+        if t == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        cdt_sim::set_thread_override(Some(t));
+    }
+    Ok(())
+}
 
 /// `cdt trace generate`.
 ///
@@ -171,8 +191,7 @@ pub fn budget(flags: &FlagMap) -> Result<(), String> {
         .parse::<f64>()
         .map_err(|_| "--budget expects a number".to_owned())?;
     let (scenario, mut rng, _) = scenario_from_flags(flags)?;
-    let mut mech =
-        BudgetedCmabHs::new(scenario.config.clone(), cap).map_err(|e| e.to_string())?;
+    let mut mech = BudgetedCmabHs::new(scenario.config.clone(), cap).map_err(|e| e.to_string())?;
     let run = mech
         .run(&scenario.observer(), &mut rng)
         .map_err(|e| e.to_string())?;
@@ -199,6 +218,7 @@ pub fn budget(flags: &FlagMap) -> Result<(), String> {
 /// # Errors
 /// Returns a message on flag or run failure.
 pub fn compare(flags: &FlagMap) -> Result<(), String> {
+    apply_threads(flags)?;
     let reps = flags.usize_or("reps", 1)?;
     if reps > 1 {
         let m = flags.usize_or("m", 300)?;
@@ -232,7 +252,10 @@ pub fn game(flags: &FlagMap) -> Result<(), String> {
     let _k = flags.usize_or("k", 10)?;
     let ctx = game_curves::round_context(Scale::Paper, omega, theta).map_err(|e| e.to_string())?;
     let eq = solve_equilibrium(&ctx);
-    println!("equilibrium (K = {}, omega = {omega}, theta = {theta}):", ctx.k());
+    println!(
+        "equilibrium (K = {}, omega = {omega}, theta = {theta}):",
+        ctx.k()
+    );
     println!("  p^J* = {:.4}", eq.service_price);
     println!("  p*   = {:.4}", eq.collection_price);
     println!("  total sensing time = {:.4}", eq.total_sensing_time());
@@ -279,7 +302,16 @@ mod tests {
         let path = dir.join("journal.jsonl");
         let path_str = path.to_str().unwrap();
         run_mechanism(&flags(&[
-            "--m", "6", "--k", "2", "--l", "3", "--n", "8", "--journal", path_str,
+            "--m",
+            "6",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--n",
+            "8",
+            "--journal",
+            path_str,
         ]))
         .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
@@ -292,6 +324,30 @@ mod tests {
     #[test]
     fn compare_small() {
         compare(&flags(&["--m", "10", "--k", "3", "--l", "4", "--n", "30"])).unwrap();
+    }
+
+    #[test]
+    fn compare_with_explicit_threads() {
+        compare(&flags(&[
+            "--m",
+            "10",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--n",
+            "30",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        // Reset the global override so other tests see the default.
+        cdt_sim::set_thread_override(None);
+    }
+
+    #[test]
+    fn compare_rejects_zero_threads() {
+        assert!(compare(&flags(&["--m", "10", "--threads", "0"])).is_err());
     }
 
     #[test]
@@ -327,7 +383,14 @@ mod tests {
         let path = dir.join("trace.csv");
         let path_str = path.to_str().unwrap();
         trace_generate(&flags(&[
-            "--records", "500", "--taxis", "20", "--seed", "1", "--out", path_str,
+            "--records",
+            "500",
+            "--taxis",
+            "20",
+            "--seed",
+            "1",
+            "--out",
+            path_str,
         ]))
         .unwrap();
         trace_stats_cmd(path_str).unwrap();

@@ -5,7 +5,7 @@
 //! cdt trace generate [--records N] [--taxis M] [--seed S] [--out FILE]
 //! cdt trace stats FILE
 //! cdt run [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE]
-//! cdt compare [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R]
+//! cdt compare [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
 //! cdt game [--k K] [--omega W] [--theta T]
 //! ```
 
@@ -21,9 +21,7 @@ fn main() {
 fn run(argv: &[String]) -> i32 {
     let mut words = argv.iter().map(String::as_str);
     let result = match (words.next(), words.next()) {
-        (Some("trace"), Some("generate")) => {
-            with_flags(&argv[2..], commands::trace_generate)
-        }
+        (Some("trace"), Some("generate")) => with_flags(&argv[2..], commands::trace_generate),
         (Some("trace"), Some("stats")) => {
             let path = argv.get(2).map(String::as_str);
             match path {

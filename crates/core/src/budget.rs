@@ -145,7 +145,11 @@ mod tests {
         let mut b = BudgetedCmabHs::new(s2.config.clone(), budget).unwrap();
         let run = b.run(&s2.observer(), &mut rng2).unwrap();
         assert_eq!(run.stop_reason, StopReason::BudgetExhausted);
-        assert!(run.spent <= budget + 1e-9, "overspent: {} > {budget}", run.spent);
+        assert!(
+            run.spent <= budget + 1e-9,
+            "overspent: {} > {budget}",
+            run.spent
+        );
         assert!(run.ledger.rounds() < 500);
         assert!(run.ledger.rounds() >= 2, "should afford a few rounds");
     }

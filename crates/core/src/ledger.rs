@@ -48,8 +48,26 @@ impl TradingLedger {
         }
     }
 
-    /// Records one round.
+    /// Records one round, taking ownership (no clone in either mode).
     pub fn record(&mut self, outcome: RoundOutcome) {
+        self.accumulate(&outcome);
+        if self.mode == LedgerMode::Full {
+            self.outcomes.push(outcome);
+        }
+    }
+
+    /// Records one round by reference. In [`LedgerMode::Summary`] this never
+    /// clones — the hot evaluation loop hands in the same reused
+    /// [`crate::RoundScratch`] outcome every round; only [`LedgerMode::Full`]
+    /// pays for a clone to retain the round.
+    pub fn record_ref(&mut self, outcome: &RoundOutcome) {
+        self.accumulate(outcome);
+        if self.mode == LedgerMode::Full {
+            self.outcomes.push(outcome.clone());
+        }
+    }
+
+    fn accumulate(&mut self, outcome: &RoundOutcome) {
         self.rounds += 1;
         self.total_observed_revenue += outcome.observed_revenue;
         self.total_consumer_profit += outcome.strategy.profits.consumer;
@@ -57,9 +75,6 @@ impl TradingLedger {
         self.total_seller_profit += outcome.strategy.profits.total_seller();
         self.total_consumer_payment += outcome.strategy.consumer_payment();
         self.total_seller_payment += outcome.strategy.seller_payment();
-        if self.mode == LedgerMode::Full {
-            self.outcomes.push(outcome);
-        }
     }
 
     /// Number of recorded rounds.

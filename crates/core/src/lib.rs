@@ -44,14 +44,14 @@ pub mod scenario;
 pub use budget::{BudgetedCmabHs, BudgetedRun, StopReason};
 pub use ledger::{LedgerMode, TradingLedger};
 pub use mechanism::CmabHs;
-pub use round::{execute_round, RoundOutcome};
+pub use round::{execute_round, execute_round_into, RoundOutcome, RoundScratch};
 pub use scenario::Scenario;
 
 /// Convenient re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::ledger::{LedgerMode, TradingLedger};
     pub use crate::mechanism::CmabHs;
-    pub use crate::round::{execute_round, RoundOutcome};
+    pub use crate::round::{execute_round, execute_round_into, RoundOutcome, RoundScratch};
     pub use crate::scenario::Scenario;
     pub use cdt_bandit::{
         CmabUcbPolicy, EpsilonFirstPolicy, OraclePolicy, RandomPolicy, SelectionPolicy,
@@ -59,7 +59,7 @@ pub mod prelude {
     pub use cdt_game::{solve_equilibrium, GameContext, SelectedSeller, StackelbergSolution};
     pub use cdt_quality::{QualityObserver, SellerPopulation};
     pub use cdt_types::{
-        JobSpec, PlatformCostParams, PriceBounds, Round, SellerCostParams, SellerId,
-        SystemConfig, ValuationParams,
+        JobSpec, PlatformCostParams, PriceBounds, Round, SellerCostParams, SellerId, SystemConfig,
+        ValuationParams,
     };
 }

@@ -1,7 +1,7 @@
 //! The CMAB-HS mechanism — Algorithm 1 of the paper, end to end.
 
 use crate::ledger::{LedgerMode, TradingLedger};
-use crate::round::{execute_round, RoundOutcome};
+use crate::round::{execute_round, execute_round_into, RoundOutcome, RoundScratch};
 use cdt_bandit::CmabUcbPolicy;
 use cdt_quality::QualityObserver;
 use cdt_types::{CdtError, Result, Round, SystemConfig};
@@ -68,7 +68,11 @@ impl CmabHs {
     /// # Errors
     /// Returns [`CdtError::HorizonExhausted`] after the `N`-th round, and
     /// propagates game-construction errors.
-    pub fn step(&mut self, observer: &QualityObserver, rng: &mut dyn RngCore) -> Result<RoundOutcome> {
+    pub fn step(
+        &mut self,
+        observer: &QualityObserver,
+        rng: &mut dyn RngCore,
+    ) -> Result<RoundOutcome> {
         if self.is_finished() {
             return Err(CdtError::HorizonExhausted { n: self.config.n() });
         }
@@ -78,6 +82,34 @@ impl CmabHs {
             observer,
             self.next_round,
             rng,
+        )?;
+        self.next_round = self.next_round.next();
+        Ok(outcome)
+    }
+
+    /// Executes the next round into reusable scratch buffers (the
+    /// allocation-free hot path; same RNG stream and results as
+    /// [`CmabHs::step`]).
+    ///
+    /// # Errors
+    /// Returns [`CdtError::HorizonExhausted`] after the `N`-th round, and
+    /// propagates game-construction errors.
+    pub fn step_into<'a>(
+        &mut self,
+        observer: &QualityObserver,
+        rng: &mut dyn RngCore,
+        scratch: &'a mut RoundScratch,
+    ) -> Result<&'a RoundOutcome> {
+        if self.is_finished() {
+            return Err(CdtError::HorizonExhausted { n: self.config.n() });
+        }
+        let outcome = execute_round_into(
+            &mut self.policy,
+            &self.config,
+            observer,
+            self.next_round,
+            rng,
+            scratch,
         )?;
         self.next_round = self.next_round.next();
         Ok(outcome)
@@ -106,8 +138,22 @@ impl CmabHs {
         mode: LedgerMode,
     ) -> Result<TradingLedger> {
         let mut ledger = TradingLedger::new(mode);
-        while !self.is_finished() {
-            ledger.record(self.step(observer, rng)?);
+        match mode {
+            // Full mode keeps every outcome, so ownership transfer beats a
+            // scratch-then-clone round trip.
+            LedgerMode::Full => {
+                while !self.is_finished() {
+                    ledger.record(self.step(observer, rng)?);
+                }
+            }
+            // Summary mode discards outcomes: run allocation-free.
+            LedgerMode::Summary => {
+                let mut scratch = RoundScratch::new();
+                while !self.is_finished() {
+                    let outcome = self.step_into(observer, rng, &mut scratch)?;
+                    ledger.record_ref(outcome);
+                }
+            }
         }
         Ok(ledger)
     }

@@ -2,11 +2,15 @@
 //! learning (the loop body of Algorithm 1).
 
 use cdt_bandit::SelectionPolicy;
-use cdt_game::{initial_round_strategy, solve_equilibrium, GameContext, SelectedSeller, StackelbergSolution};
-use cdt_quality::QualityObserver;
+use cdt_game::{
+    initial_round_strategy, solve_equilibrium_into, GameContext, SelectedSeller,
+    StackelbergSolution,
+};
+use cdt_quality::{ObservationMatrix, QualityObserver};
 use cdt_types::{Result, Round, SellerId, SystemConfig};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use std::mem;
 
 /// Everything that happened in one round of data trading.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +31,56 @@ impl RoundOutcome {
     #[must_use]
     pub fn selection_size(&self) -> usize {
         self.selected.len()
+    }
+}
+
+/// Reusable buffers for the round hot path.
+///
+/// One round touches five growable buffers: the selection, the game-seller
+/// list, the observation matrix, and the equilibrium solution's
+/// sensing-time/profit vectors. A `RoundScratch` owns all of them so that
+/// [`execute_round_into`] runs allocation-free after the first round —
+/// essential when the evaluation loop executes `N = 10⁵` rounds per
+/// (policy × replication) cell.
+#[derive(Debug)]
+pub struct RoundScratch {
+    outcome: RoundOutcome,
+    game_sellers: Vec<SelectedSeller>,
+    observations: ObservationMatrix,
+}
+
+impl RoundScratch {
+    /// Fresh, empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            outcome: RoundOutcome {
+                round: Round(0),
+                selected: Vec::new(),
+                strategy: StackelbergSolution::empty(),
+                observed_revenue: 0.0,
+            },
+            game_sellers: Vec::new(),
+            observations: ObservationMatrix::empty(),
+        }
+    }
+
+    /// The outcome written by the most recent [`execute_round_into`] call.
+    #[must_use]
+    pub fn outcome(&self) -> &RoundOutcome {
+        &self.outcome
+    }
+
+    /// Consumes the scratch, handing out the last outcome.
+    #[must_use]
+    pub fn into_outcome(self) -> RoundOutcome {
+        self.outcome
+    }
+}
+
+impl Default for RoundScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -54,12 +108,39 @@ pub fn execute_round(
     round: Round,
     rng: &mut dyn RngCore,
 ) -> Result<RoundOutcome> {
-    let selected = policy.select(round, rng);
+    let mut scratch = RoundScratch::new();
+    execute_round_into(policy, config, observer, round, rng, &mut scratch)?;
+    Ok(scratch.into_outcome())
+}
 
-    let game_sellers: Vec<SelectedSeller> = selected
-        .iter()
-        .map(|&id| SelectedSeller::new(id, policy.game_quality(id), config.seller_cost(id)))
-        .collect();
+/// As [`execute_round`], but writes into `scratch`, reusing its buffers.
+///
+/// Draws from the RNG in exactly the same order and produces exactly the
+/// same [`RoundOutcome`] as [`execute_round`]; after the first call on a
+/// given `scratch` the round runs without heap allocation.
+///
+/// # Errors
+/// Propagates [`cdt_types::CdtError`] from game-context construction
+/// (e.g. an empty selection).
+pub fn execute_round_into<'a>(
+    policy: &mut dyn SelectionPolicy,
+    config: &SystemConfig,
+    observer: &QualityObserver,
+    round: Round,
+    rng: &mut dyn RngCore,
+    scratch: &'a mut RoundScratch,
+) -> Result<&'a RoundOutcome> {
+    policy.select_into(round, rng, &mut scratch.outcome.selected);
+
+    let mut game_sellers = mem::take(&mut scratch.game_sellers);
+    game_sellers.clear();
+    game_sellers.extend(
+        scratch
+            .outcome
+            .selected
+            .iter()
+            .map(|&id| SelectedSeller::new(id, policy.game_quality(id), config.seller_cost(id))),
+    );
     let ctx = GameContext::new(
         game_sellers,
         config.platform_cost,
@@ -69,30 +150,28 @@ pub fn execute_round(
         config.job.round_duration,
     )?;
 
-    let strategy = if round.is_initial() {
-        initial_round_strategy(&ctx, config.initial_sensing_time)
+    if round.is_initial() {
+        scratch.outcome.strategy = initial_round_strategy(&ctx, config.initial_sensing_time);
     } else {
-        solve_equilibrium(&ctx)
-    };
+        solve_equilibrium_into(&ctx, &mut scratch.outcome.strategy);
+    }
+    // Reclaim the seller buffer for the next round.
+    scratch.game_sellers = ctx.into_sellers();
 
-    let observations = observer.observe_round(&selected, rng);
-    let observed_revenue = observations.total();
-    policy.observe(round, &observations);
+    observer.observe_round_into(&scratch.outcome.selected, rng, &mut scratch.observations);
+    scratch.outcome.observed_revenue = scratch.observations.total();
+    policy.observe(round, &scratch.observations);
 
-    Ok(RoundOutcome {
-        round,
-        selected,
-        strategy,
-        observed_revenue,
-    })
+    scratch.outcome.round = round;
+    Ok(&scratch.outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cdt_bandit::{CmabUcbPolicy, RandomPolicy};
+    use cdt_quality::SellerProfile;
     use cdt_quality::{BernoulliQuality, QualityObserver, SellerPopulation};
-    use cdt_quality::{SellerProfile};
     use cdt_types::{JobSpec, SellerCostParams};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -100,13 +179,10 @@ mod tests {
     fn setup(m: usize, k: usize, l: usize) -> (SystemConfig, QualityObserver) {
         let profiles: Vec<SellerProfile> = (0..m)
             .map(|i| SellerProfile {
-                quality: cdt_quality::distribution::QualityModel::Bernoulli(
-                    BernoulliQuality::new(0.2 + 0.6 * (i as f64 / m as f64)),
-                ),
-                cost: SellerCostParams {
-                    a: 0.2,
-                    b: 0.3,
-                },
+                quality: cdt_quality::distribution::QualityModel::Bernoulli(BernoulliQuality::new(
+                    0.2 + 0.6 * (i as f64 / m as f64),
+                )),
+                cost: SellerCostParams { a: 0.2, b: 0.3 },
             })
             .collect();
         let pop = SellerPopulation::from_profiles(profiles);
@@ -154,6 +230,36 @@ mod tests {
             let out = execute_round(&mut policy, &config, &observer, Round(t), &mut rng).unwrap();
             let max = (out.selection_size() * 4) as f64; // K sellers × L PoIs × q ≤ 1
             assert!(out.observed_revenue >= 0.0 && out.observed_revenue <= max);
+        }
+    }
+
+    #[test]
+    fn execute_round_into_matches_execute_round() {
+        let (config, observer) = setup(6, 2, 4);
+        let mut owned_policy = CmabUcbPolicy::new(6, 2);
+        let mut owned_rng = StdRng::seed_from_u64(9);
+        let mut reused_policy = CmabUcbPolicy::new(6, 2);
+        let mut reused_rng = StdRng::seed_from_u64(9);
+        let mut scratch = RoundScratch::new();
+        for t in 0..5 {
+            let owned = execute_round(
+                &mut owned_policy,
+                &config,
+                &observer,
+                Round(t),
+                &mut owned_rng,
+            )
+            .unwrap();
+            let reused = execute_round_into(
+                &mut reused_policy,
+                &config,
+                &observer,
+                Round(t),
+                &mut reused_rng,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(&owned, reused, "round {t} diverged");
         }
     }
 

@@ -105,12 +105,22 @@ pub fn seller_best_response(
 /// Stage-3 best responses for every selected seller, in selection order.
 #[must_use]
 pub fn all_seller_best_responses(ctx: &GameContext, collection_price: f64) -> Vec<f64> {
-    ctx.sellers()
-        .iter()
-        .map(|s: &SelectedSeller| {
-            seller_best_response(collection_price, s.quality, s.cost, ctx.max_sensing_time)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(ctx.k());
+    all_seller_best_responses_into(ctx, collection_price, &mut out);
+    out
+}
+
+/// As [`all_seller_best_responses`], but writes into `out`, reusing its
+/// capacity so the per-round equilibrium solve does not allocate.
+pub fn all_seller_best_responses_into(
+    ctx: &GameContext,
+    collection_price: f64,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend(ctx.sellers().iter().map(|s: &SelectedSeller| {
+        seller_best_response(collection_price, s.quality, s.cost, ctx.max_sensing_time)
+    }));
 }
 
 /// **Theorem 15 (Stage 2), sign-corrected.** The platform's optimal

@@ -2,8 +2,8 @@
 //! qualities, and under which economic parameters the game is played.
 
 use cdt_types::{
-    CdtError, PlatformCostParams, PriceBounds, Result, SellerCostParams, SellerId,
-    ValuationParams, QUALITY_FLOOR,
+    CdtError, PlatformCostParams, PriceBounds, Result, SellerCostParams, SellerId, ValuationParams,
+    QUALITY_FLOOR,
 };
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +88,13 @@ impl GameContext {
     #[must_use]
     pub fn sellers(&self) -> &[SelectedSeller] {
         &self.sellers
+    }
+
+    /// Consumes the context, handing back its seller buffer so callers that
+    /// rebuild a context every round can recycle the allocation.
+    #[must_use]
+    pub fn into_sellers(self) -> Vec<SelectedSeller> {
+        self.sellers
     }
 
     /// Number of selected sellers `K`.

@@ -2,7 +2,7 @@
 //! (Algorithm 1, step 11).
 
 use crate::best_response::{
-    all_seller_best_responses, consumer_best_response, platform_best_response, Aggregates,
+    all_seller_best_responses_into, consumer_best_response, platform_best_response, Aggregates,
 };
 use crate::context::GameContext;
 use crate::profit::{consumer_profit, platform_profit, seller_profit};
@@ -54,6 +54,30 @@ pub struct StackelbergSolution {
 }
 
 impl StackelbergSolution {
+    /// A zeroed placeholder solution, ready to be filled by
+    /// [`solve_equilibrium_into`]. Never meaningful on its own.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            service_price: 0.0,
+            collection_price: 0.0,
+            sensing_times: Vec::new(),
+            seller_ids: Vec::new(),
+            profits: Profits {
+                consumer: 0.0,
+                platform: 0.0,
+                sellers: Vec::new(),
+            },
+            aggregates: Aggregates {
+                a: 0.0,
+                b: 0.0,
+                mean_quality: 0.0,
+                theta_cap: 0.0,
+                lambda_cap: 0.0,
+            },
+        }
+    }
+
     /// Total sensing time `Σ τ_i*`.
     #[must_use]
     pub fn total_sensing_time(&self) -> f64 {
@@ -117,20 +141,29 @@ impl StackelbergSolution {
 /// By Theorem 20 this profile is the unique Stackelberg Equilibrium.
 #[must_use]
 pub fn solve_equilibrium(ctx: &GameContext) -> StackelbergSolution {
-    let aggregates = Aggregates::from_context(ctx);
-    let service_price = consumer_best_response(ctx, &aggregates);
-    let collection_price = platform_best_response(ctx, service_price, &aggregates);
-    let sensing_times = all_seller_best_responses(ctx, collection_price);
+    let mut out = StackelbergSolution::empty();
+    solve_equilibrium_into(ctx, &mut out);
+    out
+}
 
-    let profits = profits_at(ctx, service_price, collection_price, &sensing_times);
-    StackelbergSolution {
-        service_price,
-        collection_price,
-        seller_ids: ctx.sellers().iter().map(|s| s.id).collect(),
-        sensing_times,
-        profits,
-        aggregates,
-    }
+/// As [`solve_equilibrium`], but writes into `out`, reusing its sensing-time,
+/// seller-id and per-seller-profit buffers. Produces exactly the same
+/// solution; after the first call on a given `out` the per-round game solve
+/// is allocation-free.
+pub fn solve_equilibrium_into(ctx: &GameContext, out: &mut StackelbergSolution) {
+    out.aggregates = Aggregates::from_context(ctx);
+    out.service_price = consumer_best_response(ctx, &out.aggregates);
+    out.collection_price = platform_best_response(ctx, out.service_price, &out.aggregates);
+    all_seller_best_responses_into(ctx, out.collection_price, &mut out.sensing_times);
+    out.seller_ids.clear();
+    out.seller_ids.extend(ctx.sellers().iter().map(|s| s.id));
+    profits_at_into(
+        ctx,
+        out.service_price,
+        out.collection_price,
+        &out.sensing_times,
+        &mut out.profits,
+    );
 }
 
 /// Evaluates all three parties' profits at an arbitrary strategy profile.
@@ -141,17 +174,39 @@ pub fn profits_at(
     collection_price: f64,
     sensing_times: &[f64],
 ) -> Profits {
-    let sellers = ctx
-        .sellers()
-        .iter()
-        .zip(sensing_times)
-        .map(|(s, &tau)| seller_profit(collection_price, tau, s.quality, s.cost))
-        .collect();
-    Profits {
-        consumer: consumer_profit(ctx, service_price, sensing_times),
-        platform: platform_profit(ctx, service_price, collection_price, sensing_times),
-        sellers,
-    }
+    let mut out = Profits {
+        consumer: 0.0,
+        platform: 0.0,
+        sellers: Vec::with_capacity(sensing_times.len()),
+    };
+    profits_at_into(
+        ctx,
+        service_price,
+        collection_price,
+        sensing_times,
+        &mut out,
+    );
+    out
+}
+
+/// As [`profits_at`], but writes into `out`, reusing its seller-profit
+/// buffer.
+pub fn profits_at_into(
+    ctx: &GameContext,
+    service_price: f64,
+    collection_price: f64,
+    sensing_times: &[f64],
+    out: &mut Profits,
+) {
+    out.sellers.clear();
+    out.sellers.extend(
+        ctx.sellers()
+            .iter()
+            .zip(sensing_times)
+            .map(|(s, &tau)| seller_profit(collection_price, tau, s.quality, s.cost)),
+    );
+    out.consumer = consumer_profit(ctx, service_price, sensing_times);
+    out.platform = platform_profit(ctx, service_price, collection_price, sensing_times);
 }
 
 #[cfg(test)]
@@ -233,9 +288,7 @@ mod tests {
     fn social_welfare_decomposition() {
         let eq = solve_equilibrium(&paper_like_ctx(6));
         let p = &eq.profits;
-        assert!(
-            (p.social_welfare() - (p.consumer + p.platform + p.total_seller())).abs() < 1e-12
-        );
+        assert!((p.social_welfare() - (p.consumer + p.platform + p.total_seller())).abs() < 1e-12);
     }
 
     #[test]
@@ -284,5 +337,16 @@ mod tests {
         let eq = solve_equilibrium(&paper_like_ctx(1));
         assert_eq!(eq.sensing_times.len(), 1);
         assert!(eq.profits.consumer > 0.0);
+    }
+
+    #[test]
+    fn solve_into_matches_owned_solve_across_reuse() {
+        let mut reused = StackelbergSolution::empty();
+        // Shrinking K exercises stale-buffer truncation in the reused value.
+        for k in [10, 3, 7, 1] {
+            let ctx = paper_like_ctx(k);
+            solve_equilibrium_into(&ctx, &mut reused);
+            assert_eq!(reused, solve_equilibrium(&ctx));
+        }
     }
 }

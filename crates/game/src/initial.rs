@@ -15,9 +15,9 @@
 //! argmin is the zero-profit price `p^J = p + C^J(Στ)/Στ`, clamped into the
 //! consumer's bounds.
 
+use crate::best_response::Aggregates;
 use crate::context::GameContext;
 use crate::equilibrium::{profits_at, StackelbergSolution};
-use crate::best_response::Aggregates;
 
 /// Computes the initial-round strategy profile (all sellers selected at
 /// sensing time `τ⁰`).
@@ -62,9 +62,7 @@ pub fn initial_round_strategy(ctx: &GameContext, tau0: f64) -> StackelbergSoluti
 mod tests {
     use super::*;
     use crate::context::SelectedSeller;
-    use cdt_types::{
-        PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
-    };
+    use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
 
     fn ctx(p_max: f64) -> GameContext {
         let sellers = (0..3)
@@ -151,9 +149,7 @@ mod tests {
         // p^{J,1*} = 7.5 which corresponds to θ·3 + λ = 2.5
         // (e.g. θ = 0.5, λ = 1).
         let sellers = (0..3)
-            .map(|i| {
-                SelectedSeller::new(SellerId(i), 0.5, SellerCostParams { a: 0.2, b: 0.3 })
-            })
+            .map(|i| SelectedSeller::new(SellerId(i), 0.5, SellerCostParams { a: 0.2, b: 0.3 }))
             .collect();
         let c = GameContext::new(
             sellers,

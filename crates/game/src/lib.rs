@@ -58,7 +58,7 @@ pub use best_response::{
     consumer_best_response, platform_best_response, seller_best_response, Aggregates,
 };
 pub use context::{GameContext, SelectedSeller};
-pub use equilibrium::{solve_equilibrium, Profits, StackelbergSolution};
+pub use equilibrium::{solve_equilibrium, solve_equilibrium_into, Profits, StackelbergSolution};
 pub use initial::initial_round_strategy;
 pub use profit::{consumer_profit, platform_profit, seller_profit};
 pub use sensitivity::{sensitivities, Sensitivities};

@@ -23,7 +23,12 @@ pub fn seller_profit(
 /// The platform's profit (Eq. 7):
 /// `Ω = p^J Στ − p Στ − C^J(τ)`, with `C^J(τ) = θ(Στ)² + λΣτ` (Eq. 8).
 #[must_use]
-pub fn platform_profit(ctx: &GameContext, service_price: f64, collection_price: f64, sensing_times: &[f64]) -> f64 {
+pub fn platform_profit(
+    ctx: &GameContext,
+    service_price: f64,
+    collection_price: f64,
+    sensing_times: &[f64],
+) -> f64 {
     let total: f64 = sensing_times.iter().sum();
     (service_price - collection_price) * total - ctx.platform_cost.cost(total)
 }

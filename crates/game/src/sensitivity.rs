@@ -106,9 +106,7 @@ pub fn direct_dphi_domega(ctx: &GameContext) -> f64 {
 mod tests {
     use super::*;
     use crate::context::SelectedSeller;
-    use cdt_types::{
-        PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
-    };
+    use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
 
     fn ctx() -> GameContext {
         let sellers = (0..8)

@@ -68,7 +68,10 @@ impl DeviationReport {
             .iter()
             .map(Deviation::gain)
             .fold(f64::NEG_INFINITY, f64::max);
-        self.consumer.gain().max(self.platform.gain()).max(seller_max)
+        self.consumer
+            .gain()
+            .max(self.platform.gain())
+            .max(seller_max)
     }
 }
 
@@ -179,9 +182,7 @@ mod tests {
     use super::*;
     use crate::context::SelectedSeller;
     use crate::equilibrium::solve_equilibrium;
-    use cdt_types::{
-        PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
-    };
+    use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
 
     fn ctx(k: usize, omega: f64) -> GameContext {
         let sellers = (0..k)

@@ -110,9 +110,7 @@ mod tests {
     use super::*;
     use crate::context::SelectedSeller;
     use crate::equilibrium::solve_equilibrium;
-    use cdt_types::{
-        PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
-    };
+    use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
 
     fn ctx(k: usize) -> GameContext {
         let sellers = (0..k)

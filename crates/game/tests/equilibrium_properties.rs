@@ -5,9 +5,7 @@
 use cdt_game::{
     seller_best_response, social_welfare, solve_equilibrium, GameContext, SelectedSeller,
 };
-use cdt_types::{
-    PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
-};
+use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
 use proptest::prelude::*;
 
 /// Strategy generating a game context inside the paper's Table II ranges.
@@ -15,8 +13,8 @@ fn arb_context() -> impl Strategy<Value = GameContext> {
     let seller = (0.2f64..1.0, 0.1f64..0.5, 0.1f64..1.0).prop_map(|(q, a, b)| (q, a, b));
     (
         proptest::collection::vec(seller, 1..12),
-        0.1f64..1.0,   // theta
-        0.5f64..2.0,   // lambda
+        0.1f64..1.0,      // theta
+        0.5f64..2.0,      // lambda
         600.0f64..1400.0, // omega
     )
         .prop_map(|(sellers, theta, lambda, omega)| {

@@ -213,9 +213,6 @@ mod tests {
     fn empty_lines_are_skipped() {
         let log = full_log();
         let text = format!("\n{}\n\n", log.to_json_lines());
-        assert_eq!(
-            EventLog::from_json_lines(&text).unwrap().len(),
-            log.len()
-        );
+        assert_eq!(EventLog::from_json_lines(&text).unwrap().len(), log.len());
     }
 }

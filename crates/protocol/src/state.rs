@@ -191,7 +191,10 @@ impl ProtocolState {
                 self.phase = Phase::AwaitData;
                 Ok(())
             }
-            MarketEvent::DataCollected { round, observed_revenue } => {
+            MarketEvent::DataCollected {
+                round,
+                observed_revenue,
+            } => {
                 self.expect_round(*round, event)?;
                 self.expect_phase(Phase::AwaitData, event)?;
                 if !(observed_revenue.is_finite() && *observed_revenue >= 0.0) {

@@ -13,11 +13,20 @@ use rand::Rng;
 
 /// The observations of one round: for each selected seller, one quality per
 /// PoI.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Stored as a single row-major buffer (`values[s * L + l]`) rather than a
+/// nested `Vec<Vec<f64>>`: the round loop runs up to `2·10⁵` times per
+/// policy, and one flat buffer both halves the pointer chasing on every
+/// [`ObservationMatrix::row`] access and lets the whole matrix be reused
+/// across rounds without reallocating (see
+/// [`QualityObserver::observe_round_into`]).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObservationMatrix {
     sellers: Vec<SellerId>,
-    /// `values[s][l]` = observed quality of `sellers[s]` at PoI `l`.
-    values: Vec<Vec<f64>>,
+    /// PoIs per seller (row width).
+    l: usize,
+    /// Row-major `sellers.len() × l` observation buffer.
+    values: Vec<f64>,
 }
 
 impl ObservationMatrix {
@@ -28,14 +37,38 @@ impl ObservationMatrix {
     #[must_use]
     pub fn new(sellers: Vec<SellerId>, values: Vec<Vec<f64>>) -> Self {
         assert_eq!(sellers.len(), values.len(), "one row per selected seller");
-        if let Some(first) = values.first() {
-            let l = first.len();
-            assert!(
-                values.iter().all(|row| row.len() == l),
-                "all rows must cover the same L PoIs"
-            );
+        let l = values.first().map_or(0, Vec::len);
+        assert!(
+            values.iter().all(|row| row.len() == l),
+            "all rows must cover the same L PoIs"
+        );
+        let flat: Vec<f64> = values.into_iter().flatten().collect();
+        Self {
+            sellers,
+            l,
+            values: flat,
         }
-        Self { sellers, values }
+    }
+
+    /// Builds a matrix directly from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics unless `values.len() == sellers.len() * l`.
+    #[must_use]
+    pub fn from_flat(sellers: Vec<SellerId>, l: usize, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            sellers.len() * l,
+            "flat buffer must hold sellers × L observations"
+        );
+        Self { sellers, l, values }
+    }
+
+    /// An empty matrix, ready to be filled by
+    /// [`QualityObserver::observe_round_into`].
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
     }
 
     /// Selected sellers, in selection order.
@@ -44,43 +77,49 @@ impl ObservationMatrix {
         &self.sellers
     }
 
-    /// Number of PoIs `L` covered per seller.
+    /// Number of PoIs `L` covered per seller (0 for an empty matrix).
     #[must_use]
     pub fn num_pois(&self) -> usize {
-        self.values.first().map_or(0, Vec::len)
+        if self.sellers.is_empty() {
+            0
+        } else {
+            self.l
+        }
     }
 
     /// The `L` observations of one selected seller (row `s` of the matrix).
     #[must_use]
     pub fn row(&self, s: usize) -> &[f64] {
-        &self.values[s]
+        &self.values[s * self.l..(s + 1) * self.l]
     }
 
     /// Observation of seller-row `s` at PoI `l`.
     #[must_use]
     pub fn get(&self, s: usize, l: PoiId) -> f64 {
-        self.values[s][l.index()]
+        self.values[s * self.l + l.index()]
     }
 
     /// Sum of one seller-row: `Σ_l q_{i,l}^t`, the quantity added to the
     /// revenue (Eq. 1) and to the estimator numerator (Eq. 18).
     #[must_use]
     pub fn row_sum(&self, s: usize) -> f64 {
-        self.values[s].iter().sum()
+        self.row(s).iter().sum()
     }
 
     /// Total revenue contribution of this round: `Σ_i Σ_l q_{i,l}^t χ_i^t`.
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.values.iter().map(|row| row.iter().sum::<f64>()).sum()
+        self.values.iter().sum()
     }
 
     /// Iterates `(SellerId, &[f64])` rows.
     pub fn iter(&self) -> impl Iterator<Item = (SellerId, &[f64])> {
+        let l = self.l;
         self.sellers
             .iter()
             .copied()
-            .zip(self.values.iter().map(Vec::as_slice))
+            .enumerate()
+            .map(move |(s, id)| (id, &self.values[s * l..(s + 1) * l]))
     }
 }
 
@@ -120,14 +159,33 @@ impl QualityObserver {
         selected: &[SellerId],
         rng: &mut R,
     ) -> ObservationMatrix {
-        let values = selected
-            .iter()
-            .map(|&id| {
-                let dist = &self.population.profile(id).quality;
-                (0..self.num_pois).map(|_| dist.sample(rng)).collect()
-            })
-            .collect();
-        ObservationMatrix::new(selected.to_vec(), values)
+        let mut out = ObservationMatrix::empty();
+        self.observe_round_into(selected, rng, &mut out);
+        out
+    }
+
+    /// Observes one round into an existing matrix, reusing its buffers.
+    ///
+    /// Draws the *same* samples in the same RNG order as
+    /// [`QualityObserver::observe_round`]; after the first call on a given
+    /// `out` the round loop runs allocation-free.
+    pub fn observe_round_into<R: Rng + ?Sized>(
+        &self,
+        selected: &[SellerId],
+        rng: &mut R,
+        out: &mut ObservationMatrix,
+    ) {
+        out.sellers.clear();
+        out.sellers.extend_from_slice(selected);
+        out.l = self.num_pois;
+        out.values.clear();
+        out.values.reserve(selected.len() * self.num_pois);
+        for &id in selected {
+            let dist = &self.population.profile(id).quality;
+            for _ in 0..self.num_pois {
+                out.values.push(dist.sample(rng));
+            }
+        }
     }
 }
 
@@ -212,5 +270,40 @@ mod tests {
         let m = obs.observe_round(&[], &mut rng);
         assert_eq!(m.total(), 0.0);
         assert_eq!(m.num_pois(), 0);
+    }
+
+    #[test]
+    fn from_flat_matches_nested_constructor() {
+        let nested = ObservationMatrix::new(
+            vec![SellerId(1), SellerId(4)],
+            vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+        );
+        let flat = ObservationMatrix::from_flat(
+            vec![SellerId(1), SellerId(4)],
+            2,
+            vec![0.1, 0.2, 0.3, 0.4],
+        );
+        assert_eq!(nested, flat);
+        assert_eq!(flat.row(1), &[0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat buffer")]
+    fn from_flat_rejects_wrong_size() {
+        let _ = ObservationMatrix::from_flat(vec![SellerId(0)], 3, vec![0.1]);
+    }
+
+    #[test]
+    fn observe_round_into_matches_observe_round() {
+        let obs = QualityObserver::new(pop(), 5);
+        let selected = [SellerId(0), SellerId(2), SellerId(1)];
+        let owned = obs.observe_round(&selected, &mut StdRng::seed_from_u64(42));
+        let mut reused = ObservationMatrix::empty();
+        // Repeated reuse of the same buffer must not corrupt results.
+        for _ in 0..3 {
+            let mut rng = StdRng::seed_from_u64(42);
+            obs.observe_round_into(&selected, &mut rng, &mut reused);
+            assert_eq!(owned, reused);
+        }
     }
 }

@@ -35,8 +35,9 @@ impl PoiEffects {
         assert!(l > 0, "need at least one PoI");
         let effects = (0..m)
             .map(|_| {
-                let mut row: Vec<f64> =
-                    (0..l).map(|_| rng.gen_range(1.0 - spread..=1.0 + spread)).collect();
+                let mut row: Vec<f64> = (0..l)
+                    .map(|_| rng.gen_range(1.0 - spread..=1.0 + spread))
+                    .collect();
                 let mean = row.iter().sum::<f64>() / l as f64;
                 for e in &mut row {
                     *e /= mean;
@@ -159,8 +160,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let e = PoiEffects::generate(20, 10, 0.4, &mut rng);
         for i in 0..20 {
-            let row_mean: f64 =
-                (0..10).map(|l| e.effect(SellerId(i), PoiId(l))).sum::<f64>() / 10.0;
+            let row_mean: f64 = (0..10)
+                .map(|l| e.effect(SellerId(i), PoiId(l)))
+                .sum::<f64>()
+                / 10.0;
             assert!((row_mean - 1.0).abs() < 1e-12, "seller {i}: {row_mean}");
         }
     }

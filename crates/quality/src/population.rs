@@ -50,7 +50,11 @@ impl SellerPopulation {
     /// - observation noise: Gaussian with `σ = noise_sigma` truncated to
     ///   `[0, 1]`,
     /// - `a_i ~ U[0.1, 0.5]`, `b_i ~ U[0.1, 1]`.
-    pub fn generate_paper_defaults<R: Rng + ?Sized>(m: usize, noise_sigma: f64, rng: &mut R) -> Self {
+    pub fn generate_paper_defaults<R: Rng + ?Sized>(
+        m: usize,
+        noise_sigma: f64,
+        rng: &mut R,
+    ) -> Self {
         let profiles = (0..m)
             .map(|_| {
                 let mu: f64 = rng.gen_range(0.0..=1.0);
@@ -98,7 +102,10 @@ impl SellerPopulation {
     /// The true expected qualities of all sellers, indexed by seller id.
     #[must_use]
     pub fn expected_qualities(&self) -> Vec<f64> {
-        self.profiles.iter().map(SellerProfile::expected_quality).collect()
+        self.profiles
+            .iter()
+            .map(SellerProfile::expected_quality)
+            .collect()
     }
 
     /// Cost parameter vector indexed by seller id (for `SystemConfig`).

@@ -86,22 +86,72 @@ impl ComparisonResult {
     }
 }
 
-/// Runs every policy in `specs` on `scenario`.
+/// Runs every policy in `specs` on `scenario`, fanning the per-policy jobs
+/// out over [`crate::parallel::configured_threads`] worker threads. Each
+/// job owns its seed (`base_seed + index`), so the result is bit-for-bit
+/// identical at any thread count.
 ///
 /// # Errors
-/// Propagates the first run error encountered.
+/// Propagates the first run error encountered (in policy order).
 pub fn compare_policies(
     scenario: &Scenario,
     specs: &[PolicySpec],
     base_seed: u64,
     checkpoints: &[usize],
 ) -> Result<ComparisonResult> {
-    let runs = specs
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| run_policy(scenario, *spec, base_seed.wrapping_add(i as u64), checkpoints))
-        .collect::<Result<Vec<_>>>()?;
+    let threads = crate::parallel::configured_threads();
+    let runs = crate::parallel::try_parallel_map(specs, threads, |i, spec| {
+        run_policy(
+            scenario,
+            *spec,
+            base_seed.wrapping_add(i as u64),
+            checkpoints,
+        )
+    })?;
     Ok(ComparisonResult { runs })
+}
+
+/// Runs every policy on every scenario of a sweep grid, fanning the full
+/// (sweep-cell × policy) job matrix out over the configured worker
+/// threads. `seeds[i]` is the base seed of cell `i`; policy `j` runs with
+/// `seeds[i] + j`, exactly like [`compare_policies`], so the output is
+/// bit-for-bit identical to calling `compare_policies` once per cell
+/// serially — but a slow cell (e.g. the largest `M` of a sweep) no longer
+/// blocks the rest of the grid.
+///
+/// # Errors
+/// Propagates the first run error in (cell, policy) order.
+///
+/// # Panics
+/// Panics unless `scenarios` and `seeds` have equal lengths.
+pub fn compare_policies_grid(
+    scenarios: &[Scenario],
+    specs: &[PolicySpec],
+    seeds: &[u64],
+    checkpoints: &[usize],
+) -> Result<Vec<ComparisonResult>> {
+    assert_eq!(scenarios.len(), seeds.len(), "one seed per grid cell");
+    let cells: Vec<(usize, usize)> = (0..scenarios.len())
+        .flat_map(|c| (0..specs.len()).map(move |j| (c, j)))
+        .collect();
+    let threads = crate::parallel::configured_threads();
+    let mut runs = crate::parallel::try_parallel_map(&cells, threads, |_, &(c, j)| {
+        run_policy(
+            &scenarios[c],
+            specs[j],
+            seeds[c].wrapping_add(j as u64),
+            checkpoints,
+        )
+    })?
+    .into_iter();
+    // Cells were laid out cell-major, so chunks of specs.len() rebuild the
+    // per-cell comparisons in order.
+    Ok(scenarios
+        .iter()
+        .map(|_| ComparisonResult {
+            runs: runs.by_ref().take(specs.len()).collect(),
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -153,8 +203,7 @@ mod tests {
     #[test]
     fn summary_table_has_one_row_per_policy() {
         let s = scenario();
-        let cmp =
-            compare_policies(&s, &[PolicySpec::CmabHs, PolicySpec::Random], 7, &[]).unwrap();
+        let cmp = compare_policies(&s, &[PolicySpec::CmabHs, PolicySpec::Random], 7, &[]).unwrap();
         let t = cmp.summary_table("demo");
         assert_eq!(t.rows.len(), 2);
     }

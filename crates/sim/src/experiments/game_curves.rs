@@ -56,7 +56,9 @@ pub fn round_context(scale: Scale, omega: f64, theta: f64) -> Result<GameContext
 }
 
 fn pj_grid(points: usize, hi: f64) -> Vec<f64> {
-    (1..=points).map(|i| hi * i as f64 / points as f64).collect()
+    (1..=points)
+        .map(|i| hi * i as f64 / points as f64)
+        .collect()
 }
 
 /// Consumer profit at a *deviating* `p^J` with the lower stages
@@ -80,19 +82,24 @@ pub fn figure13(scale: Scale) -> Result<Vec<Table>> {
     };
     let grid = pj_grid(points, 40.0);
     let x = grid.clone();
+    let threads = crate::parallel::configured_threads();
 
-    // (a) one PoC curve per omega.
-    let mut poc_curves = Vec::new();
-    for omega in [600.0, 800.0, 1000.0, 1200.0, 1400.0] {
+    // (a) one PoC curve per omega — one pure job per omega, so the fan-out
+    // is trivially bit-identical to the serial loop.
+    let omegas = [600.0, 800.0, 1000.0, 1200.0, 1400.0];
+    let poc_curves = crate::parallel::try_parallel_map(&omegas, threads, |_, &omega| {
         let ctx = round_context(scale, omega, 0.1)?;
-        let y: Vec<f64> = grid.iter().map(|&pj| profits_at_pj(&ctx, pj).consumer).collect();
-        poc_curves.push(Series::new(format!("omega={omega}"), x.clone(), y));
-    }
+        let y: Vec<f64> = grid
+            .iter()
+            .map(|&pj| profits_at_pj(&ctx, pj).consumer)
+            .collect();
+        Ok(Series::new(format!("omega={omega}"), x.clone(), y))
+    })?;
 
-    // (b) all parties at omega = 1000.
+    // (b) all parties at omega = 1000, one pure job per grid point.
     let ctx = round_context(scale, 1000.0, 0.1)?;
     let profiles: Vec<cdt_game::Profits> =
-        grid.iter().map(|&pj| profits_at_pj(&ctx, pj)).collect();
+        crate::parallel::parallel_map(&grid, threads, |_, &pj| profits_at_pj(&ctx, pj));
     let mut party_curves = vec![
         Series::new(
             "PoC",
@@ -114,7 +121,11 @@ pub fn figure13(scale: Scale) -> Result<Vec<Table>> {
     }
 
     Ok(vec![
-        Series::tabulate("Fig. 13(a): PoC vs p^J for varying omega", "p^J", &poc_curves),
+        Series::tabulate(
+            "Fig. 13(a): PoC vs p^J for varying omega",
+            "p^J",
+            &poc_curves,
+        ),
         Series::tabulate(
             "Fig. 13(b): PoC, PoP, PoS(s) vs p^J (omega = 1000)",
             "p^J",
@@ -143,13 +154,17 @@ pub fn figure14(scale: Scale) -> Result<Vec<Table>> {
         .map(|i| 3.0 * tau6_star * i as f64 / points as f64)
         .collect();
 
+    // Pure per-point deviation profits; fanned out over the grid.
+    let threads = crate::parallel::configured_threads();
+    let profiles = crate::parallel::parallel_map(&grid, threads, |_, &tau6| {
+        let mut taus = eq.sensing_times.clone();
+        taus[tracked] = tau6;
+        profits_at(&ctx, eq.service_price, eq.collection_price, &taus)
+    });
     let mut poc = Vec::with_capacity(grid.len());
     let mut pop = Vec::with_capacity(grid.len());
     let mut pos: Vec<Vec<f64>> = vec![Vec::with_capacity(grid.len()); TRACKED_SELLERS.len()];
-    for &tau6 in &grid {
-        let mut taus = eq.sensing_times.clone();
-        taus[tracked] = tau6;
-        let p = profits_at(&ctx, eq.service_price, eq.collection_price, &taus);
+    for p in &profiles {
         poc.push(p.consumer);
         pop.push(p.platform);
         for (j, &s) in TRACKED_SELLERS.iter().enumerate() {

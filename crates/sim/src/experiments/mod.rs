@@ -90,8 +90,21 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<Vec<Table>> {
 #[must_use]
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig17", "fig18", "nonstat", "replicate",
+        "table2",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "nonstat",
+        "replicate",
     ]
 }
 

@@ -94,13 +94,11 @@ fn run_dynamic(
     let step = (cfg.n / cfg.checkpoints).max(1);
     let mut regret = 0.0;
     let mut out = Vec::with_capacity(cfg.checkpoints);
+    let mut selected = Vec::with_capacity(cfg.k);
     for t in 0..cfg.n {
         let round = Round(t);
-        let selected = policy.select(round, &mut rng);
-        let selected_sum: f64 = selected
-            .iter()
-            .map(|&id| observer.mean_at(id, round))
-            .sum();
+        policy.select_into(round, &mut rng, &mut selected);
+        let selected_sum: f64 = selected.iter().map(|&id| observer.mean_at(id, round)).sum();
         let optimal = observer.optimal_quality_sum_at(round, cfg.k);
         regret += (optimal - selected_sum) * cfg.l as f64;
         let observations = observer.observe_round(round, &selected, &mut rng);
@@ -149,33 +147,33 @@ impl SelectionPolicy for DynamicOracle<'_> {
 pub fn run(cfg: &Config) -> Result<Vec<Table>> {
     let observer = drifting_observer(cfg);
 
-    let mut cmab = CmabUcbPolicy::new(cfg.m, cfg.k);
-    let mut sw = SlidingWindowUcbPolicy::new(cfg.m, cfg.k, cfg.window);
-    let mut random = RandomPolicy::new(cfg.m, cfg.k);
-    let mut oracle = DynamicOracle {
-        observer: &observer,
-        k: cfg.k,
-        estimator: cdt_bandit::QualityEstimator::new(cfg.m),
-    };
-
-    let runs: Vec<(String, Vec<(usize, f64)>)> = vec![
-        (
-            "dynamic-optimal".into(),
-            run_dynamic(&mut oracle, &observer, cfg, cfg.seed + 1),
-        ),
-        (
-            "SW-UCB".into(),
-            run_dynamic(&mut sw, &observer, cfg, cfg.seed + 2),
-        ),
-        (
-            "CMAB-HS (stationary)".into(),
-            run_dynamic(&mut cmab, &observer, cfg, cfg.seed + 3),
-        ),
-        (
-            "random".into(),
-            run_dynamic(&mut random, &observer, cfg, cfg.seed + 4),
-        ),
+    // Four independent (policy, seed) jobs over the shared drifting truth.
+    // Each job constructs its own policy and owns its RNG stream
+    // (`cfg.seed + 1 + i`, matching the serial ordering), so the fan-out is
+    // bit-for-bit identical to running the policies in sequence.
+    let names = [
+        "dynamic-optimal",
+        "SW-UCB",
+        "CMAB-HS (stationary)",
+        "random",
     ];
+    let jobs: Vec<usize> = (0..names.len()).collect();
+    let threads = crate::parallel::configured_threads();
+    let curves = crate::parallel::parallel_map(&jobs, threads, |_, &i| {
+        let mut policy: Box<dyn SelectionPolicy + '_> = match i {
+            0 => Box::new(DynamicOracle {
+                observer: &observer,
+                k: cfg.k,
+                estimator: cdt_bandit::QualityEstimator::new(cfg.m),
+            }),
+            1 => Box::new(SlidingWindowUcbPolicy::new(cfg.m, cfg.k, cfg.window)),
+            2 => Box::new(CmabUcbPolicy::new(cfg.m, cfg.k)),
+            _ => Box::new(RandomPolicy::new(cfg.m, cfg.k)),
+        };
+        run_dynamic(policy.as_mut(), &observer, cfg, cfg.seed + 1 + i as u64)
+    });
+    let runs: Vec<(String, Vec<(usize, f64)>)> =
+        names.iter().map(|n| (*n).to_string()).zip(curves).collect();
 
     let x: Vec<f64> = runs[0].1.iter().map(|&(t, _)| t as f64).collect();
     let series: Vec<Series> = runs
@@ -240,7 +238,10 @@ mod tests {
         let rounds = col(t, 0);
         let sw = col(t, 2);
         let cmab = col(t, 3);
-        let mid = rounds.iter().position(|&r| r as usize >= cfg.n / 2).unwrap();
+        let mid = rounds
+            .iter()
+            .position(|&r| r as usize >= cfg.n / 2)
+            .unwrap();
         let last = rounds.len() - 1;
         // Regret *accumulated after the swap*: the stationary estimator
         // keeps averaging stale pre-swap evidence, the windowed one

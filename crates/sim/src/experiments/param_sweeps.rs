@@ -30,11 +30,7 @@ fn solve_with_a6(base: &GameContext, a6: f64) -> StackelbergSolution {
         .enumerate()
         .map(|(i, s)| {
             if i == tracked {
-                SelectedSeller::new(
-                    s.id,
-                    s.quality,
-                    SellerCostParams { a: a6, b: s.cost.b },
-                )
+                SelectedSeller::new(s.id, s.quality, SellerCostParams { a: a6, b: s.cost.b })
             } else {
                 *s
             }
@@ -57,26 +53,23 @@ fn solve_with_a6(base: &GameContext, a6: f64) -> StackelbergSolution {
 fn a6_solutions(scale: Scale) -> Result<(Vec<f64>, Vec<StackelbergSolution>)> {
     let base = round_context(scale, 1000.0, 0.1)?;
     let xs = grid(0.05, 5.0, points(scale));
-    let sols = xs.iter().map(|&a| solve_with_a6(&base, a)).collect();
+    // Pure per-point solves: the fan-out is trivially bit-identical.
+    let threads = crate::parallel::configured_threads();
+    let sols = crate::parallel::parallel_map(&xs, threads, |_, &a| solve_with_a6(&base, a));
     Ok((xs, sols))
 }
 
 /// The `θ` sweep used by Figs. 17 & 18.
 fn theta_solutions(scale: Scale) -> Result<(Vec<f64>, Vec<StackelbergSolution>)> {
     let xs = grid(0.05, 1.0, points(scale));
-    let sols = xs
-        .iter()
-        .map(|&theta| Ok(solve_equilibrium(&round_context(scale, 1000.0, theta)?)))
-        .collect::<Result<Vec<_>>>()?;
+    let threads = crate::parallel::configured_threads();
+    let sols = crate::parallel::try_parallel_map(&xs, threads, |_, &theta| {
+        Ok(solve_equilibrium(&round_context(scale, 1000.0, theta)?))
+    })?;
     Ok((xs, sols))
 }
 
-fn profit_tables(
-    title: &str,
-    x_name: &str,
-    xs: &[f64],
-    sols: &[StackelbergSolution],
-) -> Table {
+fn profit_tables(title: &str, x_name: &str, xs: &[f64], sols: &[StackelbergSolution]) -> Table {
     let mut curves = vec![
         Series::new(
             "PoC",
@@ -215,7 +208,10 @@ mod tests {
         // And the decline flattens: early drop ≫ late drop.
         let early = poc[0] - poc[1];
         let late = poc[poc.len() - 2] - poc[poc.len() - 1];
-        assert!(early > late, "PoC decline should level off: {early} vs {late}");
+        assert!(
+            early > late,
+            "PoC decline should level off: {early} vs {late}"
+        );
     }
 
     #[test]

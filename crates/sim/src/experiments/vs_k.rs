@@ -2,7 +2,7 @@
 //! as the selection size `K` grows (`M = 300`, `N = 10⁵` at paper scale).
 
 use super::Scale;
-use crate::compare::{compare_policies, ComparisonResult};
+use crate::compare::{compare_policies_grid, ComparisonResult};
 use crate::policy_spec::PolicySpec;
 use crate::report::{Series, Table};
 use crate::settings::SimSettings;
@@ -75,16 +75,15 @@ pub fn run(cfg: &Config) -> Result<VsKResult> {
         &mut StdRng::seed_from_u64(cfg.seed),
     );
     let labels = cfg.policies.iter().map(PolicySpec::label).collect();
-    let mut comparisons = Vec::with_capacity(cfg.k_grid.len());
-    for (i, &k) in cfg.k_grid.iter().enumerate() {
-        let scenario = Scenario::from_population(population.clone(), k, cfg.l, cfg.n)?;
-        comparisons.push(compare_policies(
-            &scenario,
-            &cfg.policies,
-            cfg.seed.wrapping_add(3000 * i as u64),
-            &[],
-        )?);
-    }
+    let scenarios = cfg
+        .k_grid
+        .iter()
+        .map(|&k| Scenario::from_population(population.clone(), k, cfg.l, cfg.n))
+        .collect::<Result<Vec<_>>>()?;
+    let seeds: Vec<u64> = (0..cfg.k_grid.len())
+        .map(|i| cfg.seed.wrapping_add(3000 * i as u64))
+        .collect();
+    let comparisons = compare_policies_grid(&scenarios, &cfg.policies, &seeds, &[])?;
     Ok(VsKResult {
         k_grid: cfg.k_grid.clone(),
         labels,

@@ -6,7 +6,7 @@
 //! taxis as satisfied sellers" from a fixed 300-taxi trace.
 
 use super::Scale;
-use crate::compare::{compare_policies, ComparisonResult};
+use crate::compare::{compare_policies_grid, ComparisonResult};
 use crate::policy_spec::PolicySpec;
 use crate::report::{Series, Table};
 use crate::settings::SimSettings;
@@ -80,23 +80,23 @@ pub fn run(cfg: &Config) -> Result<VsMResult> {
         &mut StdRng::seed_from_u64(cfg.seed),
     );
     let labels = cfg.policies.iter().map(PolicySpec::label).collect();
-    let mut comparisons = Vec::with_capacity(cfg.m_grid.len());
-    for (i, &m) in cfg.m_grid.iter().enumerate() {
-        let profiles: Vec<SellerProfile> =
-            master.iter().take(m).map(|(_, p)| *p).collect();
-        let scenario = Scenario::from_population(
-            SellerPopulation::from_profiles(profiles),
-            cfg.k,
-            cfg.l,
-            cfg.n,
-        )?;
-        comparisons.push(compare_policies(
-            &scenario,
-            &cfg.policies,
-            cfg.seed.wrapping_add(2000 * i as u64),
-            &[],
-        )?);
-    }
+    let scenarios = cfg
+        .m_grid
+        .iter()
+        .map(|&m| {
+            let profiles: Vec<SellerProfile> = master.iter().take(m).map(|(_, p)| *p).collect();
+            Scenario::from_population(
+                SellerPopulation::from_profiles(profiles),
+                cfg.k,
+                cfg.l,
+                cfg.n,
+            )
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let seeds: Vec<u64> = (0..cfg.m_grid.len())
+        .map(|i| cfg.seed.wrapping_add(2000 * i as u64))
+        .collect();
+    let comparisons = compare_policies_grid(&scenarios, &cfg.policies, &seeds, &[])?;
     Ok(VsMResult {
         m_grid: cfg.m_grid.clone(),
         labels,

@@ -6,7 +6,7 @@
 //! one long run.
 
 use super::Scale;
-use crate::compare::{compare_policies, ComparisonResult};
+use crate::compare::{compare_policies_grid, ComparisonResult};
 use crate::policy_spec::PolicySpec;
 use crate::report::{Series, Table};
 use crate::settings::SimSettings;
@@ -82,16 +82,15 @@ pub fn run(cfg: &Config) -> Result<VsNResult> {
         &mut StdRng::seed_from_u64(cfg.seed),
     );
     let labels = cfg.policies.iter().map(PolicySpec::label).collect();
-    let mut comparisons = Vec::with_capacity(cfg.n_grid.len());
-    for (i, &n) in cfg.n_grid.iter().enumerate() {
-        let scenario = Scenario::from_population(population.clone(), cfg.k, cfg.l, n)?;
-        comparisons.push(compare_policies(
-            &scenario,
-            &cfg.policies,
-            cfg.seed.wrapping_add(1000 * i as u64),
-            &[],
-        )?);
-    }
+    let scenarios = cfg
+        .n_grid
+        .iter()
+        .map(|&n| Scenario::from_population(population.clone(), cfg.k, cfg.l, n))
+        .collect::<Result<Vec<_>>>()?;
+    let seeds: Vec<u64> = (0..cfg.n_grid.len())
+        .map(|i| cfg.seed.wrapping_add(1000 * i as u64))
+        .collect();
+    let comparisons = compare_policies_grid(&scenarios, &cfg.policies, &seeds, &[])?;
     Ok(VsNResult {
         n_grid: cfg.n_grid.clone(),
         labels,

@@ -11,6 +11,9 @@
 //!   ([`PolicySpec::CmabHs`], [`PolicySpec::EpsilonFirst`], …);
 //! - [`runner`]: one policy × one scenario → a [`RunResult`] with
 //!   checkpointed revenue/regret/profit series;
+//! - [`parallel`]: the deterministic job pool every fan-out runs on
+//!   (`--threads` / `CDT_THREADS`; results gathered by job index, so
+//!   output is bit-for-bit identical to the serial path);
 //! - [`compare`]: many policies on a common scenario;
 //! - [`report`]: plain-text tables and CSV export;
 //! - [`experiments`]: one module per paper figure (7–18).
@@ -20,13 +23,15 @@
 
 pub mod compare;
 pub mod experiments;
+pub mod parallel;
 pub mod policy_spec;
 pub mod replicate;
 pub mod report;
 pub mod runner;
 pub mod settings;
 
-pub use compare::{compare_policies, ComparisonResult};
+pub use compare::{compare_policies, compare_policies_grid, ComparisonResult};
+pub use parallel::{configured_threads, parallel_map, set_thread_override, try_parallel_map};
 pub use policy_spec::PolicySpec;
 pub use replicate::{replicate, replication_table, Replicated, ReplicatedRun};
 pub use report::{Series, Table};

@@ -1,0 +1,231 @@
+//! Deterministic parallel job execution for the evaluation engine.
+//!
+//! Every evaluation workload in this crate is a grid of independent jobs —
+//! (replication × policy) cells in [`crate::replicate`], one job per policy
+//! in [`crate::compare_policies`], one per sweep point in `experiments/*` —
+//! and every job owns its RNG stream via a `u64` seed. That makes
+//! parallelism *trivially deterministic*: the jobs are computed in any
+//! order on any number of threads, but the results are gathered **by job
+//! index**, so the output is bit-for-bit identical to the serial path.
+//!
+//! Built on [`std::thread::scope`] only — no extra dependencies (the
+//! workspace's approved offline set is pinned in DESIGN.md §6). Work is
+//! distributed by an atomic cursor (work stealing), so a slow cell (e.g.
+//! the largest `M` of a sweep) does not stall the other workers.
+//!
+//! Thread-count resolution, from most to least specific:
+//!
+//! 1. the process-wide override set by [`set_thread_override`]
+//!    (wired to the `--threads` CLI flag);
+//! 2. the `CDT_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of 1 short-circuits to an in-order loop on the calling
+//! thread — exactly today's serial code path, with no worker threads
+//! spawned at all.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the engine's thread count for this process (`Some(n)` with
+/// `n ≥ 1`), or clears the override (`None`) so [`configured_threads`]
+/// falls back to `CDT_THREADS` / the machine's parallelism.
+///
+/// # Panics
+/// Panics on `Some(0)`.
+pub fn set_thread_override(threads: Option<usize>) {
+    if let Some(n) = threads {
+        assert!(n >= 1, "thread count must be at least 1");
+        THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+    } else {
+        THREAD_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Parses a `CDT_THREADS`-style value; `None` for anything that is not a
+/// positive integer.
+fn parse_thread_count(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The number of worker threads evaluation fan-outs will use (override >
+/// `CDT_THREADS` > available parallelism; always ≥ 1).
+#[must_use]
+pub fn configured_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if overridden != 0 {
+        return overridden;
+    }
+    if let Some(n) = std::env::var("CDT_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(parse_thread_count)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning the
+/// results **in item order** — bit-for-bit identical to the serial
+/// `items.iter().enumerate().map(..)` as long as each job is a pure
+/// function of `(index, item)`.
+///
+/// `threads <= 1` (or fewer than two items) runs the exact serial path on
+/// the calling thread. A panic in any job is propagated to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let workers = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    let mut gathered: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => gathered.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Place results by job index so scheduling order never matters.
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, r) in gathered.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index is claimed exactly once"))
+        .collect()
+}
+
+/// As [`parallel_map`] for fallible jobs: returns the first error in *item*
+/// order (deterministic regardless of which job failed first in time).
+///
+/// # Errors
+/// Returns the error of the lowest-indexed failing job.
+pub fn try_parallel_map<T, R, F, E>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    parallel_map(items, threads, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_in_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i * 1000 + x * x)
+            .collect();
+        for threads in [1, 2, 4, 16] {
+            let par = parallel_map(&items, threads, |i, &x| i * 1000 + x * x);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [7usize, 8];
+        assert_eq!(parallel_map(&items, 64, |_, &x| x + 1), vec![8, 9]);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: [usize; 0] = [];
+        assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[42usize], 8, |i, &x| (i, x)), vec![(0, 42)]);
+    }
+
+    #[test]
+    fn try_variant_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..50).collect();
+        let res: Result<Vec<usize>, usize> =
+            try_parallel_map(&items, 4, |i, &x| if x % 10 == 3 { Err(i) } else { Ok(x) });
+        assert_eq!(
+            res.unwrap_err(),
+            3,
+            "first error in item order, not time order"
+        );
+    }
+
+    #[test]
+    fn try_variant_collects_all_oks() {
+        let items: Vec<usize> = (0..20).collect();
+        let res: Result<Vec<usize>, ()> = try_parallel_map(&items, 4, |_, &x| Ok(x * 2));
+        assert_eq!(res.unwrap(), (0..20).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn job_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&[1usize, 2, 3], 2, |_, &x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn parse_thread_count_accepts_positive_integers_only() {
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 12 "), Some(12));
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count("-3"), None);
+        assert_eq!(parse_thread_count("many"), None);
+        assert_eq!(parse_thread_count(""), None);
+    }
+
+    #[test]
+    fn override_takes_precedence_and_clears() {
+        // Serialized with a lock-free dance: this test owns the global
+        // override for its duration; other tests here never set it.
+        set_thread_override(Some(3));
+        assert_eq!(configured_threads(), 3);
+        set_thread_override(None);
+        assert!(configured_threads() >= 1);
+    }
+}

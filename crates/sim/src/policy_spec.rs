@@ -2,8 +2,8 @@
 //! comparison set as data.
 
 use cdt_bandit::{
-    CmabUcbPolicy, CucbPolicy, EpsilonFirstPolicy, EpsilonGreedyPolicy, OraclePolicy,
-    RandomPolicy, SelectionPolicy, ThompsonPolicy,
+    CmabUcbPolicy, CucbPolicy, EpsilonFirstPolicy, EpsilonGreedyPolicy, OraclePolicy, RandomPolicy,
+    SelectionPolicy, ThompsonPolicy,
 };
 use cdt_quality::SellerPopulation;
 use serde::{Deserialize, Serialize};
@@ -146,8 +146,7 @@ mod tests {
     #[test]
     fn labels_are_unique() {
         let set = PolicySpec::paper_set();
-        let labels: std::collections::HashSet<String> =
-            set.iter().map(PolicySpec::label).collect();
+        let labels: std::collections::HashSet<String> = set.iter().map(PolicySpec::label).collect();
         assert_eq!(labels.len(), set.len());
     }
 }

@@ -9,7 +9,7 @@ use crate::policy_spec::PolicySpec;
 use crate::report::Table;
 use crate::runner::run_policy;
 use cdt_core::Scenario;
-use cdt_types::Result;
+use cdt_types::{mix_seed, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -28,6 +28,14 @@ pub struct Replicated {
 impl Replicated {
     fn from_samples(samples: &[f64]) -> Self {
         let n = samples.len();
+        if n == 0 {
+            // An explicit zero-count value instead of a 0/0 = NaN mean.
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+                n: 0,
+            };
+        }
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n < 2 {
             0.0
@@ -71,6 +79,14 @@ pub struct ReplicatedRun {
 /// the same shape (`m`, `k`, `l`, `n`), with both the hidden population
 /// and the run randomness re-seeded per replication.
 ///
+/// Seeds are derived with [`mix_seed`] (scenario `rep`:
+/// `mix_seed(base_seed, rep)`; run: `mix_seed(scenario_seed, 1 + policy)`),
+/// so no two (replication, policy) RNG streams can collide the way the old
+/// additive `base + rep·7919` / `seed + i + 1` scheme could. The
+/// (replication × policy) cells fan out over
+/// [`crate::parallel::configured_threads`] worker threads; each cell owns
+/// its seed, so the result is bit-for-bit identical at any thread count.
+///
 /// # Errors
 /// Propagates scenario-construction and run errors.
 pub fn replicate(
@@ -82,42 +98,42 @@ pub fn replicate(
     replications: usize,
     base_seed: u64,
 ) -> Result<Vec<ReplicatedRun>> {
-    /// Accumulator of raw per-replication samples for one policy.
-    struct Samples {
-        name: String,
-        revenue: Vec<f64>,
-        regret: Vec<f64>,
-        poc: Vec<f64>,
-    }
-    let mut per_policy: Vec<Samples> = specs
-        .iter()
-        .map(|s| Samples {
-            name: s.label(),
-            revenue: Vec::new(),
-            regret: Vec::new(),
-            poc: Vec::new(),
+    // Scenario generation is cheap relative to an N-round run: build all
+    // replication scenarios up front, then fan the expensive cells out.
+    let scenarios = (0..replications)
+        .map(|rep| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(base_seed, rep as u64));
+            Scenario::paper_defaults(m, k, l, n, &mut rng)
         })
+        .collect::<Result<Vec<_>>>()?;
+
+    let cells: Vec<(usize, usize)> = (0..replications)
+        .flat_map(|rep| (0..specs.len()).map(move |i| (rep, i)))
         .collect();
+    let threads = crate::parallel::configured_threads();
+    let results = crate::parallel::try_parallel_map(&cells, threads, |_, &(rep, i)| {
+        let run_seed = mix_seed(mix_seed(base_seed, rep as u64), 1 + i as u64);
+        run_policy(&scenarios[rep], specs[i], run_seed, &[])
+    })?;
 
-    for rep in 0..replications {
-        let seed = base_seed.wrapping_add(rep as u64 * 7919);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let scenario = Scenario::paper_defaults(m, k, l, n, &mut rng)?;
-        for (i, spec) in specs.iter().enumerate() {
-            let r = run_policy(&scenario, *spec, seed.wrapping_add(i as u64 + 1), &[])?;
-            per_policy[i].revenue.push(r.expected_revenue);
-            per_policy[i].regret.push(r.regret);
-            per_policy[i].poc.push(r.mean_consumer_profit);
-        }
-    }
-
-    Ok(per_policy
-        .into_iter()
-        .map(|s| ReplicatedRun {
-            name: s.name,
-            expected_revenue: Replicated::from_samples(&s.revenue),
-            regret: Replicated::from_samples(&s.regret),
-            mean_consumer_profit: Replicated::from_samples(&s.poc),
+    Ok(specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            // Cell (rep, i) landed at index rep * specs.len() + i.
+            let samples = |metric: fn(&crate::runner::RunResult) -> f64| -> Vec<f64> {
+                (0..replications)
+                    .map(|rep| metric(&results[rep * specs.len() + i]))
+                    .collect()
+            };
+            ReplicatedRun {
+                name: spec.label(),
+                expected_revenue: Replicated::from_samples(&samples(|r| r.expected_revenue)),
+                regret: Replicated::from_samples(&samples(|r| r.regret)),
+                mean_consumer_profit: Replicated::from_samples(&samples(|r| {
+                    r.mean_consumer_profit
+                })),
+            }
         })
         .collect())
 }
@@ -163,6 +179,15 @@ mod tests {
         assert!((r.mean - 2.0).abs() < 1e-12);
         assert!((r.std_dev - 1.0).abs() < 1e-12);
         assert!((r.ci95_half_width() - 1.96 / 3.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_yield_zero_count_not_nan() {
+        let r = Replicated::from_samples(&[]);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.mean, 0.0);
+        assert_eq!(r.std_dev, 0.0);
+        assert_eq!(r.ci95_half_width(), 0.0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::policy_spec::PolicySpec;
 use cdt_bandit::RegretAccountant;
-use cdt_core::{execute_round, Scenario};
+use cdt_core::{execute_round_into, RoundScratch, Scenario};
 use cdt_types::{Result, Round};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,7 +80,8 @@ pub fn run_policy(
     let observer = scenario.observer();
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let mut accountant = RegretAccountant::new(scenario.population.expected_qualities(), k, config.l());
+    let mut accountant =
+        RegretAccountant::new(scenario.population.expected_qualities(), k, config.l());
     let mut consumer_profit = 0.0;
     let mut platform_profit = 0.0;
     let mut seller_profit = 0.0;
@@ -88,8 +89,16 @@ pub fn run_policy(
     let mut snapshots = Vec::with_capacity(checkpoints.len() + 1);
     let mut next_checkpoint = 0usize;
 
+    let mut scratch = RoundScratch::new();
     for t in 0..n {
-        let outcome = execute_round(policy.as_mut(), config, &observer, Round(t), &mut rng)?;
+        let outcome = execute_round_into(
+            policy.as_mut(),
+            config,
+            &observer,
+            Round(t),
+            &mut rng,
+            &mut scratch,
+        )?;
         accountant.record(&outcome.selected);
         consumer_profit += outcome.strategy.profits.consumer;
         platform_profit += outcome.strategy.profits.platform;

@@ -186,13 +186,15 @@ mod prop_tests {
             0u16..77,
             0u16..77,
         )
-            .prop_map(|(taxi, timestamp, trip_miles, pickup, dropoff)| TripRecord {
-                taxi: TaxiId(taxi),
-                timestamp,
-                trip_miles,
-                pickup: AreaId(pickup),
-                dropoff: AreaId(dropoff),
-            })
+            .prop_map(
+                |(taxi, timestamp, trip_miles, pickup, dropoff)| TripRecord {
+                    taxi: TaxiId(taxi),
+                    timestamp,
+                    trip_miles,
+                    pickup: AreaId(pickup),
+                    dropoff: AreaId(dropoff),
+                },
+            )
     }
 
     proptest! {

@@ -62,18 +62,8 @@ mod tests {
 
     #[test]
     fn build_is_deterministic() {
-        let a = Dataset::build(
-            &TraceConfig::small(),
-            5,
-            40,
-            &mut StdRng::seed_from_u64(1),
-        );
-        let b = Dataset::build(
-            &TraceConfig::small(),
-            5,
-            40,
-            &mut StdRng::seed_from_u64(1),
-        );
+        let a = Dataset::build(&TraceConfig::small(), 5, 40, &mut StdRng::seed_from_u64(1));
+        let b = Dataset::build(&TraceConfig::small(), 5, 40, &mut StdRng::seed_from_u64(1));
         assert_eq!(a, b);
     }
 

@@ -160,7 +160,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn trace(seed: u64) -> Vec<TripRecord> {
-        generate_trace(&TraceConfig::paper_scale(), &mut StdRng::seed_from_u64(seed))
+        generate_trace(
+            &TraceConfig::paper_scale(),
+            &mut StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]
@@ -230,7 +233,11 @@ mod tests {
     fn most_taxis_appear() {
         let t = trace(6);
         let distinct: std::collections::HashSet<u32> = t.iter().map(|r| r.taxi.0).collect();
-        assert!(distinct.len() > 290, "{} of 300 taxis active", distinct.len());
+        assert!(
+            distinct.len() > 290,
+            "{} of 300 taxis active",
+            distinct.len()
+        );
     }
 
     #[test]

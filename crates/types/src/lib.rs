@@ -26,6 +26,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod params;
+pub mod seed;
 
 pub use config::{JobSpec, SystemConfig, SystemConfigBuilder};
 pub use error::{CdtError, Result};
@@ -33,6 +34,7 @@ pub use ids::{PoiId, Round, SellerId};
 pub use params::{
     PlatformCostParams, PriceBounds, SellerCostParams, ValuationParams, QUALITY_FLOOR,
 };
+pub use seed::mix_seed;
 
 /// Numerical tolerance used across the workspace when comparing `f64`
 /// quantities that result from closed-form algebra (profits, prices, times).

@@ -28,7 +28,8 @@ fn main() -> cdt_types::Result<()> {
     while !mech.is_finished() {
         let outcome = mech.step(&observer, &mut rng)?;
         for event in events_for_round(&outcome) {
-            log.append(event).expect("mechanism rounds are protocol-legal");
+            log.append(event)
+                .expect("mechanism rounds are protocol-legal");
         }
         rounds += 1;
     }
@@ -36,7 +37,11 @@ fn main() -> cdt_types::Result<()> {
         .expect("all rounds settled");
 
     println!("=== audited CMAB-HS run: 25 rounds, K = 5 ===\n");
-    println!("journal: {} events, {} settled rounds", log.len(), log.state().settled_rounds());
+    println!(
+        "journal: {} events, {} settled rounds",
+        log.len(),
+        log.state().settled_rounds()
+    );
     println!(
         "audit totals: consumer spent {:.2}, sellers received {:.2}, platform margin+costs {:.2}",
         log.total_consumer_spend(),
@@ -47,10 +52,17 @@ fn main() -> cdt_types::Result<()> {
     // --- 2. Serialize and replay — the honest journal validates. ---
     let journal = log.to_json_lines();
     let replayed = EventLog::from_json_lines(&journal)?;
-    println!("\nreplay of the honest journal: OK ({} events)", replayed.len());
+    println!(
+        "\nreplay of the honest journal: OK ({} events)",
+        replayed.len()
+    );
 
     // --- 3. Tamper: a dishonest platform edits a settlement downward. ---
-    let tampered = journal.replacen("\"consumer_payment\":", "\"consumer_payment\":0.5e1,\"x\":", 1);
+    let tampered = journal.replacen(
+        "\"consumer_payment\":",
+        "\"consumer_payment\":0.5e1,\"x\":",
+        1,
+    );
     match EventLog::from_json_lines(&tampered) {
         Err(e) => println!("tampered journal rejected, as it must be:\n  {e}"),
         Ok(_) => println!("!! tampered journal was accepted — protocol bug"),

@@ -66,11 +66,7 @@ fn main() -> cdt_types::Result<()> {
         .iter()
         .take(8)
         .map(|&id| {
-            SelectedSeller::new(
-                id,
-                policy.game_quality(id),
-                scenario.config.seller_cost(id),
-            )
+            SelectedSeller::new(id, policy.game_quality(id), scenario.config.seller_cost(id))
         })
         .collect();
     let ctx = GameContext::new(

@@ -35,7 +35,10 @@ fn main() -> cdt_types::Result<()> {
     if let Some(gaps) = gap_statistics(&truth, k) {
         let bound = theoretical_regret_bound(n, m, k, l, gaps);
         let measured = cmp.run("CMAB-HS").expect("run exists").regret;
-        println!("Theorem 19 bound check (gap delta_min = {:.4}):", gaps.delta_min);
+        println!(
+            "Theorem 19 bound check (gap delta_min = {:.4}):",
+            gaps.delta_min
+        );
         println!("  measured CMAB-HS regret: {measured:.1}");
         println!("  closed-form upper bound: {bound:.1}");
         println!(

@@ -21,14 +21,8 @@ fn aggregated_statistics_track_true_population_quality() {
     let mut selected_count = 0usize;
 
     for t in 0..scenario.config.n() {
-        let outcome = execute_round(
-            &mut policy,
-            &scenario.config,
-            &observer,
-            Round(t),
-            &mut rng,
-        )
-        .unwrap();
+        let outcome =
+            execute_round(&mut policy, &scenario.config, &observer, Round(t), &mut rng).unwrap();
         // Re-observe via the aggregation path: pull the same data the
         // estimator saw out of the policy's state is not possible (the
         // matrix is consumed), so aggregate a fresh draw of the same

@@ -10,9 +10,7 @@ use cdt_game::{
     numeric::grid_then_golden,
     solve_equilibrium, verify_equilibrium, Aggregates, GameContext, SelectedSeller,
 };
-use cdt_types::{
-    PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams,
-};
+use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -190,10 +188,7 @@ fn equilibrium_profits_scale_with_omega() {
         let mut ctx = base.clone();
         ctx.valuation = ValuationParams { omega };
         let eq = solve_equilibrium(&ctx);
-        assert!(
-            eq.profits.consumer > last_poc,
-            "PoC must grow with omega"
-        );
+        assert!(eq.profits.consumer > last_poc, "PoC must grow with omega");
         last_poc = eq.profits.consumer;
     }
 }

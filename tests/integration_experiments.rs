@@ -44,8 +44,8 @@ fn experiments_export_csv() {
 fn figure_ids_map_to_expected_table_counts() {
     // Figs with sub-panels produce one table per panel.
     let expect = [
-        ("fig7", 2),  // revenue, regret
-        ("fig8", 3),  // Δ-PoC, Δ-PoP, Δ-PoS
+        ("fig7", 2), // revenue, regret
+        ("fig8", 3), // Δ-PoC, Δ-PoP, Δ-PoS
         ("fig9", 2),
         ("fig10", 3),
         ("fig11", 2),

@@ -4,9 +4,7 @@
 use cdt_bandit::{CmabUcbPolicy, SelectionPolicy, SlidingWindowUcbPolicy};
 use cdt_game::{solve_equilibrium, GameContext, SelectedSeller};
 use cdt_quality::{DriftModel, DriftingObserver, SellerPopulation};
-use cdt_types::{
-    PlatformCostParams, PriceBounds, Round, SellerCostParams, ValuationParams,
-};
+use cdt_types::{PlatformCostParams, PriceBounds, Round, SellerCostParams, ValuationParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -101,12 +101,7 @@ fn estimates_converge_to_truth_with_long_horizons() {
     let truth = scenario.population.expected_qualities();
     // The top-K sellers are selected almost every round; their estimates
     // must be tight.
-    for &id in scenario
-        .population
-        .ranking_by_true_quality()
-        .iter()
-        .take(4)
-    {
+    for &id in scenario.population.ranking_by_true_quality().iter().take(4) {
         let est = mech.policy().estimator().mean(id);
         assert!(
             (est - truth[id.index()]).abs() < 0.04,
