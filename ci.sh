@@ -15,9 +15,29 @@ cargo fmt --check
 echo "==> clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> bench_engine smoke (BENCH_engine.json)"
+echo "==> bench_engine smoke (BENCH_engine.json + results/bench_history.jsonl)"
 cargo run --release -p cdt-bench --bin bench_engine -- \
     --m 40 --k 5 --l 5 --n 400 --reps 2 --out BENCH_engine.json
 test -s BENCH_engine.json
+test -s results/bench_history.jsonl
+tail -n 1 results/bench_history.jsonl | python3 -c 'import json,sys; json.loads(sys.stdin.read())'
+
+echo "==> observability smoke (JSONL trace + Prometheus dump)"
+rm -f /tmp/cdt_obs_events.jsonl /tmp/cdt_obs_metrics.prom
+cargo run --release -p cdt-bench --bin repro -- \
+    --exp fig7 --obs-events /tmp/cdt_obs_events.jsonl --metrics-out /tmp/cdt_obs_metrics.prom
+test -s /tmp/cdt_obs_events.jsonl
+test -s /tmp/cdt_obs_metrics.prom
+# Every trace line must be a JSON object; repro already self-validates, so
+# this is a belt-and-braces check that the files really landed on disk.
+python3 - <<'EOF'
+import json
+with open("/tmp/cdt_obs_events.jsonl") as f:
+    lines = [json.loads(line) for line in f]
+assert lines, "no events written"
+assert all("event" in obj for obj in lines), "untagged event line"
+print(f"obs smoke: {len(lines)} valid events")
+EOF
+grep -q '^cdt_obs_rounds_total' /tmp/cdt_obs_metrics.prom
 
 echo "==> ci.sh: all gates passed"

@@ -93,6 +93,14 @@ impl SelectionPolicy for CmabUcbPolicy {
         self.estimator.mean(id)
     }
 
+    fn selection_score(&self, id: SellerId) -> f64 {
+        self.config.index(
+            self.estimator.mean(id),
+            self.estimator.count(id),
+            self.estimator.total_count(),
+        )
+    }
+
     fn estimator(&self) -> &QualityEstimator {
         &self.estimator
     }

@@ -44,6 +44,14 @@ pub trait SelectionPolicy {
     /// optimal policy).
     fn game_quality(&self, id: SellerId) -> f64;
 
+    /// The ranking score the policy's *selection* step assigns to seller
+    /// `id` — the extended-UCB index `q̂_i` (Eq. 19) for CMAB-HS. Purely
+    /// diagnostic (observability traces); defaults to the game-side quality
+    /// estimate for policies without a selection index.
+    fn selection_score(&self, id: SellerId) -> f64 {
+        self.game_quality(id)
+    }
+
     /// Read access to the policy's estimator state.
     fn estimator(&self) -> &QualityEstimator;
 }

@@ -2,21 +2,34 @@
 //! regenerates it (test scale, so `cargo bench` completes in minutes; the
 //! `repro` binary runs the same code at `--paper` scale).
 //!
+//! The multi-round sweeps fan their replications out through the
+//! deterministic job pool, so each is benched twice: pinned to one worker
+//! (`serial/<id>`) and on the configured pool (`pool/<id>`). Results are
+//! bit-identical either way; the pair measures the pool's wall-clock win
+//! per figure.
+//!
 //! The mapping figure → bench id mirrors DESIGN.md's per-experiment index.
 
 use cdt_sim::experiments::{run_experiment, Scale};
+use cdt_sim::{configured_threads, set_thread_override};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    // Multi-round sweeps are the expensive ones; keep samples low.
-    g.sample_size(10);
-    for id in ["table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"] {
-        g.bench_function(id, |b| {
-            b.iter(|| black_box(run_experiment(black_box(id), Scale::Test).unwrap()))
-        });
+    // Multi-round sweeps are the expensive ones; keep samples low and
+    // compare one pinned worker against the configured pool.
+    let pool_threads = configured_threads();
+    for (group, threads) in [("figures_serial", 1), ("figures_pool", pool_threads)] {
+        let mut g = c.benchmark_group(group);
+        g.sample_size(10);
+        set_thread_override(Some(threads));
+        for id in ["table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"] {
+            g.bench_function(id, |b| {
+                b.iter(|| black_box(run_experiment(black_box(id), Scale::Test).unwrap()))
+            });
+        }
+        g.finish();
     }
-    g.finish();
+    set_thread_override(None);
 
     // Single-round game figures are cheap; default sampling is fine.
     let mut g = c.benchmark_group("figures_game");

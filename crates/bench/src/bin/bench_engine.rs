@@ -58,6 +58,10 @@ struct Args {
     reps: usize,
     threads: usize,
     out: String,
+    history: String,
+    obs_events: Option<String>,
+    metrics_out: Option<String>,
+    obs_summary: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +73,10 @@ fn parse_args() -> Result<Args, String> {
         reps: 4,
         threads: configured_threads(),
         out: "BENCH_engine.json".to_owned(),
+        history: "results/bench_history.jsonl".to_owned(),
+        obs_events: None,
+        metrics_out: None,
+        obs_summary: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -86,10 +94,15 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--out" => args.out = value("--out")?,
+            "--history" => args.history = value("--history")?,
+            "--obs-events" => args.obs_events = Some(value("--obs-events")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--obs-summary" => args.obs_summary = true,
             "--help" | "-h" => {
                 println!(
                     "usage: bench_engine [--m M] [--k K] [--l L] [--n N] \
-                     [--reps R] [--threads T] [--out FILE]"
+                     [--reps R] [--threads T] [--out FILE] [--history FILE]\n\
+                     \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary]"
                 );
                 std::process::exit(0);
             }
@@ -97,6 +110,37 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Appends one compact record per invocation so speedup trends are
+/// greppable across commits without parsing full `BENCH_engine.json` dumps.
+fn append_history(path: &str, report: &Report) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = serde_json::json!({
+        "bench": report.bench,
+        "unix_secs": unix_secs,
+        "n": report.workload.n,
+        "reps": report.workload.replications,
+        "threads": report.parallel.threads,
+        "serial_secs": report.serial.wall_clock_secs,
+        "parallel_secs": report.parallel.wall_clock_secs,
+        "speedup": report.speedup,
+        "identical": report.identical,
+    });
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{line}")
 }
 
 fn parse(raw: &str) -> Result<usize, String> {
@@ -120,6 +164,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let obs_active = args.obs_events.is_some() || args.metrics_out.is_some() || args.obs_summary;
+    if obs_active {
+        cdt_obs::global().reset();
+        if let Err(e) = cdt_obs::install(cdt_obs::ObsConfig {
+            events_path: args.obs_events.clone().map(Into::into),
+            summary: args.obs_summary,
+        }) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     let specs = PolicySpec::paper_set();
     // Every replicated run executes `n` rounds per (replication, policy).
     let total_rounds = (args.n * args.reps * specs.len()) as f64;
@@ -153,6 +208,24 @@ fn main() {
         identical: serial_runs == parallel_runs,
     };
 
+    if obs_active {
+        if let Err(e) = cdt_obs::flush() {
+            eprintln!("error: cannot flush observability events: {e}");
+            std::process::exit(1);
+        }
+        if let Some(path) = &args.metrics_out {
+            if let Err(e) = std::fs::write(path, cdt_obs::render(cdt_obs::global())) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[metrics written to {path}]");
+        }
+        if args.obs_summary {
+            print!("{}", cdt_obs::render_summary(cdt_obs::global()));
+        }
+        cdt_obs::uninstall();
+    }
+
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("error: cannot write {}: {e}", args.out);
@@ -164,6 +237,10 @@ fn main() {
          (speedup {:.2}x, identical: {}) -> {}",
         args.threads, report.speedup, report.identical, args.out
     );
+    match append_history(&args.history, &report) {
+        Ok(()) => println!("[history appended to {}]", args.history),
+        Err(e) => eprintln!("warning: cannot append history to {}: {e}", args.history),
+    }
     if !report.identical {
         eprintln!("error: parallel results diverged from serial — determinism bug");
         std::process::exit(1);

@@ -15,6 +15,10 @@
 //!
 //! # pin the evaluation pool (results are identical at any thread count):
 //! cargo run --release -p cdt-bench --bin repro -- --threads 1
+//!
+//! # per-round JSONL trace + Prometheus metrics + phase/pool summary:
+//! cargo run --release -p cdt-bench --bin repro -- --exp fig7 \
+//!     --obs-events events.jsonl --metrics-out metrics.prom --obs-summary
 //! ```
 
 use cdt_sim::experiments::{all_experiment_ids, run_experiment, Scale};
@@ -24,12 +28,18 @@ struct Args {
     experiments: Vec<String>,
     scale: Scale,
     csv_dir: Option<String>,
+    obs_events: Option<String>,
+    metrics_out: Option<String>,
+    obs_summary: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiments = Vec::new();
     let mut scale = Scale::Test;
     let mut csv_dir = None;
+    let mut obs_events = None;
+    let mut metrics_out = None;
+    let mut obs_summary = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -40,6 +50,9 @@ fn parse_args() -> Result<Args, String> {
             "--paper" => scale = Scale::Paper,
             "--test" => scale = Scale::Test,
             "--csv" => csv_dir = Some(argv.next().ok_or("--csv needs a directory")?),
+            "--obs-events" => obs_events = Some(argv.next().ok_or("--obs-events needs a path")?),
+            "--metrics-out" => metrics_out = Some(argv.next().ok_or("--metrics-out needs a path")?),
+            "--obs-summary" => obs_summary = true,
             "--threads" => {
                 let raw = argv.next().ok_or("--threads needs a count")?;
                 let t: usize = raw
@@ -53,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp <id>]... [--paper|--test] [--csv <dir>] [--threads T]\n\
+                     \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary]\n\
                      known ids: {}",
                     all_experiment_ids().join(", ")
                 );
@@ -71,7 +85,43 @@ fn parse_args() -> Result<Args, String> {
         experiments,
         scale,
         csv_dir,
+        obs_events,
+        metrics_out,
+        obs_summary,
     })
+}
+
+/// Flush + dump + summarize the observability pipeline, then self-validate
+/// the JSONL trace (every line must parse as a tagged JSON object) so CI
+/// can grep one line instead of re-parsing the file.
+fn finish_obs(args: &Args) -> Result<(), String> {
+    cdt_obs::flush().map_err(|e| format!("cannot flush observability events: {e}"))?;
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, cdt_obs::render(cdt_obs::global()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("[metrics written to {path}]");
+    }
+    if args.obs_summary {
+        print!("{}", cdt_obs::render_summary(cdt_obs::global()));
+    }
+    if let Some(path) = &args.obs_events {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut events = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            let value: serde_json::Value = serde_json::from_str(line)
+                .map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
+            if value.get("event").is_none() {
+                return Err(format!("{path}:{}: missing `event` tag", i + 1));
+            }
+            events += 1;
+        }
+        if events == 0 {
+            return Err(format!("{path}: no events were written"));
+        }
+        println!("[obs: {events} events in {path}, all valid JSON]");
+    }
+    cdt_obs::uninstall();
+    Ok(())
 }
 
 fn main() {
@@ -82,6 +132,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let obs_active = args.obs_events.is_some() || args.metrics_out.is_some() || args.obs_summary;
+    if obs_active {
+        cdt_obs::global().reset();
+        if let Err(e) = cdt_obs::install(cdt_obs::ObsConfig {
+            events_path: args.obs_events.clone().map(Into::into),
+            summary: args.obs_summary,
+        }) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     let scale_name = match args.scale {
         Scale::Paper => "paper",
         Scale::Test => "test",
@@ -123,6 +184,12 @@ fn main() {
                 eprintln!("error: experiment {id} failed: {e}");
                 failed = true;
             }
+        }
+    }
+    if obs_active {
+        if let Err(e) = finish_obs(&args) {
+            eprintln!("error: {e}");
+            failed = true;
         }
     }
     if failed {

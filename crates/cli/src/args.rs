@@ -8,11 +8,21 @@ pub struct FlagMap {
     values: HashMap<String, String>,
 }
 
+/// Flags that are boolean switches: present or absent, never followed by a
+/// value token.
+const SWITCHES: &[&str] = &["obs-summary"];
+
 impl FlagMap {
     /// Raw lookup.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&str> {
         self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether a switch flag (e.g. `--obs-summary`) was given.
+    #[must_use]
+    pub fn is_set(&self, name: &str) -> bool {
+        self.values.contains_key(name)
     }
 
     /// A `usize` flag with a default.
@@ -70,10 +80,14 @@ pub fn parse_flags(args: &[String]) -> Result<FlagMap, String> {
         if name.is_empty() {
             return Err("empty flag `--`".into());
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} requires a value"))?;
-        if values.insert(name.to_owned(), value.clone()).is_some() {
+        let value = if SWITCHES.contains(&name) {
+            "true".to_owned()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{name} requires a value"))?
+                .clone()
+        };
+        if values.insert(name.to_owned(), value).is_some() {
             return Err(format!("--{name} given twice"));
         }
     }
@@ -109,6 +123,18 @@ mod tests {
     #[test]
     fn rejects_duplicates() {
         assert!(parse_flags(&v(&["--m", "1", "--m", "2"])).is_err());
+    }
+
+    #[test]
+    fn switch_flags_take_no_value() {
+        let f = parse_flags(&v(&["--obs-summary", "--m", "10"])).unwrap();
+        assert!(f.is_set("obs-summary"));
+        assert_eq!(f.usize_or("m", 0).unwrap(), 10);
+        assert!(!parse_flags(&v(&["--m", "10"]))
+            .unwrap()
+            .is_set("obs-summary"));
+        // A trailing switch is complete on its own.
+        assert!(parse_flags(&v(&["--obs-summary"])).is_ok());
     }
 
     #[test]

@@ -21,6 +21,11 @@ USAGE:
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
   cdt game     [--k K] [--omega W] [--theta T]
 
+OBSERVABILITY (on `run` and `compare`):
+  --obs-events FILE   write one JSON object per round event (JSONL trace)
+  --metrics-out FILE  dump the metrics registry in Prometheus text format
+  --obs-summary       print the end-of-run phase/pool summary table
+
 Defaults follow the paper's Table II (M=300, K=10, L=10, omega=1000,
 theta=0.1); `run`/`compare` default to N=2000 so they finish in seconds —
 pass --n 100000 for the paper's horizon.
@@ -28,7 +33,60 @@ pass --n 100000 for the paper's horizon.
 `compare` fans its per-policy (and per-replication) runs out over worker
 threads; --threads T (or the CDT_THREADS env var) sets the pool size and
 --threads 1 forces the exact serial path. Results are bit-for-bit
-identical at any thread count.";
+identical at any thread count, with observability on or off.";
+
+/// An installed observability pipeline plus what to do with it at the end
+/// of the command.
+pub struct ObsSession {
+    metrics_out: Option<String>,
+    active: bool,
+}
+
+/// Installs the global observability pipeline if any of `--obs-events`,
+/// `--metrics-out`, `--obs-summary` was given; otherwise a no-op session.
+///
+/// # Errors
+/// Returns a message when the events file cannot be created.
+pub fn obs_begin(flags: &FlagMap) -> Result<ObsSession, String> {
+    let events_path = flags.get("obs-events").map(std::path::PathBuf::from);
+    let metrics_out = flags.get("metrics-out").map(str::to_owned);
+    let summary = flags.is_set("obs-summary");
+    let active = events_path.is_some() || metrics_out.is_some() || summary;
+    if active {
+        cdt_obs::global().reset();
+        cdt_obs::install(cdt_obs::ObsConfig {
+            events_path,
+            summary,
+        })
+        .map_err(|e| format!("cannot set up observability: {e}"))?;
+    }
+    Ok(ObsSession {
+        metrics_out,
+        active,
+    })
+}
+
+/// Flushes the event sink, dumps the metrics registry, prints the summary
+/// table, and uninstalls the pipeline.
+///
+/// # Errors
+/// Returns a message on sink-flush or metrics-write failure.
+pub fn obs_finish(session: ObsSession) -> Result<(), String> {
+    if !session.active {
+        return Ok(());
+    }
+    cdt_obs::flush().map_err(|e| format!("cannot flush observability events: {e}"))?;
+    if let Some(path) = &session.metrics_out {
+        std::fs::write(path, cdt_obs::render(cdt_obs::global()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    if cdt_obs::summary_requested() {
+        print!("{}", cdt_obs::render_summary(cdt_obs::global()));
+    }
+    cdt_obs::uninstall();
+    Ok(())
+}
 
 /// Applies the `--threads` flag (if present) to the parallel-engine
 /// override; `--threads 1` forces the exact serial path.
@@ -131,6 +189,14 @@ fn scenario_from_flags(flags: &FlagMap) -> Result<(Scenario, StdRng, u64), Strin
 /// # Errors
 /// Returns a message on flag, run, or I/O failure.
 pub fn run_mechanism(flags: &FlagMap) -> Result<(), String> {
+    let obs = obs_begin(flags)?;
+    let result = run_mechanism_inner(flags);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn run_mechanism_inner(flags: &FlagMap) -> Result<(), String> {
     let (scenario, mut rng, _) = scenario_from_flags(flags)?;
     let mut mech = CmabHs::new(scenario.config.clone()).map_err(|e| e.to_string())?;
     let observer = scenario.observer();
@@ -166,9 +232,14 @@ pub fn run_mechanism(flags: &FlagMap) -> Result<(), String> {
         return Ok(());
     }
 
-    let ledger = mech
-        .run_with_mode(&observer, &mut rng, LedgerMode::Summary)
-        .map_err(|e| e.to_string())?;
+    let ledger = match cdt_obs::observer_for_run("cmab-hs") {
+        Some(mut round_obs) => mech
+            .run_with_mode_observed(&observer, &mut rng, LedgerMode::Summary, &mut round_obs)
+            .map_err(|e| e.to_string())?,
+        None => mech
+            .run_with_mode(&observer, &mut rng, LedgerMode::Summary)
+            .map_err(|e| e.to_string())?,
+    };
     print_ledger(&scenario, &ledger);
     if let Some(path) = flags.get("json") {
         let json = serde_json::to_string_pretty(&ledger)
@@ -219,6 +290,16 @@ pub fn budget(flags: &FlagMap) -> Result<(), String> {
 /// Returns a message on flag or run failure.
 pub fn compare(flags: &FlagMap) -> Result<(), String> {
     apply_threads(flags)?;
+    let obs = obs_begin(flags)?;
+    // Comparison runs funnel through `run_policy`, which picks up the
+    // installed pipeline on its own — no further wiring needed here.
+    let result = compare_inner(flags);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn compare_inner(flags: &FlagMap) -> Result<(), String> {
     let reps = flags.usize_or("reps", 1)?;
     if reps > 1 {
         let m = flags.usize_or("m", 300)?;
@@ -348,6 +429,40 @@ mod tests {
     #[test]
     fn compare_rejects_zero_threads() {
         assert!(compare(&flags(&["--m", "10", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn compare_with_observability_writes_events_and_metrics() {
+        let dir = std::env::temp_dir().join("cdt_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events.jsonl");
+        let metrics = dir.join("metrics.prom");
+        compare(&flags(&[
+            "--m",
+            "8",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--n",
+            "15",
+            "--obs-events",
+            events.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--obs-summary",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&events).unwrap();
+        assert!(!text.is_empty(), "events file must not be empty");
+        for line in text.lines() {
+            let parsed: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(parsed.get("event").is_some(), "line missing event tag");
+        }
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("cdt_obs_rounds_total"), "got:\n{prom}");
+        std::fs::remove_file(events).ok();
+        std::fs::remove_file(metrics).ok();
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! cdt compare [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
 //! cdt game [--k K] [--omega W] [--theta T]
 //! ```
+//!
+//! `run` and `compare` additionally accept `--obs-events FILE` (JSONL round
+//! traces), `--metrics-out FILE` (Prometheus text dump), and
+//! `--obs-summary` (end-of-run phase/pool table).
 
 use cdt_cli::args::{parse_flags, FlagMap};
 use cdt_cli::commands;

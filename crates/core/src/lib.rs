@@ -44,8 +44,15 @@ pub mod scenario;
 pub use budget::{BudgetedCmabHs, BudgetedRun, StopReason};
 pub use ledger::{LedgerMode, TradingLedger};
 pub use mechanism::CmabHs;
-pub use round::{execute_round, execute_round_into, RoundOutcome, RoundScratch};
+pub use round::{
+    execute_round, execute_round_into, execute_round_observed_into, RoundOutcome, RoundScratch,
+};
 pub use scenario::Scenario;
+
+// Observability surface: downstream users implement `RoundObserver` (or use
+// the built-in recorder/pipeline observers) against the `*_observed_*` entry
+// points above; `NullObserver` is the statically disabled default.
+pub use cdt_obs::{NullObserver, RecordingObserver, RoundObserver};
 
 /// Convenient re-exports for downstream users and examples.
 pub mod prelude {

@@ -1,8 +1,11 @@
 //! The CMAB-HS mechanism — Algorithm 1 of the paper, end to end.
 
 use crate::ledger::{LedgerMode, TradingLedger};
-use crate::round::{execute_round, execute_round_into, RoundOutcome, RoundScratch};
+use crate::round::{
+    execute_round, execute_round_into, execute_round_observed_into, RoundOutcome, RoundScratch,
+};
 use cdt_bandit::CmabUcbPolicy;
+use cdt_obs::{NullObserver, RoundObserver};
 use cdt_quality::QualityObserver;
 use cdt_types::{CdtError, Result, Round, SystemConfig};
 use rand::RngCore;
@@ -100,16 +103,33 @@ impl CmabHs {
         rng: &mut dyn RngCore,
         scratch: &'a mut RoundScratch,
     ) -> Result<&'a RoundOutcome> {
+        self.step_observed_into(observer, rng, scratch, &mut NullObserver)
+    }
+
+    /// As [`CmabHs::step_into`], but emits structured round events to `obs`
+    /// (statically dispatched; [`NullObserver`] compiles to the plain path).
+    ///
+    /// # Errors
+    /// Returns [`CdtError::HorizonExhausted`] after the `N`-th round, and
+    /// propagates game-construction errors.
+    pub fn step_observed_into<'a, O: RoundObserver>(
+        &mut self,
+        observer: &QualityObserver,
+        rng: &mut dyn RngCore,
+        scratch: &'a mut RoundScratch,
+        obs: &mut O,
+    ) -> Result<&'a RoundOutcome> {
         if self.is_finished() {
             return Err(CdtError::HorizonExhausted { n: self.config.n() });
         }
-        let outcome = execute_round_into(
+        let outcome = execute_round_observed_into(
             &mut self.policy,
             &self.config,
             observer,
             self.next_round,
             rng,
             scratch,
+            obs,
         )?;
         self.next_round = self.next_round.next();
         Ok(outcome)
@@ -137,20 +157,39 @@ impl CmabHs {
         rng: &mut dyn RngCore,
         mode: LedgerMode,
     ) -> Result<TradingLedger> {
+        self.run_with_mode_observed(observer, rng, mode, &mut NullObserver)
+    }
+
+    /// As [`CmabHs::run_with_mode`], but emits structured round events to
+    /// `obs` for every round executed.
+    ///
+    /// # Errors
+    /// Propagates the first round error encountered.
+    pub fn run_with_mode_observed<O: RoundObserver>(
+        &mut self,
+        observer: &QualityObserver,
+        rng: &mut dyn RngCore,
+        mode: LedgerMode,
+        obs: &mut O,
+    ) -> Result<TradingLedger> {
         let mut ledger = TradingLedger::new(mode);
         match mode {
-            // Full mode keeps every outcome, so ownership transfer beats a
-            // scratch-then-clone round trip.
+            // Full mode keeps every outcome: step through scratch and clone
+            // the outcome out (with the NullObserver this is the historical
+            // ownership path in all but name — one clone per kept round
+            // either way).
             LedgerMode::Full => {
+                let mut scratch = RoundScratch::new();
                 while !self.is_finished() {
-                    ledger.record(self.step(observer, rng)?);
+                    let outcome = self.step_observed_into(observer, rng, &mut scratch, obs)?;
+                    ledger.record(outcome.clone());
                 }
             }
             // Summary mode discards outcomes: run allocation-free.
             LedgerMode::Summary => {
                 let mut scratch = RoundScratch::new();
                 while !self.is_finished() {
-                    let outcome = self.step_into(observer, rng, &mut scratch)?;
+                    let outcome = self.step_observed_into(observer, rng, &mut scratch, obs)?;
                     ledger.record_ref(outcome);
                 }
             }

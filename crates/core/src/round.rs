@@ -6,6 +6,10 @@ use cdt_game::{
     initial_round_strategy, solve_equilibrium_into, GameContext, SelectedSeller,
     StackelbergSolution,
 };
+use cdt_obs::{
+    EquilibriumEvent, NullObserver, ObservationEvent, PhaseTimer, RoundEndEvent, RoundObserver,
+    SelectionEvent,
+};
 use cdt_quality::{ObservationMatrix, QualityObserver};
 use cdt_types::{Result, Round, SellerId, SystemConfig};
 use rand::RngCore;
@@ -47,6 +51,9 @@ pub struct RoundScratch {
     outcome: RoundOutcome,
     game_sellers: Vec<SelectedSeller>,
     observations: ObservationMatrix,
+    /// Selection-score buffer, filled only when an enabled observer asks
+    /// for the per-seller indices (never touched on the null path).
+    scores: Vec<f64>,
 }
 
 impl RoundScratch {
@@ -62,6 +69,7 @@ impl RoundScratch {
             },
             game_sellers: Vec::new(),
             observations: ObservationMatrix::empty(),
+            scores: Vec::new(),
         }
     }
 
@@ -130,7 +138,65 @@ pub fn execute_round_into<'a>(
     rng: &mut dyn RngCore,
     scratch: &'a mut RoundScratch,
 ) -> Result<&'a RoundOutcome> {
+    execute_round_observed_into(
+        policy,
+        config,
+        observer,
+        round,
+        rng,
+        scratch,
+        &mut NullObserver,
+    )
+}
+
+/// As [`execute_round_into`], but emits structured events to `obs` and
+/// measures per-phase wall clock (selection / solve / observe).
+///
+/// Statically dispatched: with [`NullObserver`] (whose
+/// [`RoundObserver::ENABLED`] is `false`) every event construction and
+/// every clock read compiles away, leaving exactly the uninstrumented hot
+/// path. Observer hooks run *between* phases and the timer re-arms after
+/// each one, so hook time never pollutes phase measurements — and because
+/// observers are passive (no RNG access), results are bit-identical with
+/// any observer attached.
+///
+/// # Errors
+/// Propagates [`cdt_types::CdtError`] from game-context construction
+/// (e.g. an empty selection).
+pub fn execute_round_observed_into<'a, O: RoundObserver>(
+    policy: &mut dyn SelectionPolicy,
+    config: &SystemConfig,
+    observer: &QualityObserver,
+    round: Round,
+    rng: &mut dyn RngCore,
+    scratch: &'a mut RoundScratch,
+    obs: &mut O,
+) -> Result<&'a RoundOutcome> {
+    if O::ENABLED {
+        obs.round_start(round);
+    }
+    let mut timer = PhaseTimer::start(O::ENABLED);
+
     policy.select_into(round, rng, &mut scratch.outcome.selected);
+    let selection_ns = timer.lap();
+    if O::ENABLED {
+        scratch.scores.clear();
+        scratch.scores.extend(
+            scratch
+                .outcome
+                .selected
+                .iter()
+                .map(|&id| policy.selection_score(id)),
+        );
+        obs.selection(
+            round,
+            &SelectionEvent {
+                selected: &scratch.outcome.selected,
+                scores: &scratch.scores,
+            },
+        );
+        timer.skip();
+    }
 
     let mut game_sellers = mem::take(&mut scratch.game_sellers);
     game_sellers.clear();
@@ -157,10 +223,49 @@ pub fn execute_round_into<'a>(
     }
     // Reclaim the seller buffer for the next round.
     scratch.game_sellers = ctx.into_sellers();
+    let solve_ns = timer.lap();
+    if O::ENABLED {
+        let strategy = &scratch.outcome.strategy;
+        obs.equilibrium(
+            round,
+            &EquilibriumEvent {
+                service_price: strategy.service_price,
+                collection_price: strategy.collection_price,
+                sensing_times: &strategy.sensing_times,
+                consumer_profit: strategy.profits.consumer,
+                platform_profit: strategy.profits.platform,
+                seller_profit: strategy.profits.total_seller(),
+            },
+        );
+        timer.skip();
+    }
 
     observer.observe_round_into(&scratch.outcome.selected, rng, &mut scratch.observations);
     scratch.outcome.observed_revenue = scratch.observations.total();
     policy.observe(round, &scratch.observations);
+    let observe_ns = timer.lap();
+    if O::ENABLED {
+        obs.observation(
+            round,
+            &ObservationEvent {
+                observed_revenue: scratch.outcome.observed_revenue,
+                samples: scratch.observations.sellers().len() * scratch.observations.num_pois(),
+            },
+        );
+        let strategy = &scratch.outcome.strategy;
+        obs.round_end(
+            round,
+            &RoundEndEvent {
+                observed_revenue: scratch.outcome.observed_revenue,
+                consumer_profit: strategy.profits.consumer,
+                platform_profit: strategy.profits.platform,
+                seller_profit: strategy.profits.total_seller(),
+                selection_ns,
+                solve_ns,
+                observe_ns,
+            },
+        );
+    }
 
     scratch.outcome.round = round;
     Ok(&scratch.outcome)
@@ -260,6 +365,61 @@ mod tests {
             )
             .unwrap();
             assert_eq!(&owned, reused, "round {t} diverged");
+        }
+    }
+
+    #[test]
+    fn observed_round_is_bit_identical_and_emits_events() {
+        use cdt_obs::{EventRecord, RecordingObserver};
+        let (config, observer) = setup(6, 2, 4);
+        let mut plain_policy = CmabUcbPolicy::new(6, 2);
+        let mut plain_rng = StdRng::seed_from_u64(11);
+        let mut plain_scratch = RoundScratch::new();
+        let mut obs_policy = CmabUcbPolicy::new(6, 2);
+        let mut obs_rng = StdRng::seed_from_u64(11);
+        let mut obs_scratch = RoundScratch::new();
+        let mut recorder = RecordingObserver::new("unit");
+        for t in 0..4 {
+            let plain = execute_round_into(
+                &mut plain_policy,
+                &config,
+                &observer,
+                Round(t),
+                &mut plain_rng,
+                &mut plain_scratch,
+            )
+            .unwrap()
+            .clone();
+            let observed = execute_round_observed_into(
+                &mut obs_policy,
+                &config,
+                &observer,
+                Round(t),
+                &mut obs_rng,
+                &mut obs_scratch,
+                &mut recorder,
+            )
+            .unwrap();
+            assert_eq!(&plain, observed, "round {t} diverged under observation");
+        }
+        // 5 events per round: start, selection, equilibrium, observation, end.
+        assert_eq!(recorder.records.len(), 4 * 5);
+        let selections: Vec<_> = recorder
+            .records
+            .iter()
+            .filter(|r| matches!(r, EventRecord::Selection { .. }))
+            .collect();
+        assert_eq!(selections.len(), 4);
+        match selections[1] {
+            EventRecord::Selection {
+                selected, scores, ..
+            } => {
+                assert_eq!(selected.len(), 2);
+                assert_eq!(scores.len(), 2);
+                // Post-sweep UCB indices are finite and ≥ the plain mean.
+                assert!(scores.iter().all(|s| s.is_finite()));
+            }
+            _ => unreachable!(),
         }
     }
 

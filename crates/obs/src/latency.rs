@@ -1,0 +1,198 @@
+//! Log₂-bucketed latency histograms over nanoseconds.
+//!
+//! Reuses [`cdt_aggregate::Histogram`]'s fixed-range `[0, 1]` bucketing by
+//! mapping a nanosecond value through `x = log₂(1 + ns) / 64`: with 64
+//! equal-width buckets on `[0, 1]`, bucket `i` then covers exactly the
+//! power-of-two latency range `[2^i − 1, 2^{i+1} − 1)` ns — the classic
+//! log-bucket layout, 64 buckets spanning 1 ns to ~584 years.
+
+use cdt_aggregate::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Number of log₂ buckets (covers the full `u64` nanosecond range).
+const BINS: usize = 64;
+
+/// A latency histogram with power-of-two nanosecond buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    hist: Histogram,
+    sum_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            hist: Histogram::new(BINS),
+            sum_ns: 0,
+        }
+    }
+
+    /// Maps a nanosecond value into the `[0, 1]` quality domain.
+    fn to_unit(ns: u64) -> f64 {
+        ((ns as f64) + 1.0).log2() / BINS as f64
+    }
+
+    /// Inverts [`LatencyHistogram::to_unit`].
+    fn from_unit(x: f64) -> u64 {
+        let ns = (x * BINS as f64).exp2() - 1.0;
+        if ns >= u64::MAX as f64 {
+            u64::MAX
+        } else if ns <= 0.0 {
+            0
+        } else {
+            ns as u64
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.hist.record(Self::to_unit(ns));
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.hist.total()
+    }
+
+    /// Sum of all recorded nanoseconds (saturating).
+    #[must_use]
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count() as f64
+        }
+    }
+
+    /// Approximate `q`-quantile in nanoseconds (`None` when empty).
+    ///
+    /// # Panics
+    /// Panics unless `q ∈ [0, 1]`.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        self.hist.quantile(q).map(Self::from_unit)
+    }
+
+    /// Merges another latency histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.hist.merge(&other.hist);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// The non-empty buckets as `(upper_bound_ns, cumulative_count)` pairs
+    /// in ascending order — the shape a Prometheus `_bucket{le=...}` series
+    /// wants. The final implicit `+Inf` bucket is [`LatencyHistogram::count`].
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for i in 0..self.hist.num_bins() {
+            let c = self.hist.bin_count(i);
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            // Bucket i covers [2^i − 1, 2^{i+1} − 1) ns.
+            let upper = if i + 1 >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << (i + 1)) - 1
+            };
+            out.push((upper, cum));
+        }
+        out
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_unit_mapping() {
+        for ns in [0u64, 1, 7, 1_000, 1_000_000, 123_456_789_000] {
+            let x = LatencyHistogram::to_unit(ns);
+            assert!((0.0..=1.0).contains(&x), "ns {ns} mapped to {x}");
+            let back = LatencyHistogram::from_unit(x);
+            // Inverse is exact up to float rounding: within 1 part in 2^40.
+            let err = (back as f64 - ns as f64).abs();
+            assert!(err <= 1.0 + ns as f64 * 1e-9, "ns {ns} came back as {back}");
+        }
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(100);
+        h.record_ns(200);
+        h.record_ns(100_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 100_300);
+        assert!((h.mean_ns() - 100_300.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record_ns(1_000);
+        }
+        for _ in 0..100 {
+            h.record_ns(1_000_000);
+        }
+        let p25 = h.quantile_ns(0.25).unwrap();
+        let p99 = h.quantile_ns(0.99).unwrap();
+        // Log buckets are coarse (powers of two): check the right octaves.
+        assert!((500..=2_100).contains(&p25), "p25 = {p25}");
+        assert!((500_000..=2_100_000).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile_ns(0.0).unwrap() <= p99);
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        assert!(LatencyHistogram::new().quantile_ns(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        a.record_ns(10);
+        let mut b = LatencyHistogram::new();
+        b.record_ns(1_000_000);
+        b.record_ns(2_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_ns(), 3_000_010);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_ascending() {
+        let mut h = LatencyHistogram::new();
+        for ns in [3u64, 3, 40, 5_000, 5_000, 5_000] {
+            h.record_ns(ns);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        for w in buckets.windows(2) {
+            assert!(w[1].0 > w[0].0, "upper bounds ascend");
+            assert!(w[1].1 >= w[0].1, "cumulative counts ascend");
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+    }
+}

@@ -1,0 +1,56 @@
+//! Zero-dependency observability for the CDT engine: structured round
+//! events, a metrics registry with log-bucketed latency histograms, phase
+//! timing, and sinks (JSONL traces, Prometheus text, a human summary).
+//!
+//! # Design
+//!
+//! - **Static dispatch, zero default cost.** Instrumented code is generic
+//!   over [`RoundObserver`]; the default [`NullObserver`] sets
+//!   [`RoundObserver::ENABLED`] to `false`, so event construction and every
+//!   `Instant` read compile away and the hot path stays allocation-free.
+//! - **Passive by contract.** Observers never touch RNG streams or mutate
+//!   engine state: results are bit-for-bit identical with sinks on or off,
+//!   at any thread count.
+//! - **Batch, then publish.** Per-run observers ([`PipelineObserver`]) and
+//!   pool workers accumulate locally and publish to the global
+//!   [`MetricsRegistry`] / JSONL sink once, bounding lock contention.
+//! - **No new dependencies.** Histograms reuse `cdt_aggregate`'s fixed
+//!   bucketing through a log₂ mapping; serialization reuses the workspace's
+//!   existing serde/serde_json.
+//!
+//! # Wiring
+//!
+//! The CLI and bench binaries call [`install`] with an [`ObsConfig`] built
+//! from `--obs-events`/`--metrics-out`/`--obs-summary`; evaluation loops ask
+//! [`observer_for_run`] for a per-run observer and hand it to the
+//! instrumented engine entry points (`execute_round_observed_into`,
+//! `run_policy_observed`). With no pipeline installed everything stays on
+//! the null path.
+
+pub mod event;
+pub mod latency;
+pub mod metrics;
+pub mod pipeline;
+pub mod prometheus;
+pub mod record;
+pub mod sink;
+pub mod summary;
+pub mod timing;
+pub mod warn;
+
+pub use event::{
+    EquilibriumEvent, NullObserver, ObservationEvent, Phase, RoundEndEvent, RoundObserver,
+    SelectionEvent,
+};
+pub use latency::LatencyHistogram;
+pub use metrics::{global, Metric, MetricKey, MetricsRegistry};
+pub use pipeline::{
+    flush, install, is_enabled, observer_for_run, summary_requested, uninstall, ObsConfig,
+    PipelineObserver,
+};
+pub use prometheus::render;
+pub use record::{EventRecord, RecordingObserver};
+pub use sink::JsonlSink;
+pub use summary::render_summary;
+pub use timing::{PhaseTimer, PhaseTotals};
+pub use warn::warn_once;

@@ -1,0 +1,224 @@
+//! The process-wide observability pipeline.
+//!
+//! Experiments fan out through many layers (CLI → compare grid → replicate →
+//! `run_policy`), so instead of threading an observer through every
+//! signature, a run-level choke point asks the globally installed pipeline
+//! for an observer: [`observer_for_run`] returns `None` (and the caller
+//! stays on the statically disabled [`crate::NullObserver`] path) unless
+//! [`install`] was called. A [`PipelineObserver`] buffers records and phase
+//! histograms locally and publishes once when dropped, so concurrent runs
+//! contend on the sink/registry once per run, not per event.
+
+use crate::event::{
+    EquilibriumEvent, ObservationEvent, Phase, RoundEndEvent, RoundObserver, SelectionEvent,
+};
+use crate::latency::LatencyHistogram;
+use crate::metrics;
+use crate::record::RecordingObserver;
+use crate::sink::JsonlSink;
+use cdt_types::Round;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What the pipeline should produce.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Write one JSON object per event to this file (`--obs-events`).
+    pub events_path: Option<PathBuf>,
+    /// Print the end-of-run human summary table (`--obs-summary`).
+    pub summary: bool,
+}
+
+#[derive(Debug)]
+struct Pipeline {
+    sink: Option<JsonlSink>,
+    summary: bool,
+}
+
+/// Fast gate: one relaxed atomic load on the hot paths.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PIPELINE: Mutex<Option<Arc<Pipeline>>> = Mutex::new(None);
+
+fn pipeline_slot() -> std::sync::MutexGuard<'static, Option<Arc<Pipeline>>> {
+    PIPELINE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs the pipeline for the rest of the process (replacing any prior
+/// one). Metrics collection turns on even with no sink configured.
+pub fn install(config: ObsConfig) -> io::Result<()> {
+    let sink = match &config.events_path {
+        Some(path) => Some(JsonlSink::create(path)?),
+        None => None,
+    };
+    *pipeline_slot() = Some(Arc::new(Pipeline {
+        sink,
+        summary: config.summary,
+    }));
+    ENABLED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Tears the pipeline down (tests; flushes the sink via drop).
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    *pipeline_slot() = None;
+}
+
+/// Whether a pipeline is installed. Single relaxed atomic load — this is
+/// the only cost observability adds to uninstrumented parallel code.
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether the installed pipeline wants the end-of-run summary printed.
+#[must_use]
+pub fn summary_requested() -> bool {
+    pipeline_slot().as_ref().is_some_and(|p| p.summary)
+}
+
+/// An observer for one evaluation run, or `None` when no pipeline is
+/// installed. `run` labels every record (e.g. `"cmab-hs/seed42"`).
+#[must_use]
+pub fn observer_for_run(run: &str) -> Option<PipelineObserver> {
+    if !is_enabled() {
+        return None;
+    }
+    let pipeline = pipeline_slot().as_ref().map(Arc::clone)?;
+    Some(PipelineObserver {
+        recorder: RecordingObserver::new(run),
+        phase_ns: [const { None }; 4],
+        rounds: 0,
+        pipeline,
+    })
+}
+
+/// Flushes the sink (if any) so readers see every line written so far.
+pub fn flush() -> io::Result<()> {
+    if let Some(pipeline) = pipeline_slot().as_ref() {
+        if let Some(sink) = &pipeline.sink {
+            sink.flush()?;
+        }
+    }
+    Ok(())
+}
+
+/// A per-run observer wired to the installed pipeline.
+///
+/// Buffers everything locally; publishes records to the sink and phase
+/// histograms to the global registry when dropped.
+#[derive(Debug)]
+pub struct PipelineObserver {
+    recorder: RecordingObserver,
+    phase_ns: [Option<LatencyHistogram>; 4],
+    rounds: u64,
+    pipeline: Arc<Pipeline>,
+}
+
+impl PipelineObserver {
+    fn phase_hist(&mut self, phase: Phase) -> &mut LatencyHistogram {
+        self.phase_ns[phase as usize].get_or_insert_with(LatencyHistogram::new)
+    }
+}
+
+impl RoundObserver for PipelineObserver {
+    fn round_start(&mut self, round: Round) {
+        self.recorder.round_start(round);
+    }
+
+    fn selection(&mut self, round: Round, event: &SelectionEvent<'_>) {
+        self.recorder.selection(round, event);
+    }
+
+    fn equilibrium(&mut self, round: Round, event: &EquilibriumEvent<'_>) {
+        self.recorder.equilibrium(round, event);
+    }
+
+    fn observation(&mut self, round: Round, event: &ObservationEvent) {
+        self.recorder.observation(round, event);
+    }
+
+    fn round_end(&mut self, round: Round, event: &RoundEndEvent) {
+        self.recorder.round_end(round, event);
+        self.rounds += 1;
+        self.phase_hist(Phase::Selection)
+            .record_ns(event.selection_ns);
+        self.phase_hist(Phase::Solve).record_ns(event.solve_ns);
+        self.phase_hist(Phase::Observe).record_ns(event.observe_ns);
+    }
+
+    fn regret(&mut self, round: Round, cumulative_regret: f64, account_ns: u64) {
+        self.recorder.regret(round, cumulative_regret, account_ns);
+        self.phase_hist(Phase::Account).record_ns(account_ns);
+    }
+}
+
+impl Drop for PipelineObserver {
+    fn drop(&mut self) {
+        let registry = metrics::global();
+        registry.add_counter("cdt_obs_rounds_total", &[], self.rounds);
+        registry.add_counter(
+            "cdt_obs_events_total",
+            &[],
+            self.recorder.records.len() as u64,
+        );
+        for phase in Phase::ALL {
+            if let Some(hist) = &self.phase_ns[phase as usize] {
+                registry.merge_histogram(
+                    "cdt_obs_round_phase_ns",
+                    &[("phase", phase.as_str())],
+                    hist,
+                );
+            }
+        }
+        if let Some(sink) = &self.pipeline.sink {
+            if sink.write_batch(&self.recorder.records).is_err() {
+                crate::warn::warn_once(
+                    "obs-sink-write",
+                    "failed to write observability events; trace is incomplete",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_pipeline_means_no_observer() {
+        // Serialize against other tests that install pipelines.
+        uninstall();
+        assert!(!is_enabled());
+        assert!(observer_for_run("x").is_none());
+    }
+
+    #[test]
+    fn observer_publishes_on_drop() {
+        install(ObsConfig::default()).unwrap();
+        let before = metrics::global().counter_value("cdt_obs_rounds_total", &[]);
+        {
+            let mut obs = observer_for_run("pipeline-unit").unwrap();
+            obs.round_start(Round(0));
+            obs.round_end(
+                Round(0),
+                &RoundEndEvent {
+                    observed_revenue: 1.0,
+                    consumer_profit: 0.5,
+                    platform_profit: 0.3,
+                    seller_profit: 0.2,
+                    selection_ns: 100,
+                    solve_ns: 200,
+                    observe_ns: 300,
+                },
+            );
+            obs.regret(Round(0), 0.0, 50);
+        }
+        let after = metrics::global().counter_value("cdt_obs_rounds_total", &[]);
+        assert_eq!(after - before, 1);
+        uninstall();
+    }
+}

@@ -1,0 +1,150 @@
+//! Prometheus text-format exposition of the metrics registry.
+//!
+//! Renders counters, gauges, and latency histograms in the standard
+//! `# TYPE` + sample-line layout. Histograms expand into cumulative
+//! `_bucket{le="…"}` series plus `_sum` and `_count`, with bucket bounds in
+//! nanoseconds (the power-of-two uppers of [`crate::LatencyHistogram`]).
+
+use crate::metrics::{Metric, MetricKey, MetricsRegistry};
+use std::fmt::Write as _;
+
+fn type_line(out: &mut String, family: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {family} {kind}");
+}
+
+/// Formats a float the way Prometheus expects (no exponent for ordinary
+/// magnitudes, `+Inf`/`-Inf`/`NaN` spelled out).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn labels_with_le(key: &MetricKey, le: &str) -> String {
+    let mut parts: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    parts.push(format!("le=\"{le}\""));
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders every metric in `registry` as Prometheus text exposition.
+#[must_use]
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<String> = None;
+    for (key, metric) in registry.snapshot() {
+        let new_family = last_family.as_deref() != Some(key.family.as_str());
+        match metric {
+            Metric::Counter(c) => {
+                if new_family {
+                    type_line(&mut out, &key.family, "counter");
+                }
+                let _ = writeln!(out, "{}{} {}", key.family, key.label_suffix(), c);
+            }
+            Metric::Gauge(v) => {
+                if new_family {
+                    type_line(&mut out, &key.family, "gauge");
+                }
+                let _ = writeln!(out, "{}{} {}", key.family, key.label_suffix(), fmt_value(v));
+            }
+            Metric::Histogram(h) => {
+                if new_family {
+                    type_line(&mut out, &key.family, "histogram");
+                }
+                for (upper, cum) in h.cumulative_buckets() {
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        key.family,
+                        labels_with_le(&key, &upper.to_string()),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    key.family,
+                    labels_with_le(&key, "+Inf"),
+                    h.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    key.family,
+                    key.label_suffix(),
+                    h.sum_ns()
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    key.family,
+                    key.label_suffix(),
+                    h.count()
+                );
+            }
+        }
+        last_family = Some(key.family);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyHistogram;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let r = MetricsRegistry::new();
+        r.add_counter("cdt_obs_rounds_total", &[], 12);
+        r.set_gauge("cdt_obs_pool_threads", &[], 4.0);
+        let text = render(&r);
+        assert!(text.contains("# TYPE cdt_obs_rounds_total counter"));
+        assert!(text.contains("cdt_obs_rounds_total 12"));
+        assert!(text.contains("# TYPE cdt_obs_pool_threads gauge"));
+        assert!(text.contains("cdt_obs_pool_threads 4"));
+    }
+
+    #[test]
+    fn histogram_expands_to_bucket_sum_count() {
+        let r = MetricsRegistry::new();
+        let mut h = LatencyHistogram::new();
+        h.record_ns(100);
+        h.record_ns(100);
+        h.record_ns(1_000_000);
+        r.merge_histogram("cdt_obs_round_phase_ns", &[("phase", "solve")], &h);
+        let text = render(&r);
+        assert!(text.contains("# TYPE cdt_obs_round_phase_ns histogram"));
+        assert!(
+            text.contains("cdt_obs_round_phase_ns_bucket{phase=\"solve\",le=\"+Inf\"} 3"),
+            "got:\n{text}"
+        );
+        assert!(text.contains("cdt_obs_round_phase_ns_sum{phase=\"solve\"} 1000200"));
+        assert!(text.contains("cdt_obs_round_phase_ns_count{phase=\"solve\"} 3"));
+    }
+
+    #[test]
+    fn type_line_appears_once_per_family() {
+        let r = MetricsRegistry::new();
+        r.add_counter("jobs_total", &[("worker", "0")], 1);
+        r.add_counter("jobs_total", &[("worker", "1")], 2);
+        let text = render(&r);
+        assert_eq!(text.matches("# TYPE jobs_total counter").count(), 1);
+    }
+
+    #[test]
+    fn special_floats_render_prometheus_style() {
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+        assert_eq!(fmt_value(2.5), "2.5");
+    }
+}

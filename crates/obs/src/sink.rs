@@ -1,0 +1,140 @@
+//! Event sinks: where serialized [`EventRecord`]s go.
+//!
+//! The only sink today is [`JsonlSink`], a buffered line-per-record writer.
+//! It is shared across worker threads through a mutex; contention stays low
+//! because observers batch records locally and write per run, not per event.
+
+use crate::record::EventRecord;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A buffered JSON-lines sink: one JSON object per line, one line per event.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufWriter<File>> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Serializes and writes one record as a line.
+    pub fn write_record(&self, record: &EventRecord) -> io::Result<()> {
+        // Serialize outside the lock; only the write itself is serialized.
+        let mut line = serde_json::to_vec(record)?;
+        line.push(b'\n');
+        self.lock().write_all(&line)
+    }
+
+    /// Writes a batch of records under a single lock acquisition.
+    pub fn write_batch(&self, records: &[EventRecord]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(records.len() * 128);
+        for record in records {
+            serde_json::to_writer(&mut buf, record)?;
+            buf.push(b'\n');
+        }
+        self.lock().write_all(&buf)
+    }
+
+    /// Flushes buffered lines to the file.
+    pub fn flush(&self) -> io::Result<()> {
+        self.lock().flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // Best effort: never panic in drop over an I/O error.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "cdt_obs_sink_{}_{}.jsonl",
+            std::process::id(),
+            name
+        ));
+        p
+    }
+
+    #[test]
+    fn writes_one_line_per_record() {
+        let path = temp_path("single");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.write_record(&EventRecord::RoundStart {
+            run: "a".into(),
+            round: 0,
+        })
+        .unwrap();
+        sink.write_record(&EventRecord::RoundStart {
+            run: "a".into(),
+            round: 1,
+        })
+        .unwrap();
+        sink.flush().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let parsed: EventRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(parsed.run(), "a");
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_writes_every_record() {
+        let path = temp_path("batch");
+        let sink = JsonlSink::create(&path).unwrap();
+        let batch: Vec<EventRecord> = (0..5)
+            .map(|round| EventRecord::Observation {
+                run: "b".into(),
+                round,
+                observed_revenue: round as f64,
+                samples: 2,
+            })
+            .collect();
+        sink.write_batch(&batch).unwrap();
+        sink.flush().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let path = temp_path("drop");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.write_record(&EventRecord::RoundStart {
+                run: "c".into(),
+                round: 9,
+            })
+            .unwrap();
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"round\":9"));
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,190 @@
+//! End-of-run human summary: a plain-text table over the metrics registry.
+
+use crate::event::Phase;
+use crate::metrics::{Metric, MetricKey, MetricsRegistry};
+use std::fmt::Write as _;
+
+fn label_value<'a>(key: &'a MetricKey, name: &str) -> Option<&'a str> {
+    key.labels
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Renders the human-readable end-of-run summary of `registry`.
+#[must_use]
+pub fn render_summary(registry: &MetricsRegistry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::new();
+    let _ = writeln!(out, "== observability summary ==");
+
+    let counter = |family: &str| {
+        snapshot
+            .iter()
+            .filter(|(k, _)| k.family == family)
+            .filter_map(|(_, m)| match m {
+                Metric::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum::<u64>()
+    };
+    let _ = writeln!(
+        out,
+        "rounds: {}   events: {}",
+        counter("cdt_obs_rounds_total"),
+        counter("cdt_obs_events_total")
+    );
+
+    // Per-phase latency table.
+    let mut phase_rows = Vec::new();
+    for phase in Phase::ALL {
+        let hist = snapshot.iter().find_map(|(k, m)| match m {
+            Metric::Histogram(h)
+                if k.family == "cdt_obs_round_phase_ns"
+                    && label_value(k, "phase") == Some(phase.as_str()) =>
+            {
+                Some(h)
+            }
+            _ => None,
+        });
+        if let Some(h) = hist {
+            phase_rows.push((
+                phase.as_str(),
+                fmt_ns(h.sum_ns() as f64),
+                fmt_ns(h.mean_ns()),
+                fmt_ns(h.quantile_ns(0.5).unwrap_or(0) as f64),
+                fmt_ns(h.quantile_ns(0.99).unwrap_or(0) as f64),
+            ));
+        }
+    }
+    if !phase_rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>10} {:>10}",
+            "phase", "total", "mean", "p50", "p99"
+        );
+        for (name, total, mean, p50, p99) in phase_rows {
+            let _ = writeln!(out, "{name:<10} {total:>10} {mean:>10} {p50:>10} {p99:>10}");
+        }
+    }
+
+    // Per-worker pool table.
+    let mut workers: Vec<(String, u64, u64, u64, u64)> = Vec::new();
+    for (key, metric) in &snapshot {
+        if key.family != "cdt_obs_pool_worker_jobs_total" {
+            continue;
+        }
+        let Some(worker) = label_value(key, "worker") else {
+            continue;
+        };
+        let Metric::Counter(jobs) = metric else {
+            continue;
+        };
+        let lookup = |family: &str| {
+            snapshot
+                .iter()
+                .find_map(|(k, m)| match m {
+                    Metric::Counter(c)
+                        if k.family == family && label_value(k, "worker") == Some(worker) =>
+                    {
+                        Some(*c)
+                    }
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        workers.push((
+            worker.to_owned(),
+            *jobs,
+            lookup("cdt_obs_pool_worker_steals_total"),
+            lookup("cdt_obs_pool_worker_busy_ns_total"),
+            lookup("cdt_obs_pool_worker_idle_ns_total"),
+        ));
+    }
+    if !workers.is_empty() {
+        workers.sort_by_key(|(w, ..)| w.parse::<usize>().unwrap_or(usize::MAX));
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>10} {:>10}",
+            "worker", "jobs", "steals", "busy", "idle"
+        );
+        for (worker, jobs, steals, busy, idle) in workers {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>8} {:>10} {:>10}",
+                worker,
+                jobs,
+                steals,
+                fmt_ns(busy as f64),
+                fmt_ns(idle as f64)
+            );
+        }
+    }
+
+    // Warnings, by kind.
+    for (key, metric) in &snapshot {
+        if key.family == "cdt_obs_warnings_total" {
+            if let (Metric::Counter(c), Some(kind)) = (metric, label_value(key, "kind")) {
+                let _ = writeln!(out, "warning[{kind}]: {c}x");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyHistogram;
+
+    #[test]
+    fn renders_rounds_phases_and_workers() {
+        let r = MetricsRegistry::new();
+        r.add_counter("cdt_obs_rounds_total", &[], 100);
+        r.add_counter("cdt_obs_events_total", &[], 600);
+        let mut h = LatencyHistogram::new();
+        h.record_ns(10_000);
+        h.record_ns(20_000);
+        r.merge_histogram("cdt_obs_round_phase_ns", &[("phase", "solve")], &h);
+        r.add_counter("cdt_obs_pool_worker_jobs_total", &[("worker", "0")], 7);
+        r.add_counter(
+            "cdt_obs_pool_worker_busy_ns_total",
+            &[("worker", "0")],
+            5_000_000,
+        );
+        r.add_counter("cdt_obs_warnings_total", &[("kind", "cdt-threads")], 2);
+
+        let text = render_summary(&r);
+        assert!(text.contains("rounds: 100   events: 600"));
+        assert!(text.contains("solve"), "got:\n{text}");
+        assert!(text.contains("worker"), "got:\n{text}");
+        assert!(text.contains("warning[cdt-threads]: 2x"));
+    }
+
+    #[test]
+    fn empty_registry_still_renders_header() {
+        let text = render_summary(&MetricsRegistry::new());
+        assert!(text.starts_with("== observability summary =="));
+        assert!(text.contains("rounds: 0"));
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50us");
+        assert_eq!(fmt_ns(3_000_000.0), "3.00ms");
+        assert_eq!(fmt_ns(1.5e9), "1.50s");
+    }
+}

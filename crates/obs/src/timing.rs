@@ -1,0 +1,156 @@
+//! Monotonic phase timing for the round hot path.
+//!
+//! A [`PhaseTimer`] is a lap counter over [`Instant`]: each [`lap`] returns
+//! the nanoseconds since the previous lap (or construction) and re-arms the
+//! baseline. Constructed disabled it never reads the clock, so the
+//! `NullObserver` path pays nothing.
+//!
+//! [`lap`]: PhaseTimer::lap
+
+use std::time::Instant;
+
+/// A monotonic lap timer; disabled instances never touch the clock.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimer {
+    last: Option<Instant>,
+}
+
+impl PhaseTimer {
+    /// Starts the timer. With `enabled == false` every lap reports 0 and no
+    /// clock is ever read.
+    #[must_use]
+    pub fn start(enabled: bool) -> Self {
+        Self {
+            last: if enabled { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Nanoseconds since the previous lap (or start); re-arms the baseline.
+    pub fn lap(&mut self) -> u64 {
+        match &mut self.last {
+            Some(last) => {
+                let now = Instant::now();
+                let ns = now.duration_since(*last).as_nanos();
+                *last = now;
+                u64::try_from(ns).unwrap_or(u64::MAX)
+            }
+            None => 0,
+        }
+    }
+
+    /// Re-arms the baseline without reporting a span. Used to exclude
+    /// observer-hook time from the next phase's measurement.
+    pub fn skip(&mut self) {
+        if let Some(last) = &mut self.last {
+            *last = Instant::now();
+        }
+    }
+}
+
+/// Accumulated nanoseconds per phase of [`crate::Phase::ALL`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTotals {
+    ns: [u64; 4],
+}
+
+impl PhaseTotals {
+    /// A zeroed accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `ns` to `phase`'s total.
+    pub fn add(&mut self, phase: crate::Phase, ns: u64) {
+        self.ns[phase as usize] = self.ns[phase as usize].saturating_add(ns);
+    }
+
+    /// Total nanoseconds recorded for `phase`.
+    #[must_use]
+    pub fn get(&self, phase: crate::Phase) -> u64 {
+        self.ns[phase as usize]
+    }
+
+    /// Sum over all phases.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ns.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+
+    /// A little deterministic busy work the optimizer cannot elide.
+    fn spin(iterations: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..iterations {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        std::hint::black_box(acc)
+    }
+
+    #[test]
+    fn disabled_timer_reports_zero() {
+        let mut t = PhaseTimer::start(false);
+        spin(10_000);
+        assert_eq!(t.lap(), 0);
+        t.skip();
+        assert_eq!(t.lap(), 0);
+    }
+
+    #[test]
+    fn laps_are_monotone_and_reset() {
+        let mut t = PhaseTimer::start(true);
+        spin(50_000);
+        let a = t.lap();
+        let b = t.lap();
+        assert!(a > 0, "busy work must take measurable time");
+        // The second lap covers (almost) nothing.
+        assert!(
+            b <= a + 1_000_000,
+            "lap must re-arm the baseline: {a} vs {b}"
+        );
+    }
+
+    /// Satellite requirement: nested phase laps must sum to the enclosing
+    /// wall-clock within tolerance — the inner spans partition the outer
+    /// one, so their sum can never exceed it, and the gap is only the
+    /// lap-bookkeeping overhead itself.
+    #[test]
+    fn nested_phase_laps_sum_to_outer_wall_clock() {
+        let outer = std::time::Instant::now();
+        let mut inner = PhaseTimer::start(true);
+        let mut totals = PhaseTotals::new();
+        for phase in Phase::ALL {
+            spin(200_000);
+            totals.add(phase, inner.lap());
+        }
+        let wall = u64::try_from(outer.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let sum = totals.total();
+        assert!(sum > 0);
+        assert!(sum <= wall, "inner spans cannot exceed the wall clock");
+        // Generous tolerance: anything within 100ms covers scheduler noise
+        // on a loaded CI box while still catching a lost/double-counted span
+        // (each spin block is far shorter than that individually but the
+        // relationship sum ≤ wall ≤ sum + slack pins the partition).
+        let slack = 100_000_000u64;
+        assert!(
+            wall <= sum + slack,
+            "phase spans must partition the round: wall {wall} ns vs sum {sum} ns"
+        );
+    }
+
+    #[test]
+    fn totals_accumulate_per_phase() {
+        let mut totals = PhaseTotals::new();
+        totals.add(Phase::Solve, 5);
+        totals.add(Phase::Solve, 7);
+        totals.add(Phase::Account, 1);
+        assert_eq!(totals.get(Phase::Solve), 12);
+        assert_eq!(totals.get(Phase::Selection), 0);
+        assert_eq!(totals.total(), 13);
+    }
+}

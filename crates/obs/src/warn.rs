@@ -1,0 +1,50 @@
+//! One-time warnings, counted in the metrics registry.
+//!
+//! `warn_once(kind, message)` always increments
+//! `cdt_obs_warnings_total{kind=...}` but prints the message to stderr only
+//! the first time that `kind` fires in the process — configuration mistakes
+//! (an unparseable `CDT_THREADS`, say) surface exactly once instead of
+//! spamming every parallel fan-out, while the counter still shows how often
+//! the bad path was hit.
+
+use crate::metrics;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static SEEN: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Counts a warning under `kind`; prints `message` only on `kind`'s first
+/// occurrence. Returns `true` when the message was printed.
+pub fn warn_once(kind: &'static str, message: &str) -> bool {
+    metrics::global().add_counter("cdt_obs_warnings_total", &[("kind", kind)], 1);
+    let mut seen = SEEN.lock().unwrap_or_else(|e| e.into_inner());
+    if seen.insert(kind) {
+        eprintln!("warning: {message}");
+        true
+    } else {
+        false
+    }
+}
+
+/// Forgets which kinds already warned (tests only).
+#[doc(hidden)]
+pub fn reset_warnings_for_test() {
+    SEEN.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_once_but_counts_every_time() {
+        reset_warnings_for_test();
+        let kind = "warn-unit-test";
+        let before = metrics::global().counter_value("cdt_obs_warnings_total", &[("kind", kind)]);
+        assert!(warn_once(kind, "first"));
+        assert!(!warn_once(kind, "second"));
+        assert!(!warn_once(kind, "third"));
+        let after = metrics::global().counter_value("cdt_obs_warnings_total", &[("kind", kind)]);
+        assert_eq!(after - before, 3);
+    }
+}

@@ -17,6 +17,12 @@
 //! - [`compare`]: many policies on a common scenario;
 //! - [`report`]: plain-text tables and CSV export;
 //! - [`experiments`]: one module per paper figure (7–18).
+//!
+//! Observability: [`runner::run_policy`] consults the globally installed
+//! `cdt_obs` pipeline, so installing one (`cdt_obs::install`) instruments
+//! every experiment and comparison without changing any signature; the
+//! job pool in [`parallel`] publishes per-worker introspection to the same
+//! registry while a pipeline is active.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -35,5 +41,5 @@ pub use parallel::{configured_threads, parallel_map, set_thread_override, try_pa
 pub use policy_spec::PolicySpec;
 pub use replicate::{replicate, replication_table, Replicated, ReplicatedRun};
 pub use report::{Series, Table};
-pub use runner::{run_policy, Checkpoint, RunResult};
+pub use runner::{run_policy, run_policy_observed, Checkpoint, RunResult};
 pub use settings::SimSettings;

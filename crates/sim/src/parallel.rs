@@ -24,8 +24,10 @@
 //! thread — exactly today's serial code path, with no worker threads
 //! spawned at all.
 
+use cdt_obs::LatencyHistogram;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Process-wide thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -59,16 +61,60 @@ pub fn configured_threads() -> usize {
     if overridden != 0 {
         return overridden;
     }
-    if let Some(n) = std::env::var("CDT_THREADS")
-        .ok()
-        .as_deref()
-        .and_then(parse_thread_count)
-    {
-        return n;
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("CDT_THREADS") {
+        Ok(raw) => match parse_thread_count(&raw) {
+            Some(n) => n,
+            // A set-but-invalid CDT_THREADS used to be silently ignored;
+            // surface it once (the counter in the metrics registry still
+            // ticks on every resolution through the bad value).
+            None => {
+                let threads = fallback();
+                cdt_obs::warn_once(
+                    "cdt-threads-invalid",
+                    &format!(
+                        "ignoring invalid CDT_THREADS value {raw:?} \
+                         (expected a positive integer); using {threads} thread(s)"
+                    ),
+                );
+                threads
+            }
+        },
+        Err(_) => fallback(),
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+}
+
+/// Per-worker introspection accumulated locally and published to the
+/// global metrics registry once per `parallel_map` call (never per job).
+#[derive(Default)]
+struct PoolWorkerStats {
+    jobs: u64,
+    /// Non-contiguous cursor claims: how often another worker raced this
+    /// one on the shared cursor between two of its own claims.
+    steals: u64,
+    busy_ns: u64,
+    job_ns: LatencyHistogram,
+}
+
+impl PoolWorkerStats {
+    fn publish(&self, worker: usize, wall_ns: u64) {
+        let registry = cdt_obs::global();
+        let label = worker.to_string();
+        let labels: [(&str, &str); 1] = [("worker", &label)];
+        registry.add_counter("cdt_obs_pool_worker_jobs_total", &labels, self.jobs);
+        registry.add_counter("cdt_obs_pool_worker_steals_total", &labels, self.steals);
+        registry.add_counter("cdt_obs_pool_worker_busy_ns_total", &labels, self.busy_ns);
+        registry.add_counter(
+            "cdt_obs_pool_worker_idle_ns_total",
+            &labels,
+            wall_ns.saturating_sub(self.busy_ns),
+        );
+        registry.merge_histogram("cdt_obs_pool_job_ns", &[], &self.job_ns);
+    }
 }
 
 /// Maps `f` over `items` on up to `threads` worker threads, returning the
@@ -95,20 +141,52 @@ where
 
     let workers = threads.min(n);
     let cursor = AtomicUsize::new(0);
+    // One relaxed atomic load per parallel_map call; all per-job
+    // instrumentation below is gated behind this local bool, so the
+    // uninstrumented path pays a predictable branch and nothing else.
+    let instrument = cdt_obs::is_enabled();
+    if instrument {
+        cdt_obs::global().set_gauge("cdt_obs_pool_threads", &[], workers as f64);
+    }
     let mut gathered: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let cursor = &cursor;
                 let f = &f;
                 scope.spawn(move || {
                     let mut local = Vec::new();
+                    let worker_start = instrument.then(Instant::now);
+                    let mut stats = PoolWorkerStats::default();
+                    let mut last_claim: Option<usize> = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        if instrument {
+                            // Every worker does one fetch_add per job, so a
+                            // contiguous claim sequence means no interleaving;
+                            // a gap means another worker raced the cursor in
+                            // between — the work-stealing/contention signal.
+                            if last_claim.is_some_and(|prev| i != prev + 1) {
+                                stats.steals += 1;
+                            }
+                            last_claim = Some(i);
+                            let job_start = Instant::now();
+                            local.push((i, f(i, &items[i])));
+                            let ns =
+                                u64::try_from(job_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            stats.jobs += 1;
+                            stats.busy_ns = stats.busy_ns.saturating_add(ns);
+                            stats.job_ns.record_ns(ns);
+                        } else {
+                            local.push((i, f(i, &items[i])));
+                        }
+                    }
+                    if let Some(start) = worker_start {
+                        let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        stats.publish(w, wall);
                     }
                     local
                 })
@@ -207,6 +285,40 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_metrics_appear_when_pipeline_installed() {
+        // The pool publishes per-worker stats only while a pipeline is
+        // installed; results stay identical either way.
+        let items: Vec<u64> = (0..40).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+
+        cdt_obs::uninstall();
+        assert_eq!(parallel_map(&items, 4, |_, &x| x * 3), expect);
+
+        cdt_obs::install(cdt_obs::ObsConfig::default()).unwrap();
+        let before: u64 = (0..4)
+            .map(|w| {
+                cdt_obs::global().counter_value(
+                    "cdt_obs_pool_worker_jobs_total",
+                    &[("worker", &w.to_string())],
+                )
+            })
+            .sum();
+        assert_eq!(parallel_map(&items, 4, |_, &x| x * 3), expect);
+        let after: u64 = (0..4)
+            .map(|w| {
+                cdt_obs::global().counter_value(
+                    "cdt_obs_pool_worker_jobs_total",
+                    &[("worker", &w.to_string())],
+                )
+            })
+            .sum();
+        cdt_obs::uninstall();
+        // ≥, not ==: other tests in this binary may drive the pool (and the
+        // global registry) concurrently.
+        assert!(after - before >= items.len() as u64, "{before} -> {after}");
     }
 
     #[test]

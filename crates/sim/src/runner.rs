@@ -3,7 +3,8 @@
 
 use crate::policy_spec::PolicySpec;
 use cdt_bandit::RegretAccountant;
-use cdt_core::{execute_round_into, RoundScratch, Scenario};
+use cdt_core::{execute_round_observed_into, NullObserver, RoundObserver, RoundScratch, Scenario};
+use cdt_obs::PhaseTimer;
 use cdt_types::{Result, Round};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,6 +75,37 @@ pub fn run_policy(
     seed: u64,
     checkpoints: &[usize],
 ) -> Result<RunResult> {
+    // One choke point for observability: every experiment, replication grid,
+    // and CLI command funnels through here, so consulting the globally
+    // installed pipeline in this one place instruments them all. With no
+    // pipeline installed this is a single relaxed atomic load and the run
+    // proceeds on the statically disabled NullObserver path.
+    if cdt_obs::is_enabled() {
+        let label = format!("{}/seed{seed}", spec.label());
+        if let Some(mut obs) = cdt_obs::observer_for_run(&label) {
+            return run_policy_observed(scenario, spec, seed, checkpoints, &mut obs);
+        }
+    }
+    run_policy_observed(scenario, spec, seed, checkpoints, &mut NullObserver)
+}
+
+/// As [`run_policy`], but emits structured round events (including the
+/// `regret` hook with [account-phase] timing) to `obs`.
+///
+/// Observers are passive: for any observer this returns the exact
+/// [`RunResult`] of [`run_policy`], bit for bit.
+///
+/// [account-phase]: cdt_obs::Phase::Account
+///
+/// # Errors
+/// Propagates round-execution errors.
+pub fn run_policy_observed<O: RoundObserver>(
+    scenario: &Scenario,
+    spec: PolicySpec,
+    seed: u64,
+    checkpoints: &[usize],
+    obs: &mut O,
+) -> Result<RunResult> {
     let config = &scenario.config;
     let (m, k, n) = (config.m(), config.k(), config.n());
     let mut policy = spec.build(m, k, n, &scenario.population);
@@ -91,14 +123,16 @@ pub fn run_policy(
 
     let mut scratch = RoundScratch::new();
     for t in 0..n {
-        let outcome = execute_round_into(
+        let outcome = execute_round_observed_into(
             policy.as_mut(),
             config,
             &observer,
             Round(t),
             &mut rng,
             &mut scratch,
+            obs,
         )?;
+        let mut timer = PhaseTimer::start(O::ENABLED);
         accountant.record(&outcome.selected);
         consumer_profit += outcome.strategy.profits.consumer;
         platform_profit += outcome.strategy.profits.platform;
@@ -119,6 +153,9 @@ pub fn run_policy(
             while next_checkpoint < checkpoints.len() && checkpoints[next_checkpoint] <= done {
                 next_checkpoint += 1;
             }
+        }
+        if O::ENABLED {
+            obs.regret(Round(t), accountant.regret(), timer.lap());
         }
     }
 
@@ -196,6 +233,18 @@ mod tests {
         let a = run_policy(&s, PolicySpec::CmabHs, 42, &[50]).unwrap();
         let b = run_policy(&s, PolicySpec::CmabHs, 42, &[50]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_bit_for_bit() {
+        let s = scenario(8);
+        let plain = run_policy(&s, PolicySpec::CmabHs, 7, &[40]).unwrap();
+        let mut rec = cdt_obs::RecordingObserver::new("runner-unit");
+        let observed = run_policy_observed(&s, PolicySpec::CmabHs, 7, &[40], &mut rec).unwrap();
+        assert_eq!(plain, observed);
+        // 6 events per round: start, selection, equilibrium, observation,
+        // round_end, regret.
+        assert_eq!(rec.records.len(), plain.rounds * 6);
     }
 
     #[test]
