@@ -15,12 +15,33 @@ cargo fmt --check
 echo "==> clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> bench_engine smoke (BENCH_engine.json + results/bench_history.jsonl)"
+echo "==> bench_engine smoke + perf gate (BENCH_engine.json vs results/bench_history.jsonl)"
+# The gate compares this run's parallel speedup against the median of past
+# identical-workload runs in the history; a drop of more than 50% fails the
+# build (exit 1). The first run on a fresh history passes trivially and
+# seeds the baseline. Exercise both a pinned chunk and the adaptive default.
 cargo run --release -p cdt-bench --bin bench_engine -- \
-    --m 40 --k 5 --l 5 --n 400 --reps 2 --out BENCH_engine.json
+    --m 40 --k 5 --l 5 --n 400 --reps 2 --chunk 1 --out BENCH_engine.json \
+    --gate-tolerance 0.5
+cargo run --release -p cdt-bench --bin bench_engine -- \
+    --m 40 --k 5 --l 5 --n 400 --reps 2 --out BENCH_engine.json \
+    --gate-tolerance 0.5
 test -s BENCH_engine.json
 test -s results/bench_history.jsonl
 tail -n 1 results/bench_history.jsonl | python3 -c 'import json,sys; json.loads(sys.stdin.read())'
+# BENCH_engine.json must parse and carry a sane report: serial + parallel
+# throughput, a positive speedup, and intact bit-identity.
+python3 - <<'EOF'
+import json
+with open("BENCH_engine.json") as f:
+    report = json.load(f)
+assert report["identical"] is True, "determinism bug: serial != parallel"
+assert report["speedup"] > 0, report["speedup"]
+assert report["serial"]["rounds_per_sec"] > 0
+assert report["parallel"]["rounds_per_sec"] > 0
+print(f"perf smoke: speedup {report['speedup']:.2f}x on "
+      f"{report['parallel']['threads']} threads")
+EOF
 
 echo "==> observability smoke (JSONL trace + Prometheus dump)"
 rm -f /tmp/cdt_obs_events.jsonl /tmp/cdt_obs_metrics.prom

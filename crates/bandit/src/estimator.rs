@@ -64,6 +64,13 @@ impl QualityEstimator {
         &self.means
     }
 
+    /// All observation counts `n_i^t`, indexed by seller (parallel to
+    /// [`QualityEstimator::means`]).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// `true` once seller `i` has been observed at least once.
     #[must_use]
     pub fn is_explored(&self, id: SellerId) -> bool {
@@ -95,10 +102,33 @@ impl QualityEstimator {
     }
 
     /// Folds a whole round's observation matrix into the estimates.
+    ///
+    /// One flat sweep over the row-major buffer: each row's sum and mean
+    /// update use exactly the per-row expressions of
+    /// [`QualityEstimator::update`] (bit-identical), but the per-row slicing
+    /// and the `total_count` bump are hoisted out of the loop.
     pub fn update_round(&mut self, observations: &ObservationMatrix) {
-        for (id, row) in observations.iter() {
-            self.update(id, row);
+        let sellers = observations.sellers();
+        let l = observations.num_pois();
+        if l == 0 {
+            return;
         }
+        debug_assert!(
+            observations
+                .values()
+                .iter()
+                .all(|q| (0.0..=1.0).contains(q)),
+            "quality observations must lie in [0, 1]"
+        );
+        let l_f = l as f64;
+        for (id, row) in sellers.iter().zip(observations.values().chunks_exact(l)) {
+            let i = id.index();
+            let old_n = self.counts[i] as f64;
+            let sum: f64 = row.iter().sum();
+            self.means[i] = (self.means[i] * old_n + sum) / (old_n + l_f);
+            self.counts[i] += l as u64;
+        }
+        self.total_count += (sellers.len() * l) as u64;
     }
 }
 
@@ -170,6 +200,49 @@ mod tests {
         assert!((e.mean(SellerId(2)) - 0.3).abs() < 1e-12);
         assert_eq!(e.count(SellerId(1)), 0);
         assert_eq!(e.total_count(), 4);
+    }
+
+    #[test]
+    fn eq17_18_counters_increment_by_l_per_round() {
+        // Eq. 17–18 semantics: a *selected* seller's counter grows by
+        // exactly L (one observation per PoI) per round; unselected
+        // sellers' counters and means are untouched; the global total grows
+        // by K·L. Pins the learning rate against kernel rewrites.
+        let l = 4;
+        let mut e = QualityEstimator::new(5);
+        for round in 1..=3u64 {
+            let m =
+                ObservationMatrix::from_flat(vec![SellerId(1), SellerId(3)], l, vec![0.5; 2 * l]);
+            e.update_round(&m);
+            assert_eq!(e.count(SellerId(1)), round * l as u64);
+            assert_eq!(e.count(SellerId(3)), round * l as u64);
+            assert_eq!(e.total_count(), 2 * round * l as u64);
+        }
+        for unselected in [0, 2, 4] {
+            assert_eq!(e.count(SellerId(unselected)), 0);
+            assert_eq!(e.mean(SellerId(unselected)), 0.0);
+        }
+        assert_eq!(e.counts(), &[0, 12, 0, 12, 0]);
+    }
+
+    #[test]
+    fn update_round_matches_per_row_updates() {
+        // The flat sweep must be bit-identical to folding row by row.
+        let m = ObservationMatrix::new(
+            vec![SellerId(0), SellerId(2), SellerId(1)],
+            vec![
+                vec![0.804, 0.661, 0.723],
+                vec![0.1, 0.9, 0.3],
+                vec![0.25, 0.5, 0.75],
+            ],
+        );
+        let mut flat = QualityEstimator::new(3);
+        flat.update_round(&m);
+        let mut per_row = QualityEstimator::new(3);
+        for (id, row) in m.iter() {
+            per_row.update(id, row);
+        }
+        assert_eq!(flat, per_row);
     }
 
     proptest! {

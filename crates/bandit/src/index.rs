@@ -78,9 +78,24 @@ pub fn ucb_indices(estimator: &QualityEstimator, config: &UcbConfig) -> Vec<f64>
 pub fn ucb_indices_into(estimator: &QualityEstimator, config: &UcbConfig, out: &mut Vec<f64>) {
     let total = estimator.total_count();
     out.clear();
-    out.extend((0..estimator.num_sellers()).map(|i| {
-        let id = SellerId(i);
-        config.index(estimator.mean(id), estimator.count(id), total)
+    let arms = estimator.counts().iter().zip(estimator.means());
+    if total <= 1 {
+        // Degenerate start: every explored arm has zero width.
+        out.extend(arms.map(|(&n, &mean)| if n == 0 { f64::INFINITY } else { mean + 0.0 }));
+        return;
+    }
+    // `ln(Σn)` is identical for every arm — hoist `w · ln(Σn)` out of the
+    // per-arm loop. `(w_ln_total / n).sqrt()` keeps the exact expression
+    // tree of [`UcbConfig::confidence_width`] (`(w * ln) / n`), so the
+    // indices are bit-identical to the unhoisted path.
+    let w_ln_total = config.exploration_weight * (total as f64).ln();
+    out.extend(arms.map(|(&n, &mean)| {
+        if n == 0 {
+            // `mean + ∞ = ∞` for any finite mean (see `confidence_width`).
+            f64::INFINITY
+        } else {
+            mean + (w_ln_total / n as f64).sqrt()
+        }
     }));
 }
 
@@ -154,6 +169,32 @@ mod tests {
     #[should_panic(expected = "exploration weight must be > 0")]
     fn rejects_non_positive_weight() {
         let _ = UcbConfig::with_weight(0.0);
+    }
+
+    #[test]
+    fn hoisted_indices_are_bit_identical_to_per_arm_index() {
+        let mut e = QualityEstimator::new(4);
+        e.update(SellerId(0), &[0.5, 0.25]);
+        e.update(SellerId(1), &[0.9]);
+        e.update(SellerId(2), &[0.1, 0.2, 0.3]);
+        let c = UcbConfig::paper(2);
+        let idx = ucb_indices(&e, &c);
+        for (i, &got) in idx.iter().enumerate() {
+            let id = SellerId(i);
+            let expect = c.index(e.mean(id), e.count(id), e.total_count());
+            assert_eq!(got.to_bits(), expect.to_bits(), "arm {i}");
+        }
+    }
+
+    #[test]
+    fn hoisted_indices_degenerate_total_matches_per_arm_index() {
+        // total_count == 1 exercises the zero-width branch.
+        let mut e = QualityEstimator::new(2);
+        e.update(SellerId(0), &[0.7]);
+        let c = UcbConfig::paper(1);
+        let idx = ucb_indices(&e, &c);
+        assert_eq!(idx[0].to_bits(), c.index(0.7, 1, 1).to_bits());
+        assert_eq!(idx[1], f64::INFINITY);
     }
 
     #[test]

@@ -172,6 +172,82 @@ mod tests {
             prop_assert_eq!(set.len(), k);
         }
 
+        /// Partial-select edge: `k == scores.len()` (the select_nth pivot
+        /// step is skipped entirely; only the final sort runs).
+        #[test]
+        fn into_variant_matches_sort_based_at_k_equals_len(
+            scores in proptest::collection::vec(-1.0f64..1.0, 1..40),
+        ) {
+            let k = scores.len();
+            let reference = top_k_by_score(&scores, k);
+            let mut scratch = Vec::new();
+            let mut out = Vec::new();
+            top_k_by_score_into(&scores, k, &mut scratch, &mut out);
+            prop_assert_eq!(out, reference);
+        }
+
+        /// Partial-select edge: all scores equal, so *every* comparison
+        /// falls through to the id tie-break and the pivot is ambiguous
+        /// score-wise.
+        #[test]
+        fn into_variant_matches_sort_based_on_all_equal_scores(
+            score in -1.0f64..1.0,
+            len in 1usize..40,
+            k_frac in 0.0f64..=1.0,
+        ) {
+            let scores = vec![score; len];
+            let k = ((len as f64) * k_frac) as usize;
+            let reference = top_k_by_score(&scores, k);
+            prop_assert_eq!(
+                &reference,
+                &(0..k).map(SellerId).collect::<Vec<_>>(),
+                "equal scores must break ties toward smaller ids"
+            );
+            let mut scratch = Vec::new();
+            let mut out = Vec::new();
+            top_k_by_score_into(&scores, k, &mut scratch, &mut out);
+            prop_assert_eq!(out, reference);
+        }
+
+        /// Partial-select edge: a block of duplicated scores straddling the
+        /// pivot position, so select_nth must split equal-score elements by
+        /// the id tie-break alone.
+        #[test]
+        fn into_variant_matches_sort_based_with_duplicates_straddling_pivot(
+            dup in -1.0f64..1.0,
+            dup_count in 2usize..20,
+            others in proptest::collection::vec(-1.0f64..1.0, 0..20),
+            seed in proptest::num::u64::ANY,
+        ) {
+            // Interleave the duplicate block deterministically among the
+            // distinct scores, then pick k inside the duplicate run.
+            let mut scores: Vec<f64> = others.clone();
+            let mut state = seed;
+            for _ in 0..dup_count {
+                // SplitMix64-style index scrambling; no RNG dependency.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let at = (z >> 33) as usize % (scores.len() + 1);
+                scores.insert(at, dup);
+            }
+            // Ranks of the duplicate entries in the full order; choose k so
+            // the cut lands strictly inside the duplicate run whenever the
+            // run spans more than one rank.
+            let order = top_k_by_score(&scores, scores.len());
+            let first_dup_rank = order
+                .iter()
+                .position(|id| scores[id.index()] == dup)
+                .expect("duplicate block is present");
+            let k = (first_dup_rank + dup_count / 2).min(scores.len());
+            let reference = top_k_by_score(&scores, k);
+            let mut scratch = Vec::new();
+            let mut out = Vec::new();
+            top_k_by_score_into(&scores, k, &mut scratch, &mut out);
+            prop_assert_eq!(out, reference);
+        }
+
         /// The partial-selection variant matches the sort-based reference
         /// exactly — same ids, same order — for every k, on score vectors
         /// that may contain NaN, ±∞, and repeated values.

@@ -14,7 +14,10 @@
 //! cargo run --release -p cdt-bench --bin bench_engine -- --n 200 --reps 2
 //! ```
 
-use cdt_sim::{configured_threads, replicate, set_thread_override, PolicySpec, ReplicatedRun};
+use cdt_sim::{
+    configured_chunk, configured_threads, replicate, set_chunk_override, set_thread_override,
+    PolicySpec, ReplicatedRun,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -27,6 +30,9 @@ struct Workload {
     replications: usize,
     policies: Vec<String>,
     seed: u64,
+    /// Fixed pool chunk size, if pinned (`--chunk`/`CDT_CHUNK`);
+    /// `None` means adaptive chunking.
+    chunk: Option<usize>,
 }
 
 #[derive(Serialize)]
@@ -57,8 +63,12 @@ struct Args {
     n: usize,
     reps: usize,
     threads: usize,
+    chunk: Option<usize>,
     out: String,
     history: String,
+    /// Fractional regression tolerance for the perf gate (`None` = no gate):
+    /// fail when `speedup < median(history speedups) * (1 - tolerance)`.
+    gate_tolerance: Option<f64>,
     obs_events: Option<String>,
     metrics_out: Option<String>,
     obs_summary: bool,
@@ -72,8 +82,10 @@ fn parse_args() -> Result<Args, String> {
         n: 20_000,
         reps: 4,
         threads: configured_threads(),
+        chunk: configured_chunk(),
         out: "BENCH_engine.json".to_owned(),
         history: "results/bench_history.jsonl".to_owned(),
+        gate_tolerance: None,
         obs_events: None,
         metrics_out: None,
         obs_summary: false,
@@ -93,16 +105,34 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--chunk" => {
+                let chunk = parse(&value("--chunk")?)?;
+                if chunk == 0 {
+                    return Err("--chunk must be at least 1".into());
+                }
+                args.chunk = Some(chunk);
+            }
             "--out" => args.out = value("--out")?,
             "--history" => args.history = value("--history")?,
+            "--gate-tolerance" => {
+                let raw = value("--gate-tolerance")?;
+                let tol: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("expected a number, got `{raw}`"))?;
+                if !(0.0..1.0).contains(&tol) {
+                    return Err("--gate-tolerance must lie in [0, 1)".into());
+                }
+                args.gate_tolerance = Some(tol);
+            }
             "--obs-events" => args.obs_events = Some(value("--obs-events")?),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--obs-summary" => args.obs_summary = true,
             "--help" | "-h" => {
                 println!(
                     "usage: bench_engine [--m M] [--k K] [--l L] [--n N] \
-                     [--reps R] [--threads T] [--out FILE] [--history FILE]\n\
-                     \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary]"
+                     [--reps R] [--threads T] [--chunk C] [--out FILE]\n\
+                     \x20      [--history FILE] [--gate-tolerance FRAC] \
+                     [--obs-events FILE] [--metrics-out FILE] [--obs-summary]"
                 );
                 std::process::exit(0);
             }
@@ -128,11 +158,16 @@ fn append_history(path: &str, report: &Report) -> std::io::Result<()> {
     let line = serde_json::json!({
         "bench": report.bench,
         "unix_secs": unix_secs,
+        "m": report.workload.m,
+        "k": report.workload.k,
+        "l": report.workload.l,
         "n": report.workload.n,
         "reps": report.workload.replications,
         "threads": report.parallel.threads,
         "serial_secs": report.serial.wall_clock_secs,
         "parallel_secs": report.parallel.wall_clock_secs,
+        "serial_rounds_per_sec": report.serial.rounds_per_sec,
+        "parallel_rounds_per_sec": report.parallel.rounds_per_sec,
         "speedup": report.speedup,
         "identical": report.identical,
     });
@@ -146,6 +181,70 @@ fn append_history(path: &str, report: &Report) -> std::io::Result<()> {
 fn parse(raw: &str) -> Result<usize, String> {
     raw.parse()
         .map_err(|_| format!("expected an integer, got `{raw}`"))
+}
+
+/// Past speedups recorded for the *same workload shape* (bench, m, k, l,
+/// n, reps, threads) with intact determinism. Records written before a
+/// field existed match any value of it, so pre-existing baselines still
+/// gate today's runs.
+fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
+    let Ok(raw) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let field_ok = |rec: &serde_json::Value, name: &str, expected: u64| match rec
+        .get(name)
+        .and_then(serde_json::Value::as_u64)
+    {
+        Some(v) => v == expected,
+        None => true,
+    };
+    raw.lines()
+        .filter_map(|line| serde_json::from_str::<serde_json::Value>(line.trim()).ok())
+        .filter(|rec| {
+            rec.get("bench").and_then(serde_json::Value::as_str) == Some(report.bench)
+                && rec.get("identical").and_then(serde_json::Value::as_bool) == Some(true)
+                && field_ok(rec, "m", report.workload.m as u64)
+                && field_ok(rec, "k", report.workload.k as u64)
+                && field_ok(rec, "l", report.workload.l as u64)
+                && field_ok(rec, "n", report.workload.n as u64)
+                && field_ok(rec, "reps", report.workload.replications as u64)
+                && field_ok(rec, "threads", report.parallel.threads as u64)
+        })
+        .filter_map(|rec| rec.get("speedup").and_then(serde_json::Value::as_f64))
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .collect()
+}
+
+/// Gates the current run against the workload-matched history baseline:
+/// passes trivially with no baseline (first run seeds the history), fails
+/// when the speedup falls below `median * (1 - tolerance)`.
+fn perf_gate(history: &str, report: &Report, tolerance: f64) -> Result<String, String> {
+    let mut speedups = baseline_speedups(history, report);
+    if speedups.is_empty() {
+        return Ok(format!(
+            "perf gate: no baseline for this workload in {history}; \
+             this run seeds it (speedup {:.2}x)",
+            report.speedup
+        ));
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    let median = speedups[speedups.len() / 2];
+    let floor = median * (1.0 - tolerance);
+    if report.speedup < floor {
+        Err(format!(
+            "perf gate FAILED: speedup {:.2}x < floor {floor:.2}x \
+             (median of {} baseline run(s) {median:.2}x, tolerance {tolerance})",
+            report.speedup,
+            speedups.len()
+        ))
+    } else {
+        Ok(format!(
+            "perf gate passed: speedup {:.2}x >= floor {floor:.2}x \
+             (median of {} baseline run(s) {median:.2}x, tolerance {tolerance})",
+            report.speedup,
+            speedups.len()
+        ))
+    }
 }
 
 fn timed_replicate(args: &Args, specs: &[PolicySpec], threads: usize) -> (Vec<ReplicatedRun>, f64) {
@@ -179,9 +278,11 @@ fn main() {
     // Every replicated run executes `n` rounds per (replication, policy).
     let total_rounds = (args.n * args.reps * specs.len()) as f64;
 
+    set_chunk_override(args.chunk);
     let (serial_runs, serial_secs) = timed_replicate(&args, &specs, 1);
     let (parallel_runs, parallel_secs) = timed_replicate(&args, &specs, args.threads);
     set_thread_override(None);
+    set_chunk_override(None);
 
     let report = Report {
         bench: "engine",
@@ -193,6 +294,7 @@ fn main() {
             replications: args.reps,
             policies: specs.iter().map(PolicySpec::label).collect(),
             seed: 20_210_419,
+            chunk: args.chunk,
         },
         serial: Timing {
             threads: 1,
@@ -237,12 +339,24 @@ fn main() {
          (speedup {:.2}x, identical: {}) -> {}",
         args.threads, report.speedup, report.identical, args.out
     );
-    match append_history(&args.history, &report) {
-        Ok(()) => println!("[history appended to {}]", args.history),
-        Err(e) => eprintln!("warning: cannot append history to {}: {e}", args.history),
-    }
     if !report.identical {
         eprintln!("error: parallel results diverged from serial — determinism bug");
         std::process::exit(1);
+    }
+    // Gate against the baseline *before* appending, so the run under test
+    // never gates against itself; a failing run is not recorded as a new
+    // baseline either.
+    if let Some(tolerance) = args.gate_tolerance {
+        match perf_gate(&args.history, &report, tolerance) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match append_history(&args.history, &report) {
+        Ok(()) => println!("[history appended to {}]", args.history),
+        Err(e) => eprintln!("warning: cannot append history to {}: {e}", args.history),
     }
 }

@@ -19,6 +19,7 @@ USAGE:
   cdt run      [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
   cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
+               [--chunk C]
   cdt game     [--k K] [--omega W] [--theta T]
 
 OBSERVABILITY (on `run` and `compare`):
@@ -32,8 +33,11 @@ pass --n 100000 for the paper's horizon.
 
 `compare` fans its per-policy (and per-replication) runs out over worker
 threads; --threads T (or the CDT_THREADS env var) sets the pool size and
---threads 1 forces the exact serial path. Results are bit-for-bit
-identical at any thread count, with observability on or off.";
+--threads 1 forces the exact serial path. --chunk C (or CDT_CHUNK) pins
+the pool's cursor-claim chunk size (default: adaptive guided
+self-scheduling; --chunk 1 is job-at-a-time claiming). Results are
+bit-for-bit identical at any thread count and any chunk size, with
+observability on or off.";
 
 /// An installed observability pipeline plus what to do with it at the end
 /// of the command.
@@ -99,6 +103,23 @@ fn apply_threads(flags: &FlagMap) -> Result<(), String> {
             return Err("--threads must be at least 1".into());
         }
         cdt_sim::set_thread_override(Some(t));
+    }
+    apply_chunk(flags)
+}
+
+/// Applies the `--chunk` flag (if present) to the pool's cursor-claim
+/// chunk size; any value is bit-identical (results gather by job index),
+/// `--chunk 1` reproduces job-at-a-time claiming. Without the flag the
+/// pool uses `CDT_CHUNK` or adaptive chunking.
+fn apply_chunk(flags: &FlagMap) -> Result<(), String> {
+    if let Some(raw) = flags.get("chunk") {
+        let c: usize = raw
+            .parse()
+            .map_err(|_| format!("--chunk expects an integer, got `{raw}`"))?;
+        if c == 0 {
+            return Err("--chunk must be at least 1".into());
+        }
+        cdt_sim::set_chunk_override(Some(c));
     }
     Ok(())
 }
@@ -429,6 +450,34 @@ mod tests {
     #[test]
     fn compare_rejects_zero_threads() {
         assert!(compare(&flags(&["--m", "10", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn compare_with_explicit_chunk() {
+        compare(&flags(&[
+            "--m",
+            "10",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--n",
+            "30",
+            "--threads",
+            "2",
+            "--chunk",
+            "4",
+        ]))
+        .unwrap();
+        // Reset the global overrides so other tests see the defaults.
+        cdt_sim::set_thread_override(None);
+        cdt_sim::set_chunk_override(None);
+    }
+
+    #[test]
+    fn compare_rejects_zero_chunk() {
+        assert!(compare(&flags(&["--m", "10", "--chunk", "0"])).is_err());
+        assert!(compare(&flags(&["--m", "10", "--chunk", "many"])).is_err());
     }
 
     #[test]

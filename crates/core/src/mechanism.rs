@@ -184,6 +184,7 @@ impl CmabHs {
                     let outcome = self.step_observed_into(observer, rng, &mut scratch, obs)?;
                     ledger.record(outcome.clone());
                 }
+                scratch.publish_eq_cache_metrics();
             }
             // Summary mode discards outcomes: run allocation-free.
             LedgerMode::Summary => {
@@ -192,6 +193,7 @@ impl CmabHs {
                     let outcome = self.step_observed_into(observer, rng, &mut scratch, obs)?;
                     ledger.record_ref(outcome);
                 }
+                scratch.publish_eq_cache_metrics();
             }
         }
         Ok(ledger)

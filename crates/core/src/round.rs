@@ -14,7 +14,17 @@ use cdt_quality::{ObservationMatrix, QualityObserver};
 use cdt_types::{Result, Round, SellerId, SystemConfig};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
-use std::mem;
+
+/// Whether a cached context's economic parameters still match the config —
+/// the precondition for refilling the seller columns in place instead of
+/// reconstructing (and revalidating) the context.
+fn context_params_match(ctx: &GameContext, config: &SystemConfig) -> bool {
+    ctx.platform_cost == config.platform_cost
+        && ctx.valuation == config.valuation
+        && ctx.collection_price_bounds == config.collection_price_bounds
+        && ctx.service_price_bounds == config.service_price_bounds
+        && ctx.max_sensing_time == config.job.round_duration
+}
 
 /// Everything that happened in one round of data trading.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,16 +50,33 @@ impl RoundOutcome {
 
 /// Reusable buffers for the round hot path.
 ///
-/// One round touches five growable buffers: the selection, the game-seller
-/// list, the observation matrix, and the equilibrium solution's
-/// sensing-time/profit vectors. A `RoundScratch` owns all of them so that
-/// [`execute_round_into`] runs allocation-free after the first round —
-/// essential when the evaluation loop executes `N = 10⁵` rounds per
+/// One round touches several growable buffers: the selection, the game
+/// context's seller columns, the observation matrix, and the equilibrium
+/// solution's sensing-time/profit vectors. A `RoundScratch` owns all of
+/// them so that [`execute_round_into`] runs allocation-free after the first
+/// round — essential when the evaluation loop executes `N = 10⁵` rounds per
 /// (policy × replication) cell.
+///
+/// The scratch also carries the equilibrium fast path: the game context of
+/// the previous solve and validity/hit/miss bookkeeping. The Stage-1/2/3
+/// solve is a pure function of the context (no RNG), so when the selected
+/// set and the `q̄` snapshot are unchanged from the previous round the
+/// previous solution — still sitting in the outcome's strategy buffer — is
+/// bit-identical and the solve is skipped entirely. This hits on every
+/// round for oracle/frozen-mean policies and during ε-first exploitation.
 #[derive(Debug)]
 pub struct RoundScratch {
     outcome: RoundOutcome,
-    game_sellers: Vec<SelectedSeller>,
+    /// The reusable game context: economic parameters validated once, the
+    /// seller columns refilled in place each round.
+    ctx: Option<GameContext>,
+    /// The context of the most recent equilibrium solve.
+    prev_ctx: Option<GameContext>,
+    /// Whether `outcome.strategy` currently holds the solve of `prev_ctx`
+    /// (false initially and after initial-strategy rounds).
+    prev_ctx_valid: bool,
+    eq_cache_hits: u64,
+    eq_cache_misses: u64,
     observations: ObservationMatrix,
     /// Selection-score buffer, filled only when an enabled observer asks
     /// for the per-seller indices (never touched on the null path).
@@ -67,7 +94,11 @@ impl RoundScratch {
                 strategy: StackelbergSolution::empty(),
                 observed_revenue: 0.0,
             },
-            game_sellers: Vec::new(),
+            ctx: None,
+            prev_ctx: None,
+            prev_ctx_valid: false,
+            eq_cache_hits: 0,
+            eq_cache_misses: 0,
             observations: ObservationMatrix::empty(),
             scores: Vec::new(),
         }
@@ -83,6 +114,31 @@ impl RoundScratch {
     #[must_use]
     pub fn into_outcome(self) -> RoundOutcome {
         self.outcome
+    }
+
+    /// Rounds whose equilibrium solve was skipped because the game context
+    /// was identical to the previous round's.
+    #[must_use]
+    pub fn eq_cache_hits(&self) -> u64 {
+        self.eq_cache_hits
+    }
+
+    /// Rounds that ran the full Stage-1/2/3 solve.
+    #[must_use]
+    pub fn eq_cache_misses(&self) -> u64 {
+        self.eq_cache_misses
+    }
+
+    /// Publishes the equilibrium-cache counters to the global metrics
+    /// registry (`cdt_obs_eq_cache_{hits,misses}_total`). Call once per
+    /// run loop; a no-op while no observability pipeline is installed.
+    pub fn publish_eq_cache_metrics(&self) {
+        if !cdt_obs::is_enabled() {
+            return;
+        }
+        let registry = cdt_obs::global();
+        registry.add_counter("cdt_obs_eq_cache_hits_total", &[], self.eq_cache_hits);
+        registry.add_counter("cdt_obs_eq_cache_misses_total", &[], self.eq_cache_misses);
     }
 }
 
@@ -198,31 +254,48 @@ pub fn execute_round_observed_into<'a, O: RoundObserver>(
         timer.skip();
     }
 
-    let mut game_sellers = mem::take(&mut scratch.game_sellers);
-    game_sellers.clear();
-    game_sellers.extend(
-        scratch
-            .outcome
-            .selected
+    // Build the game context — in place when the scratch already holds one
+    // for the same economic parameters (validated once at construction),
+    // from scratch otherwise.
+    {
+        let selected = &scratch.outcome.selected;
+        let sellers = selected
             .iter()
-            .map(|&id| SelectedSeller::new(id, policy.game_quality(id), config.seller_cost(id))),
-    );
-    let ctx = GameContext::new(
-        game_sellers,
-        config.platform_cost,
-        config.valuation,
-        config.collection_price_bounds,
-        config.service_price_bounds,
-        config.job.round_duration,
-    )?;
+            .map(|&id| SelectedSeller::new(id, policy.game_quality(id), config.seller_cost(id)));
+        match &mut scratch.ctx {
+            Some(ctx) if context_params_match(ctx, config) => ctx.refill_sellers(sellers)?,
+            slot => {
+                *slot = Some(GameContext::new(
+                    sellers.collect(),
+                    config.platform_cost,
+                    config.valuation,
+                    config.collection_price_bounds,
+                    config.service_price_bounds,
+                    config.job.round_duration,
+                )?);
+            }
+        }
+    }
+    let ctx = scratch.ctx.as_ref().expect("context was just built");
 
     if round.is_initial() {
-        scratch.outcome.strategy = initial_round_strategy(&ctx, config.initial_sensing_time);
+        scratch.outcome.strategy = initial_round_strategy(ctx, config.initial_sensing_time);
+        // The strategy buffer no longer holds an equilibrium solve.
+        scratch.prev_ctx_valid = false;
+    } else if scratch.prev_ctx_valid && scratch.prev_ctx.as_ref() == Some(ctx) {
+        // Fast path: same selection, same q̄ snapshot, same parameters. The
+        // solve is a pure function of the context, so the previous round's
+        // solution (still in the strategy buffer) is bit-identical.
+        scratch.eq_cache_hits += 1;
     } else {
-        solve_equilibrium_into(&ctx, &mut scratch.outcome.strategy);
+        solve_equilibrium_into(ctx, &mut scratch.outcome.strategy);
+        match &mut scratch.prev_ctx {
+            Some(prev) => prev.clone_from(ctx),
+            slot => *slot = Some(ctx.clone()),
+        }
+        scratch.prev_ctx_valid = true;
+        scratch.eq_cache_misses += 1;
     }
-    // Reclaim the seller buffer for the next round.
-    scratch.game_sellers = ctx.into_sellers();
     let solve_ns = timer.lap();
     if O::ENABLED {
         let strategy = &scratch.outcome.strategy;
@@ -421,6 +494,90 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn frozen_mean_policy_solves_once_per_distinct_selection() {
+        use cdt_bandit::OraclePolicy;
+        let (config, observer) = setup(6, 2, 4);
+        let mut policy = OraclePolicy::new(observer.population().expected_qualities(), 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = RoundScratch::new();
+        let n = 20;
+        for t in 0..n {
+            execute_round_into(
+                &mut policy,
+                &config,
+                &observer,
+                Round(t),
+                &mut rng,
+                &mut scratch,
+            )
+            .unwrap();
+        }
+        // Round 0 plays the initial strategy (no solve); round 1 solves;
+        // every later round reuses it — the oracle's selection and game
+        // qualities never change.
+        assert_eq!(scratch.eq_cache_misses(), 1);
+        assert_eq!(scratch.eq_cache_hits(), n - 2);
+    }
+
+    #[test]
+    fn cached_equilibrium_is_bit_identical_to_fresh_solve() {
+        use cdt_bandit::OraclePolicy;
+        let (config, observer) = setup(6, 2, 4);
+        let mut cached_policy = OraclePolicy::new(observer.population().expected_qualities(), 2);
+        let mut cached_rng = StdRng::seed_from_u64(13);
+        let mut scratch = RoundScratch::new();
+        let mut fresh_policy = OraclePolicy::new(observer.population().expected_qualities(), 2);
+        let mut fresh_rng = StdRng::seed_from_u64(13);
+        for t in 0..8 {
+            let cached = execute_round_into(
+                &mut cached_policy,
+                &config,
+                &observer,
+                Round(t),
+                &mut cached_rng,
+                &mut scratch,
+            )
+            .unwrap()
+            .clone();
+            // execute_round uses a one-shot scratch, so it can never hit
+            // the cache — every round is a fresh solve.
+            let fresh = execute_round(
+                &mut fresh_policy,
+                &config,
+                &observer,
+                Round(t),
+                &mut fresh_rng,
+            )
+            .unwrap();
+            assert_eq!(cached, fresh, "round {t} diverged under caching");
+        }
+        assert!(scratch.eq_cache_hits() > 0, "fast path never engaged");
+    }
+
+    #[test]
+    fn learning_policy_misses_cache_when_means_move() {
+        let (config, observer) = setup(6, 2, 4);
+        let mut policy = CmabUcbPolicy::new(6, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = RoundScratch::new();
+        for t in 0..6 {
+            execute_round_into(
+                &mut policy,
+                &config,
+                &observer,
+                Round(t),
+                &mut rng,
+                &mut scratch,
+            )
+            .unwrap();
+        }
+        // UCB updates its means every round, so the q̄ snapshot (and often
+        // the selection) changes and the cache must not serve stale solves.
+        assert_eq!(scratch.eq_cache_hits() + scratch.eq_cache_misses(), 5);
+        assert!(scratch.eq_cache_misses() >= 1);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!    the structure `Φ(Υ) = ω ln(1 − q̄Υ) + Υ(Λ−Υ)/Θ`, which holds for the
 //!    corrected `Λ`.
 
-use crate::context::{GameContext, SelectedSeller};
+use crate::context::GameContext;
 use cdt_types::SellerCostParams;
 use serde::{Deserialize, Serialize};
 
@@ -51,13 +51,20 @@ pub struct Aggregates {
 
 impl Aggregates {
     /// Computes the aggregates for a game context.
+    ///
+    /// One fused, branch-free pass over the context's parallel flat columns
+    /// accumulates `A`, `B`, and `Σ q̄_i` together. Each accumulator keeps
+    /// its own left-to-right summation order, so the results are
+    /// bit-identical to separate per-seller loops.
     #[must_use]
     pub fn from_context(ctx: &GameContext) -> Self {
         let mut a = 0.0;
         let mut b = 0.0;
-        for s in ctx.sellers() {
-            a += 1.0 / (2.0 * s.quality * s.cost.a);
-            b += s.cost.b / (2.0 * s.cost.a);
+        let mut q_sum = 0.0;
+        for ((&q, &ca), &cb) in ctx.qualities().iter().zip(ctx.cost_as()).zip(ctx.cost_bs()) {
+            a += 1.0 / (2.0 * q * ca);
+            b += cb / (2.0 * ca);
+            q_sum += q;
         }
         let theta = ctx.platform_cost.theta;
         let lambda = ctx.platform_cost.lambda;
@@ -67,7 +74,7 @@ impl Aggregates {
         Self {
             a,
             b,
-            mean_quality: ctx.mean_quality(),
+            mean_quality: q_sum / ctx.k() as f64,
             theta_cap,
             lambda_cap,
         }
@@ -118,9 +125,18 @@ pub fn all_seller_best_responses_into(
     out: &mut Vec<f64>,
 ) {
     out.clear();
-    out.extend(ctx.sellers().iter().map(|s: &SelectedSeller| {
-        seller_best_response(collection_price, s.quality, s.cost, ctx.max_sensing_time)
-    }));
+    let t = ctx.max_sensing_time;
+    // Flat-column sweep: the same clamp-and-divide expression as
+    // [`seller_best_response`] over contiguous arrays.
+    out.extend(
+        ctx.qualities()
+            .iter()
+            .zip(ctx.cost_as())
+            .zip(ctx.cost_bs())
+            .map(|((&q, &a), &b)| {
+                seller_best_response(collection_price, q, SellerCostParams { a, b }, t)
+            }),
+    );
 }
 
 /// **Theorem 15 (Stage 2), sign-corrected.** The platform's optimal
@@ -166,6 +182,7 @@ pub fn consumer_best_response(ctx: &GameContext, agg: &Aggregates) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::SelectedSeller;
     use crate::numeric::{golden_section_max, grid_then_golden};
     use crate::profit::{consumer_profit, platform_profit, seller_profit};
     use cdt_types::{PlatformCostParams, PriceBounds, SellerId, ValuationParams};

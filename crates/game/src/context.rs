@@ -35,9 +35,19 @@ impl SelectedSeller {
 }
 
 /// Everything needed to play one round's HS game.
+///
+/// Sellers are stored struct-of-arrays: four parallel flat vectors
+/// (`ids`, `qualities`, `cost_a`, `cost_b`) instead of one
+/// `Vec<SelectedSeller>`. The aggregate pass over `A, B, q̄` and the Stage-3
+/// best-response sweep are then contiguous `f64` loops that LLVM can
+/// auto-vectorize — the round loop runs them `N = 10⁵` times per
+/// (policy × replication) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GameContext {
-    sellers: Vec<SelectedSeller>,
+    ids: Vec<SellerId>,
+    qualities: Vec<f64>,
+    cost_a: Vec<f64>,
+    cost_b: Vec<f64>,
     /// Platform aggregation cost parameters `(θ, λ)`.
     pub platform_cost: PlatformCostParams,
     /// Consumer valuation parameter `ω`.
@@ -74,41 +84,123 @@ impl GameContext {
                 "max sensing time must be > 0",
             ));
         }
-        Ok(Self {
-            sellers,
+        let mut ctx = Self {
+            ids: Vec::with_capacity(sellers.len()),
+            qualities: Vec::with_capacity(sellers.len()),
+            cost_a: Vec::with_capacity(sellers.len()),
+            cost_b: Vec::with_capacity(sellers.len()),
             platform_cost,
             valuation,
             collection_price_bounds,
             service_price_bounds,
             max_sensing_time,
-        })
+        };
+        for s in sellers {
+            ctx.push_seller(s);
+        }
+        Ok(ctx)
     }
 
-    /// The selected sellers (`K` of them), in selection order.
-    #[must_use]
-    pub fn sellers(&self) -> &[SelectedSeller] {
-        &self.sellers
+    fn push_seller(&mut self, s: SelectedSeller) {
+        self.ids.push(s.id);
+        self.qualities.push(s.quality);
+        self.cost_a.push(s.cost.a);
+        self.cost_b.push(s.cost.b);
     }
 
-    /// Consumes the context, handing back its seller buffer so callers that
-    /// rebuild a context every round can recycle the allocation.
+    /// Replaces the seller columns in place, keeping the economic
+    /// parameters (validated once, at construction) and the four vectors'
+    /// allocations. The round loop rebuilds the context every round; this
+    /// is its allocation- and revalidation-free path.
+    ///
+    /// # Errors
+    /// Returns [`CdtError::EmptySelection`] when `sellers` yields nothing.
+    pub fn refill_sellers<I>(&mut self, sellers: I) -> Result<()>
+    where
+        I: IntoIterator<Item = SelectedSeller>,
+    {
+        self.ids.clear();
+        self.qualities.clear();
+        self.cost_a.clear();
+        self.cost_b.clear();
+        for s in sellers {
+            self.push_seller(s);
+        }
+        if self.ids.is_empty() {
+            return Err(CdtError::EmptySelection);
+        }
+        Ok(())
+    }
+
+    /// The selected sellers (`K` of them), in selection order, materialized
+    /// from the parallel columns.
+    pub fn sellers(&self) -> impl ExactSizeIterator<Item = SelectedSeller> + '_ {
+        self.ids
+            .iter()
+            .zip(&self.qualities)
+            .zip(&self.cost_a)
+            .zip(&self.cost_b)
+            .map(|(((&id, &quality), &a), &b)| SelectedSeller {
+                id,
+                quality,
+                cost: SellerCostParams { a, b },
+            })
+    }
+
+    /// The `i`-th selected seller (selection order).
+    ///
+    /// # Panics
+    /// Panics when `i >= k()`.
     #[must_use]
-    pub fn into_sellers(self) -> Vec<SelectedSeller> {
-        self.sellers
+    pub fn seller(&self, i: usize) -> SelectedSeller {
+        SelectedSeller {
+            id: self.ids[i],
+            quality: self.qualities[i],
+            cost: SellerCostParams {
+                a: self.cost_a[i],
+                b: self.cost_b[i],
+            },
+        }
+    }
+
+    /// Selected seller ids, in selection order.
+    #[must_use]
+    pub fn seller_ids(&self) -> &[SellerId] {
+        &self.ids
+    }
+
+    /// Estimated qualities `q̄_i^t`, parallel to [`GameContext::seller_ids`].
+    #[must_use]
+    pub fn qualities(&self) -> &[f64] {
+        &self.qualities
+    }
+
+    /// Quadratic cost coefficients `a_i`, parallel to
+    /// [`GameContext::seller_ids`].
+    #[must_use]
+    pub fn cost_as(&self) -> &[f64] {
+        &self.cost_a
+    }
+
+    /// Linear cost coefficients `b_i`, parallel to
+    /// [`GameContext::seller_ids`].
+    #[must_use]
+    pub fn cost_bs(&self) -> &[f64] {
+        &self.cost_b
     }
 
     /// Number of selected sellers `K`.
     #[must_use]
     pub fn k(&self) -> usize {
-        self.sellers.len()
+        self.ids.len()
     }
 
     /// The overall mean estimated quality
     /// `q̄^t = (Σ q̄_i χ_i) / (Σ χ_i)` of the selected set (used in Eq. 10).
     #[must_use]
     pub fn mean_quality(&self) -> f64 {
-        let sum: f64 = self.sellers.iter().map(|s| s.quality).sum();
-        sum / self.sellers.len() as f64
+        let sum: f64 = self.qualities.iter().sum();
+        sum / self.qualities.len() as f64
     }
 }
 
@@ -168,5 +260,30 @@ mod tests {
             0.0,
         );
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn columns_round_trip_through_sellers() {
+        let input = vec![seller(3, 0.4), seller(7, 0.9)];
+        let c = ctx(input.clone()).unwrap();
+        let back: Vec<SelectedSeller> = c.sellers().collect();
+        assert_eq!(back, input);
+        assert_eq!(c.seller(1), input[1]);
+        assert_eq!(c.seller_ids(), &[SellerId(3), SellerId(7)]);
+        assert_eq!(c.qualities(), &[0.4, 0.9]);
+        assert_eq!(c.cost_as(), &[0.2, 0.2]);
+        assert_eq!(c.cost_bs(), &[0.3, 0.3]);
+    }
+
+    #[test]
+    fn refill_replaces_sellers_and_keeps_params() {
+        let mut c = ctx(vec![seller(0, 0.2), seller(1, 0.8)]).unwrap();
+        let rebuilt = ctx(vec![seller(5, 0.6)]).unwrap();
+        c.refill_sellers([seller(5, 0.6)]).unwrap();
+        assert_eq!(c, rebuilt, "refill must equal a fresh construction");
+        assert!(matches!(
+            c.refill_sellers(std::iter::empty()),
+            Err(CdtError::EmptySelection)
+        ));
     }
 }

@@ -6,7 +6,7 @@ use crate::best_response::{
 };
 use crate::context::GameContext;
 use crate::profit::{consumer_profit, platform_profit, seller_profit};
-use cdt_types::SellerId;
+use cdt_types::{SellerCostParams, SellerId};
 use serde::{Deserialize, Serialize};
 
 /// Realized profits of all parties at a strategy profile.
@@ -156,7 +156,7 @@ pub fn solve_equilibrium_into(ctx: &GameContext, out: &mut StackelbergSolution) 
     out.collection_price = platform_best_response(ctx, out.service_price, &out.aggregates);
     all_seller_best_responses_into(ctx, out.collection_price, &mut out.sensing_times);
     out.seller_ids.clear();
-    out.seller_ids.extend(ctx.sellers().iter().map(|s| s.id));
+    out.seller_ids.extend_from_slice(ctx.seller_ids());
     profits_at_into(
         ctx,
         out.service_price,
@@ -199,11 +199,16 @@ pub fn profits_at_into(
     out: &mut Profits,
 ) {
     out.sellers.clear();
+    // Flat-column sweep, preserving the per-seller profit expression.
     out.sellers.extend(
-        ctx.sellers()
+        ctx.qualities()
             .iter()
+            .zip(ctx.cost_as())
+            .zip(ctx.cost_bs())
             .zip(sensing_times)
-            .map(|(s, &tau)| seller_profit(collection_price, tau, s.quality, s.cost)),
+            .map(|(((&q, &a), &b), &tau)| {
+                seller_profit(collection_price, tau, q, SellerCostParams { a, b })
+            }),
     );
     out.consumer = consumer_profit(ctx, service_price, sensing_times);
     out.platform = platform_profit(ctx, service_price, collection_price, sensing_times);

@@ -37,9 +37,10 @@ pub fn initial_round_strategy(ctx: &GameContext, tau0: f64) -> StackelbergSoluti
     let collection_price = if p_max.is_finite() && p_max < 1e100 {
         p_max
     } else {
-        ctx.sellers()
+        ctx.cost_as()
             .iter()
-            .map(|s| s.cost.a * tau0 + s.cost.b)
+            .zip(ctx.cost_bs())
+            .map(|(&a, &b)| a * tau0 + b)
             .fold(0.0, f64::max)
     };
 
@@ -51,7 +52,7 @@ pub fn initial_round_strategy(ctx: &GameContext, tau0: f64) -> StackelbergSoluti
     StackelbergSolution {
         service_price,
         collection_price,
-        seller_ids: ctx.sellers().iter().map(|s| s.id).collect(),
+        seller_ids: ctx.seller_ids().to_vec(),
         sensing_times,
         profits,
         aggregates: Aggregates::from_context(ctx),

@@ -117,7 +117,6 @@ pub fn verify_equilibrium(
     // --- Seller deviations (Eq. 16) ---
     let sellers = ctx
         .sellers()
-        .iter()
         .zip(&solution.sensing_times)
         .map(|(s, &tau_star)| {
             let hi = (3.0 * tau_star.max(1.0)).min(ctx.max_sensing_time);

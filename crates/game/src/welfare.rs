@@ -30,7 +30,6 @@ pub fn social_welfare(ctx: &GameContext, sensing_times: &[f64]) -> f64 {
     let valuation = ctx.valuation.valuation(ctx.mean_quality(), total);
     let seller_costs: f64 = ctx
         .sellers()
-        .iter()
         .zip(sensing_times)
         .map(|(s, &tau)| s.cost.cost(tau, s.quality))
         .sum();
@@ -50,7 +49,6 @@ pub fn efficient_allocation(ctx: &GameContext) -> EfficientAllocation {
     // For a shadow price μ, the optimal split and its total time.
     let split = |mu: f64| -> Vec<f64> {
         ctx.sellers()
-            .iter()
             .map(|s| {
                 let tau = (mu - s.cost.b * s.quality) / (2.0 * s.cost.a * s.quality);
                 tau.clamp(0.0, ctx.max_sensing_time)

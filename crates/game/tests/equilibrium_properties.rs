@@ -68,7 +68,7 @@ proptest! {
     #[test]
     fn sensing_times_are_best_responses(ctx in arb_context()) {
         let eq = solve_equilibrium(&ctx);
-        for (s, &tau) in ctx.sellers().iter().zip(&eq.sensing_times) {
+        for (s, &tau) in ctx.sellers().zip(&eq.sensing_times) {
             let br = seller_best_response(eq.collection_price, s.quality, s.cost, ctx.max_sensing_time);
             prop_assert!((tau - br).abs() < 1e-9);
         }
@@ -104,7 +104,6 @@ proptest! {
         let eq1 = solve_equilibrium(&ctx);
         let doubled: Vec<SelectedSeller> = ctx
             .sellers()
-            .iter()
             .chain(ctx.sellers())
             .enumerate()
             .map(|(i, s)| SelectedSeller::new(SellerId(i), s.quality, s.cost))

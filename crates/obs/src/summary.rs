@@ -47,6 +47,19 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         counter("cdt_obs_events_total")
     );
 
+    // Equilibrium-cache effectiveness (the round hot path's solve-skip).
+    let eq_hits = counter("cdt_obs_eq_cache_hits_total");
+    let eq_misses = counter("cdt_obs_eq_cache_misses_total");
+    if eq_hits + eq_misses > 0 {
+        let _ = writeln!(
+            out,
+            "eq-cache: {} hits / {} misses ({:.1}% hit rate)",
+            eq_hits,
+            eq_misses,
+            100.0 * eq_hits as f64 / (eq_hits + eq_misses) as f64
+        );
+    }
+
     // Per-phase latency table.
     let mut phase_rows = Vec::new();
     for phase in Phase::ALL {
@@ -108,6 +121,7 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         workers.push((
             worker.to_owned(),
             *jobs,
+            lookup("cdt_obs_pool_worker_chunks_total"),
             lookup("cdt_obs_pool_worker_steals_total"),
             lookup("cdt_obs_pool_worker_busy_ns_total"),
             lookup("cdt_obs_pool_worker_idle_ns_total"),
@@ -117,15 +131,16 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         workers.sort_by_key(|(w, ..)| w.parse::<usize>().unwrap_or(usize::MAX));
         let _ = writeln!(
             out,
-            "{:<8} {:>8} {:>8} {:>10} {:>10}",
-            "worker", "jobs", "steals", "busy", "idle"
+            "{:<8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            "worker", "jobs", "chunks", "steals", "busy", "idle"
         );
-        for (worker, jobs, steals, busy, idle) in workers {
+        for (worker, jobs, chunks, steals, busy, idle) in workers {
             let _ = writeln!(
                 out,
-                "{:<8} {:>8} {:>8} {:>10} {:>10}",
+                "{:<8} {:>8} {:>8} {:>8} {:>10} {:>10}",
                 worker,
                 jobs,
+                chunks,
                 steals,
                 fmt_ns(busy as f64),
                 fmt_ns(idle as f64)
@@ -178,6 +193,20 @@ mod tests {
         let text = render_summary(&MetricsRegistry::new());
         assert!(text.starts_with("== observability summary =="));
         assert!(text.contains("rounds: 0"));
+        // The eq-cache line only appears once the counters have ticked.
+        assert!(!text.contains("eq-cache"));
+    }
+
+    #[test]
+    fn eq_cache_line_renders_hit_rate() {
+        let r = MetricsRegistry::new();
+        r.add_counter("cdt_obs_eq_cache_hits_total", &[], 18);
+        r.add_counter("cdt_obs_eq_cache_misses_total", &[], 2);
+        let text = render_summary(&r);
+        assert!(
+            text.contains("eq-cache: 18 hits / 2 misses (90.0% hit rate)"),
+            "got:\n{text}"
+        );
     }
 
     #[test]

@@ -77,6 +77,15 @@ impl ObservationMatrix {
         &self.sellers
     }
 
+    /// The raw row-major observation buffer (`values[s * L + l]`), parallel
+    /// to [`ObservationMatrix::sellers`] with [`ObservationMatrix::num_pois`]
+    /// entries per seller. Lets learners sweep the whole round in one flat
+    /// pass instead of re-slicing per row.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Number of PoIs `L` covered per seller (0 for an empty matrix).
     #[must_use]
     pub fn num_pois(&self) -> usize {
@@ -179,11 +188,18 @@ impl QualityObserver {
         out.sellers.extend_from_slice(selected);
         out.l = self.num_pois;
         out.values.clear();
-        out.values.reserve(selected.len() * self.num_pois);
-        for &id in selected {
+        if self.num_pois == 0 {
+            return;
+        }
+        // Size the flat buffer once, then fill row slices in place: no
+        // per-push capacity checks on the hot path. The samples are drawn
+        // in exactly the same (seller, PoI) order as before, so the matrix
+        // is bit-identical.
+        out.values.resize(selected.len() * self.num_pois, 0.0);
+        for (row, &id) in out.values.chunks_exact_mut(self.num_pois).zip(selected) {
             let dist = &self.population.profile(id).quality;
-            for _ in 0..self.num_pois {
-                out.values.push(dist.sample(rng));
+            for slot in row {
+                *slot = dist.sample(rng);
             }
         }
     }

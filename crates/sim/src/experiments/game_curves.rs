@@ -257,7 +257,7 @@ mod tests {
         let eq = solve_equilibrium(&ctx);
         let tracked = TRACKED_SELLERS[1];
         let tau_star = eq.sensing_times[tracked];
-        let s = &ctx.sellers()[tracked];
+        let s = ctx.seller(tracked);
         let at = |tau: f64| cdt_game::seller_profit(eq.collection_price, tau, s.quality, s.cost);
         assert!(at(tau_star) >= at(tau_star * 0.8));
         assert!(at(tau_star) >= at(tau_star * 1.2));

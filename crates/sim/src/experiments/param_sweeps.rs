@@ -26,13 +26,12 @@ fn solve_with_a6(base: &GameContext, a6: f64) -> StackelbergSolution {
     let tracked = TRACKED_SELLERS[1];
     let sellers: Vec<SelectedSeller> = base
         .sellers()
-        .iter()
         .enumerate()
         .map(|(i, s)| {
             if i == tracked {
                 SelectedSeller::new(s.id, s.quality, SellerCostParams { a: a6, b: s.cost.b })
             } else {
-                *s
+                s
             }
         })
         .collect();

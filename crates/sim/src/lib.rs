@@ -37,7 +37,10 @@ pub mod runner;
 pub mod settings;
 
 pub use compare::{compare_policies, compare_policies_grid, ComparisonResult};
-pub use parallel::{configured_threads, parallel_map, set_thread_override, try_parallel_map};
+pub use parallel::{
+    configured_chunk, configured_threads, parallel_map, set_chunk_override, set_thread_override,
+    try_parallel_map,
+};
 pub use policy_spec::PolicySpec;
 pub use replicate::{replicate, replication_table, Replicated, ReplicatedRun};
 pub use report::{Series, Table};

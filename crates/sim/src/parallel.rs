@@ -13,6 +13,16 @@
 //! distributed by an atomic cursor (work stealing), so a slow cell (e.g.
 //! the largest `M` of a sweep) does not stall the other workers.
 //!
+//! The cursor hands out *adaptive chunks* rather than single jobs
+//! (guided self-scheduling): each claim takes
+//! `max(1, remaining / (workers × 4))` consecutive jobs, so sweeps with
+//! many tiny points (per-point game solves) pay one atomic RMW per chunk
+//! instead of per job, while the claims shrink toward single jobs near the
+//! tail to keep the load balanced. Results are still gathered **by job
+//! index**, so any chunk size is bit-identical. `CDT_CHUNK`/`--chunk`
+//! (via [`set_chunk_override`]) pin a fixed chunk size instead — `1`
+//! reproduces the PR-1 job-at-a-time claiming exactly.
+//!
 //! Thread-count resolution, from most to least specific:
 //!
 //! 1. the process-wide override set by [`set_thread_override`]
@@ -88,16 +98,77 @@ pub fn configured_threads() -> usize {
     }
 }
 
+/// Process-wide chunk-size override; 0 means "not set" (adaptive chunks).
+static CHUNK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the pool's cursor-claim chunk size for this process (`Some(n)` with
+/// `n ≥ 1`; `1` reproduces job-at-a-time claiming), or clears the override
+/// (`None`) so [`configured_chunk`] falls back to `CDT_CHUNK` / adaptive
+/// chunking. Any chunk size is bit-identical — results are gathered by job
+/// index.
+///
+/// # Panics
+/// Panics on `Some(0)`.
+pub fn set_chunk_override(chunk: Option<usize>) {
+    if let Some(n) = chunk {
+        assert!(n >= 1, "chunk size must be at least 1");
+        CHUNK_OVERRIDE.store(n, Ordering::Relaxed);
+    } else {
+        CHUNK_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Parses a `CDT_CHUNK`-style value; `None` for anything that is not a
+/// positive integer.
+fn parse_chunk(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Resolves a raw `CDT_CHUNK` value, warning once on invalid input —
+/// mirroring the `CDT_THREADS` validation. `None` means adaptive chunking.
+fn resolve_chunk(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?;
+    match parse_chunk(raw) {
+        Some(n) => Some(n),
+        None => {
+            cdt_obs::warn_once(
+                "cdt-chunk-invalid",
+                &format!(
+                    "ignoring invalid CDT_CHUNK value {raw:?} \
+                     (expected a positive integer); using adaptive chunks"
+                ),
+            );
+            None
+        }
+    }
+}
+
+/// The fixed cursor-claim chunk size, if any (override > `CDT_CHUNK`);
+/// `None` selects adaptive chunking (`max(1, remaining / (workers × 4))`).
+#[must_use]
+pub fn configured_chunk() -> Option<usize> {
+    let overridden = CHUNK_OVERRIDE.load(Ordering::Relaxed);
+    if overridden != 0 {
+        return Some(overridden);
+    }
+    let env = std::env::var("CDT_CHUNK").ok();
+    resolve_chunk(env.as_deref())
+}
+
 /// Per-worker introspection accumulated locally and published to the
 /// global metrics registry once per `parallel_map` call (never per job).
 #[derive(Default)]
 struct PoolWorkerStats {
     jobs: u64,
+    /// Cursor claims made by this worker (one per chunk).
+    chunks: u64,
     /// Non-contiguous cursor claims: how often another worker raced this
     /// one on the shared cursor between two of its own claims.
     steals: u64,
     busy_ns: u64,
     job_ns: LatencyHistogram,
+    /// Distribution of claimed chunk sizes (log₂ buckets, unit = jobs).
+    chunk_size: LatencyHistogram,
 }
 
 impl PoolWorkerStats {
@@ -106,6 +177,7 @@ impl PoolWorkerStats {
         let label = worker.to_string();
         let labels: [(&str, &str); 1] = [("worker", &label)];
         registry.add_counter("cdt_obs_pool_worker_jobs_total", &labels, self.jobs);
+        registry.add_counter("cdt_obs_pool_worker_chunks_total", &labels, self.chunks);
         registry.add_counter("cdt_obs_pool_worker_steals_total", &labels, self.steals);
         registry.add_counter("cdt_obs_pool_worker_busy_ns_total", &labels, self.busy_ns);
         registry.add_counter(
@@ -114,6 +186,7 @@ impl PoolWorkerStats {
             wall_ns.saturating_sub(self.busy_ns),
         );
         registry.merge_histogram("cdt_obs_pool_job_ns", &[], &self.job_ns);
+        registry.merge_histogram("cdt_obs_pool_chunk_size", &[], &self.chunk_size);
     }
 }
 
@@ -141,6 +214,7 @@ where
 
     let workers = threads.min(n);
     let cursor = AtomicUsize::new(0);
+    let fixed_chunk = configured_chunk();
     // One relaxed atomic load per parallel_map call; all per-job
     // instrumentation below is gated behind this local bool, so the
     // uninstrumented path pays a predictable branch and nothing else.
@@ -158,30 +232,51 @@ where
                     let mut local = Vec::new();
                     let worker_start = instrument.then(Instant::now);
                     let mut stats = PoolWorkerStats::default();
-                    let mut last_claim: Option<usize> = None;
+                    let mut last_end: Option<usize> = None;
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        // Guided self-scheduling: claim a chunk sized to the
+                        // *remaining* work so early claims amortize the atomic
+                        // RMW and late claims shrink toward single jobs. The
+                        // probe load is advisory only — fetch_add decides.
+                        let want = match fixed_chunk {
+                            Some(c) => c,
+                            None => {
+                                let probe = cursor.load(Ordering::Relaxed);
+                                if probe >= n {
+                                    break;
+                                }
+                                ((n - probe) / (workers * 4)).max(1)
+                            }
+                        }
+                        .min(n);
+                        let start = cursor.fetch_add(want, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
+                        let end = (start + want).min(n);
                         if instrument {
-                            // Every worker does one fetch_add per job, so a
-                            // contiguous claim sequence means no interleaving;
-                            // a gap means another worker raced the cursor in
-                            // between — the work-stealing/contention signal.
-                            if last_claim.is_some_and(|prev| i != prev + 1) {
+                            // A worker's claims are contiguous unless another
+                            // worker raced the cursor in between — the
+                            // work-stealing/contention signal.
+                            if last_end.is_some_and(|prev| start != prev) {
                                 stats.steals += 1;
                             }
-                            last_claim = Some(i);
-                            let job_start = Instant::now();
-                            local.push((i, f(i, &items[i])));
-                            let ns =
-                                u64::try_from(job_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                            stats.jobs += 1;
-                            stats.busy_ns = stats.busy_ns.saturating_add(ns);
-                            stats.job_ns.record_ns(ns);
+                            last_end = Some(end);
+                            stats.chunks += 1;
+                            stats.chunk_size.record_ns((end - start) as u64);
+                            for i in start..end {
+                                let job_start = Instant::now();
+                                local.push((i, f(i, &items[i])));
+                                let ns = u64::try_from(job_start.elapsed().as_nanos())
+                                    .unwrap_or(u64::MAX);
+                                stats.jobs += 1;
+                                stats.busy_ns = stats.busy_ns.saturating_add(ns);
+                                stats.job_ns.record_ns(ns);
+                            }
                         } else {
-                            local.push((i, f(i, &items[i])));
+                            for i in start..end {
+                                local.push((i, f(i, &items[i])));
+                            }
                         }
                     }
                     if let Some(start) = worker_start {
@@ -339,5 +434,57 @@ mod tests {
         assert_eq!(configured_threads(), 3);
         set_thread_override(None);
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_chunk_accepts_positive_integers_only() {
+        assert_eq!(parse_chunk("8"), Some(8));
+        assert_eq!(parse_chunk(" 1 "), Some(1));
+        assert_eq!(parse_chunk("0"), None);
+        assert_eq!(parse_chunk("-2"), None);
+        assert_eq!(parse_chunk("huge"), None);
+        assert_eq!(parse_chunk(""), None);
+    }
+
+    #[test]
+    fn resolve_chunk_warns_once_and_falls_back_to_adaptive() {
+        assert_eq!(resolve_chunk(None), None);
+        assert_eq!(resolve_chunk(Some("16")), Some(16));
+        // Invalid values fall back to adaptive chunking (None) and tick the
+        // warning counter (which counts even without an installed pipeline).
+        let labels: [(&str, &str); 1] = [("kind", "cdt-chunk-invalid")];
+        let before = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert_eq!(resolve_chunk(Some("nope")), None);
+        let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn chunk_sizes_are_bit_identical_and_override_clears() {
+        // One test owns the global chunk override for its duration (other
+        // tests here never set it). Gather-by-index makes the chunk size
+        // invisible to the output; pin that across fixed sizes spanning
+        // "smaller than n/threads" through "one chunk swallows everything",
+        // plus the adaptive default.
+        let items: Vec<usize> = (0..103).collect();
+        let serial: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i * 7 + x * x)
+            .collect();
+        for chunk in [1usize, 2, 5, 64, 1024] {
+            set_chunk_override(Some(chunk));
+            assert_eq!(configured_chunk(), Some(chunk));
+            for threads in [2, 4, 16] {
+                let par = parallel_map(&items, threads, |i, &x| i * 7 + x * x);
+                assert_eq!(par, serial, "chunk = {chunk}, threads = {threads}");
+            }
+        }
+        set_chunk_override(None);
+        // With no override and (normally) no CDT_CHUNK, resolution falls
+        // through to the environment; either way the override is gone.
+        assert_ne!(configured_chunk(), Some(1024));
+        let par = parallel_map(&items, 4, |i, &x| i * 7 + x * x);
+        assert_eq!(par, serial, "adaptive chunking");
     }
 }

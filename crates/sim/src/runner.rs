@@ -158,6 +158,7 @@ pub fn run_policy_observed<O: RoundObserver>(
             obs.regret(Round(t), accountant.regret(), timer.lap());
         }
     }
+    scratch.publish_eq_cache_metrics();
 
     Ok(RunResult {
         name: spec.label(),

@@ -225,12 +225,40 @@ fn prometheus_dump_covers_rounds_phases_and_pool() {
         "cdt_obs_round_phase_ns_count",
         "cdt_obs_pool_threads",
         "cdt_obs_pool_worker_jobs_total",
+        "cdt_obs_pool_worker_chunks_total",
         "cdt_obs_pool_job_ns_bucket",
+        "cdt_obs_pool_chunk_size_bucket",
     ] {
         assert!(dump.contains(family), "missing `{family}` in:\n{dump}");
     }
     assert!(
         dump.contains("le=\"+Inf\""),
         "histograms must end with an +Inf bucket"
+    );
+}
+
+#[test]
+fn eq_cache_counters_reach_registry_and_summary() {
+    let _guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    cdt_obs::uninstall();
+    cdt_obs::global().reset();
+    cdt_obs::install(ObsConfig::default()).unwrap();
+    // A frozen-mean (oracle) policy picks the same selection with the same
+    // q̄ snapshot every post-initial round, so the equilibrium is solved
+    // exactly once: round 0 plays the initial strategy, round 1 misses,
+    // rounds 2..N hit the cache.
+    let s = scenario(77, 14, 3, 40);
+    run_policy(&s, PolicySpec::Optimal, 21, &[]).unwrap();
+    let registry = cdt_obs::global();
+    let hits = registry.counter_value("cdt_obs_eq_cache_hits_total", &[]);
+    let misses = registry.counter_value("cdt_obs_eq_cache_misses_total", &[]);
+    let summary = cdt_obs::render_summary(registry);
+    cdt_obs::uninstall();
+
+    assert_eq!(misses, 1, "one distinct selection -> one solve");
+    assert_eq!(hits, 38, "rounds 2..40 reuse the cached equilibrium");
+    assert!(
+        summary.contains("eq-cache: 38 hits / 1 misses"),
+        "got:\n{summary}"
     );
 }

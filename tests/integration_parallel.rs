@@ -1,6 +1,7 @@
 //! Determinism contract of the parallel evaluation engine: every fan-out
 //! gathers results by job index and every job owns its seed, so output is
-//! bit-for-bit identical at any thread count.
+//! bit-for-bit identical at any thread count and any cursor-claim chunk
+//! size.
 //!
 //! These tests run the same workloads pinned to one worker (the exact
 //! serial path) and to a four-worker pool, and require `==` on the full
@@ -8,14 +9,15 @@
 
 use cdt_core::Scenario;
 use cdt_sim::{
-    compare_policies, compare_policies_grid, replicate, set_thread_override, ComparisonResult,
-    PolicySpec, ReplicatedRun,
+    compare_policies, compare_policies_grid, replicate, set_chunk_override, set_thread_override,
+    ComparisonResult, PolicySpec, ReplicatedRun,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Mutex;
 
-/// The thread override is process-global; serialize the tests that set it.
+/// The thread/chunk overrides are process-global; serialize the tests that
+/// set them.
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
 fn scenario(seed: u64, m: usize, k: usize, n: usize) -> Scenario {
@@ -74,4 +76,49 @@ fn oversubscribed_pool_is_still_identical() {
     let narrow = compare_policies(&s, &PolicySpec::paper_set(), 3, &[]).unwrap();
     set_thread_override(None);
     assert_eq!(wide, narrow);
+}
+
+#[test]
+fn chunk_sizes_and_thread_counts_are_bit_identical() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The cursor-claim chunk size only changes the scheduling, never the
+    // gather: sweep fixed chunks from job-at-a-time (1) past the whole
+    // queue (1024) across thread counts, against the serial reference.
+    let specs = PolicySpec::paper_set();
+    let s = scenario(23, 16, 3, 70);
+    set_thread_override(Some(1));
+    let reference = compare_policies(&s, &specs, 13, &[30, 70]).unwrap();
+    for chunk in [1usize, 2, 7, 1024] {
+        set_chunk_override(Some(chunk));
+        for threads in [2usize, 4, 8] {
+            set_thread_override(Some(threads));
+            let run = compare_policies(&s, &specs, 13, &[30, 70]).unwrap();
+            assert_eq!(
+                reference, run,
+                "diverged at chunk = {chunk}, threads = {threads}"
+            );
+        }
+    }
+    // The adaptive default (no fixed chunk) must agree too.
+    set_chunk_override(None);
+    set_thread_override(Some(4));
+    let adaptive = compare_policies(&s, &specs, 13, &[30, 70]).unwrap();
+    set_thread_override(None);
+    assert_eq!(reference, adaptive, "adaptive chunking diverged");
+}
+
+#[test]
+fn replicate_is_chunk_invariant() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let specs = PolicySpec::paper_set();
+    set_thread_override(Some(1));
+    let reference = replicate(12, 3, 3, 60, &specs, 3, 77).unwrap();
+    set_thread_override(Some(4));
+    for chunk in [1usize, 3, 64] {
+        set_chunk_override(Some(chunk));
+        let run = replicate(12, 3, 3, 60, &specs, 3, 77).unwrap();
+        assert_eq!(reference, run, "diverged at chunk = {chunk}");
+    }
+    set_chunk_override(None);
+    set_thread_override(None);
 }
