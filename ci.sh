@@ -17,21 +17,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> bench_engine smoke + perf gate (BENCH_engine.json vs results/bench_history.jsonl)"
 # The gate compares this run's parallel speedup against the median of past
-# identical-workload runs in the history; a drop of more than 50% fails the
-# build (exit 1). The first run on a fresh history passes trivially and
-# seeds the baseline. Exercise both a pinned chunk and the adaptive default.
-cargo run --release -p cdt-bench --bin bench_engine -- \
-    --m 40 --k 5 --l 5 --n 400 --reps 2 --chunk 1 --out BENCH_engine.json \
-    --gate-tolerance 0.5
-cargo run --release -p cdt-bench --bin bench_engine -- \
-    --m 40 --k 5 --l 5 --n 400 --reps 2 --out BENCH_engine.json \
-    --gate-tolerance 0.5
-test -s BENCH_engine.json
-test -s results/bench_history.jsonl
-tail -n 1 results/bench_history.jsonl | python3 -c 'import json,sys; json.loads(sys.stdin.read())'
-# BENCH_engine.json must parse and carry a sane report: serial + parallel
-# throughput, a positive speedup, and intact bit-identity.
-python3 - <<'EOF'
+# identical-workload runs in the history (it skips until 3 matching records
+# exist); a drop of more than 50% fails the build (exit 1). Exercise a
+# pinned chunk with the unbatched path, then adaptive chunking with a
+# lockstep batch of 4 — serial-vs-parallel bit-identity must hold in both.
+for extra in "--chunk 1 --batch 1" "--batch 4"; do
+    # shellcheck disable=SC2086  # $extra is a deliberate word-split flag list
+    cargo run --release -p cdt-bench --bin bench_engine -- \
+        --m 40 --k 5 --l 5 --n 400 --reps 2 --out BENCH_engine.json \
+        --gate-tolerance 0.5 $extra
+    test -s BENCH_engine.json
+    # BENCH_engine.json must parse and carry a sane report: serial +
+    # parallel throughput, a positive speedup, and intact bit-identity.
+    python3 - <<'EOF'
 import json
 with open("BENCH_engine.json") as f:
     report = json.load(f)
@@ -40,8 +38,12 @@ assert report["speedup"] > 0, report["speedup"]
 assert report["serial"]["rounds_per_sec"] > 0
 assert report["parallel"]["rounds_per_sec"] > 0
 print(f"perf smoke: speedup {report['speedup']:.2f}x on "
-      f"{report['parallel']['threads']} threads")
+      f"{report['parallel']['threads']} threads, "
+      f"batch {report['workload']['batch']}")
 EOF
+done
+test -s results/bench_history.jsonl
+tail -n 1 results/bench_history.jsonl | python3 -c 'import json,sys; json.loads(sys.stdin.read())'
 
 echo "==> observability smoke (JSONL trace + Prometheus dump)"
 rm -f /tmp/cdt_obs_events.jsonl /tmp/cdt_obs_metrics.prom
@@ -60,5 +62,12 @@ assert all("event" in obj for obj in lines), "untagged event line"
 print(f"obs smoke: {len(lines)} valid events")
 EOF
 grep -q '^cdt_obs_rounds_total' /tmp/cdt_obs_metrics.prom
+
+echo "==> cdt obs summarize (offline summary of the smoke trace)"
+cargo run --release -p cdt-cli --bin cdt -- obs summarize /tmp/cdt_obs_events.jsonl \
+    | tee /tmp/cdt_obs_summary.txt
+grep -q '^== observability summary ==' /tmp/cdt_obs_summary.txt
+grep -q '^rounds: ' /tmp/cdt_obs_summary.txt
+grep -q '^throughput: ' /tmp/cdt_obs_summary.txt
 
 echo "==> ci.sh: all gates passed"

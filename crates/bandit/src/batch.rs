@@ -1,0 +1,339 @@
+//! Batched (multi-lane) selection policies for the lockstep replication
+//! engine.
+//!
+//! A [`BatchSelectionPolicy`] carries `B` independent replication lanes of
+//! the *same* policy, with per-lane learner state stored
+//! structure-of-arrays across the replication axis: [`BatchCmabUcb`] keeps
+//! estimator counts and means as flat `B×M` matrices so the per-round
+//! UCB/estimator sweeps run over contiguous memory, while every lane keeps
+//! its own RNG stream and total-count column. Each lane's arithmetic goes
+//! through exactly the kernels of the single-lane path
+//! ([`crate::index::ucb_indices_from_columns_into`],
+//! [`crate::estimator::update_round_columns`]), so lane `b`'s outputs are
+//! bit-for-bit what a standalone [`CmabUcbPolicy`] would produce.
+//!
+//! Policies without a flat SoA form (oracle, ε-first, random, …) batch via
+//! [`LanePolicies`], which simply owns one boxed [`SelectionPolicy`] per
+//! lane — the lockstep runner still amortizes its scratch and scheduling
+//! over the batch.
+
+use crate::estimator::update_round_columns;
+use crate::index::ucb_indices_from_columns_into;
+
+use crate::policy::SelectionPolicy;
+use crate::topk::top_k_by_score_into;
+use crate::UcbConfig;
+use cdt_quality::ObservationMatrix;
+use cdt_types::{Round, SellerId};
+use rand::RngCore;
+
+/// `B` independent lanes of one selection policy, advanced in lockstep.
+///
+/// The contract mirrors [`SelectionPolicy`] with a `lane` index on every
+/// call; lane `b` must behave exactly like a standalone instance of the
+/// policy fed the same rounds, RNG stream, and observations — the batched
+/// form is a layout/scheduling optimization, never a semantic one.
+pub trait BatchSelectionPolicy {
+    /// Number of replication lanes `B`.
+    fn num_lanes(&self) -> usize;
+
+    /// Chooses lane `b`'s sellers for `round` into `out` (same contract as
+    /// [`SelectionPolicy::select_into`]).
+    fn select_into(
+        &mut self,
+        lane: usize,
+        round: Round,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<SellerId>,
+    );
+
+    /// Feeds lane `b` the observed qualities of its selected sellers.
+    fn observe(&mut self, lane: usize, round: Round, observations: &ObservationMatrix);
+
+    /// Lane `b`'s quality estimate handed to the Stackelberg game.
+    fn game_quality(&self, lane: usize, id: SellerId) -> f64;
+
+    /// Lane `b`'s diagnostic ranking score for seller `id` (defaults to
+    /// the game-side estimate, as in [`SelectionPolicy::selection_score`]).
+    fn selection_score(&self, lane: usize, id: SellerId) -> f64 {
+        self.game_quality(lane, id)
+    }
+}
+
+/// The CMAB-HS UCB policy over `B` lanes, counts/means stored as flat
+/// lane-major `B×M` matrices.
+#[derive(Debug, Clone)]
+pub struct BatchCmabUcb {
+    /// Lane-major `B×M` observation counters (`counts[b*m + i] = n_i` of
+    /// lane `b`).
+    counts: Vec<u64>,
+    /// Lane-major `B×M` sample means, parallel to `counts`.
+    means: Vec<f64>,
+    /// Per-lane `Σ_j n_j` (each lane keeps its own `ln(total)` hoist).
+    total_counts: Vec<u64>,
+    config: UcbConfig,
+    m: usize,
+    k: usize,
+    full_initial_sweep: bool,
+    /// Shared UCB-index buffer — lanes run lockstep, so one suffices.
+    scores: Vec<f64>,
+    /// Shared index-permutation buffer for partial top-K selection.
+    topk_scratch: Vec<usize>,
+}
+
+impl BatchCmabUcb {
+    /// `b` lanes of the paper's configuration (full initial sweep,
+    /// `w = K + 1`) over `m` sellers.
+    #[must_use]
+    pub fn new(b: usize, m: usize, k: usize) -> Self {
+        Self {
+            counts: vec![0; b * m],
+            means: vec![0.0; b * m],
+            total_counts: vec![0; b],
+            config: UcbConfig::paper(k),
+            m,
+            k,
+            full_initial_sweep: true,
+            scores: Vec::new(),
+            topk_scratch: Vec::new(),
+        }
+    }
+
+    /// Overrides the exploration weight on every lane (ablation).
+    ///
+    /// # Panics
+    /// Panics unless `w > 0` and finite.
+    #[must_use]
+    pub fn with_exploration_weight(mut self, w: f64) -> Self {
+        self.config = UcbConfig::with_weight(w);
+        self
+    }
+
+    /// Lane `b`'s estimator columns (`counts`, `means`).
+    #[must_use]
+    pub fn lane_columns(&self, lane: usize) -> (&[u64], &[f64]) {
+        let row = lane * self.m..(lane + 1) * self.m;
+        (&self.counts[row.clone()], &self.means[row])
+    }
+}
+
+impl BatchSelectionPolicy for BatchCmabUcb {
+    fn num_lanes(&self) -> usize {
+        self.total_counts.len()
+    }
+
+    fn select_into(
+        &mut self,
+        lane: usize,
+        round: Round,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<SellerId>,
+    ) {
+        if round.is_initial() && self.full_initial_sweep {
+            out.clear();
+            out.extend((0..self.m).map(SellerId));
+            return;
+        }
+        let row = lane * self.m..(lane + 1) * self.m;
+        ucb_indices_from_columns_into(
+            &self.counts[row.clone()],
+            &self.means[row],
+            self.total_counts[lane],
+            &self.config,
+            &mut self.scores,
+        );
+        top_k_by_score_into(&self.scores, self.k, &mut self.topk_scratch, out);
+    }
+
+    fn observe(&mut self, lane: usize, _round: Round, observations: &ObservationMatrix) {
+        let row = lane * self.m..(lane + 1) * self.m;
+        update_round_columns(
+            &mut self.counts[row.clone()],
+            &mut self.means[row],
+            &mut self.total_counts[lane],
+            observations,
+        );
+    }
+
+    fn game_quality(&self, lane: usize, id: SellerId) -> f64 {
+        self.means[lane * self.m + id.index()]
+    }
+
+    fn selection_score(&self, lane: usize, id: SellerId) -> f64 {
+        let i = lane * self.m + id.index();
+        self.config
+            .index(self.means[i], self.counts[i], self.total_counts[lane])
+    }
+}
+
+/// Fallback batching: one boxed [`SelectionPolicy`] per lane.
+///
+/// Used for policies whose state has no profitable SoA form (oracle,
+/// ε-first, random, Thompson, CUCB); the lockstep runner still batches
+/// their scratch buffers and scheduling.
+pub struct LanePolicies {
+    lanes: Vec<Box<dyn SelectionPolicy>>,
+}
+
+impl LanePolicies {
+    /// Wraps one policy instance per lane.
+    #[must_use]
+    pub fn new(lanes: Vec<Box<dyn SelectionPolicy>>) -> Self {
+        Self { lanes }
+    }
+}
+
+impl BatchSelectionPolicy for LanePolicies {
+    fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn select_into(
+        &mut self,
+        lane: usize,
+        round: Round,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<SellerId>,
+    ) {
+        self.lanes[lane].select_into(round, rng, out);
+    }
+
+    fn observe(&mut self, lane: usize, round: Round, observations: &ObservationMatrix) {
+        self.lanes[lane].observe(round, observations);
+    }
+
+    fn game_quality(&self, lane: usize, id: SellerId) -> f64 {
+        self.lanes[lane].game_quality(id)
+    }
+
+    fn selection_score(&self, lane: usize, id: SellerId) -> f64 {
+        self.lanes[lane].selection_score(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::CmabUcbPolicy;
+    use cdt_quality::ObservationBatch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-lane observation stream: seller `i` observes
+    /// values derived from `(lane, round, i, poi)` so lanes genuinely
+    /// diverge.
+    fn observations(
+        lane: usize,
+        round: usize,
+        selected: &[SellerId],
+        l: usize,
+    ) -> ObservationMatrix {
+        let rows = selected
+            .iter()
+            .map(|id| {
+                (0..l)
+                    .map(|p| {
+                        let x = (lane as f64 + 1.0) * 0.137
+                            + (round as f64 + 1.0) * 0.071
+                            + id.index() as f64 * 0.029
+                            + p as f64 * 0.013;
+                        x.fract()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        ObservationMatrix::new(selected.to_vec(), rows)
+    }
+
+    #[test]
+    fn batched_lanes_are_bit_identical_to_serial_policies() {
+        let (b, m, k, l, rounds) = (3usize, 12usize, 4usize, 3usize, 40usize);
+        let mut batch = BatchCmabUcb::new(b, m, k);
+        let mut serial: Vec<CmabUcbPolicy> = (0..b).map(|_| CmabUcbPolicy::new(m, k)).collect();
+
+        let mut batch_sel = Vec::new();
+        let mut serial_sel = Vec::new();
+        for t in 0..rounds {
+            for lane in 0..b {
+                let mut rng_b = StdRng::seed_from_u64(1000 + lane as u64);
+                let mut rng_s = StdRng::seed_from_u64(1000 + lane as u64);
+                batch.select_into(lane, Round(t), &mut rng_b, &mut batch_sel);
+                serial[lane].select_into(Round(t), &mut rng_s, &mut serial_sel);
+                assert_eq!(batch_sel, serial_sel, "lane {lane} round {t}");
+
+                for &id in &batch_sel {
+                    assert_eq!(
+                        batch.game_quality(lane, id).to_bits(),
+                        serial[lane].game_quality(id).to_bits(),
+                    );
+                    assert_eq!(
+                        batch.selection_score(lane, id).to_bits(),
+                        serial[lane].selection_score(id).to_bits(),
+                    );
+                }
+
+                let obs = observations(lane, t, &batch_sel, l);
+                batch.observe(lane, Round(t), &obs);
+                serial[lane].observe(Round(t), &obs);
+            }
+        }
+        // Final estimator state matches column-for-column.
+        for lane in 0..b {
+            let (counts, means) = batch.lane_columns(lane);
+            assert_eq!(counts, serial[lane].estimator().counts());
+            let serial_bits: Vec<u64> = serial[lane]
+                .estimator()
+                .means()
+                .iter()
+                .map(|q| q.to_bits())
+                .collect();
+            let batch_bits: Vec<u64> = means.iter().map(|q| q.to_bits()).collect();
+            assert_eq!(batch_bits, serial_bits);
+        }
+    }
+
+    #[test]
+    fn lanes_stay_independent() {
+        let (b, m, k, l) = (2usize, 6usize, 2usize, 2usize);
+        let mut batch = BatchCmabUcb::new(b, m, k);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sel = Vec::new();
+        batch.select_into(0, Round(0), &mut rng, &mut sel);
+        batch.observe(0, Round(0), &observations(0, 0, &sel, l));
+        // Lane 1 saw nothing: still cold.
+        let (counts, means) = batch.lane_columns(1);
+        assert!(counts.iter().all(|&n| n == 0));
+        assert!(means.iter().all(|&q| q == 0.0));
+        assert_eq!(batch.game_quality(1, SellerId(0)), 0.0);
+    }
+
+    #[test]
+    fn lane_policies_delegate_per_lane() {
+        let b = 3usize;
+        let lanes: Vec<Box<dyn SelectionPolicy>> = (0..b)
+            .map(|_| Box::new(CmabUcbPolicy::new(5, 2)) as Box<dyn SelectionPolicy>)
+            .collect();
+        let mut batch = LanePolicies::new(lanes);
+        assert_eq!(batch.num_lanes(), b);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sel = Vec::new();
+        batch.select_into(2, Round(0), &mut rng, &mut sel);
+        assert_eq!(sel.len(), 5, "initial sweep selects everyone");
+        batch.observe(2, Round(0), &observations(2, 0, &sel, 2));
+        assert!(batch.game_quality(2, SellerId(0)) > 0.0);
+        assert_eq!(batch.game_quality(0, SellerId(0)), 0.0);
+    }
+
+    #[test]
+    fn observation_batch_lanes_grow_and_persist() {
+        let mut stack = ObservationBatch::new();
+        stack.ensure_lanes(2);
+        assert_eq!(stack.num_lanes(), 2);
+        stack
+            .lane_mut(1)
+            .clone_from(&observations(0, 0, &[SellerId(1)], 3));
+        stack.ensure_lanes(1); // never shrinks
+        assert_eq!(stack.num_lanes(), 2);
+        assert_eq!(stack.lane(1).sellers(), &[SellerId(1)]);
+    }
+}

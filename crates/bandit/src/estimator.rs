@@ -108,28 +108,49 @@ impl QualityEstimator {
     /// [`QualityEstimator::update`] (bit-identical), but the per-row slicing
     /// and the `total_count` bump are hoisted out of the loop.
     pub fn update_round(&mut self, observations: &ObservationMatrix) {
-        let sellers = observations.sellers();
-        let l = observations.num_pois();
-        if l == 0 {
-            return;
-        }
-        debug_assert!(
-            observations
-                .values()
-                .iter()
-                .all(|q| (0.0..=1.0).contains(q)),
-            "quality observations must lie in [0, 1]"
+        update_round_columns(
+            &mut self.counts,
+            &mut self.means,
+            &mut self.total_count,
+            observations,
         );
-        let l_f = l as f64;
-        for (id, row) in sellers.iter().zip(observations.values().chunks_exact(l)) {
-            let i = id.index();
-            let old_n = self.counts[i] as f64;
-            let sum: f64 = row.iter().sum();
-            self.means[i] = (self.means[i] * old_n + sum) / (old_n + l_f);
-            self.counts[i] += l as u64;
-        }
-        self.total_count += (sellers.len() * l) as u64;
     }
+}
+
+/// Folds one round's observation matrix into raw estimator columns
+/// (`counts`/`means` parallel arrays plus the global `total_count`).
+///
+/// This is the single kernel behind both [`QualityEstimator::update_round`]
+/// and the batched per-lane estimator sweep
+/// ([`crate::batch::BatchCmabUcb`]): one shared expression tree means the
+/// two paths cannot drift apart bit-wise.
+pub fn update_round_columns(
+    counts: &mut [u64],
+    means: &mut [f64],
+    total_count: &mut u64,
+    observations: &ObservationMatrix,
+) {
+    let sellers = observations.sellers();
+    let l = observations.num_pois();
+    if l == 0 {
+        return;
+    }
+    debug_assert!(
+        observations
+            .values()
+            .iter()
+            .all(|q| (0.0..=1.0).contains(q)),
+        "quality observations must lie in [0, 1]"
+    );
+    let l_f = l as f64;
+    for (id, row) in sellers.iter().zip(observations.values().chunks_exact(l)) {
+        let i = id.index();
+        let old_n = counts[i] as f64;
+        let sum: f64 = row.iter().sum();
+        means[i] = (means[i] * old_n + sum) / (old_n + l_f);
+        counts[i] += l as u64;
+    }
+    *total_count += (sellers.len() * l) as u64;
 }
 
 #[cfg(test)]

@@ -76,9 +76,31 @@ pub fn ucb_indices(estimator: &QualityEstimator, config: &UcbConfig) -> Vec<f64>
 /// As [`ucb_indices`], but writes into `out`, reusing its capacity so the
 /// per-round index computation does not allocate after the first call.
 pub fn ucb_indices_into(estimator: &QualityEstimator, config: &UcbConfig, out: &mut Vec<f64>) {
-    let total = estimator.total_count();
+    ucb_indices_from_columns_into(
+        estimator.counts(),
+        estimator.means(),
+        estimator.total_count(),
+        config,
+        out,
+    );
+}
+
+/// The UCB-index sweep over raw estimator columns (`counts`/`means`
+/// parallel arrays plus the global `total`).
+///
+/// This is the single kernel behind both the serial path
+/// ([`ucb_indices_into`]) and the batched per-lane sweep
+/// ([`crate::batch::BatchCmabUcb`]): one shared expression tree means the
+/// two paths cannot drift apart bit-wise.
+pub fn ucb_indices_from_columns_into(
+    counts: &[u64],
+    means: &[f64],
+    total: u64,
+    config: &UcbConfig,
+    out: &mut Vec<f64>,
+) {
     out.clear();
-    let arms = estimator.counts().iter().zip(estimator.means());
+    let arms = counts.iter().zip(means);
     if total <= 1 {
         // Degenerate start: every explored arm has zero width.
         out.extend(arms.map(|(&n, &mean)| if n == 0 { f64::INFINITY } else { mean + 0.0 }));

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod estimator;
 pub mod index;
 pub mod policies;
@@ -29,6 +30,7 @@ pub mod regret;
 pub mod topk;
 pub mod windowed;
 
+pub use batch::{BatchCmabUcb, BatchSelectionPolicy, LanePolicies};
 pub use estimator::QualityEstimator;
 pub use index::{ucb_indices, UcbConfig};
 pub use policies::{

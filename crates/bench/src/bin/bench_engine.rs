@@ -15,8 +15,8 @@
 //! ```
 
 use cdt_sim::{
-    configured_chunk, configured_threads, replicate, set_chunk_override, set_thread_override,
-    PolicySpec, ReplicatedRun,
+    configured_batch, configured_chunk, configured_threads, replicate, set_batch_override,
+    set_chunk_override, set_thread_override, PolicySpec, ReplicatedRun,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -33,6 +33,10 @@ struct Workload {
     /// Fixed pool chunk size, if pinned (`--chunk`/`CDT_CHUNK`);
     /// `None` means adaptive chunking.
     chunk: Option<usize>,
+    /// Lockstep batch width of the parallel leg (`--batch`/`CDT_BATCH`);
+    /// `1` is the unbatched path. The serial leg always runs unbatched,
+    /// so `identical` also pins batched output to the serial reference.
+    batch: usize,
 }
 
 #[derive(Serialize)]
@@ -64,6 +68,7 @@ struct Args {
     reps: usize,
     threads: usize,
     chunk: Option<usize>,
+    batch: usize,
     out: String,
     history: String,
     /// Fractional regression tolerance for the perf gate (`None` = no gate):
@@ -83,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         reps: 4,
         threads: configured_threads(),
         chunk: configured_chunk(),
+        batch: configured_batch(),
         out: "BENCH_engine.json".to_owned(),
         history: "results/bench_history.jsonl".to_owned(),
         gate_tolerance: None,
@@ -112,6 +118,12 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.chunk = Some(chunk);
             }
+            "--batch" => {
+                args.batch = parse(&value("--batch")?)?;
+                if args.batch == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+            }
             "--out" => args.out = value("--out")?,
             "--history" => args.history = value("--history")?,
             "--gate-tolerance" => {
@@ -130,8 +142,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench_engine [--m M] [--k K] [--l L] [--n N] \
-                     [--reps R] [--threads T] [--chunk C] [--out FILE]\n\
-                     \x20      [--history FILE] [--gate-tolerance FRAC] \
+                     [--reps R] [--threads T] [--chunk C] [--batch B]\n\
+                     \x20      [--out FILE] [--history FILE] [--gate-tolerance FRAC] \
                      [--obs-events FILE] [--metrics-out FILE] [--obs-summary]"
                 );
                 std::process::exit(0);
@@ -170,6 +182,7 @@ fn append_history(path: &str, report: &Report) -> std::io::Result<()> {
         "parallel_rounds_per_sec": report.parallel.rounds_per_sec,
         "speedup": report.speedup,
         "identical": report.identical,
+        "batch": report.workload.batch,
     });
     let mut file = std::fs::OpenOptions::new()
         .create(true)
@@ -209,6 +222,7 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
                 && field_ok(rec, "n", report.workload.n as u64)
                 && field_ok(rec, "reps", report.workload.replications as u64)
                 && field_ok(rec, "threads", report.parallel.threads as u64)
+                && field_ok(rec, "batch", report.workload.batch as u64)
         })
         .filter_map(|rec| rec.get("speedup").and_then(serde_json::Value::as_f64))
         .filter(|s| s.is_finite() && *s > 0.0)
@@ -216,14 +230,16 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
 }
 
 /// Gates the current run against the workload-matched history baseline:
-/// passes trivially with no baseline (first run seeds the history), fails
-/// when the speedup falls below `median * (1 - tolerance)`.
+/// skips (passes trivially) until at least 3 matching records exist —
+/// a 1–2 sample median is noise, not a baseline — then fails when the
+/// speedup falls below `median * (1 - tolerance)`.
 fn perf_gate(history: &str, report: &Report, tolerance: f64) -> Result<String, String> {
     let mut speedups = baseline_speedups(history, report);
-    if speedups.is_empty() {
+    if speedups.len() < 3 {
         return Ok(format!(
-            "perf gate: no baseline for this workload in {history}; \
-             this run seeds it (speedup {:.2}x)",
+            "perf gate skipped (n<3): {} matching record(s) for this workload \
+             in {history}; this run grows the baseline (speedup {:.2}x)",
+            speedups.len(),
             report.speedup
         ));
     }
@@ -247,8 +263,14 @@ fn perf_gate(history: &str, report: &Report, tolerance: f64) -> Result<String, S
     }
 }
 
-fn timed_replicate(args: &Args, specs: &[PolicySpec], threads: usize) -> (Vec<ReplicatedRun>, f64) {
+fn timed_replicate(
+    args: &Args,
+    specs: &[PolicySpec],
+    threads: usize,
+    batch: usize,
+) -> (Vec<ReplicatedRun>, f64) {
     set_thread_override(Some(threads));
+    set_batch_override(Some(batch));
     let started = Instant::now();
     let runs = replicate(args.m, args.k, args.l, args.n, specs, args.reps, 20_210_419)
         .expect("benchmark workload must run");
@@ -269,6 +291,7 @@ fn main() {
         if let Err(e) = cdt_obs::install(cdt_obs::ObsConfig {
             events_path: args.obs_events.clone().map(Into::into),
             summary: args.obs_summary,
+            events_sample: 0,
         }) {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -279,10 +302,14 @@ fn main() {
     let total_rounds = (args.n * args.reps * specs.len()) as f64;
 
     set_chunk_override(args.chunk);
-    let (serial_runs, serial_secs) = timed_replicate(&args, &specs, 1);
-    let (parallel_runs, parallel_secs) = timed_replicate(&args, &specs, args.threads);
+    // The serial leg is the exact reference path (one thread, unbatched);
+    // the parallel leg takes the requested pool and lockstep batch width,
+    // so `identical` pins batching as well as threading.
+    let (serial_runs, serial_secs) = timed_replicate(&args, &specs, 1, 1);
+    let (parallel_runs, parallel_secs) = timed_replicate(&args, &specs, args.threads, args.batch);
     set_thread_override(None);
     set_chunk_override(None);
+    set_batch_override(None);
 
     let report = Report {
         bench: "engine",
@@ -295,6 +322,7 @@ fn main() {
             policies: specs.iter().map(PolicySpec::label).collect(),
             seed: 20_210_419,
             chunk: args.chunk,
+            batch: args.batch,
         },
         serial: Timing {
             threads: 1,

@@ -13,8 +13,9 @@
 //! # export CSVs next to the printout:
 //! cargo run --release -p cdt-bench --bin repro -- --csv out/
 //!
-//! # pin the evaluation pool (results are identical at any thread count):
-//! cargo run --release -p cdt-bench --bin repro -- --threads 1
+//! # pin the evaluation pool (results are identical at any thread count
+//! # and any lockstep batch width):
+//! cargo run --release -p cdt-bench --bin repro -- --threads 1 --batch 4
 //!
 //! # per-round JSONL trace + Prometheus metrics + phase/pool summary:
 //! cargo run --release -p cdt-bench --bin repro -- --exp fig7 \
@@ -63,10 +64,21 @@ fn parse_args() -> Result<Args, String> {
                 }
                 cdt_sim::set_thread_override(Some(t));
             }
+            "--batch" => {
+                let raw = argv.next().ok_or("--batch needs a width")?;
+                let b: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--batch expects an integer, got `{raw}`"))?;
+                if b == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+                cdt_sim::set_batch_override(Some(b));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp <id>]... [--paper|--test] [--csv <dir>] [--threads T]\n\
-                     \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary]\n\
+                     \x20      [--batch B] [--obs-events FILE] [--metrics-out FILE] \
+                     [--obs-summary]\n\
                      known ids: {}",
                     all_experiment_ids().join(", ")
                 );
@@ -138,6 +150,7 @@ fn main() {
         if let Err(e) = cdt_obs::install(cdt_obs::ObsConfig {
             events_path: args.obs_events.clone().map(Into::into),
             summary: args.obs_summary,
+            events_sample: 0,
         }) {
             eprintln!("error: {e}");
             std::process::exit(1);

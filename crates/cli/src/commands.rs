@@ -19,13 +19,19 @@ USAGE:
   cdt run      [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
   cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
-               [--chunk C]
+               [--chunk C] [--batch B]
   cdt game     [--k K] [--omega W] [--theta T]
+  cdt obs summarize FILE
 
 OBSERVABILITY (on `run` and `compare`):
-  --obs-events FILE   write one JSON object per round event (JSONL trace)
-  --metrics-out FILE  dump the metrics registry in Prometheus text format
-  --obs-summary       print the end-of-run phase/pool summary table
+  --obs-events FILE      write one JSON object per round event (JSONL trace)
+  --obs-events-sample K  record only every K-th round's events (metrics
+                         still cover every round)
+  --metrics-out FILE     dump the metrics registry in Prometheus text format
+  --obs-summary          print the end-of-run phase/pool summary table
+
+`cdt obs summarize FILE` re-renders that summary table offline from a
+JSONL trace written earlier with --obs-events.
 
 Defaults follow the paper's Table II (M=300, K=10, L=10, omega=1000,
 theta=0.1); `run`/`compare` default to N=2000 so they finish in seconds —
@@ -35,9 +41,11 @@ pass --n 100000 for the paper's horizon.
 threads; --threads T (or the CDT_THREADS env var) sets the pool size and
 --threads 1 forces the exact serial path. --chunk C (or CDT_CHUNK) pins
 the pool's cursor-claim chunk size (default: adaptive guided
-self-scheduling; --chunk 1 is job-at-a-time claiming). Results are
-bit-for-bit identical at any thread count and any chunk size, with
-observability on or off.";
+self-scheduling; --chunk 1 is job-at-a-time claiming). --batch B (or
+CDT_BATCH) groups every B same-shape replications into one lockstep job
+that advances all lanes round-by-round through shared policy matrices
+(default: 1, unbatched). Results are bit-for-bit identical at any thread
+count, chunk size, and batch width, with observability on or off.";
 
 /// An installed observability pipeline plus what to do with it at the end
 /// of the command.
@@ -55,12 +63,14 @@ pub fn obs_begin(flags: &FlagMap) -> Result<ObsSession, String> {
     let events_path = flags.get("obs-events").map(std::path::PathBuf::from);
     let metrics_out = flags.get("metrics-out").map(str::to_owned);
     let summary = flags.is_set("obs-summary");
+    let events_sample = flags.usize_or("obs-events-sample", 0)?;
     let active = events_path.is_some() || metrics_out.is_some() || summary;
     if active {
         cdt_obs::global().reset();
         cdt_obs::install(cdt_obs::ObsConfig {
             events_path,
             summary,
+            events_sample,
         })
         .map_err(|e| format!("cannot set up observability: {e}"))?;
     }
@@ -121,6 +131,34 @@ fn apply_chunk(flags: &FlagMap) -> Result<(), String> {
         }
         cdt_sim::set_chunk_override(Some(c));
     }
+    apply_batch(flags)
+}
+
+/// Applies the `--batch` flag (if present) to the lockstep-batch width:
+/// every `B` same-shape replications advance round-by-round through one
+/// job. Any width is bit-identical; `--batch 1` is the unbatched path.
+/// Without the flag the engine uses `CDT_BATCH` or stays unbatched.
+fn apply_batch(flags: &FlagMap) -> Result<(), String> {
+    if let Some(raw) = flags.get("batch") {
+        let b: usize = raw
+            .parse()
+            .map_err(|_| format!("--batch expects an integer, got `{raw}`"))?;
+        if b == 0 {
+            return Err("--batch must be at least 1".into());
+        }
+        cdt_sim::set_batch_override(Some(b));
+    }
+    Ok(())
+}
+
+/// `cdt obs summarize FILE` — offline summary of a JSONL event trace.
+///
+/// # Errors
+/// Returns a message on I/O failure.
+pub fn obs_summarize_cmd(path: &str) -> Result<(), String> {
+    let text = cdt_obs::summarize_trace(std::path::Path::new(path))
+        .map_err(|e| format!("cannot summarize {path}: {e}"))?;
+    print!("{text}");
     Ok(())
 }
 
@@ -392,6 +430,10 @@ mod tests {
         parse_flags(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
     }
 
+    // The observability pipeline is process-wide; serialize the tests that
+    // install one so neither tears the other's sink down mid-run.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn run_small_mechanism() {
         run_mechanism(&flags(&["--m", "10", "--k", "3", "--l", "4", "--n", "20"])).unwrap();
@@ -481,7 +523,24 @@ mod tests {
     }
 
     #[test]
+    fn compare_with_explicit_batch() {
+        compare(&flags(&[
+            "--m", "8", "--k", "2", "--l", "3", "--n", "20", "--reps", "3", "--batch", "2",
+        ]))
+        .unwrap();
+        // Reset the global override so other tests see the default.
+        cdt_sim::set_batch_override(None);
+    }
+
+    #[test]
+    fn compare_rejects_zero_batch() {
+        assert!(compare(&flags(&["--m", "10", "--batch", "0"])).is_err());
+        assert!(compare(&flags(&["--m", "10", "--batch", "wide"])).is_err());
+    }
+
+    #[test]
     fn compare_with_observability_writes_events_and_metrics() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let dir = std::env::temp_dir().join("cdt_cli_obs_test");
         std::fs::create_dir_all(&dir).unwrap();
         let events = dir.join("events.jsonl");
@@ -512,6 +571,47 @@ mod tests {
         assert!(prom.contains("cdt_obs_rounds_total"), "got:\n{prom}");
         std::fs::remove_file(events).ok();
         std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn sampled_events_thin_the_trace_and_summarize_offline() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("cdt_cli_obs_sample_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events.jsonl");
+        run_mechanism(&flags(&[
+            "--m",
+            "8",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--n",
+            "20",
+            "--obs-events",
+            events.to_str().unwrap(),
+            "--obs-events-sample",
+            "5",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&events).unwrap();
+        // Rounds 0, 5, 10, 15 of the 20-round run land in the trace.
+        let rounds: std::collections::BTreeSet<u64> = text
+            .lines()
+            .map(|l| {
+                let v: serde_json::Value = serde_json::from_str(l).unwrap();
+                v["round"].as_u64().unwrap()
+            })
+            .collect();
+        assert_eq!(rounds.into_iter().collect::<Vec<_>>(), vec![0, 5, 10, 15]);
+        // The offline summarizer reads the same trace back.
+        obs_summarize_cmd(events.to_str().unwrap()).unwrap();
+        std::fs::remove_file(events).ok();
+    }
+
+    #[test]
+    fn obs_summarize_missing_file_errors() {
+        assert!(obs_summarize_cmd("/nonexistent/definitely/missing.jsonl").is_err());
     }
 
     #[test]

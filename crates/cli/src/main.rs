@@ -7,11 +7,14 @@
 //! cdt run [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE]
 //! cdt compare [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
 //! cdt game [--k K] [--omega W] [--theta T]
+//! cdt obs summarize FILE
 //! ```
 //!
 //! `run` and `compare` additionally accept `--obs-events FILE` (JSONL round
-//! traces), `--metrics-out FILE` (Prometheus text dump), and
-//! `--obs-summary` (end-of-run phase/pool table).
+//! traces), `--obs-events-sample K` (record every K-th round only),
+//! `--metrics-out FILE` (Prometheus text dump), and `--obs-summary`
+//! (end-of-run phase/pool table); `cdt obs summarize` re-renders that
+//! summary offline from a trace file.
 
 use cdt_cli::args::{parse_flags, FlagMap};
 use cdt_cli::commands;
@@ -31,6 +34,13 @@ fn run(argv: &[String]) -> i32 {
             match path {
                 Some(p) => commands::trace_stats_cmd(p),
                 None => Err("usage: cdt trace stats FILE".into()),
+            }
+        }
+        (Some("obs"), Some("summarize")) => {
+            let path = argv.get(2).map(String::as_str);
+            match path {
+                Some(p) => commands::obs_summarize_cmd(p),
+                None => Err("usage: cdt obs summarize FILE".into()),
             }
         }
         (Some("run"), _) => with_flags(&argv[1..], commands::run_mechanism),

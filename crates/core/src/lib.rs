@@ -45,7 +45,8 @@ pub use budget::{BudgetedCmabHs, BudgetedRun, StopReason};
 pub use ledger::{LedgerMode, TradingLedger};
 pub use mechanism::CmabHs;
 pub use round::{
-    execute_round, execute_round_into, execute_round_observed_into, RoundOutcome, RoundScratch,
+    execute_batch_round_observed_into, execute_round, execute_round_into,
+    execute_round_observed_into, BatchScratch, RoundOutcome, RoundScratch,
 };
 pub use scenario::Scenario;
 

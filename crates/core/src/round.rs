@@ -1,16 +1,15 @@
 //! One trading round: selection → incentive game → data collection →
 //! learning (the loop body of Algorithm 1).
 
-use cdt_bandit::SelectionPolicy;
+use cdt_bandit::{BatchSelectionPolicy, SelectionPolicy};
 use cdt_game::{
-    initial_round_strategy, solve_equilibrium_into, GameContext, SelectedSeller,
-    StackelbergSolution,
+    initial_round_strategy, EquilibriumCache, GameContext, SelectedSeller, StackelbergSolution,
 };
 use cdt_obs::{
     EquilibriumEvent, NullObserver, ObservationEvent, PhaseTimer, RoundEndEvent, RoundObserver,
     SelectionEvent,
 };
-use cdt_quality::{ObservationMatrix, QualityObserver};
+use cdt_quality::{ObservationBatch, ObservationMatrix, QualityObserver};
 use cdt_types::{Result, Round, SellerId, SystemConfig};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -57,26 +56,22 @@ impl RoundOutcome {
 /// round — essential when the evaluation loop executes `N = 10⁵` rounds per
 /// (policy × replication) cell.
 ///
-/// The scratch also carries the equilibrium fast path: the game context of
-/// the previous solve and validity/hit/miss bookkeeping. The Stage-1/2/3
-/// solve is a pure function of the context (no RNG), so when the selected
-/// set and the `q̄` snapshot are unchanged from the previous round the
-/// previous solution — still sitting in the outcome's strategy buffer — is
-/// bit-identical and the solve is skipped entirely. This hits on every
-/// round for oracle/frozen-mean policies and during ε-first exploitation.
+/// The scratch also carries the equilibrium fast path
+/// ([`EquilibriumCache`]): the Stage-1/2/3 solve is a pure function of the
+/// game context (no RNG), so when the selected set and the `q̄` snapshot
+/// are unchanged from the previous round the previous solution — still
+/// sitting in the outcome's strategy buffer — is bit-identical and the
+/// solve is skipped entirely. This hits on every round for
+/// oracle/frozen-mean policies and during ε-first exploitation.
 #[derive(Debug)]
 pub struct RoundScratch {
     outcome: RoundOutcome,
     /// The reusable game context: economic parameters validated once, the
     /// seller columns refilled in place each round.
     ctx: Option<GameContext>,
-    /// The context of the most recent equilibrium solve.
-    prev_ctx: Option<GameContext>,
-    /// Whether `outcome.strategy` currently holds the solve of `prev_ctx`
-    /// (false initially and after initial-strategy rounds).
-    prev_ctx_valid: bool,
-    eq_cache_hits: u64,
-    eq_cache_misses: u64,
+    /// The equilibrium fast path: previous solved context + hit/miss
+    /// counters.
+    cache: EquilibriumCache,
     observations: ObservationMatrix,
     /// Selection-score buffer, filled only when an enabled observer asks
     /// for the per-seller indices (never touched on the null path).
@@ -95,13 +90,20 @@ impl RoundScratch {
                 observed_revenue: 0.0,
             },
             ctx: None,
-            prev_ctx: None,
-            prev_ctx_valid: false,
-            eq_cache_hits: 0,
-            eq_cache_misses: 0,
+            cache: EquilibriumCache::new(),
             observations: ObservationMatrix::empty(),
             scores: Vec::new(),
         }
+    }
+
+    /// Prepares an already-used scratch for a fresh run: invalidates the
+    /// equilibrium cache and zeroes its counters while keeping every
+    /// allocated buffer. A reset scratch behaves exactly like
+    /// [`RoundScratch::new`] (all buffer contents are overwritten before
+    /// being read), which is what lets worker arenas recycle it across
+    /// jobs.
+    pub fn reset(&mut self) {
+        self.cache.reset();
     }
 
     /// The outcome written by the most recent [`execute_round_into`] call.
@@ -120,26 +122,32 @@ impl RoundScratch {
     /// was identical to the previous round's.
     #[must_use]
     pub fn eq_cache_hits(&self) -> u64 {
-        self.eq_cache_hits
+        self.cache.hits()
     }
 
     /// Rounds that ran the full Stage-1/2/3 solve.
     #[must_use]
     pub fn eq_cache_misses(&self) -> u64 {
-        self.eq_cache_misses
+        self.cache.misses()
     }
 
     /// Publishes the equilibrium-cache counters to the global metrics
     /// registry (`cdt_obs_eq_cache_{hits,misses}_total`). Call once per
     /// run loop; a no-op while no observability pipeline is installed.
     pub fn publish_eq_cache_metrics(&self) {
-        if !cdt_obs::is_enabled() {
-            return;
-        }
-        let registry = cdt_obs::global();
-        registry.add_counter("cdt_obs_eq_cache_hits_total", &[], self.eq_cache_hits);
-        registry.add_counter("cdt_obs_eq_cache_misses_total", &[], self.eq_cache_misses);
+        publish_eq_cache_counters(self.cache.hits(), self.cache.misses());
     }
+}
+
+/// Publishes equilibrium-cache counters to the global metrics registry; a
+/// no-op while no observability pipeline is installed.
+fn publish_eq_cache_counters(hits: u64, misses: u64) {
+    if !cdt_obs::is_enabled() {
+        return;
+    }
+    let registry = cdt_obs::global();
+    registry.add_counter("cdt_obs_eq_cache_hits_total", &[], hits);
+    registry.add_counter("cdt_obs_eq_cache_misses_total", &[], misses);
 }
 
 impl Default for RoundScratch {
@@ -228,41 +236,125 @@ pub fn execute_round_observed_into<'a, O: RoundObserver>(
     scratch: &'a mut RoundScratch,
     obs: &mut O,
 ) -> Result<&'a RoundOutcome> {
+    round_body(
+        SerialActor(policy),
+        config,
+        observer,
+        round,
+        rng,
+        &mut scratch.outcome,
+        &mut scratch.ctx,
+        &mut scratch.cache,
+        &mut scratch.observations,
+        &mut scratch.scores,
+        obs,
+    )?;
+    Ok(&scratch.outcome)
+}
+
+/// The policy-facing surface of one round, lane-agnostic.
+///
+/// The serial path wires a [`SelectionPolicy`] straight through
+/// ([`SerialActor`]); the batch path wires lane `b` of a
+/// [`BatchSelectionPolicy`] ([`LaneActor`]). Both run the *same*
+/// monomorphized [`round_body`], so the two paths share every float
+/// expression tree and every RNG draw — bit-identity between them is by
+/// construction, not by parallel maintenance.
+trait RoundActor {
+    fn select_into(&mut self, round: Round, rng: &mut dyn RngCore, out: &mut Vec<SellerId>);
+    fn game_quality(&self, id: SellerId) -> f64;
+    fn selection_score(&self, id: SellerId) -> f64;
+    fn observe(&mut self, round: Round, observations: &ObservationMatrix);
+}
+
+/// A plain [`SelectionPolicy`] as a round actor.
+struct SerialActor<'a>(&'a mut dyn SelectionPolicy);
+
+impl RoundActor for SerialActor<'_> {
+    fn select_into(&mut self, round: Round, rng: &mut dyn RngCore, out: &mut Vec<SellerId>) {
+        self.0.select_into(round, rng, out);
+    }
+
+    fn game_quality(&self, id: SellerId) -> f64 {
+        self.0.game_quality(id)
+    }
+
+    fn selection_score(&self, id: SellerId) -> f64 {
+        self.0.selection_score(id)
+    }
+
+    fn observe(&mut self, round: Round, observations: &ObservationMatrix) {
+        self.0.observe(round, observations);
+    }
+}
+
+/// One lane of a [`BatchSelectionPolicy`] as a round actor.
+struct LaneActor<'a>(&'a mut dyn BatchSelectionPolicy, usize);
+
+impl RoundActor for LaneActor<'_> {
+    fn select_into(&mut self, round: Round, rng: &mut dyn RngCore, out: &mut Vec<SellerId>) {
+        self.0.select_into(self.1, round, rng, out);
+    }
+
+    fn game_quality(&self, id: SellerId) -> f64 {
+        self.0.game_quality(self.1, id)
+    }
+
+    fn selection_score(&self, id: SellerId) -> f64 {
+        self.0.selection_score(self.1, id)
+    }
+
+    fn observe(&mut self, round: Round, observations: &ObservationMatrix) {
+        self.0.observe(self.1, round, observations);
+    }
+}
+
+/// The loop body of Algorithm 1 over explicit state slots — the single
+/// implementation behind [`execute_round_observed_into`] (serial) and
+/// [`execute_batch_round_observed_into`] (one call per lane).
+#[allow(clippy::too_many_arguments)]
+fn round_body<A: RoundActor, O: RoundObserver>(
+    mut actor: A,
+    config: &SystemConfig,
+    observer: &QualityObserver,
+    round: Round,
+    rng: &mut dyn RngCore,
+    outcome: &mut RoundOutcome,
+    ctx_slot: &mut Option<GameContext>,
+    cache: &mut EquilibriumCache,
+    observations: &mut ObservationMatrix,
+    scores: &mut Vec<f64>,
+    obs: &mut O,
+) -> Result<()> {
     if O::ENABLED {
         obs.round_start(round);
     }
     let mut timer = PhaseTimer::start(O::ENABLED);
 
-    policy.select_into(round, rng, &mut scratch.outcome.selected);
+    actor.select_into(round, rng, &mut outcome.selected);
     let selection_ns = timer.lap();
     if O::ENABLED {
-        scratch.scores.clear();
-        scratch.scores.extend(
-            scratch
-                .outcome
-                .selected
-                .iter()
-                .map(|&id| policy.selection_score(id)),
-        );
+        scores.clear();
+        scores.extend(outcome.selected.iter().map(|&id| actor.selection_score(id)));
         obs.selection(
             round,
             &SelectionEvent {
-                selected: &scratch.outcome.selected,
-                scores: &scratch.scores,
+                selected: &outcome.selected,
+                scores,
             },
         );
         timer.skip();
     }
 
-    // Build the game context — in place when the scratch already holds one
+    // Build the game context — in place when the slot already holds one
     // for the same economic parameters (validated once at construction),
     // from scratch otherwise.
     {
-        let selected = &scratch.outcome.selected;
+        let selected = &outcome.selected;
         let sellers = selected
             .iter()
-            .map(|&id| SelectedSeller::new(id, policy.game_quality(id), config.seller_cost(id)));
-        match &mut scratch.ctx {
+            .map(|&id| SelectedSeller::new(id, actor.game_quality(id), config.seller_cost(id)));
+        match ctx_slot {
             Some(ctx) if context_params_match(ctx, config) => ctx.refill_sellers(sellers)?,
             slot => {
                 *slot = Some(GameContext::new(
@@ -276,29 +368,24 @@ pub fn execute_round_observed_into<'a, O: RoundObserver>(
             }
         }
     }
-    let ctx = scratch.ctx.as_ref().expect("context was just built");
+    let ctx = ctx_slot.as_ref().expect("context was just built");
 
-    if round.is_initial() {
-        scratch.outcome.strategy = initial_round_strategy(ctx, config.initial_sensing_time);
+    let cached = if round.is_initial() {
+        outcome.strategy = initial_round_strategy(ctx, config.initial_sensing_time);
         // The strategy buffer no longer holds an equilibrium solve.
-        scratch.prev_ctx_valid = false;
-    } else if scratch.prev_ctx_valid && scratch.prev_ctx.as_ref() == Some(ctx) {
-        // Fast path: same selection, same q̄ snapshot, same parameters. The
-        // solve is a pure function of the context, so the previous round's
-        // solution (still in the strategy buffer) is bit-identical.
-        scratch.eq_cache_hits += 1;
+        cache.invalidate();
+        false
     } else {
-        solve_equilibrium_into(ctx, &mut scratch.outcome.strategy);
-        match &mut scratch.prev_ctx {
-            Some(prev) => prev.clone_from(ctx),
-            slot => *slot = Some(ctx.clone()),
-        }
-        scratch.prev_ctx_valid = true;
-        scratch.eq_cache_misses += 1;
-    }
+        // Fast path inside: same selection, same q̄ snapshot, same
+        // parameters ⇒ the previous round's solution (still in the
+        // strategy buffer) is bit-identical and the solve is skipped.
+        let hits_before = cache.hits();
+        cache.solve_into(ctx, &mut outcome.strategy);
+        cache.hits() != hits_before
+    };
     let solve_ns = timer.lap();
     if O::ENABLED {
-        let strategy = &scratch.outcome.strategy;
+        let strategy = &outcome.strategy;
         obs.equilibrium(
             round,
             &EquilibriumEvent {
@@ -308,28 +395,29 @@ pub fn execute_round_observed_into<'a, O: RoundObserver>(
                 consumer_profit: strategy.profits.consumer,
                 platform_profit: strategy.profits.platform,
                 seller_profit: strategy.profits.total_seller(),
+                cached,
             },
         );
         timer.skip();
     }
 
-    observer.observe_round_into(&scratch.outcome.selected, rng, &mut scratch.observations);
-    scratch.outcome.observed_revenue = scratch.observations.total();
-    policy.observe(round, &scratch.observations);
+    observer.observe_round_into(&outcome.selected, rng, observations);
+    outcome.observed_revenue = observations.total();
+    actor.observe(round, observations);
     let observe_ns = timer.lap();
     if O::ENABLED {
         obs.observation(
             round,
             &ObservationEvent {
-                observed_revenue: scratch.outcome.observed_revenue,
-                samples: scratch.observations.sellers().len() * scratch.observations.num_pois(),
+                observed_revenue: outcome.observed_revenue,
+                samples: observations.sellers().len() * observations.num_pois(),
             },
         );
-        let strategy = &scratch.outcome.strategy;
+        let strategy = &outcome.strategy;
         obs.round_end(
             round,
             &RoundEndEvent {
-                observed_revenue: scratch.outcome.observed_revenue,
+                observed_revenue: outcome.observed_revenue,
                 consumer_profit: strategy.profits.consumer,
                 platform_profit: strategy.profits.platform,
                 seller_profit: strategy.profits.total_seller(),
@@ -340,8 +428,178 @@ pub fn execute_round_observed_into<'a, O: RoundObserver>(
         );
     }
 
-    scratch.outcome.round = round;
-    Ok(&scratch.outcome)
+    outcome.round = round;
+    Ok(())
+}
+
+/// One lane's private round state inside a [`BatchScratch`]: outcome,
+/// reusable game context, equilibrium cache, and score buffer.
+#[derive(Debug)]
+struct LaneCore {
+    outcome: RoundOutcome,
+    ctx: Option<GameContext>,
+    cache: EquilibriumCache,
+    scores: Vec<f64>,
+}
+
+impl LaneCore {
+    fn new() -> Self {
+        Self {
+            outcome: RoundOutcome {
+                round: Round(0),
+                selected: Vec::new(),
+                strategy: StackelbergSolution::empty(),
+                observed_revenue: 0.0,
+            },
+            ctx: None,
+            cache: EquilibriumCache::new(),
+            scores: Vec::new(),
+        }
+    }
+}
+
+/// Reusable per-lane buffers for the lockstep batch runner: `B` lanes of
+/// [`RoundScratch`]-equivalent state (outcome, game context, equilibrium
+/// cache, score buffer) plus a stacked observation matrix.
+///
+/// Lane state is kept per-lane rather than interleaved because every slot
+/// is either written before read each round (outcome, observations,
+/// scores) or a genuine per-lane carry (context, cache) — only the
+/// *learner* state inside a [`BatchSelectionPolicy`] profits from the SoA
+/// `B×M` layout. Like [`RoundScratch`], a batch scratch grows on first use
+/// and then recycles: [`execute_batch_round_observed_into`] runs
+/// allocation-free once every lane's buffers have reached their working
+/// size, and worker arenas hand the whole scratch from one finished job to
+/// the next.
+#[derive(Debug)]
+pub struct BatchScratch {
+    lanes: Vec<LaneCore>,
+    observations: ObservationBatch,
+}
+
+impl BatchScratch {
+    /// Fresh scratch with zero lanes; lanes are grown on demand.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            lanes: Vec::new(),
+            observations: ObservationBatch::new(),
+        }
+    }
+
+    /// Grows to at least `b` lanes; never shrinks (a wider earlier job's
+    /// buffers stay warm for the next wide job).
+    pub fn ensure_lanes(&mut self, b: usize) {
+        while self.lanes.len() < b {
+            self.lanes.push(LaneCore::new());
+        }
+        self.observations.ensure_lanes(b);
+    }
+
+    /// Number of lanes currently allocated.
+    #[must_use]
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Prepares a recycled scratch for a fresh job: invalidates every
+    /// lane's equilibrium cache and zeroes its counters while keeping all
+    /// allocated buffers (see [`RoundScratch::reset`]).
+    pub fn reset(&mut self) {
+        for lane in &mut self.lanes {
+            lane.cache.reset();
+        }
+    }
+
+    /// Lane `b`'s outcome from the most recent batch round.
+    #[must_use]
+    pub fn outcome(&self, lane: usize) -> &RoundOutcome {
+        &self.lanes[lane].outcome
+    }
+
+    /// Equilibrium-cache hits summed over all lanes.
+    #[must_use]
+    pub fn eq_cache_hits(&self) -> u64 {
+        self.lanes.iter().map(|l| l.cache.hits()).sum()
+    }
+
+    /// Equilibrium-cache misses (full solves) summed over all lanes.
+    #[must_use]
+    pub fn eq_cache_misses(&self) -> u64 {
+        self.lanes.iter().map(|l| l.cache.misses()).sum()
+    }
+
+    /// Publishes the summed equilibrium-cache counters to the global
+    /// metrics registry; a no-op while no pipeline is installed.
+    pub fn publish_eq_cache_metrics(&self) {
+        publish_eq_cache_counters(self.eq_cache_hits(), self.eq_cache_misses());
+    }
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Executes one round of Algorithm 1 across `B` replication lanes in
+/// lockstep: lane `b` runs against `envs[b]` with RNG stream `rngs[b]`,
+/// observer `obs[b]`, and lane `b` of `policy`.
+///
+/// Each lane executes the *same* [`round_body`] as the serial
+/// [`execute_round_observed_into`] path — same statement order, same float
+/// expression trees, same RNG draw order — so lane `b`'s outcomes are
+/// bit-for-bit identical to a standalone run of that replication at any
+/// batch width. Lanes are independent (separate environments, RNG streams,
+/// learner columns, and equilibrium caches); batching buys shared scratch,
+/// shared policy matrices, and one scheduling unit per `B` replications.
+///
+/// # Errors
+/// Propagates [`cdt_types::CdtError`] from any lane's game-context
+/// construction; lanes after the failing one are not executed.
+///
+/// # Panics
+/// Panics if `rngs` or `obs` disagree with `envs` on length, or if
+/// `policy` has fewer lanes than `envs`.
+pub fn execute_batch_round_observed_into<R: RngCore, O: RoundObserver>(
+    policy: &mut dyn BatchSelectionPolicy,
+    envs: &[(&SystemConfig, &QualityObserver)],
+    round: Round,
+    rngs: &mut [R],
+    scratch: &mut BatchScratch,
+    obs: &mut [O],
+) -> Result<()> {
+    let b = envs.len();
+    assert_eq!(rngs.len(), b, "one RNG stream per lane");
+    assert_eq!(obs.len(), b, "one observer per lane");
+    assert!(
+        policy.num_lanes() >= b,
+        "batch policy covers {} lanes but {} environments were given",
+        policy.num_lanes(),
+        b
+    );
+    scratch.ensure_lanes(b);
+    let BatchScratch {
+        lanes,
+        observations,
+    } = scratch;
+    for (lane, &(config, observer)) in envs.iter().enumerate() {
+        let core = &mut lanes[lane];
+        round_body(
+            LaneActor(&mut *policy, lane),
+            config,
+            observer,
+            round,
+            &mut rngs[lane],
+            &mut core.outcome,
+            &mut core.ctx,
+            &mut core.cache,
+            observations.lane_mut(lane),
+            &mut core.scores,
+            &mut obs[lane],
+        )?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -578,6 +836,97 @@ mod tests {
         // the selection) changes and the cache must not serve stale solves.
         assert_eq!(scratch.eq_cache_hits() + scratch.eq_cache_misses(), 5);
         assert!(scratch.eq_cache_misses() >= 1);
+    }
+
+    #[test]
+    fn batch_rounds_are_bit_identical_to_serial() {
+        use cdt_bandit::BatchCmabUcb;
+        let (config, observer) = setup(6, 2, 4);
+        let (b, rounds) = (3usize, 12usize);
+
+        // Serial reference: one policy + RNG stream + scratch per
+        // replication, exactly as the existing evaluation loop runs them.
+        let mut serial_policies: Vec<CmabUcbPolicy> =
+            (0..b).map(|_| CmabUcbPolicy::new(6, 2)).collect();
+        let mut serial_rngs: Vec<StdRng> = (0..b)
+            .map(|l| StdRng::seed_from_u64(40 + l as u64))
+            .collect();
+        let mut serial_scratch: Vec<RoundScratch> = (0..b).map(|_| RoundScratch::new()).collect();
+
+        let mut batch_policy = BatchCmabUcb::new(b, 6, 2);
+        let mut batch_rngs: Vec<StdRng> = (0..b)
+            .map(|l| StdRng::seed_from_u64(40 + l as u64))
+            .collect();
+        let mut batch = BatchScratch::new();
+        let mut null_obs = vec![NullObserver; b];
+        let envs: Vec<(&SystemConfig, &QualityObserver)> =
+            (0..b).map(|_| (&config, &observer)).collect();
+
+        for t in 0..rounds {
+            execute_batch_round_observed_into(
+                &mut batch_policy,
+                &envs,
+                Round(t),
+                &mut batch_rngs,
+                &mut batch,
+                &mut null_obs,
+            )
+            .unwrap();
+            for lane in 0..b {
+                let serial = execute_round_into(
+                    &mut serial_policies[lane],
+                    &config,
+                    &observer,
+                    Round(t),
+                    &mut serial_rngs[lane],
+                    &mut serial_scratch[lane],
+                )
+                .unwrap();
+                assert_eq!(serial, batch.outcome(lane), "lane {lane} round {t} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_aggregates_lane_equilibrium_caches() {
+        use cdt_bandit::{LanePolicies, OraclePolicy};
+        let (config, observer) = setup(6, 2, 4);
+        let (b, n) = (2usize, 10usize);
+        let lanes: Vec<Box<dyn SelectionPolicy>> = (0..b)
+            .map(|_| {
+                Box::new(OraclePolicy::new(
+                    observer.population().expected_qualities(),
+                    2,
+                )) as Box<dyn SelectionPolicy>
+            })
+            .collect();
+        let mut policy = LanePolicies::new(lanes);
+        let mut rngs: Vec<StdRng> = (0..b)
+            .map(|l| StdRng::seed_from_u64(60 + l as u64))
+            .collect();
+        let mut scratch = BatchScratch::new();
+        let mut null_obs = vec![NullObserver; b];
+        let envs: Vec<(&SystemConfig, &QualityObserver)> =
+            (0..b).map(|_| (&config, &observer)).collect();
+        for t in 0..n {
+            execute_batch_round_observed_into(
+                &mut policy,
+                &envs,
+                Round(t),
+                &mut rngs,
+                &mut scratch,
+                &mut null_obs,
+            )
+            .unwrap();
+        }
+        // Per lane: round 0 plays the initial strategy (no solve), round 1
+        // solves, every later round reuses the cached solution.
+        assert_eq!(scratch.eq_cache_misses(), b as u64);
+        assert_eq!(scratch.eq_cache_hits(), (b * (n - 2)) as u64);
+        // reset() keeps the lanes but zeroes the cache counters.
+        scratch.reset();
+        assert_eq!(scratch.num_lanes(), b);
+        assert_eq!(scratch.eq_cache_hits() + scratch.eq_cache_misses(), 0);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Equilibrium memoization across consecutive rounds.
+//!
+//! The CMAB loop re-solves the three-stage game every round, but once the
+//! estimator's means settle the selected set and its `q̄` snapshot repeat
+//! for long stretches — the game inputs are identical, so the Stackelberg
+//! solution is too. [`EquilibriumCache`] keeps the previous round's
+//! [`GameContext`] and skips the Stage-1/2/3 solve when the new context
+//! compares equal, leaving the previously-solved strategy in place.
+//!
+//! The fast path is *exact*: contexts are compared field-for-field (no
+//! tolerance), so a cache hit returns bit-for-bit the strategy a fresh
+//! solve would produce.
+
+use crate::context::GameContext;
+use crate::equilibrium::{solve_equilibrium_into, StackelbergSolution};
+
+/// Skips the equilibrium solve when the game context repeats verbatim.
+///
+/// One cache instance serves one lane of rounds (one policy run); the
+/// counters feed the `cdt_obs_eq_cache_{hits,misses}_total` metrics.
+#[derive(Debug, Clone, Default)]
+pub struct EquilibriumCache {
+    /// The context of the last solved round (buffer reused via
+    /// `clone_from`, so steady-state rounds allocate nothing).
+    prev: Option<GameContext>,
+    /// Whether `prev` holds the context of a *solved* round. Initial
+    /// rounds play the fixed exploration strategy without solving, so
+    /// they invalidate rather than populate the cache.
+    valid: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl EquilibriumCache {
+    /// A cold cache: the first solve is always a miss.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves the game for `ctx` into `out`, skipping the solve when `ctx`
+    /// is bit-identical to the previously solved context (in which case
+    /// `out` still holds that round's strategy and is left untouched).
+    ///
+    /// The caller must reuse the same `out` buffer across rounds of a lane
+    /// for the hit path to be meaningful.
+    pub fn solve_into(&mut self, ctx: &GameContext, out: &mut StackelbergSolution) {
+        if self.valid && self.prev.as_ref() == Some(ctx) {
+            self.hits += 1;
+            return;
+        }
+        solve_equilibrium_into(ctx, out);
+        match &mut self.prev {
+            Some(prev) => prev.clone_from(ctx),
+            slot => *slot = Some(ctx.clone()),
+        }
+        self.valid = true;
+        self.misses += 1;
+    }
+
+    /// Marks the cached context stale (e.g. after an initial round whose
+    /// strategy was not produced by a solve) without dropping its buffers.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Resets counters and invalidates the cache, keeping the allocated
+    /// context buffer for reuse (arena-recycled scratch calls this).
+    pub fn reset(&mut self) {
+        self.valid = false;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Rounds that reused the cached equilibrium.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Rounds that ran the full Stage-1/2/3 solve.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SelectedSeller;
+    use crate::equilibrium::solve_equilibrium;
+    use cdt_types::{PlatformCostParams, PriceBounds, SellerCostParams, SellerId, ValuationParams};
+
+    fn ctx(quality: f64) -> GameContext {
+        let sellers = vec![
+            SelectedSeller::new(
+                SellerId(0),
+                quality,
+                SellerCostParams::new(0.3, 0.5).unwrap(),
+            ),
+            SelectedSeller::new(SellerId(1), 0.6, SellerCostParams::new(0.2, 0.4).unwrap()),
+        ];
+        GameContext::new(
+            sellers,
+            PlatformCostParams::new(0.1, 1.0).unwrap(),
+            ValuationParams::new(1000.0).unwrap(),
+            PriceBounds::unbounded(),
+            PriceBounds::unbounded(),
+            f64::MAX,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repeated_context_hits_and_preserves_solution() {
+        let mut cache = EquilibriumCache::new();
+        let c = ctx(0.8);
+        let fresh = solve_equilibrium(&c);
+        let mut out = StackelbergSolution::empty();
+        cache.solve_into(&c, &mut out);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert_eq!(out, fresh);
+        for _ in 0..3 {
+            cache.solve_into(&c, &mut out);
+        }
+        assert_eq!((cache.hits(), cache.misses()), (3, 1));
+        assert_eq!(out, fresh, "hit path must leave the solved strategy as-is");
+    }
+
+    #[test]
+    fn changed_context_misses() {
+        let mut cache = EquilibriumCache::new();
+        let mut out = StackelbergSolution::empty();
+        cache.solve_into(&ctx(0.8), &mut out);
+        cache.solve_into(&ctx(0.9), &mut out);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(out, solve_equilibrium(&ctx(0.9)));
+    }
+
+    #[test]
+    fn invalidate_forces_a_fresh_solve() {
+        let mut cache = EquilibriumCache::new();
+        let c = ctx(0.7);
+        let mut out = StackelbergSolution::empty();
+        cache.solve_into(&c, &mut out);
+        cache.invalidate();
+        cache.solve_into(&c, &mut out);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let mut cache = EquilibriumCache::new();
+        let c = ctx(0.7);
+        let mut out = StackelbergSolution::empty();
+        cache.solve_into(&c, &mut out);
+        cache.solve_into(&c, &mut out);
+        cache.reset();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        cache.solve_into(&c, &mut out);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    }
+}

@@ -1,0 +1,285 @@
+//! Offline trace analysis: rebuild summary metrics from a JSONL event
+//! trace (`cdt obs summarize <trace.jsonl>`).
+//!
+//! A live run publishes phase histograms and cache counters to the global
+//! registry as it goes; this module reconstructs the same registry shape
+//! from a trace written earlier (`--obs-events`), so the one summary
+//! renderer ([`render_summary`]) serves both the live `--obs-summary` path
+//! and post-hoc analysis of a file.
+
+use crate::event::Phase;
+use crate::latency::LatencyHistogram;
+use crate::metrics::MetricsRegistry;
+use crate::record::EventRecord;
+use crate::summary::render_summary;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// Aggregate statistics parsed out of one JSONL trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Records that parsed as [`EventRecord`]s.
+    pub events: u64,
+    /// Non-empty lines that did not parse (skipped, not fatal).
+    pub malformed: u64,
+    /// Distinct run labels seen.
+    pub runs: usize,
+    /// Completed rounds (`round_end` records).
+    pub rounds: u64,
+    /// Engine busy time summed over every phase sample, in nanoseconds.
+    pub busy_ns: u64,
+}
+
+impl TraceStats {
+    /// Completed rounds per second of summed engine busy time. Zero when
+    /// the trace carries no timing samples.
+    #[must_use]
+    pub fn rounds_per_sec(&self) -> f64 {
+        if self.busy_ns == 0 {
+            0.0
+        } else {
+            self.rounds as f64 * 1e9 / self.busy_ns as f64
+        }
+    }
+}
+
+/// Parses the JSONL trace at `path` into a fresh [`MetricsRegistry`] with
+/// the same metric families a live run publishes (round/event counters,
+/// per-phase latency histograms, eq-cache counters), plus [`TraceStats`].
+///
+/// Malformed lines are counted and skipped so a truncated trace (e.g. from
+/// a killed run) still summarizes.
+///
+/// # Errors
+/// Propagates I/O errors opening or reading the file.
+pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceStats)> {
+    let reader = BufReader::new(File::open(path)?);
+
+    let mut runs = BTreeSet::new();
+    let mut events = 0u64;
+    let mut malformed = 0u64;
+    let mut rounds = 0u64;
+    let mut eq_hits = 0u64;
+    let mut eq_misses = 0u64;
+    let mut phase_hists: [LatencyHistogram; 4] = std::array::from_fn(|_| LatencyHistogram::new());
+
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record: EventRecord = match serde_json::from_str(line) {
+            Ok(record) => record,
+            Err(_) => {
+                malformed += 1;
+                continue;
+            }
+        };
+        events += 1;
+        runs.insert(record.run().to_owned());
+        match &record {
+            EventRecord::RoundEnd {
+                selection_ns,
+                solve_ns,
+                observe_ns,
+                ..
+            } => {
+                rounds += 1;
+                phase_hists[Phase::Selection as usize].record_ns(*selection_ns);
+                phase_hists[Phase::Solve as usize].record_ns(*solve_ns);
+                phase_hists[Phase::Observe as usize].record_ns(*observe_ns);
+            }
+            EventRecord::Regret { account_ns, .. } => {
+                phase_hists[Phase::Account as usize].record_ns(*account_ns);
+            }
+            EventRecord::Equilibrium { round, cached, .. } => {
+                // Mirror the engine's counters: the initial round assigns a
+                // strategy without consulting the cache, so it is neither a
+                // hit nor a miss.
+                if *cached {
+                    eq_hits += 1;
+                } else if *round != 0 {
+                    eq_misses += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let registry = MetricsRegistry::new();
+    registry.add_counter("cdt_obs_rounds_total", &[], rounds);
+    registry.add_counter("cdt_obs_events_total", &[], events);
+    if eq_hits + eq_misses > 0 {
+        registry.add_counter("cdt_obs_eq_cache_hits_total", &[], eq_hits);
+        registry.add_counter("cdt_obs_eq_cache_misses_total", &[], eq_misses);
+    }
+    let mut busy_ns = 0u64;
+    for phase in Phase::ALL {
+        let hist = &phase_hists[phase as usize];
+        if hist.count() > 0 {
+            busy_ns += hist.sum_ns();
+            registry.merge_histogram("cdt_obs_round_phase_ns", &[("phase", phase.as_str())], hist);
+        }
+    }
+
+    let stats = TraceStats {
+        events,
+        malformed,
+        runs: runs.len(),
+        rounds,
+        busy_ns,
+    };
+    Ok((registry, stats))
+}
+
+/// Renders the human summary of the trace at `path`: the standard
+/// [`render_summary`] table over the reconstructed registry, framed by the
+/// trace provenance and a rounds-per-second throughput line.
+///
+/// # Errors
+/// Propagates I/O errors from [`registry_from_trace`].
+pub fn summarize_trace(path: &Path) -> io::Result<String> {
+    let (registry, stats) = registry_from_trace(path)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} ({} events / {} runs)",
+        path.display(),
+        stats.events,
+        stats.runs
+    );
+    if stats.malformed > 0 {
+        let _ = writeln!(out, "skipped {} malformed lines", stats.malformed);
+    }
+    out.push_str(&render_summary(&registry));
+    if stats.rounds > 0 && stats.busy_ns > 0 {
+        let _ = writeln!(
+            out,
+            "throughput: {:.0} rounds/sec (engine busy time)",
+            stats.rounds_per_sec()
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cdt-obs-analyze-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    fn write_trace(name: &str, lines: &[String]) -> PathBuf {
+        let path = temp_path(name);
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        path
+    }
+
+    fn round_end(run: &str, round: usize) -> String {
+        serde_json::to_string(&EventRecord::RoundEnd {
+            run: run.into(),
+            round,
+            observed_revenue: 1.0,
+            consumer_profit: 0.4,
+            platform_profit: 0.3,
+            seller_profit: 0.3,
+            selection_ns: 1_000,
+            solve_ns: 2_000,
+            observe_ns: 3_000,
+        })
+        .unwrap()
+    }
+
+    fn equilibrium(run: &str, round: usize, cached: bool) -> String {
+        serde_json::to_string(&EventRecord::Equilibrium {
+            run: run.into(),
+            round,
+            service_price: 1.0,
+            collection_price: 0.5,
+            sensing_times: vec![0.1],
+            consumer_profit: 0.4,
+            platform_profit: 0.3,
+            seller_profit: 0.3,
+            cached,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn rebuilds_counters_histograms_and_cache_stats() {
+        let path = write_trace(
+            "full",
+            &[
+                equilibrium("a/seed1", 0, false),
+                round_end("a/seed1", 0),
+                equilibrium("a/seed1", 1, false),
+                round_end("a/seed1", 1),
+                equilibrium("a/seed1", 2, true),
+                round_end("a/seed1", 2),
+                equilibrium("b/seed2", 0, false),
+                round_end("b/seed2", 0),
+            ],
+        );
+        let (registry, stats) = registry_from_trace(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(stats.events, 8);
+        assert_eq!(stats.malformed, 0);
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.rounds, 4);
+        // 4 round_end records × (1000 + 2000 + 3000) ns.
+        assert_eq!(stats.busy_ns, 24_000);
+        assert!(stats.rounds_per_sec() > 0.0);
+
+        assert_eq!(registry.counter_value("cdt_obs_rounds_total", &[]), 4);
+        // Initial rounds are neither hits nor misses: 1 hit, 1 miss.
+        assert_eq!(registry.counter_value("cdt_obs_eq_cache_hits_total", &[]), 1);
+        assert_eq!(
+            registry.counter_value("cdt_obs_eq_cache_misses_total", &[]),
+            1
+        );
+    }
+
+    #[test]
+    fn summary_text_includes_phases_and_throughput() {
+        let path = write_trace(
+            "render",
+            &[
+                round_end("a/seed1", 0),
+                round_end("a/seed1", 1),
+                "not json at all".to_owned(),
+            ],
+        );
+        let text = summarize_trace(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert!(text.contains("(2 events / 1 runs)"), "got:\n{text}");
+        assert!(text.contains("skipped 1 malformed lines"), "got:\n{text}");
+        assert!(text.contains("rounds: 2"), "got:\n{text}");
+        assert!(text.contains("selection"), "got:\n{text}");
+        assert!(text.contains("throughput:"), "got:\n{text}");
+    }
+
+    #[test]
+    fn empty_trace_summarizes_without_throughput_line() {
+        let path = write_trace("empty", &[String::new()]);
+        let text = summarize_trace(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("rounds: 0"));
+        assert!(!text.contains("throughput:"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = temp_path("definitely-not-created");
+        assert!(summarize_trace(&path).is_err());
+    }
+}

@@ -27,6 +27,7 @@
 //! `run_policy_observed`). With no pipeline installed everything stays on
 //! the null path.
 
+pub mod analyze;
 pub mod event;
 pub mod latency;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod summary;
 pub mod timing;
 pub mod warn;
 
+pub use analyze::{registry_from_trace, summarize_trace, TraceStats};
 pub use event::{
     EquilibriumEvent, NullObserver, ObservationEvent, Phase, RoundEndEvent, RoundObserver,
     SelectionEvent,

@@ -29,12 +29,19 @@ pub struct ObsConfig {
     pub events_path: Option<PathBuf>,
     /// Print the end-of-run human summary table (`--obs-summary`).
     pub summary: bool,
+    /// Record only every k-th round's events (`--obs-events-sample`);
+    /// `0` and `1` both mean "record every round". Sampling thins the
+    /// JSONL trace only — metrics (round counts, phase histograms,
+    /// eq-cache counters) still cover every round, and the summary
+    /// reports the factor.
+    pub events_sample: usize,
 }
 
 #[derive(Debug)]
 struct Pipeline {
     sink: Option<JsonlSink>,
     summary: bool,
+    events_sample: usize,
 }
 
 /// Fast gate: one relaxed atomic load on the hot paths.
@@ -52,9 +59,13 @@ pub fn install(config: ObsConfig) -> io::Result<()> {
         Some(path) => Some(JsonlSink::create(path)?),
         None => None,
     };
+    if config.events_sample > 1 {
+        metrics::global().set_gauge("cdt_obs_events_sample", &[], config.events_sample as f64);
+    }
     *pipeline_slot() = Some(Arc::new(Pipeline {
         sink,
         summary: config.summary,
+        events_sample: config.events_sample,
     }));
     ENABLED.store(true, Ordering::Release);
     Ok(())
@@ -87,10 +98,12 @@ pub fn observer_for_run(run: &str) -> Option<PipelineObserver> {
         return None;
     }
     let pipeline = pipeline_slot().as_ref().map(Arc::clone)?;
+    let events_sample = pipeline.events_sample.max(1);
     Some(PipelineObserver {
         recorder: RecordingObserver::new(run),
         phase_ns: [const { None }; 4],
         rounds: 0,
+        events_sample,
         pipeline,
     })
 }
@@ -114,6 +127,7 @@ pub struct PipelineObserver {
     recorder: RecordingObserver,
     phase_ns: [Option<LatencyHistogram>; 4],
     rounds: u64,
+    events_sample: usize,
     pipeline: Arc<Pipeline>,
 }
 
@@ -121,27 +135,43 @@ impl PipelineObserver {
     fn phase_hist(&mut self, phase: Phase) -> &mut LatencyHistogram {
         self.phase_ns[phase as usize].get_or_insert_with(LatencyHistogram::new)
     }
+
+    /// Whether this round's events land in the trace. Metrics (the rounds
+    /// counter, phase histograms) deliberately bypass this gate.
+    fn sampled(&self, round: Round) -> bool {
+        round.0 % self.events_sample == 0
+    }
 }
 
 impl RoundObserver for PipelineObserver {
     fn round_start(&mut self, round: Round) {
-        self.recorder.round_start(round);
+        if self.sampled(round) {
+            self.recorder.round_start(round);
+        }
     }
 
     fn selection(&mut self, round: Round, event: &SelectionEvent<'_>) {
-        self.recorder.selection(round, event);
+        if self.sampled(round) {
+            self.recorder.selection(round, event);
+        }
     }
 
     fn equilibrium(&mut self, round: Round, event: &EquilibriumEvent<'_>) {
-        self.recorder.equilibrium(round, event);
+        if self.sampled(round) {
+            self.recorder.equilibrium(round, event);
+        }
     }
 
     fn observation(&mut self, round: Round, event: &ObservationEvent) {
-        self.recorder.observation(round, event);
+        if self.sampled(round) {
+            self.recorder.observation(round, event);
+        }
     }
 
     fn round_end(&mut self, round: Round, event: &RoundEndEvent) {
-        self.recorder.round_end(round, event);
+        if self.sampled(round) {
+            self.recorder.round_end(round, event);
+        }
         self.rounds += 1;
         self.phase_hist(Phase::Selection)
             .record_ns(event.selection_ns);
@@ -150,7 +180,9 @@ impl RoundObserver for PipelineObserver {
     }
 
     fn regret(&mut self, round: Round, cumulative_regret: f64, account_ns: u64) {
-        self.recorder.regret(round, cumulative_regret, account_ns);
+        if self.sampled(round) {
+            self.recorder.regret(round, cumulative_regret, account_ns);
+        }
         self.phase_hist(Phase::Account).record_ns(account_ns);
     }
 }
@@ -187,10 +219,19 @@ impl Drop for PipelineObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::Metric;
+
+    // The pipeline and the metrics registry are process-wide; serialize the
+    // tests that install/uninstall or read counter deltas.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn no_pipeline_means_no_observer() {
-        // Serialize against other tests that install pipelines.
+        let _guard = lock();
         uninstall();
         assert!(!is_enabled());
         assert!(observer_for_run("x").is_none());
@@ -198,6 +239,7 @@ mod tests {
 
     #[test]
     fn observer_publishes_on_drop() {
+        let _guard = lock();
         install(ObsConfig::default()).unwrap();
         let before = metrics::global().counter_value("cdt_obs_rounds_total", &[]);
         {
@@ -219,6 +261,48 @@ mod tests {
         }
         let after = metrics::global().counter_value("cdt_obs_rounds_total", &[]);
         assert_eq!(after - before, 1);
+        uninstall();
+    }
+
+    #[test]
+    fn sampling_thins_the_trace_but_not_the_metrics() {
+        let _guard = lock();
+        install(ObsConfig {
+            events_sample: 3,
+            ..ObsConfig::default()
+        })
+        .unwrap();
+        let before = metrics::global().counter_value("cdt_obs_rounds_total", &[]);
+        let mut obs = observer_for_run("sampling-unit").unwrap();
+        for t in 0..6 {
+            obs.round_start(Round(t));
+            obs.round_end(
+                Round(t),
+                &RoundEndEvent {
+                    observed_revenue: 1.0,
+                    consumer_profit: 0.5,
+                    platform_profit: 0.3,
+                    seller_profit: 0.2,
+                    selection_ns: 100,
+                    solve_ns: 200,
+                    observe_ns: 300,
+                },
+            );
+        }
+        // Only rounds 0 and 3 are recorded (2 events each) …
+        assert_eq!(obs.recorder.records.len(), 4);
+        drop(obs);
+        // … but the rounds counter still covers all 6.
+        let after = metrics::global().counter_value("cdt_obs_rounds_total", &[]);
+        assert_eq!(after - before, 6);
+        let sample = metrics::global()
+            .snapshot()
+            .into_iter()
+            .find_map(|(k, m)| match m {
+                Metric::Gauge(v) if k.family == "cdt_obs_events_sample" => Some(v),
+                _ => None,
+            });
+        assert_eq!(sample, Some(3.0));
         uninstall();
     }
 }

@@ -49,6 +49,11 @@ pub enum EventRecord {
         consumer_profit: f64,
         platform_profit: f64,
         seller_profit: f64,
+        /// Whether the strategy came from the equilibrium cache (the solve
+        /// was skipped). `default` so traces written before this field
+        /// existed still deserialize.
+        #[serde(default)]
+        cached: bool,
     },
     /// Qualities were observed.
     Observation {
@@ -157,6 +162,7 @@ impl RoundObserver for RecordingObserver {
             consumer_profit: event.consumer_profit,
             platform_profit: event.platform_profit,
             seller_profit: event.seller_profit,
+            cached: event.cached,
         });
     }
 

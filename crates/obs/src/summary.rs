@@ -47,6 +47,16 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         counter("cdt_obs_events_total")
     );
 
+    // Event-trace sampling factor (`--obs-events-sample`): qualifies the
+    // events count above — metrics still cover every round.
+    let sample = snapshot.iter().find_map(|(k, m)| match m {
+        Metric::Gauge(v) if k.family == "cdt_obs_events_sample" => Some(*v),
+        _ => None,
+    });
+    if let Some(s) = sample.filter(|&s| s > 1.0) {
+        let _ = writeln!(out, "event trace sampled: every {s:.0}th round");
+    }
+
     // Equilibrium-cache effectiveness (the round hot path's solve-skip).
     let eq_hits = counter("cdt_obs_eq_cache_hits_total");
     let eq_misses = counter("cdt_obs_eq_cache_misses_total");
@@ -57,6 +67,20 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
             eq_hits,
             eq_misses,
             100.0 * eq_hits as f64 / (eq_hits + eq_misses) as f64
+        );
+    }
+
+    // Per-worker scratch-arena effectiveness (round/batch scratch reuse
+    // across consecutive jobs on a thread).
+    let arena_hits = counter("cdt_obs_pool_arena_hits_total");
+    let arena_misses = counter("cdt_obs_pool_arena_misses_total");
+    if arena_hits + arena_misses > 0 {
+        let _ = writeln!(
+            out,
+            "scratch arena: {} reused / {} fresh ({:.1}% reuse)",
+            arena_hits,
+            arena_misses,
+            100.0 * arena_hits as f64 / (arena_hits + arena_misses) as f64
         );
     }
 
@@ -205,6 +229,30 @@ mod tests {
         let text = render_summary(&r);
         assert!(
             text.contains("eq-cache: 18 hits / 2 misses (90.0% hit rate)"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn arena_line_renders_reuse_rate() {
+        let r = MetricsRegistry::new();
+        r.add_counter("cdt_obs_pool_arena_hits_total", &[], 3);
+        r.add_counter("cdt_obs_pool_arena_misses_total", &[], 1);
+        let text = render_summary(&r);
+        assert!(
+            text.contains("scratch arena: 3 reused / 1 fresh (75.0% reuse)"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn sampling_line_renders_only_when_thinning() {
+        let r = MetricsRegistry::new();
+        assert!(!render_summary(&r).contains("sampled"));
+        r.set_gauge("cdt_obs_events_sample", &[], 5.0);
+        let text = render_summary(&r);
+        assert!(
+            text.contains("event trace sampled: every 5th round"),
             "got:\n{text}"
         );
     }

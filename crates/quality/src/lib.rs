@@ -29,6 +29,6 @@ pub use distribution::{
     BernoulliQuality, BetaQuality, QualityDistribution, TruncatedGaussian, UniformQuality,
 };
 pub use drift::{DriftModel, DriftingObserver};
-pub use observe::{ObservationMatrix, QualityObserver};
+pub use observe::{ObservationBatch, ObservationMatrix, QualityObserver};
 pub use poi_effects::{PoiEffects, PoiVaryingObserver};
 pub use population::{SellerPopulation, SellerProfile};

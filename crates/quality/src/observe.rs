@@ -132,6 +132,55 @@ impl ObservationMatrix {
     }
 }
 
+/// A stack of per-lane [`ObservationMatrix`] buffers for the batched
+/// replication engine: lane `b` holds the observations of replication
+/// lane `b`'s current round.
+///
+/// Lanes are kept as whole matrices (not one flat `B×K×L` buffer) because
+/// each lane samples from its *own* hidden population with its own RNG
+/// stream — the draw loop is inherently per-lane — while estimator updates
+/// already consume a lane's matrix as one flat pass. Buffers persist
+/// across rounds and across arena-recycled jobs, so steady-state batched
+/// rounds allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationBatch {
+    lanes: Vec<ObservationMatrix>,
+}
+
+impl ObservationBatch {
+    /// An empty batch; lanes are added by [`ObservationBatch::ensure_lanes`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows (never shrinks) the stack to at least `b` lanes, keeping
+    /// existing lane buffers intact for reuse.
+    pub fn ensure_lanes(&mut self, b: usize) {
+        if self.lanes.len() < b {
+            self.lanes.resize_with(b, ObservationMatrix::empty);
+        }
+    }
+
+    /// Number of allocated lanes.
+    #[must_use]
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lane `b`'s observation matrix.
+    #[must_use]
+    pub fn lane(&self, b: usize) -> &ObservationMatrix {
+        &self.lanes[b]
+    }
+
+    /// Mutable access to lane `b`'s matrix (the fill target of
+    /// [`QualityObserver::observe_round_into`]).
+    pub fn lane_mut(&mut self, b: usize) -> &mut ObservationMatrix {
+        &mut self.lanes[b]
+    }
+}
+
 /// Draws per-round observations from a hidden population.
 #[derive(Debug, Clone)]
 pub struct QualityObserver {

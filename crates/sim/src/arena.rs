@@ -1,0 +1,138 @@
+//! Per-worker scratch arenas: recycle round/batch scratch buffers across
+//! consecutive jobs on the same thread.
+//!
+//! Every evaluation job (one policy run, or one lockstep batch of
+//! replications) needs a scratch whose buffers grow to a working size
+//! within a few rounds and then stay flat. Jobs on the same worker thread
+//! almost always share a shape, so instead of allocating a fresh scratch
+//! per job, each thread keeps one [`RoundScratch`] and one [`BatchScratch`]
+//! in a thread-local slot: a job takes the slot's scratch (resetting its
+//! equilibrium caches and counters — see [`RoundScratch::reset`]), runs,
+//! and puts it back. Results are bit-identical to a fresh scratch because
+//! a reset scratch behaves exactly like a new one; reuse only skips the
+//! re-growing of buffers.
+//!
+//! The pool's workers are scoped threads that die at the end of each
+//! `parallel_map` call, so worker slots provide *intra-call* reuse (one
+//! allocation per worker per call instead of one per job); the calling
+//! thread's slot additionally persists across calls. Claims are counted
+//! process-wide — [`arena_counters`] — and published to the metrics
+//! registry (`cdt_obs_pool_arena_{hits,misses}_total`) while a pipeline is
+//! installed, so `--obs-summary` shows how much allocation the arena
+//! avoided.
+
+use cdt_core::{BatchScratch, RoundScratch};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    static ROUND_SLOT: RefCell<Option<RoundScratch>> = const { RefCell::new(None) };
+    static BATCH_SLOT: RefCell<Option<BatchScratch>> = const { RefCell::new(None) };
+}
+
+/// Jobs that received a recycled scratch (process-wide, all threads).
+static ARENA_HITS: AtomicU64 = AtomicU64::new(0);
+/// Jobs that had to allocate a fresh scratch.
+static ARENA_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn record_claim(hit: bool) {
+    let cell = if hit { &ARENA_HITS } else { &ARENA_MISSES };
+    cell.fetch_add(1, Ordering::Relaxed);
+    if cdt_obs::is_enabled() {
+        let family = if hit {
+            "cdt_obs_pool_arena_hits_total"
+        } else {
+            "cdt_obs_pool_arena_misses_total"
+        };
+        cdt_obs::global().add_counter(family, &[], 1);
+    }
+}
+
+/// Runs `f` with this thread's recycled [`RoundScratch`] (reset, so `f`
+/// sees the exact behavior of a fresh scratch), allocating one only on the
+/// thread's first claim. The scratch returns to the slot afterwards; on
+/// panic it is dropped and the next claim allocates fresh.
+pub fn with_round_scratch<R>(f: impl FnOnce(&mut RoundScratch) -> R) -> R {
+    let recycled = ROUND_SLOT.with(|slot| slot.borrow_mut().take());
+    let mut scratch = match recycled {
+        Some(mut s) => {
+            s.reset();
+            record_claim(true);
+            s
+        }
+        None => {
+            record_claim(false);
+            RoundScratch::new()
+        }
+    };
+    let result = f(&mut scratch);
+    ROUND_SLOT.with(|slot| *slot.borrow_mut() = Some(scratch));
+    result
+}
+
+/// As [`with_round_scratch`], for the lockstep batch runner's
+/// [`BatchScratch`] (lanes grown by earlier jobs stay warm — see
+/// [`BatchScratch::ensure_lanes`]).
+pub fn with_batch_scratch<R>(f: impl FnOnce(&mut BatchScratch) -> R) -> R {
+    let recycled = BATCH_SLOT.with(|slot| slot.borrow_mut().take());
+    let mut scratch = match recycled {
+        Some(mut s) => {
+            s.reset();
+            record_claim(true);
+            s
+        }
+        None => {
+            record_claim(false);
+            BatchScratch::new()
+        }
+    };
+    let result = f(&mut scratch);
+    BATCH_SLOT.with(|slot| *slot.borrow_mut() = Some(scratch));
+    result
+}
+
+/// Process-wide arena claim counters as `(hits, misses)`: how many jobs
+/// received a recycled scratch vs. had to allocate one.
+#[must_use]
+pub fn arena_counters() -> (u64, u64) {
+    (
+        ARENA_HITS.load(Ordering::Relaxed),
+        ARENA_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_slot_recycles_on_second_claim() {
+        // First claim on a fresh thread allocates; the second recycles.
+        // Run on a dedicated thread so other tests' claims on this
+        // thread-local can't interfere.
+        std::thread::spawn(|| {
+            let (h0, m0) = arena_counters();
+            with_round_scratch(|_| ());
+            with_round_scratch(|scratch| {
+                assert_eq!(scratch.eq_cache_hits() + scratch.eq_cache_misses(), 0);
+            });
+            let (h1, m1) = arena_counters();
+            assert!(m1 > m0, "first claim must miss");
+            assert!(h1 > h0, "second claim must hit");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn batch_slot_keeps_lanes_warm() {
+        std::thread::spawn(|| {
+            with_batch_scratch(|scratch| scratch.ensure_lanes(3));
+            with_batch_scratch(|scratch| {
+                assert_eq!(scratch.num_lanes(), 3, "recycled lanes stay allocated");
+            });
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -1,0 +1,256 @@
+//! Lockstep batched policy runs: `B` replications of the same scenario
+//! shape advance round-by-round through one job.
+//!
+//! [`run_policy_batch`] is the batch counterpart of
+//! [`crate::runner::run_policy`]: lane `b` runs `spec` on `scenarios[b]`
+//! with its own RNG stream from `seeds[b]`, and every lane's [`RunResult`]
+//! is bit-for-bit what the serial runner would produce for that
+//! (scenario, seed) pair — the engine executes the identical round body
+//! per lane ([`execute_batch_round_observed_into`]), and the accounting
+//! below mirrors the serial loop statement-for-statement. Batching buys
+//! shared policy matrices (SoA estimator state), shared scratch, and one
+//! scheduling unit per `B` replications.
+
+use crate::policy_spec::PolicySpec;
+use crate::runner::{Checkpoint, RunResult};
+use cdt_bandit::RegretAccountant;
+use cdt_core::{
+    execute_batch_round_observed_into, BatchScratch, NullObserver, RoundObserver, Scenario,
+};
+use cdt_obs::PhaseTimer;
+use cdt_quality::{QualityObserver, SellerPopulation};
+use cdt_types::{Result, Round, SystemConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-lane metric accumulators, mirroring the serial runner's locals.
+struct LaneAccount {
+    accountant: RegretAccountant,
+    consumer_profit: f64,
+    platform_profit: f64,
+    seller_profit: f64,
+    observed_revenue: f64,
+    snapshots: Vec<Checkpoint>,
+    next_checkpoint: usize,
+}
+
+/// Runs `spec` on every lane's scenario in lockstep, one lane per
+/// (scenario, seed) pair, reusing `scratch` across calls.
+///
+/// Consults the globally installed observability pipeline exactly like
+/// [`crate::runner::run_policy`] (one per-run observer per lane, labeled
+/// `"{policy}/seed{seed}"`).
+///
+/// # Errors
+/// Propagates round-execution errors.
+///
+/// # Panics
+/// Panics if `seeds` and `scenarios` disagree on length, if `scenarios`
+/// is empty, or if the scenarios disagree on shape (`m`, `k`, `n`).
+pub fn run_policy_batch(
+    scenarios: &[&Scenario],
+    spec: PolicySpec,
+    seeds: &[u64],
+    checkpoints: &[usize],
+    scratch: &mut BatchScratch,
+) -> Result<Vec<RunResult>> {
+    if cdt_obs::is_enabled() {
+        let mut lane_obs = Vec::with_capacity(seeds.len());
+        for seed in seeds {
+            let label = format!("{}/seed{seed}", spec.label());
+            match cdt_obs::observer_for_run(&label) {
+                Some(obs) => lane_obs.push(obs),
+                None => break,
+            }
+        }
+        if lane_obs.len() == seeds.len() {
+            return run_policy_batch_observed(
+                scenarios,
+                spec,
+                seeds,
+                checkpoints,
+                scratch,
+                &mut lane_obs,
+            );
+        }
+    }
+    let mut null = vec![NullObserver; seeds.len()];
+    run_policy_batch_observed(scenarios, spec, seeds, checkpoints, scratch, &mut null)
+}
+
+/// As [`run_policy_batch`], but with one caller-supplied observer per
+/// lane. Observers are passive: for any observers this returns the exact
+/// per-lane results of the serial [`crate::runner::run_policy`], bit for
+/// bit.
+///
+/// # Errors
+/// Propagates round-execution errors.
+///
+/// # Panics
+/// As [`run_policy_batch`], plus if `obs` disagrees on length.
+pub fn run_policy_batch_observed<O: RoundObserver>(
+    scenarios: &[&Scenario],
+    spec: PolicySpec,
+    seeds: &[u64],
+    checkpoints: &[usize],
+    scratch: &mut BatchScratch,
+    obs: &mut [O],
+) -> Result<Vec<RunResult>> {
+    let b = scenarios.len();
+    assert!(b > 0, "at least one lane");
+    assert_eq!(seeds.len(), b, "one seed per lane");
+    assert_eq!(obs.len(), b, "one observer per lane");
+    let (m, k, n) = {
+        let c = &scenarios[0].config;
+        (c.m(), c.k(), c.n())
+    };
+    for s in scenarios {
+        assert!(
+            s.config.m() == m && s.config.k() == k && s.config.n() == n,
+            "lockstep lanes must share the scenario shape"
+        );
+    }
+
+    let populations: Vec<&SellerPopulation> = scenarios.iter().map(|s| &s.population).collect();
+    let mut policy = spec.build_batch(m, k, n, &populations);
+    let observers: Vec<QualityObserver> = scenarios.iter().map(|s| s.observer()).collect();
+    let envs: Vec<(&SystemConfig, &QualityObserver)> = scenarios
+        .iter()
+        .zip(&observers)
+        .map(|(s, o)| (&s.config, o))
+        .collect();
+    let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+
+    let mut lanes: Vec<LaneAccount> = scenarios
+        .iter()
+        .map(|s| LaneAccount {
+            accountant: RegretAccountant::new(s.population.expected_qualities(), k, s.config.l()),
+            consumer_profit: 0.0,
+            platform_profit: 0.0,
+            seller_profit: 0.0,
+            observed_revenue: 0.0,
+            snapshots: Vec::with_capacity(checkpoints.len() + 1),
+            next_checkpoint: 0,
+        })
+        .collect();
+
+    scratch.ensure_lanes(b);
+    for t in 0..n {
+        execute_batch_round_observed_into(
+            policy.as_mut(),
+            &envs,
+            Round(t),
+            &mut rngs,
+            scratch,
+            obs,
+        )?;
+        for (lane, acct) in lanes.iter_mut().enumerate() {
+            let outcome = scratch.outcome(lane);
+            let mut timer = PhaseTimer::start(O::ENABLED);
+            acct.accountant.record(&outcome.selected);
+            acct.consumer_profit += outcome.strategy.profits.consumer;
+            acct.platform_profit += outcome.strategy.profits.platform;
+            acct.seller_profit += outcome.strategy.profits.total_seller();
+            acct.observed_revenue += outcome.observed_revenue;
+
+            let done = t + 1;
+            let due = acct.next_checkpoint < checkpoints.len()
+                && checkpoints[acct.next_checkpoint] == done;
+            if due || done == n {
+                acct.snapshots.push(Checkpoint {
+                    rounds: done,
+                    expected_revenue: acct.accountant.expected_revenue(),
+                    regret: acct.accountant.regret(),
+                    consumer_profit: acct.consumer_profit,
+                    platform_profit: acct.platform_profit,
+                    seller_profit: acct.seller_profit,
+                });
+                while acct.next_checkpoint < checkpoints.len()
+                    && checkpoints[acct.next_checkpoint] <= done
+                {
+                    acct.next_checkpoint += 1;
+                }
+            }
+            if O::ENABLED {
+                obs[lane].regret(Round(t), acct.accountant.regret(), timer.lap());
+            }
+        }
+    }
+    scratch.publish_eq_cache_metrics();
+
+    Ok(lanes
+        .into_iter()
+        .map(|acct| RunResult {
+            name: spec.label(),
+            rounds: n,
+            observed_revenue: acct.observed_revenue,
+            expected_revenue: acct.accountant.expected_revenue(),
+            regret: acct.accountant.regret(),
+            mean_consumer_profit: acct.consumer_profit / n as f64,
+            mean_platform_profit: acct.platform_profit / n as f64,
+            mean_seller_profit: acct.seller_profit / (n as f64 * k as f64),
+            checkpoints: acct.snapshots,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_policy;
+
+    fn scenarios(count: usize, base_seed: u64) -> Vec<Scenario> {
+        (0..count)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(base_seed + i as u64);
+                Scenario::paper_defaults(14, 3, 4, 80, &mut rng).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_lanes_match_serial_runs_bit_for_bit() {
+        let owned = scenarios(3, 11);
+        let lanes: Vec<&Scenario> = owned.iter().collect();
+        let seeds = [101u64, 202, 303];
+        for spec in [
+            PolicySpec::CmabHs,
+            PolicySpec::Optimal,
+            PolicySpec::EpsilonFirst(0.2),
+            PolicySpec::Random,
+        ] {
+            let serial: Vec<RunResult> = owned
+                .iter()
+                .zip(seeds)
+                .map(|(s, seed)| run_policy(s, spec, seed, &[20, 50]).unwrap())
+                .collect();
+            let mut scratch = BatchScratch::new();
+            let batched = run_policy_batch(&lanes, spec, &seeds, &[20, 50], &mut scratch).unwrap();
+            assert_eq!(serial, batched, "{} diverged", spec.label());
+        }
+    }
+
+    #[test]
+    fn recycled_scratch_stays_bit_identical() {
+        let owned = scenarios(2, 23);
+        let lanes: Vec<&Scenario> = owned.iter().collect();
+        let seeds = [7u64, 9];
+        let spec = PolicySpec::CmabHs;
+        let mut scratch = BatchScratch::new();
+        let first = run_policy_batch(&lanes, spec, &seeds, &[], &mut scratch).unwrap();
+        // Same job on the recycled (reset) scratch: identical output.
+        scratch.reset();
+        let again = run_policy_batch(&lanes, spec, &seeds, &[], &mut scratch).unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the scenario shape")]
+    fn mismatched_shapes_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Scenario::paper_defaults(10, 2, 3, 50, &mut rng).unwrap();
+        let b = Scenario::paper_defaults(12, 2, 3, 50, &mut rng).unwrap();
+        let mut scratch = BatchScratch::new();
+        let _ = run_policy_batch(&[&a, &b], PolicySpec::Random, &[1, 2], &[], &mut scratch);
+    }
+}

@@ -14,6 +14,11 @@
 //! - [`parallel`]: the deterministic job pool every fan-out runs on
 //!   (`--threads` / `CDT_THREADS`; results gathered by job index, so
 //!   output is bit-for-bit identical to the serial path);
+//! - [`batch`]: the lockstep replication runner (`--batch` / `CDT_BATCH`):
+//!   up to `B` same-shape replications advance round-by-round through one
+//!   job with SoA policy state, each lane bit-identical to its serial run;
+//! - [`arena`]: per-worker scratch arenas recycling round/batch scratch
+//!   buffers across consecutive jobs on a thread;
 //! - [`compare`]: many policies on a common scenario;
 //! - [`report`]: plain-text tables and CSV export;
 //! - [`experiments`]: one module per paper figure (7–18).
@@ -27,6 +32,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod arena;
+pub mod batch;
 pub mod compare;
 pub mod experiments;
 pub mod parallel;
@@ -36,10 +43,12 @@ pub mod report;
 pub mod runner;
 pub mod settings;
 
+pub use arena::{arena_counters, with_batch_scratch, with_round_scratch};
+pub use batch::{run_policy_batch, run_policy_batch_observed};
 pub use compare::{compare_policies, compare_policies_grid, ComparisonResult};
 pub use parallel::{
-    configured_chunk, configured_threads, parallel_map, set_chunk_override, set_thread_override,
-    try_parallel_map,
+    configured_batch, configured_chunk, configured_threads, parallel_map, set_batch_override,
+    set_chunk_override, set_thread_override, try_parallel_map,
 };
 pub use policy_spec::PolicySpec;
 pub use replicate::{replicate, replication_table, Replicated, ReplicatedRun};

@@ -155,6 +155,66 @@ pub fn configured_chunk() -> Option<usize> {
     resolve_chunk(env.as_deref())
 }
 
+/// Process-wide lockstep batch-width override; 0 means "not set".
+static BATCH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the lockstep replication batch width for this process (`Some(b)`
+/// with `b ≥ 1`; `1` keeps the serial one-replication-per-job path), or
+/// clears the override (`None`) so [`configured_batch`] falls back to
+/// `CDT_BATCH` / the default of 1. Any batch width is bit-identical — each
+/// lane keeps its own seed-derived RNG stream and runs the exact serial
+/// round body.
+///
+/// # Panics
+/// Panics on `Some(0)`.
+pub fn set_batch_override(batch: Option<usize>) {
+    if let Some(b) = batch {
+        assert!(b >= 1, "batch width must be at least 1");
+        BATCH_OVERRIDE.store(b, Ordering::Relaxed);
+    } else {
+        BATCH_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Parses a `CDT_BATCH`-style value; `None` for anything that is not a
+/// positive integer.
+fn parse_batch(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&b| b >= 1)
+}
+
+/// Resolves a raw `CDT_BATCH` value, warning once on invalid input —
+/// mirroring the `CDT_THREADS` / `CDT_CHUNK` validation. `None` means the
+/// unbatched default.
+fn resolve_batch(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?;
+    match parse_batch(raw) {
+        Some(b) => Some(b),
+        None => {
+            cdt_obs::warn_once(
+                "cdt-batch-invalid",
+                &format!(
+                    "ignoring invalid CDT_BATCH value {raw:?} \
+                     (expected a positive integer); running unbatched"
+                ),
+            );
+            None
+        }
+    }
+}
+
+/// The lockstep replication batch width (override > `CDT_BATCH` > 1).
+/// `1` means the classic one-replication-per-job path; `b > 1` groups up
+/// to `b` same-shape replications into one lockstep job.
+#[must_use]
+pub fn configured_batch() -> usize {
+    let overridden = BATCH_OVERRIDE.load(Ordering::Relaxed);
+    if overridden != 0 {
+        return overridden;
+    }
+    let env = std::env::var("CDT_BATCH").ok();
+    resolve_batch(env.as_deref()).unwrap_or(1)
+}
+
 /// Per-worker introspection accumulated locally and published to the
 /// global metrics registry once per `parallel_map` call (never per job).
 #[derive(Default)]
@@ -455,6 +515,27 @@ mod tests {
         let labels: [(&str, &str); 1] = [("kind", "cdt-chunk-invalid")];
         let before = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
         assert_eq!(resolve_chunk(Some("nope")), None);
+        let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn parse_batch_accepts_positive_integers_only() {
+        assert_eq!(parse_batch("4"), Some(4));
+        assert_eq!(parse_batch(" 2 "), Some(2));
+        assert_eq!(parse_batch("0"), None);
+        assert_eq!(parse_batch("-1"), None);
+        assert_eq!(parse_batch("wide"), None);
+        assert_eq!(parse_batch(""), None);
+    }
+
+    #[test]
+    fn resolve_batch_warns_once_and_falls_back_to_unbatched() {
+        assert_eq!(resolve_batch(None), None);
+        assert_eq!(resolve_batch(Some("8")), Some(8));
+        let labels: [(&str, &str); 1] = [("kind", "cdt-batch-invalid")];
+        let before = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert_eq!(resolve_batch(Some("nope")), None);
         let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
         assert!(after > before, "{before} -> {after}");
     }

@@ -2,8 +2,8 @@
 //! comparison set as data.
 
 use cdt_bandit::{
-    CmabUcbPolicy, CucbPolicy, EpsilonFirstPolicy, EpsilonGreedyPolicy, OraclePolicy, RandomPolicy,
-    SelectionPolicy, ThompsonPolicy,
+    BatchCmabUcb, BatchSelectionPolicy, CmabUcbPolicy, CucbPolicy, EpsilonFirstPolicy,
+    EpsilonGreedyPolicy, LanePolicies, OraclePolicy, RandomPolicy, SelectionPolicy, ThompsonPolicy,
 };
 use cdt_quality::SellerPopulation;
 use serde::{Deserialize, Serialize};
@@ -66,6 +66,37 @@ impl PolicySpec {
             PolicySpec::Random => Box::new(RandomPolicy::new(m, k)),
             PolicySpec::Thompson => Box::new(ThompsonPolicy::new(m, k)),
             PolicySpec::Cucb => Box::new(CucbPolicy::new(m, k)),
+        }
+    }
+
+    /// Instantiates the policy across `populations.len()` lockstep
+    /// replication lanes (lane `b` sees `populations[b]` as its hidden
+    /// population).
+    ///
+    /// CMAB-HS variants use the SoA [`BatchCmabUcb`] (estimator state as
+    /// flat `B×M` matrices); every other policy batches via
+    /// [`LanePolicies`], one [`Self::build`] instance per lane. Both forms
+    /// are bit-identical per lane to the serial [`Self::build`] policy.
+    #[must_use]
+    pub fn build_batch(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        populations: &[&SellerPopulation],
+    ) -> Box<dyn BatchSelectionPolicy> {
+        let b = populations.len();
+        match *self {
+            PolicySpec::CmabHs => Box::new(BatchCmabUcb::new(b, m, k)),
+            PolicySpec::CmabHsWithWeight(w) => {
+                Box::new(BatchCmabUcb::new(b, m, k).with_exploration_weight(w))
+            }
+            _ => Box::new(LanePolicies::new(
+                populations
+                    .iter()
+                    .map(|pop| self.build(m, k, n, pop))
+                    .collect(),
+            )),
         }
     }
 

@@ -5,9 +5,10 @@
 //! harness should quantify run-to-run variance, so the `repro` numbers can
 //! be read with error bars.
 
+use crate::batch::run_policy_batch;
 use crate::policy_spec::PolicySpec;
 use crate::report::Table;
-use crate::runner::run_policy;
+use crate::runner::{run_policy, RunResult};
 use cdt_core::Scenario;
 use cdt_types::{mix_seed, Result};
 use rand::rngs::StdRng;
@@ -87,6 +88,12 @@ pub struct ReplicatedRun {
 /// [`crate::parallel::configured_threads`] worker threads; each cell owns
 /// its seed, so the result is bit-for-bit identical at any thread count.
 ///
+/// When [`crate::parallel::configured_batch`] (`--batch` / `CDT_BATCH`)
+/// is above 1, each policy's replications are grouped into lockstep jobs
+/// of up to that many lanes ([`run_policy_batch`]); every lane keeps its
+/// serial cell's seed and round body, so the output is additionally
+/// bit-for-bit identical at any batch width.
+///
 /// # Errors
 /// Propagates scenario-construction and run errors.
 pub fn replicate(
@@ -107,14 +114,57 @@ pub fn replicate(
         })
         .collect::<Result<Vec<_>>>()?;
 
-    let cells: Vec<(usize, usize)> = (0..replications)
-        .flat_map(|rep| (0..specs.len()).map(move |i| (rep, i)))
-        .collect();
     let threads = crate::parallel::configured_threads();
-    let results = crate::parallel::try_parallel_map(&cells, threads, |_, &(rep, i)| {
-        let run_seed = mix_seed(mix_seed(base_seed, rep as u64), 1 + i as u64);
-        run_policy(&scenarios[rep], specs[i], run_seed, &[])
-    })?;
+    let batch = crate::parallel::configured_batch();
+    // Either way, `results` holds the (replication × policy) grid in cell
+    // order (`rep * specs.len() + i`) — the batched path is a scheduling
+    // change only, bit-identical per cell (each lane keeps the exact seed
+    // and round body of its serial cell).
+    let results: Vec<RunResult> = if batch <= 1 {
+        let cells: Vec<(usize, usize)> = (0..replications)
+            .flat_map(|rep| (0..specs.len()).map(move |i| (rep, i)))
+            .collect();
+        crate::parallel::try_parallel_map(&cells, threads, |_, &(rep, i)| {
+            let run_seed = mix_seed(mix_seed(base_seed, rep as u64), 1 + i as u64);
+            // The serial path also recycles its scratch through the
+            // per-worker arena (one RoundScratch per worker, not per cell)
+            // inside `run_policy`.
+            run_policy(&scenarios[rep], specs[i], run_seed, &[])
+        })?
+    } else {
+        // Lockstep batching: group each policy's replications into jobs of
+        // up to `batch` lanes; every job advances its lanes round-by-round
+        // through one SoA policy and one recycled BatchScratch.
+        let jobs: Vec<(usize, usize, usize)> = (0..specs.len())
+            .flat_map(|i| {
+                (0..replications)
+                    .step_by(batch)
+                    .map(move |start| (i, start, (start + batch).min(replications)))
+            })
+            .collect();
+        let grouped = crate::parallel::try_parallel_map(&jobs, threads, |_, &(i, start, end)| {
+            let lanes: Vec<&Scenario> = scenarios[start..end].iter().collect();
+            let seeds: Vec<u64> = (start..end)
+                .map(|rep| mix_seed(mix_seed(base_seed, rep as u64), 1 + i as u64))
+                .collect();
+            crate::arena::with_batch_scratch(|scratch| {
+                run_policy_batch(&lanes, specs[i], &seeds, &[], scratch)
+            })
+        })?;
+        // Scatter the lanes back into cell order.
+        let mut slots: Vec<Option<RunResult>> = std::iter::repeat_with(|| None)
+            .take(replications * specs.len())
+            .collect();
+        for (&(i, start, _), lane_results) in jobs.iter().zip(grouped) {
+            for (offset, result) in lane_results.into_iter().enumerate() {
+                slots[(start + offset) * specs.len() + i] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell is produced by exactly one job"))
+            .collect()
+    };
 
     Ok(specs
         .iter()

@@ -1,0 +1,105 @@
+//! Lockstep-batch determinism contract tests.
+//!
+//! The batched replication engine must be a scheduling change only: for
+//! any batch width, chunk size, and thread count, `replicate` (and every
+//! experiment built on it) returns bit-for-bit the output of the serial
+//! one-thread, unbatched path. The per-worker scratch arenas must recycle
+//! buffers without perturbing that identity.
+
+use cdt_sim::experiments::{run_experiment, Scale};
+use cdt_sim::{
+    arena_counters, replicate, set_batch_override, set_chunk_override, set_thread_override,
+    PolicySpec,
+};
+use std::sync::Mutex;
+
+/// The thread/chunk/batch overrides are process-global; serialize every
+/// test that sets them.
+static GLOBAL_STATE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_overrides() {
+    set_thread_override(None);
+    set_chunk_override(None);
+    set_batch_override(None);
+}
+
+#[test]
+fn replicate_is_bit_identical_across_the_batch_chunk_thread_grid() {
+    let _guard = lock();
+    let specs = PolicySpec::paper_set();
+    let reps = 5;
+
+    // Serial reference: one thread, unbatched, job-at-a-time claiming.
+    set_thread_override(Some(1));
+    set_chunk_override(Some(1));
+    set_batch_override(Some(1));
+    let baseline = replicate(12, 3, 3, 50, &specs, reps, 2024).unwrap();
+
+    // `reps` collapses each policy's replications into one full-width job;
+    // 7 > reps exercises the clamped final group.
+    for batch in [1usize, 2, 7, reps] {
+        for (threads, chunk) in [(1, 1), (2, 1), (4, 3)] {
+            set_thread_override(Some(threads));
+            set_chunk_override(Some(chunk));
+            set_batch_override(Some(batch));
+            let run = replicate(12, 3, 3, 50, &specs, reps, 2024).unwrap();
+            assert_eq!(
+                baseline, run,
+                "replicate diverged at batch={batch} threads={threads} chunk={chunk}"
+            );
+        }
+    }
+    reset_overrides();
+}
+
+#[test]
+fn replicate_experiment_is_bit_identical_at_any_batch_width() {
+    let _guard = lock();
+
+    set_thread_override(Some(1));
+    set_batch_override(Some(1));
+    let baseline: Vec<String> = run_experiment("replicate", Scale::Test)
+        .unwrap()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    for batch in [2usize, 3] {
+        set_thread_override(Some(2));
+        set_batch_override(Some(batch));
+        let run: Vec<String> = run_experiment("replicate", Scale::Test)
+            .unwrap()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(baseline, run, "experiment diverged at batch={batch}");
+    }
+    reset_overrides();
+}
+
+#[test]
+fn batched_replication_recycles_worker_scratch() {
+    let _guard = lock();
+
+    set_thread_override(Some(1));
+    set_batch_override(Some(2));
+    let (hits_before, misses_before) = arena_counters();
+    // 5 policies × ⌈4 reps / batch 2⌉ = 10 batch jobs on one worker: the
+    // first claim on the thread builds a scratch, the rest recycle it.
+    replicate(10, 3, 3, 40, &PolicySpec::paper_set(), 4, 7).unwrap();
+    let (hits_after, misses_after) = arena_counters();
+    reset_overrides();
+
+    assert!(
+        misses_after > misses_before,
+        "a fresh worker thread must miss on its first claim"
+    );
+    assert!(
+        hits_after > hits_before,
+        "consecutive jobs on one worker never recycled the scratch arena"
+    );
+}

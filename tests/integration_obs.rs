@@ -64,6 +64,7 @@ fn installed_pipeline_leaves_replication_bit_identical() {
     cdt_obs::install(ObsConfig {
         events_path: Some(events.clone()),
         summary: false,
+        events_sample: 0,
     })
     .unwrap();
     set_thread_override(Some(4));
@@ -90,6 +91,7 @@ fn jsonl_trace_matches_golden_schema() {
     cdt_obs::install(ObsConfig {
         events_path: Some(events.clone()),
         summary: false,
+        events_sample: 0,
     })
     .unwrap();
     let s = scenario(5, 12, 3, 20);
@@ -115,6 +117,7 @@ fn jsonl_trace_matches_golden_schema() {
                 "consumer_profit",
                 "platform_profit",
                 "seller_profit",
+                "cached",
             ],
         ),
         (
