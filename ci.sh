@@ -70,4 +70,31 @@ grep -q '^== observability summary ==' /tmp/cdt_obs_summary.txt
 grep -q '^rounds: ' /tmp/cdt_obs_summary.txt
 grep -q '^throughput: ' /tmp/cdt_obs_summary.txt
 
+echo "==> protocol journal smoke (stream, verify, truncate mid-round, recover)"
+rm -f /tmp/cdt_journal.jsonl /tmp/cdt_journal.jsonl.partial \
+    /tmp/cdt_journal_torn.jsonl /tmp/cdt_journal_recovered.jsonl
+cargo run --release -p cdt-cli --bin cdt -- run \
+    --m 8 --k 2 --l 3 --n 6 --journal /tmp/cdt_journal.jsonl
+test -s /tmp/cdt_journal.jsonl
+# The finished journal is published by atomic rename: no .partial remains.
+test ! -e /tmp/cdt_journal.jsonl.partial
+cargo run --release -p cdt-cli --bin cdt -- journal verify /tmp/cdt_journal.jsonl
+cargo run --release -p cdt-cli --bin cdt -- journal audit /tmp/cdt_journal.jsonl \
+    | tee /tmp/cdt_journal_audit.txt
+grep -q '^consumer paid:' /tmp/cdt_journal_audit.txt
+# Simulate a killed run: keep JobPublished + 4 settled rounds + 2 in-flight
+# events of round 4 (1 + 4*5 + 2 = 23 lines). Strict verify must reject the
+# torn tail; recover must keep exactly the 4-round settled prefix, and the
+# recovered prefix must itself verify.
+head -n 23 /tmp/cdt_journal.jsonl > /tmp/cdt_journal_torn.jsonl
+if cargo run --release -p cdt-cli --bin cdt -- journal verify /tmp/cdt_journal_torn.jsonl; then
+    echo "ERROR: strict verify accepted a mid-round-truncated journal" >&2
+    exit 1
+fi
+cargo run --release -p cdt-cli --bin cdt -- journal recover /tmp/cdt_journal_torn.jsonl \
+    --out /tmp/cdt_journal_recovered.jsonl | tee /tmp/cdt_journal_recover.txt
+grep -q 'recovered 4 settled rounds' /tmp/cdt_journal_recover.txt
+grep -q 'mid-round' /tmp/cdt_journal_recover.txt
+cargo run --release -p cdt-cli --bin cdt -- journal verify /tmp/cdt_journal_recovered.jsonl
+
 echo "==> ci.sh: all gates passed"

@@ -14,6 +14,10 @@ use cdt_types::SellerId;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// How many observations a seller may accumulate before its incremental
+/// window sum is re-derived from scratch (float-drift guard).
+const DRIFT_RESYNC_INTERVAL: u64 = 1 << 20;
+
 /// Per-seller mean over the most recent `W` observations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SlidingWindowEstimator {
@@ -21,6 +25,12 @@ pub struct SlidingWindowEstimator {
     sums: Vec<f64>,
     window: usize,
     total_seen: u64,
+    /// Observations folded into each seller since its sum was last
+    /// re-derived; compared `>=` against the interval so multi-observation
+    /// rows that step over the threshold still trigger the resync.
+    since_resync: Vec<u64>,
+    resync_interval: u64,
+    resyncs: u64,
 }
 
 impl SlidingWindowEstimator {
@@ -30,13 +40,33 @@ impl SlidingWindowEstimator {
     /// Panics if `window == 0`.
     #[must_use]
     pub fn new(m: usize, window: usize) -> Self {
+        Self::with_resync_interval(m, window, DRIFT_RESYNC_INTERVAL)
+    }
+
+    /// As [`SlidingWindowEstimator::new`], with an explicit drift-resync
+    /// interval (observations per seller between exact re-summations).
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `resync_interval == 0`.
+    #[must_use]
+    pub fn with_resync_interval(m: usize, window: usize, resync_interval: u64) -> Self {
         assert!(window > 0, "window must hold at least one observation");
+        assert!(resync_interval > 0, "resync interval must be positive");
         Self {
             windows: (0..m).map(|_| VecDeque::with_capacity(window)).collect(),
             sums: vec![0.0; m],
             window,
             total_seen: 0,
+            since_resync: vec![0; m],
+            resync_interval,
+            resyncs: 0,
         }
+    }
+
+    /// How many times a drift resync has fired (any seller).
+    #[must_use]
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// Number of sellers.
@@ -83,8 +113,16 @@ impl SlidingWindowEstimator {
             self.total_seen += 1;
         }
         // Guard against drift of the incremental sum over very long runs.
-        if self.total_seen.is_multiple_of(1 << 20) {
+        // Tracked per seller with a `>=` threshold: an L-observation row
+        // that steps over the interval still triggers, and every seller
+        // gets its own correction (a global exact-multiple check on
+        // `total_seen` would essentially never fire for L > 1 and would
+        // only ever refresh the seller being updated).
+        self.since_resync[i] += observations.len() as u64;
+        if self.since_resync[i] >= self.resync_interval {
             self.sums[i] = self.windows[i].iter().sum();
+            self.since_resync[i] = 0;
+            self.resyncs += 1;
         }
     }
 
@@ -229,9 +267,50 @@ mod tests {
     }
 
     #[test]
+    fn drift_resync_fires_across_multi_observation_rows() {
+        // Regression: rows of L=3 observations never land `total_seen` on
+        // an exact multiple of the interval, so the old global
+        // `is_multiple_of` guard never fired. The per-seller `>=` counter
+        // must fire on the row that steps over the threshold.
+        let mut e = SlidingWindowEstimator::with_resync_interval(2, 4, 8);
+        for _ in 0..2 {
+            e.update(SellerId(0), &[0.5, 0.4, 0.3]); // 6 < 8: no resync yet
+        }
+        assert_eq!(e.resyncs(), 0);
+        e.update(SellerId(0), &[0.2, 0.1, 0.6]); // 9 >= 8: fires
+        assert_eq!(e.resyncs(), 1);
+        // The counter is per seller: seller 1's rows do not inherit
+        // seller 0's progress.
+        e.update(SellerId(1), &[0.5, 0.5, 0.5]);
+        e.update(SellerId(1), &[0.5, 0.5, 0.5]);
+        assert_eq!(e.resyncs(), 1);
+        e.update(SellerId(1), &[0.5, 0.5]); // 8 >= 8: fires
+        assert_eq!(e.resyncs(), 2);
+        // The re-derived sum still matches the window exactly.
+        assert!((e.mean(SellerId(0)) - (0.3 + 0.2 + 0.1 + 0.6) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_resync_counter_resets_after_firing() {
+        let mut e = SlidingWindowEstimator::with_resync_interval(1, 2, 4);
+        e.update(SellerId(0), &[0.1, 0.2, 0.3, 0.4]); // 4 >= 4: fires
+        assert_eq!(e.resyncs(), 1);
+        e.update(SellerId(0), &[0.5, 0.6, 0.7]); // 3 < 4 after reset
+        assert_eq!(e.resyncs(), 1);
+        e.update(SellerId(0), &[0.8]); // 4 >= 4: fires again
+        assert_eq!(e.resyncs(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "window must hold")]
     fn zero_window_rejected() {
         let _ = SlidingWindowEstimator::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resync interval must be positive")]
+    fn zero_resync_interval_rejected() {
+        let _ = SlidingWindowEstimator::with_resync_interval(1, 4, 0);
     }
 
     #[test]
@@ -253,6 +332,24 @@ mod tests {
             let expect = tail.iter().sum::<f64>() / tail.len() as f64;
             prop_assert!((e.mean(SellerId(0)) - expect).abs() < 1e-9);
             prop_assert_eq!(e.count(SellerId(0)) as usize, tail.len());
+        }
+
+        /// Drift resyncs are behavior-preserving: with a tiny interval
+        /// (firing on nearly every row) the windowed mean still equals
+        /// the exact suffix mean.
+        #[test]
+        fn resync_preserves_window_mean(
+            obs in proptest::collection::vec(0.0f64..=1.0, 1..100),
+            window in 1usize..20,
+            interval in 1u64..8,
+        ) {
+            let mut e = SlidingWindowEstimator::with_resync_interval(1, window, interval);
+            for row in obs.chunks(3) {
+                e.update(SellerId(0), row);
+            }
+            let tail = &obs[obs.len().saturating_sub(window)..];
+            let expect = tail.iter().sum::<f64>() / tail.len() as f64;
+            prop_assert!((e.mean(SellerId(0)) - expect).abs() < 1e-9);
         }
 
         /// Discounted means stay inside the observation hull.

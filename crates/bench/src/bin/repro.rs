@@ -20,6 +20,9 @@
 //! # per-round JSONL trace + Prometheus metrics + phase/pool summary:
 //! cargo run --release -p cdt-bench --bin repro -- --exp fig7 \
 //!     --obs-events events.jsonl --metrics-out metrics.prom --obs-summary
+//!
+//! # crash-safe protocol journal of the CMAB-HS reference run:
+//! cargo run --release -p cdt-bench --bin repro -- --journal journal.jsonl
 //! ```
 
 use cdt_sim::experiments::{all_experiment_ids, run_experiment, Scale};
@@ -32,6 +35,7 @@ struct Args {
     obs_events: Option<String>,
     metrics_out: Option<String>,
     obs_summary: bool,
+    journal: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
     let mut obs_events = None;
     let mut metrics_out = None;
     let mut obs_summary = false;
+    let mut journal = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -54,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
             "--obs-events" => obs_events = Some(argv.next().ok_or("--obs-events needs a path")?),
             "--metrics-out" => metrics_out = Some(argv.next().ok_or("--metrics-out needs a path")?),
             "--obs-summary" => obs_summary = true,
+            "--journal" => journal = Some(argv.next().ok_or("--journal needs a path")?),
             "--threads" => {
                 let raw = argv.next().ok_or("--threads needs a count")?;
                 let t: usize = raw
@@ -78,7 +84,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: repro [--exp <id>]... [--paper|--test] [--csv <dir>] [--threads T]\n\
                      \x20      [--batch B] [--obs-events FILE] [--metrics-out FILE] \
-                     [--obs-summary]\n\
+                     [--obs-summary] [--journal FILE]\n\
                      known ids: {}",
                     all_experiment_ids().join(", ")
                 );
@@ -87,7 +93,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
-    if experiments.is_empty() {
+    // `--journal` alone runs just the journaled reference run; without it
+    // an empty selection means "reproduce everything".
+    if experiments.is_empty() && journal.is_none() {
         experiments = all_experiment_ids()
             .iter()
             .map(|s| (*s).to_owned())
@@ -100,7 +108,43 @@ fn parse_args() -> Result<Args, String> {
         obs_events,
         metrics_out,
         obs_summary,
+        journal,
     })
+}
+
+/// `--journal FILE`: a deterministic journaled CMAB-HS reference run at
+/// the selected scale, streamed through the crash-safe protocol sink and
+/// then replay-verified from the bytes on disk.
+fn journaled_reference_run(path: &str, scale: Scale) -> Result<(), String> {
+    use rand::SeedableRng as _;
+    let (m, k, l, n) = match scale {
+        Scale::Paper => (300, 10, 10, 100_000),
+        Scale::Test => (30, 5, 5, 300),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20_210_419);
+    let scenario =
+        cdt_core::Scenario::paper_defaults(m, k, l, n, &mut rng).map_err(|e| e.to_string())?;
+    let mut mech = cdt_core::CmabHs::new(scenario.config.clone()).map_err(|e| e.to_string())?;
+    let mut journal = cdt_protocol::JournalObserver::create(path, scenario.config.job.clone())
+        .map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    mech.run_with_mode_observed(
+        &scenario.observer(),
+        &mut rng,
+        cdt_core::LedgerMode::Summary,
+        &mut journal,
+    )
+    .map_err(|e| e.to_string())?;
+    let report = journal.finish().map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "[journal: {} events / {} settled rounds in {path}, replay-verified, {:.1?}]\n",
+        report.events,
+        report.settled_rounds,
+        started.elapsed()
+    );
+    Ok(())
 }
 
 /// Flush + dump + summarize the observability pipeline, then self-validate
@@ -170,6 +214,12 @@ fn main() {
     }
 
     let mut failed = false;
+    if let Some(path) = &args.journal {
+        if let Err(e) = journaled_reference_run(path, args.scale) {
+            eprintln!("error: journaled reference run failed: {e}");
+            failed = true;
+        }
+    }
     for id in &args.experiments {
         let started = std::time::Instant::now();
         match run_experiment(id, args.scale) {

@@ -17,13 +17,29 @@ USAGE:
   cdt trace generate [--records N] [--taxis M] [--seed S] [--out FILE]
   cdt trace stats FILE
   cdt run      [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
-  cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B
+  cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B [--journal FILE]
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
                [--chunk C] [--batch B]
   cdt game     [--k K] [--omega W] [--theta T]
   cdt obs summarize FILE
+  cdt journal verify  FILE
+  cdt journal audit   FILE
+  cdt journal recover FILE [--out FILE]
 
-OBSERVABILITY (on `run` and `compare`):
+PROTOCOL JOURNAL:
+  `run --journal FILE` and `budget --journal FILE` stream the Fig. 2
+  market protocol to FILE as rounds settle: every event is validated
+  against the protocol state machine before it is written, the buffered
+  writer flushes at each settlement boundary, and bytes accumulate in
+  FILE.partial until an atomic rename publishes the finished journal. A
+  killed run therefore leaves FILE.partial with at most the in-flight
+  round unsettled. `journal verify` is the strict all-or-nothing replay
+  check, `journal audit` additionally prints the per-round settlement
+  money flow, and `journal recover` replays a (possibly truncated)
+  journal up to its last settlement boundary — `--out FILE` writes the
+  recovered prefix back out as a valid journal.
+
+OBSERVABILITY (on `run`, `budget`, and `compare`):
   --obs-events FILE      write one JSON object per round event (JSONL trace)
   --obs-events-sample K  record only every K-th round's events (metrics
                          still cover every round)
@@ -162,6 +178,104 @@ pub fn obs_summarize_cmd(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `cdt journal verify FILE` — strict all-or-nothing replay validation of
+/// a protocol journal: every line must parse and the whole history must
+/// replay through the state machine.
+///
+/// # Errors
+/// Returns a message on I/O failure or the first replay violation.
+pub fn journal_verify_cmd(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let log = cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid journal — {} events, {} settled rounds, {}",
+        log.len(),
+        log.state().settled_rounds(),
+        if log.state().is_completed() {
+            "completed"
+        } else {
+            "not completed"
+        }
+    );
+    Ok(())
+}
+
+/// `cdt journal audit FILE` — verify, then print the settlement money
+/// flow round by round (long journals elide the middle rounds).
+///
+/// # Errors
+/// Returns a message on I/O failure or replay violation.
+pub fn journal_audit_cmd(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let log = cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))?;
+    let settlements: Vec<_> = log
+        .settlements()
+        .map(|(round, consumer, sellers)| (round, consumer, sellers.to_vec()))
+        .collect();
+    let consumer_total: f64 = settlements.iter().map(|(_, c, _)| c).sum();
+    let seller_total: f64 = settlements
+        .iter()
+        .map(|(_, _, s)| s.iter().sum::<f64>())
+        .sum();
+    println!("journal audit: {path}");
+    println!(
+        "events: {}   settled rounds: {}   completed: {}",
+        log.len(),
+        log.state().settled_rounds(),
+        log.state().is_completed()
+    );
+    println!("consumer paid: {consumer_total:.1}   sellers received: {seller_total:.1}");
+    println!(
+        "{:<8} {:>14} {:>14} {:>8}",
+        "round", "consumer", "sellers", "k"
+    );
+    const CAP: usize = 10;
+    for (i, (round, consumer, sellers)) in settlements.iter().enumerate() {
+        if settlements.len() > 2 * CAP && (CAP..settlements.len() - CAP).contains(&i) {
+            if i == CAP {
+                println!("...      ({} rounds elided)", settlements.len() - 2 * CAP);
+            }
+            continue;
+        }
+        println!(
+            "{:<8} {:>14.4} {:>14.4} {:>8}",
+            round.index(),
+            consumer,
+            sellers.iter().sum::<f64>(),
+            sellers.len()
+        );
+    }
+    Ok(())
+}
+
+/// `cdt journal recover FILE [--out FILE]` — truncation-tolerant replay of
+/// a (possibly partial) journal: keeps the longest prefix ending on a
+/// settlement boundary, reports where and why replay stopped, and with
+/// `--out` writes the recovered prefix back out as a valid journal.
+///
+/// # Errors
+/// Returns a message on I/O failure (recovery itself never fails).
+pub fn journal_recover_cmd(path: &str, out: Option<&str>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let rec = cdt_protocol::recover_json_lines(&text);
+    println!(
+        "{path}: recovered {} settled rounds ({} events kept of {} lines{})",
+        rec.settled_rounds(),
+        rec.log.len(),
+        rec.lines_read,
+        if rec.completed { ", completed" } else { "" }
+    );
+    if let Some(stop) = &rec.stop {
+        println!("replay stopped at line {}: {}", stop.line, stop.reason);
+    }
+    if let Some(out_path) = out {
+        std::fs::write(out_path, rec.log.to_json_lines())
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        println!("recovered journal written to {out_path}");
+    }
+    Ok(())
+}
+
 /// `cdt trace generate`.
 ///
 /// # Errors
@@ -260,32 +374,32 @@ fn run_mechanism_inner(flags: &FlagMap) -> Result<(), String> {
     let mut mech = CmabHs::new(scenario.config.clone()).map_err(|e| e.to_string())?;
     let observer = scenario.observer();
 
-    // With --journal, step manually and journal every round through the
-    // Fig. 2 protocol; the journal is replay-validated before writing.
+    // With --journal, attach a streaming JournalObserver: each Fig. 2
+    // event is validated, written, and flushed as its round settles, so a
+    // killed run still leaves a recoverable `<path>.partial` behind. When
+    // the obs pipeline is installed the journal rides alongside it via the
+    // pair observer.
     if let Some(path) = flags.get("journal") {
-        let mut log = cdt_protocol::EventLog::new();
-        log.append(cdt_protocol::MarketEvent::JobPublished {
-            job: scenario.config.job.clone(),
-        })
-        .map_err(|e| e.to_string())?;
-        let mut ledger = cdt_core::TradingLedger::new(LedgerMode::Summary);
-        let mut rounds = 0;
-        while !mech.is_finished() {
-            let outcome = mech.step(&observer, &mut rng).map_err(|e| e.to_string())?;
-            for event in cdt_protocol::events_for_round(&outcome) {
-                log.append(event).map_err(|e| e.to_string())?;
+        let mut journal =
+            cdt_protocol::JournalObserver::create(path, scenario.config.job.clone())
+                .map_err(|e| e.to_string())?;
+        let ledger = match cdt_obs::observer_for_run("cmab-hs") {
+            Some(pipeline) => {
+                let mut pair = (journal, pipeline);
+                let ledger = mech
+                    .run_with_mode_observed(&observer, &mut rng, LedgerMode::Summary, &mut pair)
+                    .map_err(|e| e.to_string())?;
+                journal = pair.0;
+                ledger
             }
-            ledger.record(outcome);
-            rounds += 1;
-        }
-        log.append(cdt_protocol::MarketEvent::JobCompleted { rounds })
-            .map_err(|e| e.to_string())?;
-        let journal = log.to_json_lines();
-        cdt_protocol::EventLog::from_json_lines(&journal).map_err(|e| e.to_string())?;
-        std::fs::write(path, journal).map_err(|e| format!("cannot write {path}: {e}"))?;
+            None => mech
+                .run_with_mode_observed(&observer, &mut rng, LedgerMode::Summary, &mut journal)
+                .map_err(|e| e.to_string())?,
+        };
+        let report = journal.finish().map_err(|e| e.to_string())?;
         println!(
-            "journaled {} events over {rounds} rounds to {path} (replay-validated)",
-            log.len()
+            "journaled {} events over {} rounds to {path} (streamed, replay-validated)",
+            report.events, report.settled_rounds
         );
         print_ledger(&scenario, &ledger);
         return Ok(());
@@ -315,6 +429,14 @@ fn run_mechanism_inner(flags: &FlagMap) -> Result<(), String> {
 /// # Errors
 /// Returns a message on flag or run failure.
 pub fn budget(flags: &FlagMap) -> Result<(), String> {
+    let obs = obs_begin(flags)?;
+    let result = budget_inner(flags);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn budget_inner(flags: &FlagMap) -> Result<(), String> {
     let cap = flags
         .get("budget")
         .ok_or("--budget is required")?
@@ -322,9 +444,46 @@ pub fn budget(flags: &FlagMap) -> Result<(), String> {
         .map_err(|_| "--budget expects a number".to_owned())?;
     let (scenario, mut rng, _) = scenario_from_flags(flags)?;
     let mut mech = BudgetedCmabHs::new(scenario.config.clone(), cap).map_err(|e| e.to_string())?;
-    let run = mech
-        .run(&scenario.observer(), &mut rng)
+
+    // With --journal, stream every *settled* round through the protocol
+    // sink; the budget-rejected final round never reaches the callback,
+    // so the journal records exactly what the consumer paid for.
+    let run = if let Some(path) = flags.get("journal") {
+        let mut sink = cdt_protocol::JournalSink::create(path).map_err(|e| e.to_string())?;
+        sink.append(&cdt_protocol::MarketEvent::JobPublished {
+            job: scenario.config.job.clone(),
+        })
         .map_err(|e| e.to_string())?;
+        let mut journal_err: Option<String> = None;
+        let run = mech
+            .run_with(&scenario.observer(), &mut rng, |outcome| {
+                if journal_err.is_some() {
+                    return;
+                }
+                for event in cdt_protocol::events_for_round(outcome) {
+                    if let Err(e) = sink.append(&event) {
+                        journal_err = Some(e.to_string());
+                        return;
+                    }
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        if let Some(e) = journal_err {
+            return Err(e);
+        }
+        let rounds = sink.state().settled_rounds();
+        sink.append(&cdt_protocol::MarketEvent::JobCompleted { rounds })
+            .map_err(|e| e.to_string())?;
+        let report = sink.finish().map_err(|e| e.to_string())?;
+        println!(
+            "journaled {} events over {} rounds to {path} (streamed, replay-validated)",
+            report.events, report.settled_rounds
+        );
+        run
+    } else {
+        mech.run(&scenario.observer(), &mut rng)
+            .map_err(|e| e.to_string())?
+    };
     println!(
         "budgeted run: {} rounds, spent {:.1} of {:.1} ({})",
         run.ledger.rounds(),
@@ -463,6 +622,79 @@ mod tests {
         assert!(log.state().is_completed());
         assert_eq!(log.state().settled_rounds(), 8);
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn budget_with_journal_streams_valid_log() {
+        let dir = std::env::temp_dir().join("cdt_cli_budget_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("budget-journal.jsonl");
+        let path_str = path.to_str().unwrap();
+        budget(&flags(&[
+            "--m", "8", "--k", "2", "--l", "3", "--n", "200", "--budget", "50", "--journal",
+            path_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let log = cdt_protocol::EventLog::from_json_lines(&text).unwrap();
+        assert!(log.state().is_completed());
+        // The cap binds before the horizon; only settled rounds are
+        // journaled, so the budget-rejected final round is absent.
+        let settled = log.state().settled_rounds();
+        assert!((1..200).contains(&settled), "settled {settled}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn journal_commands_verify_audit_and_recover() {
+        let dir = std::env::temp_dir().join("cdt_cli_journal_cmds_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let path_str = path.to_str().unwrap();
+        run_mechanism(&flags(&[
+            "--m",
+            "6",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--n",
+            "4",
+            "--journal",
+            path_str,
+        ]))
+        .unwrap();
+        journal_verify_cmd(path_str).unwrap();
+        journal_audit_cmd(path_str).unwrap();
+
+        // Simulate a crash: keep two settled rounds, two in-flight events,
+        // and a torn half-written line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut cut = String::new();
+        for line in text.lines().take(1 + 2 * 5 + 2) {
+            cut.push_str(line);
+            cut.push('\n');
+        }
+        cut.push_str(&text.lines().nth(13).unwrap()[..10]);
+        let partial = dir.join("journal.jsonl.partial");
+        std::fs::write(&partial, cut).unwrap();
+        let partial_str = partial.to_str().unwrap();
+        assert!(journal_verify_cmd(partial_str).is_err());
+        let out = dir.join("recovered.jsonl");
+        journal_recover_cmd(partial_str, Some(out.to_str().unwrap())).unwrap();
+        let recovered = std::fs::read_to_string(&out).unwrap();
+        let log = cdt_protocol::EventLog::from_json_lines(&recovered).unwrap();
+        assert_eq!(log.state().settled_rounds(), 2);
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_file(partial).unwrap();
+        std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn journal_commands_missing_file_errors() {
+        assert!(journal_verify_cmd("/nonexistent/definitely/missing.jsonl").is_err());
+        assert!(journal_audit_cmd("/nonexistent/definitely/missing.jsonl").is_err());
+        assert!(journal_recover_cmd("/nonexistent/definitely/missing.jsonl", None).is_err());
     }
 
     #[test]

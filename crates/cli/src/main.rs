@@ -4,17 +4,23 @@
 //! ```text
 //! cdt trace generate [--records N] [--taxis M] [--seed S] [--out FILE]
 //! cdt trace stats FILE
-//! cdt run [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE]
+//! cdt run [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
+//! cdt budget [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B [--journal FILE]
 //! cdt compare [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
 //! cdt game [--k K] [--omega W] [--theta T]
 //! cdt obs summarize FILE
+//! cdt journal verify FILE
+//! cdt journal audit FILE
+//! cdt journal recover FILE [--out FILE]
 //! ```
 //!
-//! `run` and `compare` additionally accept `--obs-events FILE` (JSONL round
-//! traces), `--obs-events-sample K` (record every K-th round only),
-//! `--metrics-out FILE` (Prometheus text dump), and `--obs-summary`
+//! `run`, `budget`, and `compare` additionally accept `--obs-events FILE`
+//! (JSONL round traces), `--obs-events-sample K` (record every K-th round
+//! only), `--metrics-out FILE` (Prometheus text dump), and `--obs-summary`
 //! (end-of-run phase/pool table); `cdt obs summarize` re-renders that
-//! summary offline from a trace file.
+//! summary offline from a trace file. `--journal FILE` streams the Fig. 2
+//! market protocol to FILE as rounds settle, and the `cdt journal` family
+//! verifies, audits, and crash-recovers those journals.
 
 use cdt_cli::args::{parse_flags, FlagMap};
 use cdt_cli::commands;
@@ -43,6 +49,18 @@ fn run(argv: &[String]) -> i32 {
                 None => Err("usage: cdt obs summarize FILE".into()),
             }
         }
+        (Some("journal"), Some(sub @ ("verify" | "audit" | "recover"))) => {
+            match argv.get(2).map(String::as_str) {
+                Some(path) => match sub {
+                    "verify" => commands::journal_verify_cmd(path),
+                    "audit" => commands::journal_audit_cmd(path),
+                    _ => parse_flags(&argv[3..])
+                        .and_then(|flags| commands::journal_recover_cmd(path, flags.get("out"))),
+                },
+                None => Err(format!("usage: cdt journal {sub} FILE")),
+            }
+        }
+        (Some("journal"), _) => Err("usage: cdt journal verify|audit|recover FILE".into()),
         (Some("run"), _) => with_flags(&argv[1..], commands::run_mechanism),
         (Some("budget"), _) => with_flags(&argv[1..], commands::budget),
         (Some("compare"), _) => with_flags(&argv[1..], commands::compare),

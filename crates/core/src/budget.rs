@@ -84,6 +84,22 @@ impl BudgetedCmabHs {
         observer: &QualityObserver,
         rng: &mut dyn RngCore,
     ) -> Result<BudgetedRun> {
+        self.run_with(observer, rng, |_| {})
+    }
+
+    /// As [`BudgetedCmabHs::run`], invoking `on_settled` for every round
+    /// that actually settles within budget. The budget-rejected final
+    /// round never reaches the callback — a journal written from it sees
+    /// only the rounds the consumer paid for.
+    ///
+    /// # Errors
+    /// Propagates round-execution errors.
+    pub fn run_with<F: FnMut(&RoundOutcome)>(
+        &mut self,
+        observer: &QualityObserver,
+        rng: &mut dyn RngCore,
+        mut on_settled: F,
+    ) -> Result<BudgetedRun> {
         let mut ledger = TradingLedger::new(LedgerMode::Summary);
         let mut stop_reason = StopReason::HorizonReached;
         while !self.mechanism.is_finished() {
@@ -99,6 +115,7 @@ impl BudgetedCmabHs {
                 break;
             }
             self.spent += payment;
+            on_settled(&outcome);
             ledger.record(outcome);
         }
         Ok(BudgetedRun {
@@ -163,6 +180,27 @@ mod tests {
         assert!(b.remaining() < before);
         // ulp(1e9) ≈ 1.2e-7 bounds the subtraction error at this scale.
         assert!((before - b.remaining() - b.spent).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settled_callback_sees_exactly_the_accounted_rounds() {
+        let (s, mut rng) = scenario(500, 2);
+        let mut probe = BudgetedCmabHs::new(s.config.clone(), 1e12).unwrap();
+        let full = probe.run(&s.observer(), &mut rng).unwrap();
+        let per_round = full.spent / full.ledger.rounds() as f64;
+
+        let (s2, mut rng2) = scenario(500, 2);
+        let mut b = BudgetedCmabHs::new(s2.config.clone(), per_round * 10.0).unwrap();
+        let mut seen = Vec::new();
+        let run = b
+            .run_with(&s2.observer(), &mut rng2, |o| seen.push(o.round))
+            .unwrap();
+        assert_eq!(run.stop_reason, StopReason::BudgetExhausted);
+        // The budget-rejected final round must not reach the callback.
+        assert_eq!(seen.len(), run.ledger.rounds());
+        for (i, round) in seen.iter().enumerate() {
+            assert_eq!(round.index(), i);
+        }
     }
 
     #[test]

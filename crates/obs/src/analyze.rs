@@ -31,6 +31,36 @@ pub struct TraceStats {
     pub rounds: u64,
     /// Engine busy time summed over every phase sample, in nanoseconds.
     pub busy_ns: u64,
+    /// Market-protocol journal events (`cdt-protocol` `MarketEvent` lines,
+    /// as written by a `--journal` run) found in the file.
+    pub protocol_events: u64,
+    /// Settled rounds among those journal events (`PaymentsSettled` lines).
+    pub settled_rounds: u64,
+}
+
+/// The `MarketEvent` kind tags of the cdt-protocol journal. Recognized
+/// structurally (externally tagged single-key objects) so this crate
+/// stays dependency-free while `cdt obs summarize` still understands a
+/// journal file.
+const PROTOCOL_KINDS: [&str; 7] = [
+    "JobPublished",
+    "SellersSelected",
+    "StrategyDetermined",
+    "DataCollected",
+    "StatisticsDelivered",
+    "PaymentsSettled",
+    "JobCompleted",
+];
+
+/// The journal kind of a non-`EventRecord` line, if it is one.
+fn protocol_kind(line: &str) -> Option<&'static str> {
+    let value: serde_json::Value = serde_json::from_str(line).ok()?;
+    let object = value.as_object()?;
+    if object.len() != 1 {
+        return None;
+    }
+    let key = object.keys().next()?.as_str();
+    PROTOCOL_KINDS.iter().find(|&&k| k == key).copied()
 }
 
 impl TraceStats {
@@ -64,6 +94,8 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
     let mut rounds = 0u64;
     let mut eq_hits = 0u64;
     let mut eq_misses = 0u64;
+    let mut protocol_events = 0u64;
+    let mut settled_rounds = 0u64;
     let mut phase_hists: [LatencyHistogram; 4] = std::array::from_fn(|_| LatencyHistogram::new());
 
     for line in reader.lines() {
@@ -75,7 +107,15 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
         let record: EventRecord = match serde_json::from_str(line) {
             Ok(record) => record,
             Err(_) => {
-                malformed += 1;
+                match protocol_kind(line) {
+                    Some(kind) => {
+                        protocol_events += 1;
+                        if kind == "PaymentsSettled" {
+                            settled_rounds += 1;
+                        }
+                    }
+                    None => malformed += 1,
+                }
                 continue;
             }
         };
@@ -117,6 +157,10 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
         registry.add_counter("cdt_obs_eq_cache_hits_total", &[], eq_hits);
         registry.add_counter("cdt_obs_eq_cache_misses_total", &[], eq_misses);
     }
+    if protocol_events > 0 {
+        registry.add_counter("cdt_obs_protocol_events_total", &[], protocol_events);
+        registry.add_counter("cdt_obs_protocol_settled_rounds", &[], settled_rounds);
+    }
     let mut busy_ns = 0u64;
     for phase in Phase::ALL {
         let hist = &phase_hists[phase as usize];
@@ -132,6 +176,8 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
         runs: runs.len(),
         rounds,
         busy_ns,
+        protocol_events,
+        settled_rounds,
     };
     Ok((registry, stats))
 }
@@ -266,6 +312,41 @@ mod tests {
         assert!(text.contains("rounds: 2"), "got:\n{text}");
         assert!(text.contains("selection"), "got:\n{text}");
         assert!(text.contains("throughput:"), "got:\n{text}");
+    }
+
+    #[test]
+    fn protocol_journal_lines_are_recognized_not_malformed() {
+        let path = write_trace(
+            "journal",
+            &[
+                r#"{"JobPublished":{"job":{"l":4,"n":2,"t":10.0}}}"#.to_owned(),
+                r#"{"SellersSelected":{"round":0,"sellers":[0,1]}}"#.to_owned(),
+                r#"{"PaymentsSettled":{"round":0,"consumer_payment":20.0,"seller_payments":[3.0,4.5]}}"#
+                    .to_owned(),
+                r#"{"JobCompleted":{"rounds":1}}"#.to_owned(),
+                "really not json".to_owned(),
+                r#"{"two":"keys","so":"not a MarketEvent"}"#.to_owned(),
+            ],
+        );
+        let (registry, stats) = registry_from_trace(&path).unwrap();
+        let text = summarize_trace(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(stats.protocol_events, 4);
+        assert_eq!(stats.settled_rounds, 1);
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(
+            registry.counter_value("cdt_obs_protocol_events_total", &[]),
+            4
+        );
+        assert_eq!(
+            registry.counter_value("cdt_obs_protocol_settled_rounds", &[]),
+            1
+        );
+        assert!(
+            text.contains("protocol journal: 4 events / 1 settled rounds"),
+            "got:\n{text}"
+        );
     }
 
     #[test]

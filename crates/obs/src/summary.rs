@@ -84,6 +84,36 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         );
     }
 
+    // Protocol journal (the JournalSink member of the sink family).
+    let protocol_events = counter("cdt_obs_protocol_events_total");
+    let settled = counter("cdt_obs_protocol_settled_rounds");
+    let violations = counter("cdt_obs_protocol_violations_total");
+    if protocol_events + settled + violations > 0 {
+        let _ = write!(
+            out,
+            "protocol journal: {protocol_events} events / {settled} settled rounds"
+        );
+        if violations > 0 {
+            let _ = write!(out, ", {violations} violations rejected");
+        }
+        let _ = writeln!(out);
+    }
+    let journal_hist = snapshot.iter().find_map(|(k, m)| match m {
+        Metric::Histogram(h) if k.family == "cdt_obs_journal_write_ns" => Some(h),
+        _ => None,
+    });
+    if let Some(h) = journal_hist {
+        let _ = writeln!(
+            out,
+            "journal writes: {} in {} (mean {}, p50 {}, p99 {})",
+            h.count(),
+            fmt_ns(h.sum_ns() as f64),
+            fmt_ns(h.mean_ns()),
+            fmt_ns(h.quantile_ns(0.5).unwrap_or(0) as f64),
+            fmt_ns(h.quantile_ns(0.99).unwrap_or(0) as f64),
+        );
+    }
+
     // Per-phase latency table.
     let mut phase_rows = Vec::new();
     for phase in Phase::ALL {
@@ -118,7 +148,7 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
     }
 
     // Per-worker pool table.
-    let mut workers: Vec<(String, u64, u64, u64, u64)> = Vec::new();
+    let mut workers: Vec<(String, u64, u64, u64, u64, u64)> = Vec::new();
     for (key, metric) in &snapshot {
         if key.family != "cdt_obs_pool_worker_jobs_total" {
             continue;
@@ -231,6 +261,27 @@ mod tests {
             text.contains("eq-cache: 18 hits / 2 misses (90.0% hit rate)"),
             "got:\n{text}"
         );
+    }
+
+    #[test]
+    fn protocol_journal_lines_render_counts_and_latency() {
+        let r = MetricsRegistry::new();
+        assert!(!render_summary(&r).contains("protocol journal"));
+        r.add_counter("cdt_obs_protocol_events_total", &[], 42);
+        r.add_counter("cdt_obs_protocol_settled_rounds", &[], 8);
+        let mut h = LatencyHistogram::new();
+        h.record_ns(1_000);
+        h.record_ns(3_000);
+        r.merge_histogram("cdt_obs_journal_write_ns", &[], &h);
+        let text = render_summary(&r);
+        assert!(
+            text.contains("protocol journal: 42 events / 8 settled rounds"),
+            "got:\n{text}"
+        );
+        assert!(text.contains("journal writes: 2 in"), "got:\n{text}");
+        r.add_counter("cdt_obs_protocol_violations_total", &[], 3);
+        let text = render_summary(&r);
+        assert!(text.contains("3 violations rejected"), "got:\n{text}");
     }
 
     #[test]

@@ -1,0 +1,535 @@
+//! Crash-safe streaming journal: the protocol member of the obs sink
+//! family.
+//!
+//! [`JournalSink`] replaces the buffer-everything-then-write pattern with a
+//! durable streaming writer: each [`MarketEvent`] is validated against the
+//! [`ProtocolState`] machine *before* it is serialized, appended to a
+//! buffered JSONL writer, and flushed at every settlement boundary
+//! (`JobPublished`, each `PaymentsSettled`, `JobCompleted`). The sink
+//! writes to `<path>.partial` and atomically renames to `<path>` on
+//! [`JournalSink::finish`], so:
+//!
+//! - a *completed* run's journal appears atomically, byte-identical to the
+//!   in-memory [`crate::EventLog::to_json_lines`] serialization;
+//! - a *killed* run leaves `<path>.partial`, whose settled-round prefix is
+//!   recoverable with [`crate::recover_json_lines`] — at most the in-flight
+//!   round is lost.
+//!
+//! [`JournalObserver`] adapts the sink to the engine's
+//! [`cdt_obs::RoundObserver`] hooks so `cdt run`, `cdt budget`, and `repro`
+//! can journal through the same observer plumbing as the metrics pipeline.
+//! Like every obs sink, the journal batches its metrics locally and
+//! publishes once (`cdt_obs_protocol_events_total`,
+//! `cdt_obs_protocol_settled_rounds`, `cdt_obs_protocol_violations_total`,
+//! and the `cdt_obs_journal_write_ns` latency histogram) when the
+//! observability pipeline is installed.
+
+use crate::event::MarketEvent;
+use crate::state::{ProtocolError, ProtocolState};
+use cdt_obs::{
+    EquilibriumEvent, LatencyHistogram, ObservationEvent, RoundObserver, SelectionEvent,
+};
+use cdt_types::{JobSpec, Round};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// What can go wrong while journaling.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file could not be created, written, or renamed.
+    Io(io::Error),
+    /// An event violated the protocol state machine (nothing was written).
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O: {e}"),
+            JournalError::Protocol(e) => write!(f, "journal rejected event: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Protocol(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for JournalError {
+    fn from(e: ProtocolError) -> Self {
+        JournalError::Protocol(e)
+    }
+}
+
+/// Summary of a finished journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalReport {
+    /// Events written (including the job lifecycle events).
+    pub events: u64,
+    /// Rounds fully settled in the journal.
+    pub settled_rounds: usize,
+    /// Whether the journal ends with an accepted `JobCompleted`.
+    pub completed: bool,
+    /// The final (renamed) journal path.
+    pub path: PathBuf,
+}
+
+/// A validating, crash-safe streaming journal writer.
+///
+/// See the [module docs](self) for the durability contract.
+#[derive(Debug)]
+pub struct JournalSink {
+    writer: BufWriter<File>,
+    state: ProtocolState,
+    final_path: PathBuf,
+    partial_path: PathBuf,
+    events: u64,
+    violations: u64,
+    write_ns: LatencyHistogram,
+    renamed: bool,
+    published_metrics: bool,
+}
+
+fn partial_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".partial");
+    PathBuf::from(os)
+}
+
+impl JournalSink {
+    /// Opens a streaming journal targeting `path`. Writes go to
+    /// `<path>.partial` until [`JournalSink::finish`] renames the file
+    /// into place.
+    ///
+    /// # Errors
+    /// Returns the I/O error when the partial file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let final_path = path.as_ref().to_path_buf();
+        let partial_path = partial_path_for(&final_path);
+        let file = File::create(&partial_path)?;
+        Ok(Self {
+            writer: BufWriter::new(file),
+            state: ProtocolState::new(),
+            final_path,
+            partial_path,
+            events: 0,
+            violations: 0,
+            write_ns: LatencyHistogram::new(),
+            renamed: false,
+            published_metrics: false,
+        })
+    }
+
+    /// The protocol state after every event appended so far.
+    #[must_use]
+    pub fn state(&self) -> &ProtocolState {
+        &self.state
+    }
+
+    /// Events written so far.
+    #[must_use]
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Where in-flight (unfinished) journal bytes live.
+    #[must_use]
+    pub fn partial_path(&self) -> &Path {
+        &self.partial_path
+    }
+
+    /// Validates `event` against the state machine and streams it out.
+    /// Settlement boundaries (`JobPublished`, `PaymentsSettled`,
+    /// `JobCompleted`) flush the buffered writer so a crash after a
+    /// settlement never loses that round.
+    ///
+    /// # Errors
+    /// Returns [`JournalError::Protocol`] when the event is rejected
+    /// (nothing is written, state unchanged) or [`JournalError::Io`] on a
+    /// write failure.
+    pub fn append(&mut self, event: &MarketEvent) -> Result<(), JournalError> {
+        if let Err(e) = self.state.apply(event) {
+            self.violations += 1;
+            return Err(JournalError::Protocol(e));
+        }
+        let line = serde_json::to_string(event).expect("events serialize");
+        let start = Instant::now();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        if matches!(
+            event,
+            MarketEvent::JobPublished { .. }
+                | MarketEvent::PaymentsSettled { .. }
+                | MarketEvent::JobCompleted { .. }
+        ) {
+            self.writer.flush()?;
+        }
+        self.write_ns
+            .record_ns(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Flushes, durably syncs, and atomically renames `<path>.partial`
+    /// into the final journal path.
+    ///
+    /// # Errors
+    /// Returns the I/O error on flush or rename failure (the partial file
+    /// is left in place for recovery).
+    pub fn finish(mut self) -> Result<JournalReport, JournalError> {
+        self.writer.flush()?;
+        // Durability is best-effort: a failed fsync still leaves a fully
+        // flushed partial file for recovery.
+        let _ = self.writer.get_ref().sync_all();
+        std::fs::rename(&self.partial_path, &self.final_path)?;
+        self.renamed = true;
+        self.publish_metrics();
+        Ok(JournalReport {
+            events: self.events,
+            settled_rounds: self.state.settled_rounds(),
+            completed: self.state.is_completed(),
+            path: self.final_path.clone(),
+        })
+    }
+
+    /// Publishes the locally batched protocol metrics to the global
+    /// registry, once, if the obs pipeline is installed.
+    fn publish_metrics(&mut self) {
+        if self.published_metrics {
+            return;
+        }
+        self.published_metrics = true;
+        if !cdt_obs::is_enabled() {
+            return;
+        }
+        let registry = cdt_obs::global();
+        registry.add_counter("cdt_obs_protocol_events_total", &[], self.events);
+        registry.add_counter(
+            "cdt_obs_protocol_settled_rounds",
+            &[],
+            self.state.settled_rounds() as u64,
+        );
+        if self.violations > 0 {
+            registry.add_counter("cdt_obs_protocol_violations_total", &[], self.violations);
+        }
+        if self.write_ns.count() > 0 {
+            registry.merge_histogram("cdt_obs_journal_write_ns", &[], &self.write_ns);
+        }
+    }
+}
+
+impl Drop for JournalSink {
+    /// The crash/error path: flush what settled and leave `<path>.partial`
+    /// on disk for [`crate::recover_json_lines`]. Metrics still publish so
+    /// an aborted run's journal work is visible in the summary.
+    fn drop(&mut self) {
+        if !self.renamed {
+            let _ = self.writer.flush();
+        }
+        self.publish_metrics();
+    }
+}
+
+/// A [`RoundObserver`] that journals every executed round through a
+/// [`JournalSink`], reconstructing the five Fig. 2 events per round from
+/// the engine's selection/equilibrium/observation/round-end hooks.
+///
+/// The settlement amounts are recomputed with exactly the expressions
+/// [`crate::events_for_round`] uses (`p^J · Στ` and `p · τ_i` over the
+/// equilibrium hook's borrowed values), so a streamed journal is
+/// byte-identical to the buffered [`crate::EventLog`] path for the same
+/// run.
+///
+/// Observer hooks cannot return errors, so the first journal failure is
+/// stashed and later appends become no-ops; [`JournalObserver::finish`]
+/// surfaces the stashed error.
+#[derive(Debug)]
+pub struct JournalObserver {
+    sink: JournalSink,
+    /// `⟨p^J, p, τ⟩` of the in-flight round, for settlement reconstruction.
+    pending: Option<(f64, f64, Vec<f64>)>,
+    error: Option<JournalError>,
+}
+
+impl JournalObserver {
+    /// Opens the journal at `path` and writes the `JobPublished` event.
+    ///
+    /// # Errors
+    /// Propagates sink creation or first-write failures.
+    pub fn create(path: impl AsRef<Path>, job: JobSpec) -> Result<Self, JournalError> {
+        let mut sink = JournalSink::create(path)?;
+        sink.append(&MarketEvent::JobPublished { job })?;
+        Ok(Self {
+            sink,
+            pending: None,
+            error: None,
+        })
+    }
+
+    /// The underlying sink (state, counts, partial path).
+    #[must_use]
+    pub fn sink(&self) -> &JournalSink {
+        &self.sink
+    }
+
+    fn record(&mut self, event: MarketEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.sink.append(&event) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Appends `JobCompleted` and atomically finalizes the journal.
+    ///
+    /// # Errors
+    /// Surfaces the first error any hook hit, or the completion-write /
+    /// rename failure.
+    pub fn finish(mut self) -> Result<JournalReport, JournalError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let rounds = self.sink.state().settled_rounds();
+        self.sink.append(&MarketEvent::JobCompleted { rounds })?;
+        self.sink.finish()
+    }
+}
+
+impl RoundObserver for JournalObserver {
+    fn selection(&mut self, round: Round, event: &SelectionEvent<'_>) {
+        self.record(MarketEvent::SellersSelected {
+            round,
+            sellers: event.selected.to_vec(),
+        });
+    }
+
+    fn equilibrium(&mut self, round: Round, event: &EquilibriumEvent<'_>) {
+        self.pending = Some((
+            event.service_price,
+            event.collection_price,
+            event.sensing_times.to_vec(),
+        ));
+        self.record(MarketEvent::StrategyDetermined {
+            round,
+            service_price: event.service_price,
+            collection_price: event.collection_price,
+            sensing_times: event.sensing_times.to_vec(),
+        });
+    }
+
+    fn observation(&mut self, round: Round, event: &ObservationEvent) {
+        self.record(MarketEvent::DataCollected {
+            round,
+            observed_revenue: event.observed_revenue,
+        });
+    }
+
+    fn round_end(&mut self, round: Round, _event: &cdt_obs::RoundEndEvent) {
+        self.record(MarketEvent::StatisticsDelivered { round });
+        if let Some((service_price, collection_price, sensing_times)) = self.pending.take() {
+            // Bit-for-bit the expressions of `events_for_round` /
+            // `StackelbergSolution::consumer_payment`.
+            let consumer_payment = service_price * sensing_times.iter().sum::<f64>();
+            let seller_payments: Vec<f64> = sensing_times
+                .iter()
+                .map(|&tau| collection_price * tau)
+                .collect();
+            self.record(MarketEvent::PaymentsSettled {
+                round,
+                consumer_payment,
+                seller_payments,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::EventLog;
+    use cdt_types::SellerId;
+
+    fn temp_journal(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cdt-journal-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    fn job_event() -> MarketEvent {
+        MarketEvent::JobPublished {
+            job: JobSpec::new(4, 2, 10.0).unwrap(),
+        }
+    }
+
+    fn round_events(t: usize) -> Vec<MarketEvent> {
+        vec![
+            MarketEvent::SellersSelected {
+                round: Round(t),
+                sellers: vec![SellerId(0), SellerId(1)],
+            },
+            MarketEvent::StrategyDetermined {
+                round: Round(t),
+                service_price: 4.0,
+                collection_price: 1.5,
+                sensing_times: vec![2.0, 3.0],
+            },
+            MarketEvent::DataCollected {
+                round: Round(t),
+                observed_revenue: 5.5,
+            },
+            MarketEvent::StatisticsDelivered { round: Round(t) },
+            MarketEvent::PaymentsSettled {
+                round: Round(t),
+                consumer_payment: 20.0,
+                seller_payments: vec![3.0, 4.5],
+            },
+        ]
+    }
+
+    #[test]
+    fn streams_validates_and_renames_atomically() {
+        let path = temp_journal("clean");
+        let mut sink = JournalSink::create(&path).unwrap();
+        sink.append(&job_event()).unwrap();
+        for t in 0..2 {
+            for e in round_events(t) {
+                sink.append(&e).unwrap();
+            }
+        }
+        // Before finish: only the partial exists.
+        assert!(sink.partial_path().exists());
+        assert!(!path.exists());
+        sink.append(&MarketEvent::JobCompleted { rounds: 2 }).unwrap();
+        let report = sink.finish().unwrap();
+        assert_eq!(report.events, 12);
+        assert_eq!(report.settled_rounds, 2);
+        assert!(report.completed);
+        assert!(path.exists());
+        assert!(!partial_path_for(&path).exists());
+
+        // The streamed bytes replay cleanly and match the buffered path.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let log = EventLog::from_json_lines(&text).unwrap();
+        assert_eq!(text, log.to_json_lines());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejected_event_writes_nothing() {
+        let path = temp_journal("reject");
+        let mut sink = JournalSink::create(&path).unwrap();
+        sink.append(&job_event()).unwrap();
+        let err = sink
+            .append(&MarketEvent::JobCompleted { rounds: 3 })
+            .unwrap_err();
+        assert!(matches!(err, JournalError::Protocol(_)));
+        assert_eq!(sink.events_written(), 1);
+        drop(sink);
+        // Only the accepted event reached the partial file.
+        let text = std::fs::read_to_string(partial_path_for(&path)).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let _ = std::fs::remove_file(partial_path_for(&path));
+    }
+
+    #[test]
+    fn dropped_sink_leaves_settled_prefix_in_partial() {
+        let path = temp_journal("crash");
+        {
+            let mut sink = JournalSink::create(&path).unwrap();
+            sink.append(&job_event()).unwrap();
+            for e in round_events(0) {
+                sink.append(&e).unwrap();
+            }
+            // Start round 1 but never settle it, then "crash" (drop).
+            sink.append(&round_events(1)[0]).unwrap();
+        }
+        assert!(!path.exists());
+        let text = std::fs::read_to_string(partial_path_for(&path)).unwrap();
+        let rec = crate::recover_json_lines(&text);
+        assert_eq!(rec.log.state().settled_rounds(), 1);
+        assert!(rec.stop.is_some());
+        let _ = std::fs::remove_file(partial_path_for(&path));
+    }
+
+    #[test]
+    fn observer_reconstructs_the_round_events() {
+        let path = temp_journal("observer");
+        let mut obs =
+            JournalObserver::create(&path, JobSpec::new(4, 2, 10.0).unwrap()).unwrap();
+        let selected = [SellerId(0), SellerId(1)];
+        let scores = [0.9, 0.8];
+        let taus = [2.0, 3.0];
+        obs.round_start(Round(0));
+        obs.selection(
+            Round(0),
+            &SelectionEvent {
+                selected: &selected,
+                scores: &scores,
+            },
+        );
+        obs.equilibrium(
+            Round(0),
+            &EquilibriumEvent {
+                service_price: 4.0,
+                collection_price: 1.5,
+                sensing_times: &taus,
+                consumer_profit: 1.0,
+                platform_profit: 1.0,
+                seller_profit: 1.0,
+                cached: false,
+            },
+        );
+        obs.observation(
+            Round(0),
+            &ObservationEvent {
+                observed_revenue: 5.5,
+                samples: 4,
+            },
+        );
+        obs.round_end(
+            Round(0),
+            &cdt_obs::RoundEndEvent {
+                observed_revenue: 5.5,
+                consumer_profit: 1.0,
+                platform_profit: 1.0,
+                seller_profit: 1.0,
+                selection_ns: 0,
+                solve_ns: 0,
+                observe_ns: 0,
+            },
+        );
+        let report = obs.finish().unwrap();
+        assert_eq!(report.events, 7); // publish + 5 round events + complete
+        assert_eq!(report.settled_rounds, 1);
+        assert!(report.completed);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let log = EventLog::from_json_lines(&text).unwrap();
+        match &log.events()[5] {
+            MarketEvent::PaymentsSettled {
+                consumer_payment,
+                seller_payments,
+                ..
+            } => {
+                assert_eq!(*consumer_payment, 4.0 * (2.0 + 3.0));
+                assert_eq!(seller_payments, &vec![3.0, 4.5]);
+            }
+            other => panic!("expected settlement, got {}", other.kind()),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

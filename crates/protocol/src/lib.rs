@@ -21,17 +21,28 @@
 //! - [`log`]: an append-only [`EventLog`] with JSON-lines round-trip and
 //!   full-replay validation;
 //! - [`bridge`]: adapters from [`cdt_core::RoundOutcome`] to the event
-//!   stream, so a mechanism run can be journaled with one call per round.
+//!   stream, so a mechanism run can be journaled with one call per round;
+//! - [`journal`]: a crash-safe streaming [`JournalSink`] (validate →
+//!   buffered append → flush on settlement → atomic rename on completion)
+//!   plus a [`JournalObserver`] that journals through the engine's
+//!   `cdt_obs::RoundObserver` hooks and publishes `cdt_obs_protocol_*`
+//!   metrics;
+//! - [`recover`]: truncation-tolerant replay recovering the longest
+//!   settled-round prefix of a crashed run's journal.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bridge;
 pub mod event;
+pub mod journal;
 pub mod log;
+pub mod recover;
 pub mod state;
 
 pub use bridge::events_for_round;
 pub use event::MarketEvent;
+pub use journal::{JournalError, JournalObserver, JournalReport, JournalSink};
 pub use log::EventLog;
+pub use recover::{recover_json_lines, Recovery, RecoveryStop};
 pub use state::{ProtocolError, ProtocolState};

@@ -2,15 +2,49 @@
 
 use crate::event::MarketEvent;
 use crate::state::{ProtocolError, ProtocolState};
-use cdt_types::{CdtError, Result};
+use cdt_types::{CdtError, Result, Round};
 use serde::{Deserialize, Serialize};
 
 /// An event log that validates every append against the protocol state
 /// machine, so an in-memory log is *always* a legal history.
+///
+/// Deserialization replays the events through a fresh state machine
+/// (rejecting histories that violate the protocol) and, when the JSON
+/// carries an embedded `state`, cross-checks it against the replayed one —
+/// a serialized log whose state disagrees with its events cannot sneak
+/// past the replay validation that [`EventLog::from_json_lines`] enforces.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "EventLogRepr")]
 pub struct EventLog {
     events: Vec<MarketEvent>,
     state: ProtocolState,
+}
+
+/// Wire shape of a serialized [`EventLog`]. The `state` field is optional
+/// on input (it is always rebuilt by replay) but checked when present.
+#[derive(Deserialize)]
+struct EventLogRepr {
+    events: Vec<MarketEvent>,
+    #[serde(default)]
+    state: Option<ProtocolState>,
+}
+
+impl TryFrom<EventLogRepr> for EventLog {
+    type Error = String;
+
+    fn try_from(repr: EventLogRepr) -> std::result::Result<Self, String> {
+        let mut log = EventLog::new();
+        for (i, event) in repr.events.into_iter().enumerate() {
+            log.append(event)
+                .map_err(|e| format!("event {i}: protocol violation on replay: {e}"))?;
+        }
+        if let Some(state) = repr.state {
+            if state != log.state {
+                return Err("embedded state disagrees with the replayed events".into());
+            }
+        }
+        Ok(log)
+    }
 }
 
 impl EventLog {
@@ -118,6 +152,19 @@ impl EventLog {
             })
             .sum()
     }
+
+    /// The per-round settlements, in round order: `(round,
+    /// consumer_payment, seller_payments)` (audit query).
+    pub fn settlements(&self) -> impl Iterator<Item = (Round, f64, &[f64])> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            MarketEvent::PaymentsSettled {
+                round,
+                consumer_payment,
+                seller_payments,
+            } => Some((*round, *consumer_payment, seller_payments.as_slice())),
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -177,11 +224,48 @@ mod tests {
         assert!(log.is_empty());
     }
 
+    /// Edits one named field of one journal line at the JSON level —
+    /// structured tampering, immune to incidental substring collisions.
+    fn tamper_line(text: &str, line_idx: usize, kind: &str, field: &str, value: f64) -> String {
+        let mut lines: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        lines[line_idx][kind][field] = value.into();
+        let mut out = String::new();
+        for v in &lines {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
     #[test]
-    fn replay_rejects_tampered_amounts() {
+    fn replay_rejects_tampered_consumer_payment() {
         let log = full_log();
-        // Tamper: change the settled consumer payment in the JSON.
-        let text = log.to_json_lines().replace("8.0", "80.0");
+        // Line 5 is the settlement; inflate the consumer payment tenfold.
+        let text = tamper_line(
+            &log.to_json_lines(),
+            5,
+            "PaymentsSettled",
+            "consumer_payment",
+            80.0,
+        );
+        let err = EventLog::from_json_lines(&text).unwrap_err();
+        assert!(err.to_string().contains("protocol violation"));
+    }
+
+    #[test]
+    fn replay_rejects_tampered_strategy_price() {
+        let log = full_log();
+        // Rewriting the agreed price breaks the later settlement check.
+        let text = tamper_line(
+            &log.to_json_lines(),
+            2,
+            "StrategyDetermined",
+            "service_price",
+            0.5,
+        );
         let err = EventLog::from_json_lines(&text).unwrap_err();
         assert!(err.to_string().contains("protocol violation"));
     }
@@ -214,5 +298,58 @@ mod tests {
         let log = full_log();
         let text = format!("\n{}\n\n", log.to_json_lines());
         assert_eq!(EventLog::from_json_lines(&text).unwrap().len(), log.len());
+    }
+
+    #[test]
+    fn settlements_iterate_in_round_order() {
+        let log = full_log();
+        let rows: Vec<_> = log.settlements().collect();
+        assert_eq!(rows.len(), 1);
+        let (round, consumer, sellers) = rows[0];
+        assert_eq!(round, Round(0));
+        assert!((consumer - 8.0).abs() < 1e-12);
+        assert_eq!(sellers, &[2.0]);
+    }
+
+    #[test]
+    fn deserialize_replays_and_round_trips() {
+        let log = full_log();
+        let json = serde_json::to_string(&log).unwrap();
+        let back: EventLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+        assert!(back.state().is_completed());
+    }
+
+    #[test]
+    fn deserialize_rejects_state_disagreeing_with_events() {
+        let log = full_log();
+        let mut value: serde_json::Value = serde_json::to_value(&log).unwrap();
+        // Forge the embedded state: claim 7 settled rounds against a
+        // 1-round history.
+        value["state"]["settled_rounds"] = 7.into();
+        let err = serde_json::from_value::<EventLog>(value).unwrap_err();
+        assert!(err.to_string().contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_protocol_violating_events() {
+        let log = full_log();
+        let mut value: serde_json::Value = serde_json::to_value(&log).unwrap();
+        // Tamper with the events array itself: the replay must catch it
+        // even though no state is present at all.
+        value["events"][5]["PaymentsSettled"]["consumer_payment"] = 80.0.into();
+        value.as_object_mut().unwrap().remove("state");
+        let err = serde_json::from_value::<EventLog>(value).unwrap_err();
+        assert!(err.to_string().contains("protocol violation"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_without_embedded_state_rebuilds_it() {
+        let log = full_log();
+        let mut value: serde_json::Value = serde_json::to_value(&log).unwrap();
+        value.as_object_mut().unwrap().remove("state");
+        let back: EventLog = serde_json::from_value(value).unwrap();
+        assert_eq!(back.state(), log.state());
+        assert_eq!(back.state().settled_rounds(), 1);
     }
 }

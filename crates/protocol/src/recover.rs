@@ -1,0 +1,300 @@
+//! Truncation-tolerant journal recovery.
+//!
+//! [`EventLog::from_json_lines`] is all-or-nothing: any bad line rejects
+//! the whole journal. That is the right contract for audit, but a journal
+//! left behind by a killed run (`<path>.partial` from
+//! [`crate::JournalSink`]) legitimately ends mid-round. This module
+//! replays as far as the history stays valid and keeps the longest prefix
+//! that ends on a *settlement boundary* — after `JobPublished`, after any
+//! `PaymentsSettled`, or after `JobCompleted` — reporting where and why
+//! replay stopped.
+
+use crate::event::MarketEvent;
+use crate::log::EventLog;
+use crate::state::ProtocolState;
+
+/// Where and why a recovery replay stopped short of the journal's end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryStop {
+    /// 1-based line number of the offending (or last in-flight) line.
+    pub line: usize,
+    /// Human-readable cause: bad JSON, protocol violation, or mid-round
+    /// truncation.
+    pub reason: String,
+}
+
+/// The result of a truncation-tolerant replay.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The longest valid prefix ending on a settlement boundary.
+    pub log: EventLog,
+    /// Whether the recovered prefix ends with `JobCompleted`.
+    pub completed: bool,
+    /// Non-empty lines scanned (including any rejected one).
+    pub lines_read: usize,
+    /// Events that parsed and replayed cleanly (the kept prefix plus any
+    /// in-flight events of an unsettled trailing round).
+    pub events_replayed: usize,
+    /// `None` when the journal is a clean boundary-terminated history;
+    /// otherwise where and why replay stopped.
+    pub stop: Option<RecoveryStop>,
+}
+
+impl Recovery {
+    /// Rounds fully settled in the recovered prefix.
+    #[must_use]
+    pub fn settled_rounds(&self) -> usize {
+        self.log.state().settled_rounds()
+    }
+
+    /// Cleanly replayed events that were discarded because their round
+    /// never settled.
+    #[must_use]
+    pub fn dropped_events(&self) -> usize {
+        self.events_replayed - self.log.len()
+    }
+}
+
+/// Replays `input` (JSON lines, as written by [`crate::JournalSink`] or
+/// [`EventLog::to_json_lines`]) and recovers the longest settled-round
+/// prefix. Never fails: an empty or immediately invalid journal recovers
+/// an empty log with the stop report explaining why.
+#[must_use]
+pub fn recover_json_lines(input: &str) -> Recovery {
+    let mut state = ProtocolState::new();
+    let mut events: Vec<MarketEvent> = Vec::new();
+    let mut boundary = 0usize;
+    let mut lines_read = 0usize;
+    let mut last_line_no = 0usize;
+    let mut stop = None;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        lines_read += 1;
+        last_line_no = line_no;
+        let event: MarketEvent = match serde_json::from_str(line) {
+            Ok(event) => event,
+            Err(e) => {
+                stop = Some(RecoveryStop {
+                    line: line_no,
+                    reason: format!("bad event JSON: {e}"),
+                });
+                break;
+            }
+        };
+        if let Err(e) = state.apply(&event) {
+            stop = Some(RecoveryStop {
+                line: line_no,
+                reason: format!("protocol violation: {e}"),
+            });
+            break;
+        }
+        let is_boundary = matches!(
+            event,
+            MarketEvent::JobPublished { .. }
+                | MarketEvent::PaymentsSettled { .. }
+                | MarketEvent::JobCompleted { .. }
+        );
+        events.push(event);
+        if is_boundary {
+            boundary = events.len();
+        }
+    }
+
+    let events_replayed = events.len();
+    if stop.is_none() && boundary < events_replayed {
+        stop = Some(RecoveryStop {
+            line: last_line_no,
+            reason: format!(
+                "journal ends mid-round ({} in-flight event{} discarded)",
+                events_replayed - boundary,
+                if events_replayed - boundary == 1 { "" } else { "s" }
+            ),
+        });
+    }
+
+    let mut log = EventLog::new();
+    for event in events.into_iter().take(boundary) {
+        log.append(event)
+            .expect("a validated prefix replays unchanged");
+    }
+    Recovery {
+        completed: log.state().is_completed(),
+        log,
+        lines_read,
+        events_replayed,
+        stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdt_types::{JobSpec, Round, SellerId};
+    use proptest::prelude::*;
+
+    /// The first `n` lines of `text`, newline-terminated.
+    fn take_lines(text: &str, n: usize) -> String {
+        let mut out = String::new();
+        for line in text.lines().take(n) {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn journal_lines(rounds: usize, completed: bool) -> String {
+        let mut log = EventLog::new();
+        log.append(MarketEvent::JobPublished {
+            job: JobSpec::new(4, 2, 10.0).unwrap(),
+        })
+        .unwrap();
+        for t in 0..rounds {
+            log.append(MarketEvent::SellersSelected {
+                round: Round(t),
+                sellers: vec![SellerId(0), SellerId(1)],
+            })
+            .unwrap();
+            log.append(MarketEvent::StrategyDetermined {
+                round: Round(t),
+                service_price: 4.0,
+                collection_price: 1.5,
+                sensing_times: vec![2.0, 3.0],
+            })
+            .unwrap();
+            log.append(MarketEvent::DataCollected {
+                round: Round(t),
+                observed_revenue: 5.5,
+            })
+            .unwrap();
+            log.append(MarketEvent::StatisticsDelivered { round: Round(t) })
+                .unwrap();
+            log.append(MarketEvent::PaymentsSettled {
+                round: Round(t),
+                consumer_payment: 20.0,
+                seller_payments: vec![3.0, 4.5],
+            })
+            .unwrap();
+        }
+        if completed {
+            log.append(MarketEvent::JobCompleted { rounds }).unwrap();
+        }
+        log.to_json_lines()
+    }
+
+    #[test]
+    fn complete_journal_recovers_fully() {
+        let text = journal_lines(3, true);
+        let rec = recover_json_lines(&text);
+        assert!(rec.completed);
+        assert_eq!(rec.settled_rounds(), 3);
+        assert_eq!(rec.dropped_events(), 0);
+        assert!(rec.stop.is_none());
+    }
+
+    #[test]
+    fn mid_round_truncation_keeps_settled_prefix() {
+        let text = journal_lines(3, false);
+        // Cut into round 2: keep publish + 2 full rounds + 3 events of the
+        // third round.
+        let cut = take_lines(&text, 1 + 2 * 5 + 3);
+        let rec = recover_json_lines(&cut);
+        assert_eq!(rec.settled_rounds(), 2);
+        assert_eq!(rec.log.len(), 11);
+        assert_eq!(rec.dropped_events(), 3);
+        let stop = rec.stop.unwrap();
+        assert_eq!(stop.line, 14);
+        assert!(stop.reason.contains("mid-round"), "{}", stop.reason);
+    }
+
+    #[test]
+    fn garbage_line_stops_replay_at_last_boundary() {
+        let mut text = journal_lines(2, false);
+        text.push_str("{\"not\": \"an event\"}\n");
+        let rec = recover_json_lines(&text);
+        assert_eq!(rec.settled_rounds(), 2);
+        let stop = rec.stop.unwrap();
+        assert_eq!(stop.line, 12);
+        assert!(stop.reason.contains("bad event JSON"), "{}", stop.reason);
+    }
+
+    #[test]
+    fn violation_stops_replay_with_reason() {
+        let mut text = journal_lines(1, false);
+        // Round 5 cannot follow round 0: a protocol violation, not JSON rot.
+        text.push_str(
+            &serde_json::to_string(&MarketEvent::SellersSelected {
+                round: Round(5),
+                sellers: vec![SellerId(0)],
+            })
+            .unwrap(),
+        );
+        text.push('\n');
+        let rec = recover_json_lines(&text);
+        assert_eq!(rec.settled_rounds(), 1);
+        let stop = rec.stop.unwrap();
+        assert!(stop.reason.contains("protocol violation"), "{}", stop.reason);
+    }
+
+    #[test]
+    fn empty_input_recovers_empty_log() {
+        let rec = recover_json_lines("");
+        assert_eq!(rec.settled_rounds(), 0);
+        assert!(rec.log.is_empty());
+        assert!(rec.stop.is_none());
+        assert!(!rec.completed);
+    }
+
+    #[test]
+    fn bytewise_truncation_mid_line_recovers_prefix() {
+        let text = journal_lines(2, true);
+        // Chop the last line in half: the torn JSON stops replay, the
+        // settled prefix survives.
+        let cut = &text[..text.len() - 8];
+        let rec = recover_json_lines(cut);
+        assert_eq!(rec.settled_rounds(), 2);
+        assert!(!rec.completed);
+        assert!(rec.stop.unwrap().reason.contains("bad event JSON"));
+    }
+
+    proptest! {
+        /// Truncating at ANY settlement boundary recovers exactly that
+        /// prefix: all settled rounds kept, nothing dropped, no stop
+        /// report mistaking a clean prefix for corruption.
+        #[test]
+        fn boundary_truncation_recovers_exact_prefix(
+            rounds in 1usize..8,
+            keep in 0usize..8,
+        ) {
+            let keep = keep.min(rounds);
+            let text = journal_lines(rounds, false);
+            let cut = take_lines(&text, 1 + keep * 5);
+            let rec = recover_json_lines(&cut);
+            prop_assert_eq!(rec.settled_rounds(), keep);
+            prop_assert_eq!(rec.log.len(), 1 + keep * 5);
+            prop_assert_eq!(rec.dropped_events(), 0);
+            prop_assert!(rec.stop.is_none());
+        }
+
+        /// Truncating anywhere *inside* a round recovers the settled
+        /// prefix and reports the mid-round stop.
+        #[test]
+        fn mid_round_truncation_always_reports_stop(
+            rounds in 1usize..6,
+            keep in 0usize..6,
+            offset in 1usize..5,
+        ) {
+            let keep = keep.min(rounds - 1);
+            let text = journal_lines(rounds, false);
+            let cut = take_lines(&text, 1 + keep * 5 + offset);
+            let rec = recover_json_lines(&cut);
+            prop_assert_eq!(rec.settled_rounds(), keep);
+            prop_assert_eq!(rec.dropped_events(), offset);
+            prop_assert!(rec.stop.is_some());
+        }
+    }
+}

@@ -187,6 +187,14 @@ impl ProtocolState {
                         message: "non-finite prices".into(),
                     });
                 }
+                // Reject a bad τ here, at the event that introduces it: a
+                // NaN or negative sensing time would otherwise poison Στ
+                // and surface as a confusing settlement mismatch.
+                if let Some(bad) = sensing_times.iter().find(|t| !(t.is_finite() && **t >= 0.0)) {
+                    return Err(ProtocolError::Inconsistent {
+                        message: format!("invalid sensing time {bad} (must be finite and >= 0)"),
+                    });
+                }
                 self.strategy = Some((*service_price, *collection_price, sensing_times.clone()));
                 self.phase = Phase::AwaitData;
                 Ok(())
@@ -218,6 +226,16 @@ impl ProtocolState {
             } => {
                 self.expect_round(*round, event)?;
                 self.expect_phase(Phase::AwaitSettlement, event)?;
+                if !consumer_payment.is_finite() {
+                    return Err(ProtocolError::Inconsistent {
+                        message: format!("non-finite consumer payment {consumer_payment}"),
+                    });
+                }
+                if let Some(bad) = seller_payments.iter().find(|p| !p.is_finite()) {
+                    return Err(ProtocolError::Inconsistent {
+                        message: format!("non-finite seller payment {bad}"),
+                    });
+                }
                 let (pj, p, taus) = self.strategy.as_ref().expect("phase implies strategy");
                 let total: f64 = taus.iter().sum();
                 let expected_consumer = pj * total;
@@ -381,6 +399,68 @@ mod tests {
             s.apply(&bad),
             Err(ProtocolError::Inconsistent { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_nan_or_negative_sensing_times() {
+        for bad_tau in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut s = ProtocolState::new();
+            s.apply(&job()).unwrap();
+            s.apply(&round_events(0)[0]).unwrap();
+            let bad = MarketEvent::StrategyDetermined {
+                round: Round(0),
+                service_price: 4.0,
+                collection_price: 1.5,
+                sensing_times: vec![2.0, bad_tau],
+            };
+            let err = s.apply(&bad).unwrap_err();
+            assert!(
+                err.to_string().contains("invalid sensing time"),
+                "tau {bad_tau}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sensing_time_is_legal() {
+        let mut s = ProtocolState::new();
+        s.apply(&job()).unwrap();
+        s.apply(&round_events(0)[0]).unwrap();
+        s.apply(&MarketEvent::StrategyDetermined {
+            round: Round(0),
+            service_price: 4.0,
+            collection_price: 1.5,
+            sensing_times: vec![0.0, 3.0],
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_non_finite_payments_precisely() {
+        // A NaN consumer payment must be rejected as non-finite, not as a
+        // (vacuous) amount mismatch.
+        let mut s = ProtocolState::new();
+        s.apply(&job()).unwrap();
+        let evs = round_events(0);
+        for e in &evs[..4] {
+            s.apply(e).unwrap();
+        }
+        let err = s
+            .apply(&MarketEvent::PaymentsSettled {
+                round: Round(0),
+                consumer_payment: f64::NAN,
+                seller_payments: vec![3.0, 4.5],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("non-finite consumer payment"), "{err}");
+        let err = s
+            .apply(&MarketEvent::PaymentsSettled {
+                round: Round(0),
+                consumer_payment: 20.0,
+                seller_payments: vec![3.0, f64::INFINITY],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("non-finite seller payment"), "{err}");
     }
 
     #[test]
