@@ -20,8 +20,11 @@ echo "==> bench_engine smoke + perf gate (BENCH_engine.json vs results/bench_his
 # identical-workload runs in the history (it skips until 3 matching records
 # exist); a drop of more than 50% fails the build (exit 1). Exercise a
 # pinned chunk with the unbatched path, then adaptive chunking with a
-# lockstep batch of 4 — serial-vs-parallel bit-identity must hold in both.
-for extra in "--chunk 1 --batch 1" "--batch 4"; do
+# lockstep batch of 4, then the batched path at a non-default lane width
+# and with fast-math reductions — serial-vs-parallel bit-identity must
+# hold in all four (lane kernels are deterministic per width and input,
+# with or without fast-math, so `identical` never depends on the pool).
+for extra in "--chunk 1 --batch 1" "--batch 4" "--batch 4 --lanes 4" "--batch 4 --fast-math"; do
     # shellcheck disable=SC2086  # $extra is a deliberate word-split flag list
     cargo run --release -p cdt-bench --bin bench_engine -- \
         --m 40 --k 5 --l 5 --n 400 --reps 2 --out BENCH_engine.json \
@@ -96,5 +99,38 @@ cargo run --release -p cdt-cli --bin cdt -- journal recover /tmp/cdt_journal_tor
 grep -q 'recovered 4 settled rounds' /tmp/cdt_journal_recover.txt
 grep -q 'mid-round' /tmp/cdt_journal_recover.txt
 cargo run --release -p cdt-cli --bin cdt -- journal verify /tmp/cdt_journal_recovered.jsonl
+
+echo "==> journal diff smoke (lane-kernel divergence validator)"
+# L=10 exceeds the widest lane (8), so fast-math genuinely reassociates
+# the row reductions; K=5 sellers keep the run fast. Deterministic runs
+# must diff to exactly zero at *any* lane width; a fast-math run must stay
+# within the documented reassociation bound; runs of different scenarios
+# must fail the diff (nonzero exit).
+rm -f /tmp/cdt_diff_{a,b,c,d}.jsonl
+diff_scenario="--m 20 --k 5 --l 10 --n 6"
+# shellcheck disable=SC2086  # deliberate word-split flag list
+cargo run --release -p cdt-cli --bin cdt -- run $diff_scenario \
+    --journal /tmp/cdt_diff_a.jsonl
+# shellcheck disable=SC2086
+cargo run --release -p cdt-cli --bin cdt -- run $diff_scenario \
+    --lanes 4 --journal /tmp/cdt_diff_b.jsonl
+# shellcheck disable=SC2086
+cargo run --release -p cdt-cli --bin cdt -- run $diff_scenario \
+    --fast-math --journal /tmp/cdt_diff_c.jsonl
+# shellcheck disable=SC2086
+cargo run --release -p cdt-cli --bin cdt -- run $diff_scenario \
+    --seed 7 --journal /tmp/cdt_diff_d.jsonl
+# Deterministic path: lane width must not change a single settled bit.
+cargo run --release -p cdt-cli --bin cdt -- journal diff \
+    /tmp/cdt_diff_a.jsonl /tmp/cdt_diff_b.jsonl
+# Fast-math: bounded divergence (tol mirrors the documented bound).
+cargo run --release -p cdt-cli --bin cdt -- journal diff \
+    /tmp/cdt_diff_a.jsonl /tmp/cdt_diff_c.jsonl --tol 1e-6
+# A different seed is a different run: the zero-tolerance diff must fail.
+if cargo run --release -p cdt-cli --bin cdt -- journal diff \
+    /tmp/cdt_diff_a.jsonl /tmp/cdt_diff_d.jsonl; then
+    echo "ERROR: journal diff accepted diverging runs" >&2
+    exit 1
+fi
 
 echo "==> ci.sh: all gates passed"

@@ -81,12 +81,19 @@ impl QualityEstimator {
     /// (Eqs. 17–18 for `χ_i^t = 1`).
     ///
     /// # Panics
-    /// Panics (debug builds) if an observation leaves `[0, 1]` — the quality
+    /// Panics if the observations sum to a non-finite value (a NaN or ±∞
+    /// observation would silently poison the running mean forever), and
+    /// in debug builds if an observation leaves `[0, 1]` — the quality
     /// domain of Def. 3. Callers sit between this estimator and the
     /// [`cdt_quality`] samplers, which guarantee the domain.
     pub fn update(&mut self, id: SellerId, observations: &[f64]) {
+        // Non-finite values skip the domain check: they reach the hard
+        // non-finite-sum assert below in every build profile.
         debug_assert!(
-            observations.iter().all(|q| (0.0..=1.0).contains(q)),
+            observations
+                .iter()
+                .filter(|q| q.is_finite())
+                .all(|q| (0.0..=1.0).contains(q)),
             "quality observations must lie in [0, 1]"
         );
         if observations.is_empty() {
@@ -95,7 +102,11 @@ impl QualityEstimator {
         let i = id.index();
         let old_n = self.counts[i] as f64;
         let l = observations.len() as f64;
-        let sum: f64 = observations.iter().sum();
+        let sum = cdt_types::lanes::configured_sum(observations);
+        assert!(
+            sum.is_finite(),
+            "non-finite observation sum for seller {i}: observations must be finite"
+        );
         self.means[i] = (self.means[i] * old_n + sum) / (old_n + l);
         self.counts[i] += observations.len() as u64;
         self.total_count += observations.len() as u64;
@@ -124,21 +135,58 @@ impl QualityEstimator {
 /// and the batched per-lane estimator sweep
 /// ([`crate::batch::BatchCmabUcb`]): one shared expression tree means the
 /// two paths cannot drift apart bit-wise.
+///
+/// The per-row `Σ_l q_{i,l}` reduction follows the process lane
+/// configuration: sequential (bit-identical to [`QualityEstimator::update`])
+/// by default, reassociated at the configured lane width under fast-math
+/// (see [`cdt_types::lanes`]).
+///
+/// # Panics
+/// Panics if any row sums to a non-finite value — a NaN/±∞ observation
+/// would otherwise poison the running mean for the rest of the run.
 pub fn update_round_columns(
     counts: &mut [u64],
     means: &mut [f64],
     total_count: &mut u64,
     observations: &ObservationMatrix,
 ) {
+    update_round_columns_with(
+        counts,
+        means,
+        total_count,
+        observations,
+        cdt_types::lanes::lane_width(),
+        cdt_types::lanes::fast_math(),
+    );
+}
+
+/// As [`update_round_columns`], at an explicit `(width, fast_math)`
+/// configuration — the testable kernel that never reads process globals.
+///
+/// With `fast_math = false` the row sums are strictly sequential and the
+/// result is bit-identical at every `width`; with `fast_math = true` the
+/// row sums reassociate at `width` lanes (deterministic per width, bounded
+/// divergence — see [`cdt_types::lanes`]).
+pub fn update_round_columns_with(
+    counts: &mut [u64],
+    means: &mut [f64],
+    total_count: &mut u64,
+    observations: &ObservationMatrix,
+    width: usize,
+    fast_math: bool,
+) {
     let sellers = observations.sellers();
     let l = observations.num_pois();
     if l == 0 {
         return;
     }
+    // Non-finite values skip the domain check: they reach the hard
+    // non-finite-sum assert in the loop below in every build profile.
     debug_assert!(
         observations
             .values()
             .iter()
+            .filter(|q| q.is_finite())
             .all(|q| (0.0..=1.0).contains(q)),
         "quality observations must lie in [0, 1]"
     );
@@ -146,7 +194,18 @@ pub fn update_round_columns(
     for (id, row) in sellers.iter().zip(observations.values().chunks_exact(l)) {
         let i = id.index();
         let old_n = counts[i] as f64;
-        let sum: f64 = row.iter().sum();
+        let sum = if fast_math {
+            cdt_types::lanes::sum_reassociated_width(row, width)
+        } else {
+            cdt_types::lanes::sum_sequential(row)
+        };
+        // One finiteness check per row (not per observation): any NaN/±∞
+        // observation propagates into its row sum, so this rejects every
+        // poisoned input at O(rows) cost.
+        assert!(
+            sum.is_finite(),
+            "non-finite observation sum for seller {i}: observations must be finite"
+        );
         means[i] = (means[i] * old_n + sum) / (old_n + l_f);
         counts[i] += l as u64;
     }
@@ -264,6 +323,85 @@ mod tests {
             per_row.update(id, row);
         }
         assert_eq!(flat, per_row);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite observation sum")]
+    fn update_rejects_nan_observations() {
+        let mut e = QualityEstimator::new(1);
+        e.update(SellerId(0), &[0.5, f64::NAN, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite observation sum")]
+    fn update_round_rejects_infinite_observations() {
+        let mut e = QualityEstimator::new(2);
+        let m = ObservationMatrix::from_flat(
+            vec![SellerId(0), SellerId(1)],
+            2,
+            vec![0.5, 0.5, f64::INFINITY, 0.5],
+        );
+        e.update_round(&m);
+    }
+
+    #[test]
+    fn deterministic_round_update_is_width_invariant() {
+        // fast_math = false ⇒ the row sums stay sequential, so every lane
+        // width must produce the same bits.
+        let m = ObservationMatrix::from_flat(
+            vec![SellerId(0), SellerId(2), SellerId(1)],
+            10,
+            (0..30).map(|i| (i as f64) / 31.0).collect(),
+        );
+        let run = |width: usize| {
+            let mut counts = vec![3u64, 0, 5];
+            let mut means = vec![0.25, 0.0, 0.75];
+            let mut total = 8u64;
+            update_round_columns_with(&mut counts, &mut means, &mut total, &m, width, false);
+            (
+                counts,
+                means.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                total,
+            )
+        };
+        let reference = run(1);
+        for w in [2usize, 4, 8] {
+            assert_eq!(run(w), reference, "width {w}");
+        }
+    }
+
+    #[test]
+    fn fast_math_round_update_diverges_within_bound() {
+        // Rows longer than the lane width reassociate under fast-math:
+        // the means may drift from the sequential reference, but only
+        // within the reassociation bound, and deterministically per width.
+        let l = 10;
+        let m = ObservationMatrix::from_flat(
+            vec![SellerId(0), SellerId(1)],
+            l,
+            (0..2 * l).map(|i| 1.0 / (1.0 + i as f64)).collect(),
+        );
+        let run = |width: usize, fast: bool| {
+            let mut counts = vec![0u64; 2];
+            let mut means = vec![0.0; 2];
+            let mut total = 0u64;
+            update_round_columns_with(&mut counts, &mut means, &mut total, &m, width, fast);
+            means
+        };
+        let reference = run(1, false);
+        for w in [4usize, 8] {
+            let fast = run(w, true);
+            let again = run(w, true);
+            assert_eq!(
+                fast.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                again.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "fast-math must be deterministic at width {w}"
+            );
+            for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+                let bound = (l as f64) * f64::EPSILON * (l as f64);
+                assert!((f - r).abs() <= bound, "width {w} row {i}: {f} vs {r}");
+            }
+        }
     }
 
     proptest! {

@@ -99,11 +99,40 @@ pub fn ucb_indices_from_columns_into(
     config: &UcbConfig,
     out: &mut Vec<f64>,
 ) {
+    ucb_indices_from_columns_width_into(
+        counts,
+        means,
+        total,
+        config,
+        cdt_types::lanes::lane_width(),
+        out,
+    );
+}
+
+/// As [`ucb_indices_from_columns_into`], at an explicit lane `width`.
+///
+/// The fill is **elementwise** — one output per `(count, mean)` pair with
+/// an unchanged expression tree — so every width produces bit-identical
+/// results; the width only shapes the loop for the autovectorizer. This
+/// variant exists so tests can pin that identity without touching the
+/// process-wide lane configuration.
+pub fn ucb_indices_from_columns_width_into(
+    counts: &[u64],
+    means: &[f64],
+    total: u64,
+    config: &UcbConfig,
+    width: usize,
+    out: &mut Vec<f64>,
+) {
     out.clear();
-    let arms = counts.iter().zip(means);
     if total <= 1 {
         // Degenerate start: every explored arm has zero width.
-        out.extend(arms.map(|(&n, &mean)| if n == 0 { f64::INFINITY } else { mean + 0.0 }));
+        out.extend(
+            counts
+                .iter()
+                .zip(means)
+                .map(|(&n, &mean)| if n == 0 { f64::INFINITY } else { mean + 0.0 }),
+        );
         return;
     }
     // `ln(Σn)` is identical for every arm — hoist `w · ln(Σn)` out of the
@@ -111,14 +140,40 @@ pub fn ucb_indices_from_columns_into(
     // tree of [`UcbConfig::confidence_width`] (`(w * ln) / n`), so the
     // indices are bit-identical to the unhoisted path.
     let w_ln_total = config.exploration_weight * (total as f64).ln();
-    out.extend(arms.map(|(&n, &mean)| {
-        if n == 0 {
-            // `mean + ∞ = ∞` for any finite mean (see `confidence_width`).
-            f64::INFINITY
-        } else {
-            mean + (w_ln_total / n as f64).sqrt()
+    out.resize(counts.len(), 0.0);
+    match width {
+        2 => ucb_lane_fill::<2>(counts, means, w_ln_total, out),
+        4 => ucb_lane_fill::<4>(counts, means, w_ln_total, out),
+        8 => ucb_lane_fill::<8>(counts, means, w_ln_total, out),
+        _ => ucb_lane_fill::<1>(counts, means, w_ln_total, out),
+    }
+}
+
+/// The branchless UCB fill at compile-time width `W`: `W` outputs per
+/// chunk iteration, each `mean + sqrt(w_ln_total / n)`.
+///
+/// The scalar path's `n == 0 → +∞` branch is *absorbed into the float
+/// expression*: with `total ≥ 2` and a positive exploration weight,
+/// `w_ln_total > 0`, so `w_ln_total / 0.0 = +∞`, `sqrt(+∞) = +∞`, and
+/// `mean + ∞ = +∞` for any finite mean — the exact bits the branch
+/// produced. Dropping the branch is what lets the loop vectorize.
+#[allow(clippy::needless_range_loop)] // `0..W` indexing keeps the W-lane shape visible to the autovectorizer
+fn ucb_lane_fill<const W: usize>(counts: &[u64], means: &[f64], w_ln_total: f64, out: &mut [f64]) {
+    debug_assert!(w_ln_total > 0.0, "caller guarantees total >= 2 and w > 0");
+    debug_assert_eq!(counts.len(), means.len());
+    debug_assert_eq!(counts.len(), out.len());
+    let mut c_chunks = counts.chunks_exact(W);
+    let mut m_chunks = means.chunks_exact(W);
+    let o_chunks = out.chunks_exact_mut(W);
+    for ((c, m), o) in (&mut c_chunks).zip(&mut m_chunks).zip(o_chunks) {
+        for j in 0..W {
+            o[j] = m[j] + (w_ln_total / c[j] as f64).sqrt();
         }
-    }));
+    }
+    let done = counts.len() - c_chunks.remainder().len();
+    for i in done..counts.len() {
+        out[i] = means[i] + (w_ln_total / counts[i] as f64).sqrt();
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +279,53 @@ mod tests {
         // Degenerate but defined: an explored seller when total <= 1.
         let c = UcbConfig::paper(1);
         assert_eq!(c.confidence_width(1, 1), 0.0);
+    }
+
+    #[test]
+    fn branchless_fill_maps_unexplored_arms_to_infinity() {
+        // The W-lane fill replaces the `n == 0` branch with
+        // `mean + sqrt(w_ln_total / 0.0)`; pin that it still produces the
+        // exact +∞ bits at every width, interleaved with explored arms.
+        let counts = [3u64, 0, 7, 0, 0, 1, 12, 0, 5];
+        let means = [0.5, 0.0, 0.25, 0.0, 0.0, 0.75, 0.1, 0.0, 0.9];
+        let c = UcbConfig::paper(2);
+        for w in [1usize, 2, 4, 8] {
+            let mut out = Vec::new();
+            ucb_indices_from_columns_width_into(&counts, &means, 28, &c, w, &mut out);
+            for (i, (&n, &got)) in counts.iter().zip(&out).enumerate() {
+                if n == 0 {
+                    assert_eq!(got.to_bits(), f64::INFINITY.to_bits(), "width {w} arm {i}");
+                } else {
+                    assert!(got.is_finite(), "width {w} arm {i}");
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The UCB fill is elementwise, so every lane width must reproduce
+        /// the width-1 (scalar reference) bits exactly — including lengths
+        /// that leave ragged tails and arms with `n = 0`.
+        #[test]
+        fn ucb_fill_is_bit_identical_at_every_lane_width(
+            arms in proptest::collection::vec((0u64..50, 0.0f64..=1.0), 1..40),
+            extra in 0u64..100,
+        ) {
+            let counts: Vec<u64> = arms.iter().map(|a| a.0).collect();
+            let means: Vec<f64> = arms.iter().map(|a| a.1).collect();
+            // `extra` pushes some cases into the degenerate `total <= 1`
+            // branch and keeps others well inside the hoisted path.
+            let total = counts.iter().sum::<u64>().min(2) * extra + counts.iter().sum::<u64>();
+            let c = UcbConfig::paper(3);
+            let mut reference = Vec::new();
+            ucb_indices_from_columns_width_into(&counts, &means, total, &c, 1, &mut reference);
+            let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+            for w in [2usize, 4, 8] {
+                let mut out = Vec::new();
+                ucb_indices_from_columns_width_into(&counts, &means, total, &c, w, &mut out);
+                let out_bits: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+                proptest::prop_assert_eq!(&out_bits, &ref_bits, "width {}", w);
+            }
+        }
     }
 }

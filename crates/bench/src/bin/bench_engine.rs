@@ -12,11 +12,16 @@
 //!
 //! # CI smoke (seconds):
 //! cargo run --release -p cdt-bench --bin bench_engine -- --n 200 --reps 2
+//!
+//! # lane-kernel legs (chunked column kernels; see cdt_types::lanes):
+//! cargo run --release -p cdt-bench --bin bench_engine -- --batch 4 --lanes 4
+//! cargo run --release -p cdt-bench --bin bench_engine -- --batch 4 --fast-math
 //! ```
 
 use cdt_sim::{
-    configured_batch, configured_chunk, configured_threads, replicate, set_batch_override,
-    set_chunk_override, set_thread_override, PolicySpec, ReplicatedRun,
+    configured_batch, configured_chunk, configured_fast_math, configured_lanes, configured_threads,
+    replicate, set_batch_override, set_chunk_override, set_fast_math_override, set_lanes_override,
+    set_thread_override, PolicySpec, ReplicatedRun,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -37,6 +42,15 @@ struct Workload {
     /// `1` is the unbatched path. The serial leg always runs unbatched,
     /// so `identical` also pins batched output to the serial reference.
     batch: usize,
+    /// Lane width of the chunked column kernels (`--lanes`/`CDT_LANES`).
+    /// Both legs run at this width; on the deterministic path every width
+    /// is bit-identical, so `identical` holds regardless.
+    lanes: usize,
+    /// Whether reassociated lane reductions were enabled
+    /// (`--fast-math`/`CDT_FAST_MATH`). Applies to both legs — fast-math
+    /// is deterministic per (width, input), so `identical` still holds —
+    /// but the absolute numbers are no longer the serial-order reference.
+    fast_math: bool,
 }
 
 #[derive(Serialize)]
@@ -69,6 +83,8 @@ struct Args {
     threads: usize,
     chunk: Option<usize>,
     batch: usize,
+    lanes: usize,
+    fast_math: bool,
     out: String,
     history: String,
     /// Fractional regression tolerance for the perf gate (`None` = no gate):
@@ -89,6 +105,8 @@ fn parse_args() -> Result<Args, String> {
         threads: configured_threads(),
         chunk: configured_chunk(),
         batch: configured_batch(),
+        lanes: configured_lanes(),
+        fast_math: configured_fast_math(),
         out: "BENCH_engine.json".to_owned(),
         history: "results/bench_history.jsonl".to_owned(),
         gate_tolerance: None,
@@ -124,6 +142,16 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--batch must be at least 1".into());
                 }
             }
+            "--lanes" => {
+                args.lanes = parse(&value("--lanes")?)?;
+                if !cdt_types::lanes::is_supported_lane_width(args.lanes) {
+                    return Err(format!(
+                        "--lanes must be one of {:?}",
+                        cdt_types::lanes::SUPPORTED_LANE_WIDTHS
+                    ));
+                }
+            }
+            "--fast-math" => args.fast_math = true,
             "--out" => args.out = value("--out")?,
             "--history" => args.history = value("--history")?,
             "--gate-tolerance" => {
@@ -143,8 +171,9 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: bench_engine [--m M] [--k K] [--l L] [--n N] \
                      [--reps R] [--threads T] [--chunk C] [--batch B]\n\
-                     \x20      [--out FILE] [--history FILE] [--gate-tolerance FRAC] \
-                     [--obs-events FILE] [--metrics-out FILE] [--obs-summary]"
+                     \x20      [--lanes W] [--fast-math] \
+                     [--out FILE] [--history FILE] [--gate-tolerance FRAC]\n\
+                     \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary]"
                 );
                 std::process::exit(0);
             }
@@ -183,6 +212,8 @@ fn append_history(path: &str, report: &Report) -> std::io::Result<()> {
         "speedup": report.speedup,
         "identical": report.identical,
         "batch": report.workload.batch,
+        "lanes": report.workload.lanes,
+        "fast_math": report.workload.fast_math,
     });
     let mut file = std::fs::OpenOptions::new()
         .create(true)
@@ -198,8 +229,16 @@ fn parse(raw: &str) -> Result<usize, String> {
 
 /// Past speedups recorded for the *same workload shape* (bench, m, k, l,
 /// n, reps, threads) with intact determinism. Records written before a
-/// field existed match any value of it, so pre-existing baselines still
-/// gate today's runs.
+/// shape field existed match any value of it, so pre-existing baselines
+/// still gate today's runs.
+///
+/// The kernel-configuration fields are stricter, because they change the
+/// *code path* rather than the workload shape: a record without a `lanes`
+/// field predates the lane kernels and gates only default-width runs
+/// (which replaced the code path those records measured — a default-width
+/// run must therefore beat the pre-lane baseline), and a record without
+/// `fast_math` gates only deterministic (`fast_math: false`) runs.
+/// Non-default widths and fast-math runs start their own baselines.
 fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
     let Ok(raw) = std::fs::read_to_string(path) else {
         return Vec::new();
@@ -211,6 +250,16 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
         Some(v) => v == expected,
         None => true,
     };
+    let lanes_ok =
+        |rec: &serde_json::Value| match rec.get("lanes").and_then(serde_json::Value::as_u64) {
+            Some(v) => v == report.workload.lanes as u64,
+            None => report.workload.lanes == cdt_types::lanes::DEFAULT_LANE_WIDTH,
+        };
+    let fast_math_ok =
+        |rec: &serde_json::Value| match rec.get("fast_math").and_then(serde_json::Value::as_bool) {
+            Some(v) => v == report.workload.fast_math,
+            None => !report.workload.fast_math,
+        };
     raw.lines()
         .filter_map(|line| serde_json::from_str::<serde_json::Value>(line.trim()).ok())
         .filter(|rec| {
@@ -223,6 +272,8 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
                 && field_ok(rec, "reps", report.workload.replications as u64)
                 && field_ok(rec, "threads", report.parallel.threads as u64)
                 && field_ok(rec, "batch", report.workload.batch as u64)
+                && lanes_ok(rec)
+                && fast_math_ok(rec)
         })
         .filter_map(|rec| rec.get("speedup").and_then(serde_json::Value::as_f64))
         .filter(|s| s.is_finite() && *s > 0.0)
@@ -302,6 +353,13 @@ fn main() {
     let total_rounds = (args.n * args.reps * specs.len()) as f64;
 
     set_chunk_override(args.chunk);
+    // The lane configuration applies to *both* legs: kernels are
+    // deterministic per (width, fast-math, input) regardless of threads,
+    // chunking, or batching, so `identical` holds either way — but with
+    // fast-math on, the absolute numbers are the reassociated ones, not
+    // the serial-order reference.
+    set_lanes_override(Some(args.lanes));
+    set_fast_math_override(Some(args.fast_math));
     // The serial leg is the exact reference path (one thread, unbatched);
     // the parallel leg takes the requested pool and lockstep batch width,
     // so `identical` pins batching as well as threading.
@@ -310,6 +368,8 @@ fn main() {
     set_thread_override(None);
     set_chunk_override(None);
     set_batch_override(None);
+    set_lanes_override(None);
+    set_fast_math_override(None);
 
     let report = Report {
         bench: "engine",
@@ -323,6 +383,8 @@ fn main() {
             seed: 20_210_419,
             chunk: args.chunk,
             batch: args.batch,
+            lanes: args.lanes,
+            fast_math: args.fast_math,
         },
         serial: Timing {
             threads: 1,

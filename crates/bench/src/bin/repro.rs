@@ -188,6 +188,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Push the resolved CDT_LANES / CDT_FAST_MATH configuration into the
+    // column kernels' process state (binary entry points do this
+    // explicitly; library code never mutates it implicitly).
+    cdt_sim::sync_lane_config();
     let obs_active = args.obs_events.is_some() || args.metrics_out.is_some() || args.obs_summary;
     if obs_active {
         cdt_obs::global().reset();

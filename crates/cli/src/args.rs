@@ -10,7 +10,7 @@ pub struct FlagMap {
 
 /// Flags that are boolean switches: present or absent, never followed by a
 /// value token.
-const SWITCHES: &[&str] = &["obs-summary"];
+const SWITCHES: &[&str] = &["obs-summary", "fast-math"];
 
 impl FlagMap {
     /// Raw lookup.

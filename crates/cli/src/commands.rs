@@ -17,14 +17,17 @@ USAGE:
   cdt trace generate [--records N] [--taxis M] [--seed S] [--out FILE]
   cdt trace stats FILE
   cdt run      [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
+               [--lanes W] [--fast-math]
   cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B [--journal FILE]
+               [--lanes W] [--fast-math]
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
-               [--chunk C] [--batch B]
+               [--chunk C] [--batch B] [--lanes W] [--fast-math]
   cdt game     [--k K] [--omega W] [--theta T]
   cdt obs summarize FILE
   cdt journal verify  FILE
   cdt journal audit   FILE
   cdt journal recover FILE [--out FILE]
+  cdt journal diff    A B [--tol T]
 
 PROTOCOL JOURNAL:
   `run --journal FILE` and `budget --journal FILE` stream the Fig. 2
@@ -61,7 +64,22 @@ self-scheduling; --chunk 1 is job-at-a-time claiming). --batch B (or
 CDT_BATCH) groups every B same-shape replications into one lockstep job
 that advances all lanes round-by-round through shared policy matrices
 (default: 1, unbatched). Results are bit-for-bit identical at any thread
-count, chunk size, and batch width, with observability on or off.";
+count, chunk size, and batch width, with observability on or off.
+
+LANE KERNELS (on `run`, `budget`, and `compare`):
+  The column kernels (UCB index fill, estimator round sweep, Stackelberg
+  aggregates and best responses, observation totals) run as fixed-width
+  chunked loops sized for the autovectorizer. --lanes W (or CDT_LANES)
+  picks the accumulator width (1, 2, 4, or 8; default 8); on the default
+  deterministic path every width is bit-identical to the serial reference
+  because float expression trees are preserved. --fast-math (or
+  CDT_FAST_MATH=1) additionally reassociates lane *reductions* — still
+  deterministic for a fixed width and input, but no longer bit-identical
+  to the serial order. `cdt journal diff A B [--tol T]` is the validator:
+  it aligns two journals' settled rounds, reports the maximum absolute /
+  relative payment divergence, and exits nonzero beyond --tol (default 0,
+  i.e. bit-identical or fail). Deterministic runs of one scenario must
+  diff to zero; fast-math runs must stay within the documented bound.";
 
 /// An installed observability pipeline plus what to do with it at the end
 /// of the command.
@@ -164,6 +182,33 @@ fn apply_batch(flags: &FlagMap) -> Result<(), String> {
         }
         cdt_sim::set_batch_override(Some(b));
     }
+    apply_lanes(flags)
+}
+
+/// Applies the `--lanes` and `--fast-math` flags (if present) and pushes
+/// the resolved lane configuration into the column kernels' process state.
+/// `--lanes W` picks the chunked kernels' accumulator width (bit-identical
+/// at any width on the default path); `--fast-math` enables reassociated
+/// lane reductions (deterministic per width, bounded divergence — validate
+/// with `cdt journal diff`). Without the flags the kernels use
+/// `CDT_LANES` / `CDT_FAST_MATH` or the deterministic defaults.
+fn apply_lanes(flags: &FlagMap) -> Result<(), String> {
+    if let Some(raw) = flags.get("lanes") {
+        let w: usize = raw
+            .parse()
+            .map_err(|_| format!("--lanes expects an integer, got `{raw}`"))?;
+        if !cdt_types::lanes::is_supported_lane_width(w) {
+            return Err(format!(
+                "--lanes must be one of {:?}, got {w}",
+                cdt_types::lanes::SUPPORTED_LANE_WIDTHS
+            ));
+        }
+        cdt_sim::set_lanes_override(Some(w));
+    }
+    if flags.is_set("fast-math") {
+        cdt_sim::set_fast_math_override(Some(true));
+    }
+    cdt_sim::sync_lane_config();
     Ok(())
 }
 
@@ -276,6 +321,58 @@ pub fn journal_recover_cmd(path: &str, out: Option<&str>) -> Result<(), String> 
     Ok(())
 }
 
+/// `cdt journal diff A B [--tol T]` — round-aligned settlement comparison
+/// between two journals: the divergence validator for the lane kernels.
+/// Two deterministic-path runs of the same scenario must diff to zero;
+/// `--fast-math` runs must stay within the documented reassociation bound
+/// (pass it as `--tol`). Exits nonzero on a structural mismatch or when
+/// the maximum absolute divergence exceeds the tolerance (default 0:
+/// bit-identical or fail).
+///
+/// # Errors
+/// Returns a message on I/O failure, an invalid journal, a structural
+/// mismatch, or divergence beyond `--tol`.
+pub fn journal_diff_cmd(path_a: &str, path_b: &str, flags: &FlagMap) -> Result<(), String> {
+    let tol = flags.f64_or("tol", 0.0)?;
+    if !tol.is_finite() || tol < 0.0 {
+        return Err(format!(
+            "--tol must be a finite non-negative number, got {tol}"
+        ));
+    }
+    let read_log = |path: &str| -> Result<cdt_protocol::EventLog, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let log_a = read_log(path_a)?;
+    let log_b = read_log(path_b)?;
+    let d = cdt_protocol::diff_settlements(&log_a, &log_b);
+    println!("journal diff: {path_a} vs {path_b}");
+    println!(
+        "settled rounds: {} vs {}   compared: {}",
+        d.rounds_a, d.rounds_b, d.rounds_compared
+    );
+    match d.worst_round {
+        Some(round) => println!(
+            "max divergence: {:.3e} abs, {:.3e} rel (worst at round {})",
+            d.max_abs,
+            d.max_rel,
+            round.index()
+        ),
+        None => println!("max divergence: 0 (settlements bit-identical)"),
+    }
+    if let Some(msg) = &d.structural {
+        return Err(format!("structural mismatch: {msg}"));
+    }
+    if !d.within(tol) {
+        return Err(format!(
+            "settlements diverge: max abs {:.3e} exceeds tolerance {tol:.3e}",
+            d.max_abs
+        ));
+    }
+    println!("within tolerance {tol:.3e}");
+    Ok(())
+}
+
 /// `cdt trace generate`.
 ///
 /// # Errors
@@ -370,6 +467,7 @@ pub fn run_mechanism(flags: &FlagMap) -> Result<(), String> {
 }
 
 fn run_mechanism_inner(flags: &FlagMap) -> Result<(), String> {
+    apply_lanes(flags)?;
     let (scenario, mut rng, _) = scenario_from_flags(flags)?;
     let mut mech = CmabHs::new(scenario.config.clone()).map_err(|e| e.to_string())?;
     let observer = scenario.observer();
@@ -380,9 +478,8 @@ fn run_mechanism_inner(flags: &FlagMap) -> Result<(), String> {
     // the obs pipeline is installed the journal rides alongside it via the
     // pair observer.
     if let Some(path) = flags.get("journal") {
-        let mut journal =
-            cdt_protocol::JournalObserver::create(path, scenario.config.job.clone())
-                .map_err(|e| e.to_string())?;
+        let mut journal = cdt_protocol::JournalObserver::create(path, scenario.config.job.clone())
+            .map_err(|e| e.to_string())?;
         let ledger = match cdt_obs::observer_for_run("cmab-hs") {
             Some(pipeline) => {
                 let mut pair = (journal, pipeline);
@@ -437,6 +534,7 @@ pub fn budget(flags: &FlagMap) -> Result<(), String> {
 }
 
 fn budget_inner(flags: &FlagMap) -> Result<(), String> {
+    apply_lanes(flags)?;
     let cap = flags
         .get("budget")
         .ok_or("--budget is required")?
@@ -593,6 +691,11 @@ mod tests {
     // install one so neither tears the other's sink down mid-run.
     static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+    // The lane configuration is process-wide too; serialize the tests that
+    // override it (or that assert bit-identity across runs) so a
+    // concurrently running `--fast-math` test cannot leak into them.
+    static LANE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn run_small_mechanism() {
         run_mechanism(&flags(&["--m", "10", "--k", "3", "--l", "4", "--n", "20"])).unwrap();
@@ -631,7 +734,17 @@ mod tests {
         let path = dir.join("budget-journal.jsonl");
         let path_str = path.to_str().unwrap();
         budget(&flags(&[
-            "--m", "8", "--k", "2", "--l", "3", "--n", "200", "--budget", "50", "--journal",
+            "--m",
+            "8",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--n",
+            "200",
+            "--budget",
+            "50",
+            "--journal",
             path_str,
         ]))
         .unwrap();
@@ -768,6 +881,85 @@ mod tests {
     fn compare_rejects_zero_batch() {
         assert!(compare(&flags(&["--m", "10", "--batch", "0"])).is_err());
         assert!(compare(&flags(&["--m", "10", "--batch", "wide"])).is_err());
+    }
+
+    #[test]
+    fn lanes_flag_rejects_unsupported_widths() {
+        let err = compare(&flags(&["--m", "10", "--lanes", "3"])).unwrap_err();
+        assert!(err.contains("--lanes must be one of"), "{err}");
+        assert!(compare(&flags(&["--m", "10", "--lanes", "0"])).is_err());
+        assert!(compare(&flags(&["--m", "10", "--lanes", "wide"])).is_err());
+    }
+
+    #[test]
+    fn run_with_lanes_and_fast_math_flags() {
+        let _guard = LANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        run_mechanism(&flags(&[
+            "--m",
+            "10",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--n",
+            "20",
+            "--lanes",
+            "4",
+            "--fast-math",
+        ]))
+        .unwrap();
+        assert_eq!(cdt_types::lanes::lane_width(), 4);
+        assert!(cdt_types::lanes::fast_math());
+        // Reset the global overrides so other tests see the defaults.
+        cdt_sim::set_lanes_override(None);
+        cdt_sim::set_fast_math_override(None);
+        cdt_sim::sync_lane_config();
+    }
+
+    #[test]
+    fn journal_diff_identical_runs_are_bit_identical() {
+        let _guard = LANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("cdt_cli_journal_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        let c = dir.join("c.jsonl");
+        let scenario = ["--m", "8", "--k", "2", "--l", "3", "--n", "6"];
+        let with = |extra: &[&str]| {
+            let mut args: Vec<&str> = scenario.to_vec();
+            args.extend_from_slice(extra);
+            flags(&args)
+        };
+        run_mechanism(&with(&["--journal", a.to_str().unwrap()])).unwrap();
+        run_mechanism(&with(&["--journal", b.to_str().unwrap()])).unwrap();
+        run_mechanism(&with(&["--journal", c.to_str().unwrap(), "--seed", "7"])).unwrap();
+        // Same scenario, same seed: settlements must diff to exactly zero.
+        journal_diff_cmd(a.to_str().unwrap(), b.to_str().unwrap(), &flags(&[])).unwrap();
+        // A different seed diverges and must fail the zero-tolerance diff.
+        let err =
+            journal_diff_cmd(a.to_str().unwrap(), c.to_str().unwrap(), &flags(&[])).unwrap_err();
+        assert!(
+            err.contains("diverge") || err.contains("structural"),
+            "{err}"
+        );
+        for p in [a, b, c] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn journal_diff_rejects_bad_inputs() {
+        assert!(
+            journal_diff_cmd("/nonexistent/a.jsonl", "/nonexistent/b.jsonl", &flags(&[])).is_err()
+        );
+        let dir = std::env::temp_dir().join("cdt_cli_journal_diff_tol_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.jsonl");
+        std::fs::write(&p, "").unwrap();
+        let p_str = p.to_str().unwrap();
+        let err = journal_diff_cmd(p_str, p_str, &flags(&["--tol", "-1"])).unwrap_err();
+        assert!(err.contains("--tol"), "{err}");
+        std::fs::remove_file(p).unwrap();
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! cdt journal verify FILE
 //! cdt journal audit FILE
 //! cdt journal recover FILE [--out FILE]
+//! cdt journal diff A B [--tol T]
 //! ```
 //!
 //! `run`, `budget`, and `compare` additionally accept `--obs-events FILE`
@@ -20,7 +21,10 @@
 //! (end-of-run phase/pool table); `cdt obs summarize` re-renders that
 //! summary offline from a trace file. `--journal FILE` streams the Fig. 2
 //! market protocol to FILE as rounds settle, and the `cdt journal` family
-//! verifies, audits, and crash-recovers those journals.
+//! verifies, audits, crash-recovers, and diffs those journals. `run`,
+//! `budget`, and `compare` also take `--lanes W` / `--fast-math` to
+//! configure the chunked column kernels; `cdt journal diff` validates
+//! their divergence contracts against settled payments.
 
 use cdt_cli::args::{parse_flags, FlagMap};
 use cdt_cli::commands;
@@ -60,7 +64,17 @@ fn run(argv: &[String]) -> i32 {
                 None => Err(format!("usage: cdt journal {sub} FILE")),
             }
         }
-        (Some("journal"), _) => Err("usage: cdt journal verify|audit|recover FILE".into()),
+        (Some("journal"), Some("diff")) => {
+            match (
+                argv.get(2).map(String::as_str),
+                argv.get(3).map(String::as_str),
+            ) {
+                (Some(a), Some(b)) => parse_flags(&argv[4..])
+                    .and_then(|flags| commands::journal_diff_cmd(a, b, &flags)),
+                _ => Err("usage: cdt journal diff A B [--tol T]".into()),
+            }
+        }
+        (Some("journal"), _) => Err("usage: cdt journal verify|audit|recover|diff FILE".into()),
         (Some("run"), _) => with_flags(&argv[1..], commands::run_mechanism),
         (Some("budget"), _) => with_flags(&argv[1..], commands::budget),
         (Some("compare"), _) => with_flags(&argv[1..], commands::compare),

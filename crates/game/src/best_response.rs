@@ -52,20 +52,39 @@ pub struct Aggregates {
 impl Aggregates {
     /// Computes the aggregates for a game context.
     ///
-    /// One fused, branch-free pass over the context's parallel flat columns
-    /// accumulates `A`, `B`, and `Σ q̄_i` together. Each accumulator keeps
+    /// One fused pass over the context's parallel flat columns accumulates
+    /// `A`, `B`, and `Σ q̄_i` together. By default each accumulator keeps
     /// its own left-to-right summation order, so the results are
-    /// bit-identical to separate per-seller loops.
+    /// bit-identical to separate per-seller loops; under the process-wide
+    /// fast-math mode (see [`cdt_types::lanes`]) the three accumulators
+    /// reassociate at the configured lane width — deterministic per width,
+    /// with the usual reassociation divergence bound.
     #[must_use]
     pub fn from_context(ctx: &GameContext) -> Self {
-        let mut a = 0.0;
-        let mut b = 0.0;
-        let mut q_sum = 0.0;
-        for ((&q, &ca), &cb) in ctx.qualities().iter().zip(ctx.cost_as()).zip(ctx.cost_bs()) {
-            a += 1.0 / (2.0 * q * ca);
-            b += cb / (2.0 * ca);
-            q_sum += q;
-        }
+        Self::from_context_with(
+            ctx,
+            cdt_types::lanes::lane_width(),
+            cdt_types::lanes::fast_math(),
+        )
+    }
+
+    /// As [`Aggregates::from_context`], at an explicit `(width, fast_math)`
+    /// configuration — the testable kernel that never reads process globals.
+    #[must_use]
+    pub fn from_context_with(ctx: &GameContext, width: usize, fast_math: bool) -> Self {
+        let q = ctx.qualities();
+        let ca = ctx.cost_as();
+        let cb = ctx.cost_bs();
+        let (a, b, q_sum) = if fast_math {
+            match width {
+                2 => fused_aggregate_sums::<2>(q, ca, cb),
+                4 => fused_aggregate_sums::<4>(q, ca, cb),
+                8 => fused_aggregate_sums::<8>(q, ca, cb),
+                _ => fused_aggregate_sums_sequential(q, ca, cb),
+            }
+        } else {
+            fused_aggregate_sums_sequential(q, ca, cb)
+        };
         let theta = ctx.platform_cost.theta;
         let lambda = ctx.platform_cost.lambda;
         let denom = 2.0 * (1.0 + theta * a);
@@ -87,6 +106,53 @@ impl Aggregates {
     pub fn total_sensing_time_at(&self, collection_price: f64) -> f64 {
         collection_price * self.a - self.b
     }
+}
+
+/// The sequential fused `A` / `B` / `Σ q̄` pass — the bit-identity
+/// reference (each accumulator sums strictly left to right).
+fn fused_aggregate_sums_sequential(q: &[f64], ca: &[f64], cb: &[f64]) -> (f64, f64, f64) {
+    let mut a = 0.0;
+    let mut b = 0.0;
+    let mut q_sum = 0.0;
+    for ((&q, &ca), &cb) in q.iter().zip(ca).zip(cb) {
+        a += 1.0 / (2.0 * q * ca);
+        b += cb / (2.0 * ca);
+        q_sum += q;
+    }
+    (a, b, q_sum)
+}
+
+/// The `W`-lane fused aggregate pass (fast-math only): each of the three
+/// sums keeps `W` independent accumulator lanes over the full chunks, then
+/// folds tail-first in the [`cdt_types::lanes::sum_reassociated`]
+/// convention. Deterministic for a fixed `(W, input)`; diverges from the
+/// sequential reference only once `k ≥ W`.
+#[allow(clippy::needless_range_loop)] // `0..W` indexing keeps the W-lane shape visible to the autovectorizer
+fn fused_aggregate_sums<const W: usize>(q: &[f64], ca: &[f64], cb: &[f64]) -> (f64, f64, f64) {
+    let mut acc_a = [0.0f64; W];
+    let mut acc_b = [0.0f64; W];
+    let mut acc_q = [0.0f64; W];
+    let mut q_chunks = q.chunks_exact(W);
+    let mut a_chunks = ca.chunks_exact(W);
+    let mut b_chunks = cb.chunks_exact(W);
+    for ((qq, aa), bb) in (&mut q_chunks).zip(&mut a_chunks).zip(&mut b_chunks) {
+        for j in 0..W {
+            acc_a[j] += 1.0 / (2.0 * qq[j] * aa[j]);
+            acc_b[j] += bb[j] / (2.0 * aa[j]);
+            acc_q[j] += qq[j];
+        }
+    }
+    let (mut a, mut b, mut q_sum) = fused_aggregate_sums_sequential(
+        q_chunks.remainder(),
+        a_chunks.remainder(),
+        b_chunks.remainder(),
+    );
+    for j in 0..W {
+        a += acc_a[j];
+        b += acc_b[j];
+        q_sum += acc_q[j];
+    }
+    (a, b, q_sum)
 }
 
 /// **Theorem 14 (Stage 3).** A seller's optimal sensing time at collection
@@ -124,19 +190,70 @@ pub fn all_seller_best_responses_into(
     collection_price: f64,
     out: &mut Vec<f64>,
 ) {
-    out.clear();
-    let t = ctx.max_sensing_time;
-    // Flat-column sweep: the same clamp-and-divide expression as
-    // [`seller_best_response`] over contiguous arrays.
-    out.extend(
-        ctx.qualities()
-            .iter()
-            .zip(ctx.cost_as())
-            .zip(ctx.cost_bs())
-            .map(|((&q, &a), &b)| {
-                seller_best_response(collection_price, q, SellerCostParams { a, b }, t)
-            }),
+    all_seller_best_responses_width_into(
+        ctx,
+        collection_price,
+        cdt_types::lanes::lane_width(),
+        out,
     );
+}
+
+/// As [`all_seller_best_responses_into`], at an explicit lane `width`.
+///
+/// The Theorem 14 fill is **elementwise** (one `τ_i*` per seller, same
+/// clamp-and-divide expression tree as [`seller_best_response`]), so every
+/// width is bit-identical; the width only shapes the loop for the
+/// autovectorizer. This variant exists so tests can pin that identity
+/// without touching the process-wide lane configuration.
+pub fn all_seller_best_responses_width_into(
+    ctx: &GameContext,
+    collection_price: f64,
+    width: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(ctx.k(), 0.0);
+    let t = ctx.max_sensing_time;
+    let (q, ca, cb) = (ctx.qualities(), ctx.cost_as(), ctx.cost_bs());
+    match width {
+        2 => tau_lane_fill::<2>(q, ca, cb, collection_price, t, out),
+        4 => tau_lane_fill::<4>(q, ca, cb, collection_price, t, out),
+        8 => tau_lane_fill::<8>(q, ca, cb, collection_price, t, out),
+        _ => tau_lane_fill::<1>(q, ca, cb, collection_price, t, out),
+    }
+}
+
+/// The Stage-3 fill at compile-time width `W`: `W` sellers per chunk
+/// iteration, each `((p − q·b) / (2·q·a)).clamp(0, T)` — exactly the
+/// [`seller_best_response`] expression tree, so the result is
+/// width-invariant bit-for-bit.
+#[allow(clippy::needless_range_loop)] // `0..W` indexing keeps the W-lane shape visible to the autovectorizer
+fn tau_lane_fill<const W: usize>(
+    q: &[f64],
+    ca: &[f64],
+    cb: &[f64],
+    p: f64,
+    t: f64,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(q.len(), out.len());
+    let mut q_chunks = q.chunks_exact(W);
+    let mut a_chunks = ca.chunks_exact(W);
+    let mut b_chunks = cb.chunks_exact(W);
+    let o_chunks = out.chunks_exact_mut(W);
+    for (((qq, aa), bb), o) in (&mut q_chunks)
+        .zip(&mut a_chunks)
+        .zip(&mut b_chunks)
+        .zip(o_chunks)
+    {
+        for j in 0..W {
+            o[j] = ((p - qq[j] * bb[j]) / (2.0 * qq[j] * aa[j])).clamp(0.0, t);
+        }
+    }
+    let done = q.len() - q_chunks.remainder().len();
+    for i in done..q.len() {
+        out[i] = seller_best_response(p, q[i], SellerCostParams { a: ca[i], b: cb[i] }, t);
+    }
 }
 
 /// **Theorem 15 (Stage 2), sign-corrected.** The platform's optimal
@@ -331,6 +448,82 @@ mod tests {
         let p1 = platform_best_response(&ctx, 5.0, &agg);
         let p2 = platform_best_response(&ctx, 10.0, &agg);
         assert!(p2 > p1, "platform passes higher pJ through to sellers");
+    }
+
+    #[test]
+    fn tau_fill_is_bit_identical_at_every_lane_width() {
+        // 11 sellers: ragged tails at widths 2, 4, and 8. The fill is
+        // elementwise, so every width must reproduce the width-1 bits,
+        // including clamped sellers at both ends.
+        let qualities: Vec<f64> = (0..11).map(|i| 0.15 + 0.07 * i as f64).collect();
+        let ctx = make_ctx(&qualities);
+        for p in [0.05, 1.0, 7.5] {
+            let mut reference = Vec::new();
+            all_seller_best_responses_width_into(&ctx, p, 1, &mut reference);
+            let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+            for w in [2usize, 4, 8] {
+                let mut out = Vec::new();
+                all_seller_best_responses_width_into(&ctx, p, w, &mut out);
+                let out_bits: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(out_bits, ref_bits, "p={p} width={w}");
+            }
+            // And per-seller agreement with the Theorem 14 scalar formula.
+            for (i, &tau) in reference.iter().enumerate() {
+                let expect = seller_best_response(
+                    p,
+                    qualities[i],
+                    SellerCostParams {
+                        a: 0.15 + 0.05 * i as f64,
+                        b: 0.2 + 0.1 * i as f64,
+                    },
+                    f64::MAX,
+                );
+                assert_eq!(tau.to_bits(), expect.to_bits(), "seller {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_aggregates_are_width_invariant() {
+        // fast_math = false ⇒ the fused pass stays sequential at any width.
+        let qualities: Vec<f64> = (0..13).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let ctx = make_ctx(&qualities);
+        let reference = Aggregates::from_context_with(&ctx, 1, false);
+        for w in [2usize, 4, 8] {
+            let agg = Aggregates::from_context_with(&ctx, w, false);
+            assert_eq!(agg.a.to_bits(), reference.a.to_bits(), "width {w}");
+            assert_eq!(agg.b.to_bits(), reference.b.to_bits(), "width {w}");
+            assert_eq!(
+                agg.lambda_cap.to_bits(),
+                reference.lambda_cap.to_bits(),
+                "width {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_math_aggregates_diverge_within_bound_and_deterministically() {
+        // k = 13 ≥ every width ⇒ the reassociated fold actually reorders.
+        let qualities: Vec<f64> = (0..13).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let ctx = make_ctx(&qualities);
+        let reference = Aggregates::from_context_with(&ctx, 1, false);
+        for w in [2usize, 4, 8] {
+            let fast = Aggregates::from_context_with(&ctx, w, true);
+            let again = Aggregates::from_context_with(&ctx, w, true);
+            assert_eq!(fast.a.to_bits(), again.a.to_bits(), "width {w}");
+            assert_eq!(fast.b.to_bits(), again.b.to_bits(), "width {w}");
+            // Relative reassociation drift stays near machine epsilon.
+            for (f, r) in [
+                (fast.a, reference.a),
+                (fast.b, reference.b),
+                (fast.mean_quality, reference.mean_quality),
+            ] {
+                assert!(
+                    (f - r).abs() <= 1e-12 * r.abs().max(1.0),
+                    "width {w}: {f} vs {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Round-aligned settlement comparison between two journals
+//! (`cdt journal diff A B`).
+//!
+//! Two runs of the same scenario should settle identically — bit-for-bit
+//! on the default deterministic path, within a reassociation bound under
+//! `--fast-math` (see `cdt_types::lanes`). This module turns that claim
+//! into a measurement: align the two logs' settled rounds, compare the
+//! consumer payment and every seller payment per round, and report the
+//! maximum absolute and relative divergence.
+//!
+//! Divergence is *numeric* when the histories agree structurally (same
+//! settled rounds, same seller count per round) and only the amounts
+//! drift; any disagreement in shape is a *structural* mismatch — the runs
+//! are not comparable and no tolerance excuses them.
+
+use crate::log::EventLog;
+use cdt_types::Round;
+
+/// The result of comparing two journals' settlements round by round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SettlementDiff {
+    /// Settled rounds in journal A.
+    pub rounds_a: usize,
+    /// Settled rounds in journal B.
+    pub rounds_b: usize,
+    /// Rounds actually compared (the aligned prefix).
+    pub rounds_compared: usize,
+    /// Largest absolute payment divergence over the compared rounds.
+    pub max_abs: f64,
+    /// Largest relative payment divergence (`|x−y| / max(|x|, |y|)`; 0
+    /// when both payments are 0) over the compared rounds.
+    pub max_rel: f64,
+    /// The round holding the largest absolute divergence, if any payment
+    /// diverged at all.
+    pub worst_round: Option<Round>,
+    /// A shape disagreement (settled-round count, round index, or
+    /// per-round seller count), if one was found. Structural mismatches
+    /// stop the comparison at the point of disagreement.
+    pub structural: Option<String>,
+}
+
+impl SettlementDiff {
+    /// `true` when the journals settle identically: structurally aligned
+    /// and every payment bit-equal (the deterministic-path contract).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.structural.is_none() && self.max_abs == 0.0
+    }
+
+    /// `true` when the journals agree structurally and every payment
+    /// diverges by at most `tol` absolutely (the fast-math contract).
+    #[must_use]
+    pub fn within(&self, tol: f64) -> bool {
+        self.structural.is_none() && self.max_abs <= tol
+    }
+
+    fn record(&mut self, round: Round, x: f64, y: f64) {
+        let abs = (x - y).abs();
+        let scale = x.abs().max(y.abs());
+        let rel = if abs == 0.0 { 0.0 } else { abs / scale };
+        if abs > self.max_abs {
+            self.max_abs = abs;
+            self.worst_round = Some(round);
+        }
+        if rel > self.max_rel {
+            self.max_rel = rel;
+        }
+    }
+}
+
+/// Compares two journals' settled payments round by round.
+///
+/// Rounds are aligned by position in settlement order (the protocol state
+/// machine already forces settlement order to be round order) and checked
+/// to carry the same round index and seller count; the comparison covers
+/// the common prefix when one journal settled more rounds than the other
+/// (reported as a structural mismatch).
+#[must_use]
+pub fn diff_settlements(a: &EventLog, b: &EventLog) -> SettlementDiff {
+    let settled_a: Vec<_> = a.settlements().collect();
+    let settled_b: Vec<_> = b.settlements().collect();
+    let mut diff = SettlementDiff {
+        rounds_a: settled_a.len(),
+        rounds_b: settled_b.len(),
+        rounds_compared: 0,
+        max_abs: 0.0,
+        max_rel: 0.0,
+        worst_round: None,
+        structural: None,
+    };
+    if settled_a.len() != settled_b.len() {
+        diff.structural = Some(format!(
+            "settled round counts differ: {} vs {}",
+            settled_a.len(),
+            settled_b.len()
+        ));
+    }
+    for ((round_a, consumer_a, sellers_a), (round_b, consumer_b, sellers_b)) in
+        settled_a.iter().zip(&settled_b)
+    {
+        if round_a != round_b {
+            diff.structural = Some(format!(
+                "settlement order diverges: round {} vs round {}",
+                round_a.index(),
+                round_b.index()
+            ));
+            break;
+        }
+        if sellers_a.len() != sellers_b.len() {
+            diff.structural = Some(format!(
+                "round {}: seller payment counts differ: {} vs {}",
+                round_a.index(),
+                sellers_a.len(),
+                sellers_b.len()
+            ));
+            break;
+        }
+        diff.rounds_compared += 1;
+        diff.record(*round_a, *consumer_a, *consumer_b);
+        for (&pay_a, &pay_b) in sellers_a.iter().zip(*sellers_b) {
+            diff.record(*round_a, pay_a, pay_b);
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MarketEvent;
+    use cdt_types::{JobSpec, SellerId};
+
+    /// A log settling `payments[r]` (consumer, sellers) for round `r`.
+    ///
+    /// The state machine enforces `consumer = p^J·Στ` and
+    /// `seller_payments[i] = p·τ_i`, so the strategy is derived from the
+    /// requested payments: `p = 1` makes `τ_i = seller_payments[i]`, and
+    /// `p^J = consumer / Στ` closes the consumer identity.
+    fn settled_log(payments: &[(f64, Vec<f64>)]) -> EventLog {
+        let mut log = EventLog::new();
+        log.append(MarketEvent::JobPublished {
+            job: JobSpec::new(4, payments.len().max(1), 10.0).unwrap(),
+        })
+        .unwrap();
+        for (r, (consumer, sellers)) in payments.iter().enumerate() {
+            let round = Round(r);
+            let total_tau: f64 = sellers.iter().sum();
+            let service_price = if total_tau > 0.0 {
+                consumer / total_tau
+            } else {
+                assert_eq!(*consumer, 0.0, "zero sensing time forces zero payment");
+                4.0
+            };
+            log.append(MarketEvent::SellersSelected {
+                round,
+                sellers: (0..sellers.len()).map(SellerId).collect(),
+            })
+            .unwrap();
+            log.append(MarketEvent::StrategyDetermined {
+                round,
+                service_price,
+                collection_price: 1.0,
+                sensing_times: sellers.clone(),
+            })
+            .unwrap();
+            log.append(MarketEvent::DataCollected {
+                round,
+                observed_revenue: 3.0,
+            })
+            .unwrap();
+            log.append(MarketEvent::StatisticsDelivered { round })
+                .unwrap();
+            log.append(MarketEvent::PaymentsSettled {
+                round,
+                consumer_payment: *consumer,
+                seller_payments: sellers.clone(),
+            })
+            .unwrap();
+        }
+        log
+    }
+
+    #[test]
+    fn identical_logs_diff_to_zero() {
+        let log = settled_log(&[(10.0, vec![1.0, 2.0]), (11.0, vec![1.5, 2.5])]);
+        let d = diff_settlements(&log, &log.clone());
+        assert!(d.is_zero(), "{d:?}");
+        assert_eq!(d.rounds_compared, 2);
+        assert_eq!(d.worst_round, None);
+        assert!(d.within(0.0));
+    }
+
+    #[test]
+    fn numeric_drift_is_measured_with_worst_round() {
+        let a = settled_log(&[(10.0, vec![1.0, 2.0]), (20.0, vec![4.0])]);
+        let b = settled_log(&[(10.0, vec![1.0, 2.0 + 1e-9]), (20.0 + 4e-9, vec![4.0])]);
+        let d = diff_settlements(&a, &b);
+        assert!(d.structural.is_none());
+        assert!(!d.is_zero());
+        assert!((d.max_abs - 4e-9).abs() < 1e-15, "{d:?}");
+        assert_eq!(d.worst_round, Some(Round(1)));
+        assert!(d.max_rel > 0.0 && d.max_rel < 1e-9);
+        assert!(d.within(1e-8));
+        assert!(!d.within(1e-12));
+    }
+
+    #[test]
+    fn round_count_mismatch_is_structural() {
+        let a = settled_log(&[(10.0, vec![1.0]), (11.0, vec![1.0])]);
+        let b = settled_log(&[(10.0, vec![1.0])]);
+        let d = diff_settlements(&a, &b);
+        assert_eq!(d.rounds_a, 2);
+        assert_eq!(d.rounds_b, 1);
+        let msg = d.structural.as_deref().unwrap();
+        assert!(msg.contains("settled round counts differ"), "{msg}");
+        // The common prefix is still compared and agrees numerically.
+        assert_eq!(d.rounds_compared, 1);
+        assert_eq!(d.max_abs, 0.0);
+        assert!(!d.within(f64::INFINITY), "structural mismatch never passes");
+    }
+
+    #[test]
+    fn seller_count_mismatch_is_structural() {
+        let a = settled_log(&[(10.0, vec![1.0, 2.0])]);
+        let b = settled_log(&[(10.0, vec![1.0, 1.0, 1.0])]);
+        let d = diff_settlements(&a, &b);
+        let msg = d.structural.as_deref().unwrap();
+        assert!(msg.contains("seller payment counts differ"), "{msg}");
+        assert_eq!(d.rounds_compared, 0);
+    }
+
+    #[test]
+    fn zero_payments_have_zero_relative_divergence() {
+        let a = settled_log(&[(0.0, vec![0.0])]);
+        let b = settled_log(&[(0.0, vec![0.0])]);
+        let d = diff_settlements(&a, &b);
+        assert_eq!(d.max_rel, 0.0);
+        assert!(d.is_zero());
+    }
+}

@@ -414,7 +414,8 @@ mod tests {
         // Before finish: only the partial exists.
         assert!(sink.partial_path().exists());
         assert!(!path.exists());
-        sink.append(&MarketEvent::JobCompleted { rounds: 2 }).unwrap();
+        sink.append(&MarketEvent::JobCompleted { rounds: 2 })
+            .unwrap();
         let report = sink.finish().unwrap();
         assert_eq!(report.events, 12);
         assert_eq!(report.settled_rounds, 2);
@@ -469,8 +470,7 @@ mod tests {
     #[test]
     fn observer_reconstructs_the_round_events() {
         let path = temp_journal("observer");
-        let mut obs =
-            JournalObserver::create(&path, JobSpec::new(4, 2, 10.0).unwrap()).unwrap();
+        let mut obs = JournalObserver::create(&path, JobSpec::new(4, 2, 10.0).unwrap()).unwrap();
         let selected = [SellerId(0), SellerId(1)];
         let scores = [0.9, 0.8];
         let taus = [2.0, 3.0];

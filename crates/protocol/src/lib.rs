@@ -28,12 +28,16 @@
 //!   `cdt_obs::RoundObserver` hooks and publishes `cdt_obs_protocol_*`
 //!   metrics;
 //! - [`recover`]: truncation-tolerant replay recovering the longest
-//!   settled-round prefix of a crashed run's journal.
+//!   settled-round prefix of a crashed run's journal;
+//! - [`diff`]: round-aligned settlement comparison between two journals
+//!   (`cdt journal diff`) — the divergence validator for the lane kernels'
+//!   deterministic (zero-diff) and fast-math (bounded-diff) contracts.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bridge;
+pub mod diff;
 pub mod event;
 pub mod journal;
 pub mod log;
@@ -41,6 +45,7 @@ pub mod recover;
 pub mod state;
 
 pub use bridge::events_for_round;
+pub use diff::{diff_settlements, SettlementDiff};
 pub use event::MarketEvent;
 pub use journal::{JournalError, JournalObserver, JournalReport, JournalSink};
 pub use log::EventLog;

@@ -112,7 +112,11 @@ pub fn recover_json_lines(input: &str) -> Recovery {
             reason: format!(
                 "journal ends mid-round ({} in-flight event{} discarded)",
                 events_replayed - boundary,
-                if events_replayed - boundary == 1 { "" } else { "s" }
+                if events_replayed - boundary == 1 {
+                    ""
+                } else {
+                    "s"
+                }
             ),
         });
     }
@@ -237,7 +241,11 @@ mod tests {
         let rec = recover_json_lines(&text);
         assert_eq!(rec.settled_rounds(), 1);
         let stop = rec.stop.unwrap();
-        assert!(stop.reason.contains("protocol violation"), "{}", stop.reason);
+        assert!(
+            stop.reason.contains("protocol violation"),
+            "{}",
+            stop.reason
+        );
     }
 
     #[test]

@@ -190,7 +190,10 @@ impl ProtocolState {
                 // Reject a bad τ here, at the event that introduces it: a
                 // NaN or negative sensing time would otherwise poison Στ
                 // and surface as a confusing settlement mismatch.
-                if let Some(bad) = sensing_times.iter().find(|t| !(t.is_finite() && **t >= 0.0)) {
+                if let Some(bad) = sensing_times
+                    .iter()
+                    .find(|t| !(t.is_finite() && **t >= 0.0))
+                {
                     return Err(ProtocolError::Inconsistent {
                         message: format!("invalid sensing time {bad} (must be finite and >= 0)"),
                     });
@@ -452,7 +455,10 @@ mod tests {
                 seller_payments: vec![3.0, 4.5],
             })
             .unwrap_err();
-        assert!(err.to_string().contains("non-finite consumer payment"), "{err}");
+        assert!(
+            err.to_string().contains("non-finite consumer payment"),
+            "{err}"
+        );
         let err = s
             .apply(&MarketEvent::PaymentsSettled {
                 round: Round(0),
@@ -460,7 +466,10 @@ mod tests {
                 seller_payments: vec![3.0, f64::INFINITY],
             })
             .unwrap_err();
-        assert!(err.to_string().contains("non-finite seller payment"), "{err}");
+        assert!(
+            err.to_string().contains("non-finite seller payment"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -110,15 +110,25 @@ impl ObservationMatrix {
 
     /// Sum of one seller-row: `Σ_l q_{i,l}^t`, the quantity added to the
     /// revenue (Eq. 1) and to the estimator numerator (Eq. 18).
+    ///
+    /// Follows the process lane configuration (see [`cdt_types::lanes`]):
+    /// strictly sequential by default, reassociated at the configured lane
+    /// width under fast-math.
     #[must_use]
     pub fn row_sum(&self, s: usize) -> f64 {
-        self.row(s).iter().sum()
+        cdt_types::lanes::configured_sum(self.row(s))
     }
 
-    /// Total revenue contribution of this round: `Σ_i Σ_l q_{i,l}^t χ_i^t`.
+    /// Total revenue contribution of this round: `Σ_i Σ_l q_{i,l}^t χ_i^t`,
+    /// in one flat pass over the row-major buffer.
+    ///
+    /// Follows the process lane configuration like
+    /// [`ObservationMatrix::row_sum`]; this is the sum that feeds the
+    /// journaled per-round revenue, so fast-math drift here is exactly what
+    /// `cdt journal diff` measures.
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.values.iter().sum()
+        cdt_types::lanes::configured_sum(&self.values)
     }
 
     /// Iterates `(SellerId, &[f64])` rows.

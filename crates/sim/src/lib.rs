@@ -47,8 +47,9 @@ pub use arena::{arena_counters, with_batch_scratch, with_round_scratch};
 pub use batch::{run_policy_batch, run_policy_batch_observed};
 pub use compare::{compare_policies, compare_policies_grid, ComparisonResult};
 pub use parallel::{
-    configured_batch, configured_chunk, configured_threads, parallel_map, set_batch_override,
-    set_chunk_override, set_thread_override, try_parallel_map,
+    configured_batch, configured_chunk, configured_fast_math, configured_lanes, configured_threads,
+    parallel_map, set_batch_override, set_chunk_override, set_fast_math_override,
+    set_lanes_override, set_thread_override, sync_lane_config, try_parallel_map,
 };
 pub use policy_spec::PolicySpec;
 pub use replicate::{replicate, replication_table, Replicated, ReplicatedRun};

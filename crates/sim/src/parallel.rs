@@ -215,6 +215,149 @@ pub fn configured_batch() -> usize {
     resolve_batch(env.as_deref()).unwrap_or(1)
 }
 
+/// Process-wide lane-width override; 0 means "not set".
+static LANES_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide fast-math override; 0 = not set, 1 = forced off,
+/// 2 = forced on.
+static FAST_MATH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the lane width the chunked column kernels run at (`Some(w)` with
+/// `w` in [`cdt_types::lanes::SUPPORTED_LANE_WIDTHS`]; `1` is the scalar
+/// reference shape), or clears the override (`None`) so
+/// [`configured_lanes`] falls back to `CDT_LANES` / the default width. Any
+/// lane width is bit-identical on the default (non-fast-math) path. The
+/// resolved configuration is pushed into [`cdt_types::lanes`] immediately.
+///
+/// # Panics
+/// Panics on an unsupported width.
+pub fn set_lanes_override(width: Option<usize>) {
+    if let Some(w) = width {
+        assert!(
+            cdt_types::lanes::is_supported_lane_width(w),
+            "lane width must be one of {:?}",
+            cdt_types::lanes::SUPPORTED_LANE_WIDTHS
+        );
+        LANES_OVERRIDE.store(w, Ordering::Relaxed);
+    } else {
+        LANES_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+    sync_lane_config();
+}
+
+/// Forces fast-math on or off for this process (`Some(on)`), or clears the
+/// override (`None`) so [`configured_fast_math`] falls back to
+/// `CDT_FAST_MATH` / the off default. The resolved configuration is pushed
+/// into [`cdt_types::lanes`] immediately.
+pub fn set_fast_math_override(on: Option<bool>) {
+    let encoded = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    FAST_MATH_OVERRIDE.store(encoded, Ordering::Relaxed);
+    sync_lane_config();
+}
+
+/// Parses a `CDT_LANES`-style value; `None` for anything that is not a
+/// supported lane width.
+fn parse_lanes(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&w| cdt_types::lanes::is_supported_lane_width(w))
+}
+
+/// Resolves a raw `CDT_LANES` value, warning once on invalid input —
+/// mirroring the `CDT_THREADS` / `CDT_CHUNK` validation. `None` means the
+/// default lane width.
+fn resolve_lanes(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?;
+    match parse_lanes(raw) {
+        Some(w) => Some(w),
+        None => {
+            cdt_obs::warn_once(
+                "cdt-lanes-invalid",
+                &format!(
+                    "ignoring invalid CDT_LANES value {raw:?} (expected one of {:?}); \
+                     using the default width {}",
+                    cdt_types::lanes::SUPPORTED_LANE_WIDTHS,
+                    cdt_types::lanes::DEFAULT_LANE_WIDTH
+                ),
+            );
+            None
+        }
+    }
+}
+
+/// The lane width the column kernels run at (override > `CDT_LANES` >
+/// [`cdt_types::lanes::DEFAULT_LANE_WIDTH`]).
+#[must_use]
+pub fn configured_lanes() -> usize {
+    let overridden = LANES_OVERRIDE.load(Ordering::Relaxed);
+    if overridden != 0 {
+        return overridden;
+    }
+    let env = std::env::var("CDT_LANES").ok();
+    resolve_lanes(env.as_deref()).unwrap_or(cdt_types::lanes::DEFAULT_LANE_WIDTH)
+}
+
+/// Parses a `CDT_FAST_MATH`-style value; `None` for anything that is not a
+/// recognized boolean spelling.
+fn parse_fast_math(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// Resolves a raw `CDT_FAST_MATH` value, warning once on invalid input.
+/// `None` means the deterministic default (fast-math off).
+fn resolve_fast_math(raw: Option<&str>) -> Option<bool> {
+    let raw = raw?;
+    match parse_fast_math(raw) {
+        Some(on) => Some(on),
+        None => {
+            cdt_obs::warn_once(
+                "cdt-fast-math-invalid",
+                &format!(
+                    "ignoring invalid CDT_FAST_MATH value {raw:?} \
+                     (expected 1/true/on or 0/false/off); keeping fast-math off"
+                ),
+            );
+            None
+        }
+    }
+}
+
+/// Whether fast-math (reassociated lane reductions) is enabled
+/// (override > `CDT_FAST_MATH` > off).
+#[must_use]
+pub fn configured_fast_math() -> bool {
+    match FAST_MATH_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return false,
+        2 => return true,
+        _ => {}
+    }
+    let env = std::env::var("CDT_FAST_MATH").ok();
+    resolve_fast_math(env.as_deref()).unwrap_or(false)
+}
+
+/// Pushes the resolved lane configuration ([`configured_lanes`],
+/// [`configured_fast_math`]) into the process-wide [`cdt_types::lanes`]
+/// state the column kernels read.
+///
+/// Called automatically by [`set_lanes_override`] /
+/// [`set_fast_math_override`]; binaries that rely purely on the
+/// environment (`CDT_LANES` / `CDT_FAST_MATH`) call it once at startup.
+/// Library code never calls it implicitly, so tests that drive
+/// [`cdt_types::lanes`] directly are not clobbered mid-run.
+pub fn sync_lane_config() {
+    cdt_types::lanes::set_lane_width(Some(configured_lanes()));
+    cdt_types::lanes::set_fast_math(configured_fast_math());
+}
+
 /// Per-worker introspection accumulated locally and published to the
 /// global metrics registry once per `parallel_map` call (never per job).
 #[derive(Default)]
@@ -536,6 +679,54 @@ mod tests {
         let labels: [(&str, &str); 1] = [("kind", "cdt-batch-invalid")];
         let before = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
         assert_eq!(resolve_batch(Some("nope")), None);
+        let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn parse_lanes_accepts_supported_widths_only() {
+        assert_eq!(parse_lanes("4"), Some(4));
+        assert_eq!(parse_lanes(" 8 "), Some(8));
+        assert_eq!(parse_lanes("1"), Some(1));
+        assert_eq!(parse_lanes("3"), None);
+        assert_eq!(parse_lanes("0"), None);
+        assert_eq!(parse_lanes("-4"), None);
+        assert_eq!(parse_lanes("wide"), None);
+        assert_eq!(parse_lanes(""), None);
+    }
+
+    #[test]
+    fn resolve_lanes_warns_once_and_falls_back_to_default() {
+        assert_eq!(resolve_lanes(None), None);
+        assert_eq!(resolve_lanes(Some("2")), Some(2));
+        let labels: [(&str, &str); 1] = [("kind", "cdt-lanes-invalid")];
+        let before = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert_eq!(resolve_lanes(Some("16")), None);
+        let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn parse_fast_math_accepts_boolean_spellings_only() {
+        for on in ["1", "true", "on", "yes", " TRUE "] {
+            assert_eq!(parse_fast_math(on), Some(true), "{on:?}");
+        }
+        for off in ["0", "false", "off", "no", " False "] {
+            assert_eq!(parse_fast_math(off), Some(false), "{off:?}");
+        }
+        for bad in ["", "2", "fast", "maybe"] {
+            assert_eq!(parse_fast_math(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_fast_math_warns_once_and_stays_off() {
+        assert_eq!(resolve_fast_math(None), None);
+        assert_eq!(resolve_fast_math(Some("on")), Some(true));
+        assert_eq!(resolve_fast_math(Some("off")), Some(false));
+        let labels: [(&str, &str); 1] = [("kind", "cdt-fast-math-invalid")];
+        let before = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert_eq!(resolve_fast_math(Some("turbo")), None);
         let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
         assert!(after > before, "{before} -> {after}");
     }

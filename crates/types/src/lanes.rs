@@ -1,0 +1,269 @@
+//! Lane-kernel configuration and reduction helpers.
+//!
+//! The batched replication engine lays estimator counts/means, observation
+//! rows, and game-context columns out as flat arrays precisely so the inner
+//! column kernels can vectorize. This module is the zero-dependency layer
+//! those kernels share:
+//!
+//! - a process-wide **lane width** (`1 | 2 | 4 | 8`) selecting how many
+//!   accumulator lanes the chunked kernels unroll over — the shape the
+//!   autovectorizer lowers to SIMD;
+//! - a process-wide **fast-math** switch (off by default) gating every
+//!   transformation that *reassociates* floating-point reductions;
+//! - the reassociating sum kernels themselves.
+//!
+//! ### Determinism contract
+//!
+//! Elementwise kernels (UCB index fill, best-response fill) compute one
+//! output per input with an unchanged expression tree; chunking them by any
+//! lane width is bit-identical to the scalar loop, so they vectorize at the
+//! configured width *unconditionally*.
+//!
+//! Reductions (row sums, fused aggregate accumulators) are different: a
+//! `W`-lane partial-sum rewrite reorders the additions, which IEEE-754
+//! addition does not forgive. The default path therefore keeps every
+//! reduction strictly sequential (bit-identical to the serial reference at
+//! every batch × chunk × thread × lane-width combination), and the
+//! reassociated variants run only when [`fast_math`] is on.
+//!
+//! Fast-math is still *deterministic*: for a fixed lane width and input,
+//! [`sum_reassociated`] always produces the same bits regardless of thread
+//! count, chunk size, or batch width — it diverges from the sequential sum,
+//! but reproducibly so. The divergence is the classic reassociation bound
+//! `|fast − seq| ≤ (n−1) · ε · Σ|xᵢ|` (ε = unit roundoff, `n` = slice
+//! length); `cdt journal diff` is the acceptance tool that measures the
+//! realized end-to-end drift.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// The default lane width used when no override or environment variable
+/// selects one: wide enough for one AVX-512 / two AVX2 `f64` vectors.
+pub const DEFAULT_LANE_WIDTH: usize = 8;
+
+/// Lane widths the chunked kernels are compiled for. `1` is the scalar
+/// reference shape; `2`/`4`/`8` map to 128/256/512-bit `f64` vectors.
+pub const SUPPORTED_LANE_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// `true` when `width` is one of [`SUPPORTED_LANE_WIDTHS`].
+#[must_use]
+pub fn is_supported_lane_width(width: usize) -> bool {
+    SUPPORTED_LANE_WIDTHS.contains(&width)
+}
+
+/// Process-wide lane width; 0 means "not set" ([`DEFAULT_LANE_WIDTH`]).
+static LANE_WIDTH: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide fast-math switch; reassociating kernels are off by default.
+static FAST_MATH: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide lane width (`Some(w)` with `w` in
+/// [`SUPPORTED_LANE_WIDTHS`]), or clears it (`None`) so [`lane_width`]
+/// falls back to [`DEFAULT_LANE_WIDTH`].
+///
+/// # Panics
+/// Panics on an unsupported width.
+pub fn set_lane_width(width: Option<usize>) {
+    if let Some(w) = width {
+        assert!(
+            is_supported_lane_width(w),
+            "lane width must be one of {SUPPORTED_LANE_WIDTHS:?}, got {w}"
+        );
+        LANE_WIDTH.store(w, Ordering::Relaxed);
+    } else {
+        LANE_WIDTH.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The lane width the chunked kernels run at (set > default).
+#[must_use]
+pub fn lane_width() -> usize {
+    match LANE_WIDTH.load(Ordering::Relaxed) {
+        0 => DEFAULT_LANE_WIDTH,
+        w => w,
+    }
+}
+
+/// Turns the process-wide fast-math mode on or off. Off (the default)
+/// keeps every floating-point reduction sequential and bit-identical to
+/// the serial reference; on enables the reassociated lane sums.
+pub fn set_fast_math(on: bool) {
+    FAST_MATH.store(on, Ordering::Relaxed);
+}
+
+/// `true` while reassociating (fast-math) reductions are enabled.
+#[must_use]
+pub fn fast_math() -> bool {
+    FAST_MATH.load(Ordering::Relaxed)
+}
+
+/// The strictly sequential left-to-right sum — the bit-identity reference
+/// every reassociated variant is measured against.
+#[must_use]
+pub fn sum_sequential(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+/// A `W`-lane reassociated sum: lane `j` accumulates elements
+/// `j, j+W, j+2W, …` of the full chunks, the tail (`len % W` elements) is
+/// summed sequentially first, and the lane accumulators are folded in lane
+/// order on top. Deterministic for a fixed `(W, input)` pair.
+///
+/// Slices shorter than `W` have no full chunk, so the "tail" is the whole
+/// slice and the lane accumulators stay zero: the result degrades to
+/// exactly [`sum_sequential`]. Divergence from the sequential sum can only
+/// appear once `xs.len() >= W` — at least one element ends up on a lane
+/// accumulator while the fold order differs.
+#[must_use]
+pub fn sum_reassociated<const W: usize>(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; W];
+    let chunks = xs.chunks_exact(W);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        for (lane, &x) in acc.iter_mut().zip(chunk) {
+            *lane += x;
+        }
+    }
+    let mut total = sum_sequential(tail);
+    for lane in acc {
+        total += lane;
+    }
+    total
+}
+
+/// Dispatches [`sum_reassociated`] at a runtime `width`; width 1 (or any
+/// unsupported value) is the sequential sum.
+#[must_use]
+pub fn sum_reassociated_width(xs: &[f64], width: usize) -> f64 {
+    match width {
+        2 => sum_reassociated::<2>(xs),
+        4 => sum_reassociated::<4>(xs),
+        8 => sum_reassociated::<8>(xs),
+        _ => sum_sequential(xs),
+    }
+}
+
+/// The sum the current process configuration selects: the reassociated
+/// [`lane_width`]-lane sum under [`fast_math`], the sequential reference
+/// otherwise. This is the single entry point hot-loop reductions route
+/// through.
+#[must_use]
+pub fn configured_sum(xs: &[f64]) -> f64 {
+    if fast_math() {
+        sum_reassociated_width(xs, lane_width())
+    } else {
+        sum_sequential(xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Lane width / fast-math are process-global; every test that mutates
+    /// them serializes here and restores the defaults before releasing.
+    static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn supported_widths_are_recognized() {
+        for w in SUPPORTED_LANE_WIDTHS {
+            assert!(is_supported_lane_width(w));
+        }
+        for w in [0usize, 3, 5, 16] {
+            assert!(!is_supported_lane_width(w));
+        }
+    }
+
+    #[test]
+    fn lane_width_set_and_clear() {
+        let _guard = lock();
+        assert_eq!(lane_width(), DEFAULT_LANE_WIDTH);
+        set_lane_width(Some(4));
+        assert_eq!(lane_width(), 4);
+        set_lane_width(None);
+        assert_eq!(lane_width(), DEFAULT_LANE_WIDTH);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width must be one of")]
+    fn rejects_unsupported_width() {
+        set_lane_width(Some(3));
+    }
+
+    #[test]
+    fn fast_math_toggles() {
+        let _guard = lock();
+        assert!(!fast_math(), "fast-math must be off by default");
+        set_fast_math(true);
+        assert!(fast_math());
+        set_fast_math(false);
+        assert!(!fast_math());
+    }
+
+    #[test]
+    fn short_slices_degrade_to_sequential_bits() {
+        // len < W ⇒ no full chunk ⇒ exactly the sequential sum.
+        let xs = [0.1, 0.2, 0.3];
+        assert_eq!(
+            sum_reassociated::<4>(&xs).to_bits(),
+            sum_sequential(&xs).to_bits()
+        );
+        assert_eq!(
+            sum_reassociated::<8>(&xs).to_bits(),
+            sum_sequential(&xs).to_bits()
+        );
+    }
+
+    #[test]
+    fn reassociated_sum_is_close_to_sequential() {
+        let xs: Vec<f64> = (0..103).map(|i| 0.01 + (i as f64) * 0.37).collect();
+        let seq = sum_sequential(&xs);
+        for w in [2usize, 4, 8] {
+            let fast = sum_reassociated_width(&xs, w);
+            let abs_sum: f64 = xs.iter().map(|x| x.abs()).sum();
+            let bound = (xs.len() as f64) * f64::EPSILON * abs_sum;
+            assert!(
+                (fast - seq).abs() <= bound,
+                "width {w}: |{fast} - {seq}| > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn reassociated_sum_is_deterministic_per_width() {
+        let xs: Vec<f64> = (0..57).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        for w in [2usize, 4, 8] {
+            let a = sum_reassociated_width(&xs, w);
+            let b = sum_reassociated_width(&xs, w);
+            assert_eq!(a.to_bits(), b.to_bits(), "width {w}");
+        }
+    }
+
+    #[test]
+    fn configured_sum_is_sequential_by_default() {
+        let _guard = lock();
+        let xs: Vec<f64> = (0..29).map(|i| (i as f64).sin()).collect();
+        assert_eq!(configured_sum(&xs).to_bits(), sum_sequential(&xs).to_bits());
+        set_fast_math(true);
+        set_lane_width(Some(4));
+        assert_eq!(
+            configured_sum(&xs).to_bits(),
+            sum_reassociated::<4>(&xs).to_bits()
+        );
+        set_fast_math(false);
+        set_lane_width(None);
+    }
+
+    #[test]
+    fn width_one_dispatch_is_sequential() {
+        let xs = [0.5, 0.25, 0.125, 0.375, 0.625];
+        assert_eq!(
+            sum_reassociated_width(&xs, 1).to_bits(),
+            sum_sequential(&xs).to_bits()
+        );
+    }
+}

@@ -25,6 +25,7 @@
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod lanes;
 pub mod params;
 pub mod seed;
 

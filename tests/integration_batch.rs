@@ -1,20 +1,22 @@
 //! Lockstep-batch determinism contract tests.
 //!
 //! The batched replication engine must be a scheduling change only: for
-//! any batch width, chunk size, and thread count, `replicate` (and every
-//! experiment built on it) returns bit-for-bit the output of the serial
-//! one-thread, unbatched path. The per-worker scratch arenas must recycle
-//! buffers without perturbing that identity.
+//! any batch width, chunk size, thread count, and lane width, `replicate`
+//! (and every experiment built on it) returns bit-for-bit the output of
+//! the serial one-thread, unbatched, width-1 path. The per-worker scratch
+//! arenas must recycle buffers without perturbing that identity, and
+//! fast-math — which is allowed to diverge from the serial reference —
+//! must still be exactly reproducible per lane width.
 
 use cdt_sim::experiments::{run_experiment, Scale};
 use cdt_sim::{
-    arena_counters, replicate, set_batch_override, set_chunk_override, set_thread_override,
-    PolicySpec,
+    arena_counters, replicate, set_batch_override, set_chunk_override, set_fast_math_override,
+    set_lanes_override, set_thread_override, PolicySpec,
 };
 use std::sync::Mutex;
 
-/// The thread/chunk/batch overrides are process-global; serialize every
-/// test that sets them.
+/// The thread/chunk/batch/lane overrides are process-global; serialize
+/// every test that sets them.
 static GLOBAL_STATE_LOCK: Mutex<()> = Mutex::new(());
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
@@ -25,6 +27,8 @@ fn reset_overrides() {
     set_thread_override(None);
     set_chunk_override(None);
     set_batch_override(None);
+    set_lanes_override(None);
+    set_fast_math_override(None);
 }
 
 #[test]
@@ -77,6 +81,69 @@ fn replicate_experiment_is_bit_identical_at_any_batch_width() {
             .map(ToString::to_string)
             .collect();
         assert_eq!(baseline, run, "experiment diverged at batch={batch}");
+    }
+    reset_overrides();
+}
+
+#[test]
+fn replicate_is_bit_identical_at_every_lane_width_and_batch() {
+    let _guard = lock();
+    let specs = PolicySpec::paper_set();
+    let reps = 4;
+
+    // Serial reference: width-1 lanes are literally the scalar loops.
+    // L=10 sellers exceed the widest lane (8), so the chunked game and
+    // estimator kernels run full lane bodies, not just their tails.
+    set_thread_override(Some(1));
+    set_chunk_override(Some(1));
+    set_batch_override(Some(1));
+    set_lanes_override(Some(1));
+    let baseline = replicate(12, 3, 10, 40, &specs, reps, 2024).unwrap();
+
+    for lanes in [1usize, 2, 4, 8] {
+        for batch in [1usize, 2, reps] {
+            for (threads, chunk) in [(1, 1), (4, 3)] {
+                set_thread_override(Some(threads));
+                set_chunk_override(Some(chunk));
+                set_batch_override(Some(batch));
+                set_lanes_override(Some(lanes));
+                let run = replicate(12, 3, 10, 40, &specs, reps, 2024).unwrap();
+                assert_eq!(
+                    baseline, run,
+                    "replicate diverged at lanes={lanes} batch={batch} \
+                     threads={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+    reset_overrides();
+}
+
+#[test]
+fn fast_math_replication_is_deterministic_per_lane_width() {
+    let _guard = lock();
+    let specs = PolicySpec::paper_set();
+
+    // Fast-math reassociates reductions, so it need not match the serial
+    // reference — but for a fixed lane width and input it must be exactly
+    // reproducible regardless of threads, chunking, or batching.
+    set_fast_math_override(Some(true));
+    set_lanes_override(Some(4));
+    set_thread_override(Some(1));
+    set_chunk_override(Some(1));
+    set_batch_override(Some(1));
+    let first = replicate(12, 3, 10, 40, &specs, 4, 2024).unwrap();
+
+    for (threads, chunk, batch) in [(1, 1, 2), (4, 3, 1), (4, 3, 4)] {
+        set_thread_override(Some(threads));
+        set_chunk_override(Some(chunk));
+        set_batch_override(Some(batch));
+        let run = replicate(12, 3, 10, 40, &specs, 4, 2024).unwrap();
+        assert_eq!(
+            first, run,
+            "fast-math run not reproducible at threads={threads} \
+             chunk={chunk} batch={batch}"
+        );
     }
     reset_overrides();
 }

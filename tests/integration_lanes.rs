@@ -1,0 +1,135 @@
+//! Lane-kernel divergence contracts, validated end to end through the
+//! protocol journal (`cdt journal diff`).
+//!
+//! The contracts under test:
+//!
+//! - **Deterministic path**: settled payments are bit-identical at every
+//!   supported lane width — the chunked kernels preserve the serial float
+//!   expression trees, so the journal diff is exactly zero.
+//! - **Fast-math**: reassociated lane reductions may diverge from the
+//!   serial order, but only within a bound that `--tol` makes explicit,
+//!   and reproducibly — the same width and input always journal the same
+//!   bytes.
+//! - **Different runs stay distinguishable**: the zero-tolerance diff
+//!   must fail for journals of different scenarios, so a passing diff is
+//!   evidence of identity, not of a vacuous comparator.
+
+use cdt_cli::args::{parse_flags, FlagMap};
+use cdt_cli::commands::{journal_diff_cmd, run_mechanism};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The lane configuration is process-global; serialize every test.
+static GLOBAL_STATE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_overrides() {
+    cdt_sim::set_thread_override(None);
+    cdt_sim::set_chunk_override(None);
+    cdt_sim::set_batch_override(None);
+    cdt_sim::set_lanes_override(None);
+    cdt_sim::set_fast_math_override(None);
+}
+
+fn flags(args: &[&str]) -> FlagMap {
+    parse_flags(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
+}
+
+/// Journals one `cdt run` of the shared scenario (L=10 sellers, so every
+/// lane width up to 8 runs full lane bodies) with `extra` flags appended.
+fn journal_run(dir: &Path, name: &str, extra: &[&str]) -> PathBuf {
+    let path = dir.join(name);
+    let path_str = path.to_str().unwrap().to_owned();
+    let mut args = vec!["--m", "20", "--k", "5", "--l", "10", "--n", "6"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["--journal", &path_str]);
+    run_mechanism(&flags(&args)).unwrap();
+    reset_overrides();
+    cdt_sim::sync_lane_config();
+    path
+}
+
+fn load(path: &Path) -> cdt_protocol::EventLog {
+    let text = std::fs::read_to_string(path).unwrap();
+    cdt_protocol::EventLog::from_json_lines(&text).unwrap()
+}
+
+#[test]
+fn deterministic_journals_are_bit_identical_at_every_lane_width() {
+    let _guard = lock();
+    let dir = std::env::temp_dir().join("cdt_lanes_identity_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let reference = journal_run(&dir, "w1.jsonl", &["--lanes", "1"]);
+    for width in ["2", "4", "8"] {
+        let other = journal_run(&dir, &format!("w{width}.jsonl"), &["--lanes", width]);
+        let d = cdt_protocol::diff_settlements(&load(&reference), &load(&other));
+        assert!(d.is_zero(), "width {width} diverged from width 1: {d:?}");
+        assert_eq!(d.rounds_compared, 6);
+        // The CLI validator agrees at zero tolerance.
+        journal_diff_cmd(
+            reference.to_str().unwrap(),
+            other.to_str().unwrap(),
+            &flags(&[]),
+        )
+        .unwrap();
+        std::fs::remove_file(other).unwrap();
+    }
+    std::fs::remove_file(reference).unwrap();
+}
+
+#[test]
+fn fast_math_journals_diverge_within_bound_and_reproducibly() {
+    let _guard = lock();
+    let dir = std::env::temp_dir().join("cdt_lanes_fast_math_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let reference = journal_run(&dir, "det.jsonl", &[]);
+    let fast_a = journal_run(&dir, "fm_a.jsonl", &["--fast-math"]);
+    let fast_b = journal_run(&dir, "fm_b.jsonl", &["--fast-math"]);
+
+    // Reproducible: two fast-math runs of one scenario journal the same
+    // settled bits.
+    let repeat = cdt_protocol::diff_settlements(&load(&fast_a), &load(&fast_b));
+    assert!(repeat.is_zero(), "fast-math not reproducible: {repeat:?}");
+
+    // Bounded: against the deterministic reference, divergence stays
+    // within the documented reassociation bound. Payments are O(1e3), so
+    // 1e-6 absolute is ~1e-9 relative — vastly above the handful of ULPs
+    // reassociating ~10-element sums can move, and vastly below any
+    // real numerical difference.
+    let d = cdt_protocol::diff_settlements(&load(&reference), &load(&fast_a));
+    assert!(d.structural.is_none(), "{d:?}");
+    assert!(d.within(1e-6), "fast-math out of bound: {d:?}");
+    journal_diff_cmd(
+        reference.to_str().unwrap(),
+        fast_a.to_str().unwrap(),
+        &flags(&["--tol", "1e-6"]),
+    )
+    .unwrap();
+
+    for p in [reference, fast_a, fast_b] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+#[test]
+fn journal_diff_rejects_runs_of_different_scenarios() {
+    let _guard = lock();
+    let dir = std::env::temp_dir().join("cdt_lanes_mismatch_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let a = journal_run(&dir, "seed_default.jsonl", &[]);
+    let b = journal_run(&dir, "seed_7.jsonl", &["--seed", "7"]);
+    let err = journal_diff_cmd(a.to_str().unwrap(), b.to_str().unwrap(), &flags(&[])).unwrap_err();
+    assert!(
+        err.contains("diverge") || err.contains("structural"),
+        "unexpected diff error: {err}"
+    );
+    for p in [a, b] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
