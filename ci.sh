@@ -73,6 +73,28 @@ grep -q '^== observability summary ==' /tmp/cdt_obs_summary.txt
 grep -q '^rounds: ' /tmp/cdt_obs_summary.txt
 grep -q '^throughput: ' /tmp/cdt_obs_summary.txt
 
+echo "==> span tracing smoke (flame + critical path over a traced run)"
+rm -f /tmp/cdt_obs_spans.jsonl
+cargo run --release -p cdt-cli --bin cdt -- run \
+    --m 10 --k 3 --l 4 --n 40 --obs-events /tmp/cdt_obs_spans.jsonl --obs-spans
+test -s /tmp/cdt_obs_spans.jsonl
+grep -q '"event":"span"' /tmp/cdt_obs_spans.jsonl
+cargo run --release -p cdt-cli --bin cdt -- obs flame /tmp/cdt_obs_spans.jsonl \
+    | tee /tmp/cdt_obs_flame.txt
+# The flame report must reconcile exactly: Σ exclusive == root inclusive.
+grep -q '\[root run: inclusive \(.*\) == exclusive-sum \1\]' /tmp/cdt_obs_flame.txt
+cargo run --release -p cdt-cli --bin cdt -- obs critical-path /tmp/cdt_obs_spans.jsonl \
+    | tee /tmp/cdt_obs_critical.txt
+test -s /tmp/cdt_obs_critical.txt
+
+echo "==> watchdog smoke (a 1 ns slow-round floor must page)"
+rm -f /tmp/cdt_obs_watchdog.jsonl
+cargo run --release -p cdt-cli --bin cdt -- run \
+    --m 10 --k 3 --l 4 --n 40 --obs-events /tmp/cdt_obs_watchdog.jsonl \
+    --watchdog-ms 1 --watchdog-slow-round-ns 1
+grep -c '"event":"health"' /tmp/cdt_obs_watchdog.jsonl \
+    | python3 -c 'import sys; n=int(sys.stdin.read()); assert n>=1, "watchdog emitted no health events"; print(f"watchdog smoke: {n} health events")'
+
 echo "==> protocol journal smoke (stream, verify, truncate mid-round, recover)"
 rm -f /tmp/cdt_journal.jsonl /tmp/cdt_journal.jsonl.partial \
     /tmp/cdt_journal_torn.jsonl /tmp/cdt_journal_recovered.jsonl

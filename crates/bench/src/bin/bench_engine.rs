@@ -51,6 +51,11 @@ struct Workload {
     /// is deterministic per (width, input), so `identical` still holds —
     /// but the absolute numbers are no longer the serial-order reference.
     fast_math: bool,
+    /// Whether causal span tracing was enabled (`--obs-spans`). Tracing is
+    /// passive — `identical` still holds — but it adds sink I/O, so traced
+    /// runs gate against their own baseline (the overhead contract is
+    /// ≤5% over the untraced leg).
+    spans: bool,
 }
 
 #[derive(Serialize)]
@@ -93,6 +98,7 @@ struct Args {
     obs_events: Option<String>,
     metrics_out: Option<String>,
     obs_summary: bool,
+    obs_spans: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -113,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         obs_events: None,
         metrics_out: None,
         obs_summary: false,
+        obs_spans: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -167,18 +174,23 @@ fn parse_args() -> Result<Args, String> {
             "--obs-events" => args.obs_events = Some(value("--obs-events")?),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--obs-summary" => args.obs_summary = true,
+            "--obs-spans" => args.obs_spans = true,
             "--help" | "-h" => {
                 println!(
                     "usage: bench_engine [--m M] [--k K] [--l L] [--n N] \
                      [--reps R] [--threads T] [--chunk C] [--batch B]\n\
                      \x20      [--lanes W] [--fast-math] \
                      [--out FILE] [--history FILE] [--gate-tolerance FRAC]\n\
-                     \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary]"
+                     \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary] \
+                     [--obs-spans]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if args.obs_spans && args.obs_events.is_none() {
+        return Err("--obs-spans requires --obs-events FILE (spans are written there)".into());
     }
     Ok(args)
 }
@@ -214,6 +226,7 @@ fn append_history(path: &str, report: &Report) -> std::io::Result<()> {
         "batch": report.workload.batch,
         "lanes": report.workload.lanes,
         "fast_math": report.workload.fast_math,
+        "spans": report.workload.spans,
     });
     let mut file = std::fs::OpenOptions::new()
         .create(true)
@@ -260,6 +273,14 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
             Some(v) => v == report.workload.fast_math,
             None => !report.workload.fast_math,
         };
+    // A record without `spans` predates span tracing and measured the
+    // untraced path, so it gates only untraced runs; traced runs (which
+    // pay the sink I/O) start their own baseline.
+    let spans_ok =
+        |rec: &serde_json::Value| match rec.get("spans").and_then(serde_json::Value::as_bool) {
+            Some(v) => v == report.workload.spans,
+            None => !report.workload.spans,
+        };
     raw.lines()
         .filter_map(|line| serde_json::from_str::<serde_json::Value>(line.trim()).ok())
         .filter(|rec| {
@@ -274,6 +295,7 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
                 && field_ok(rec, "batch", report.workload.batch as u64)
                 && lanes_ok(rec)
                 && fast_math_ok(rec)
+                && spans_ok(rec)
         })
         .filter_map(|rec| rec.get("speedup").and_then(serde_json::Value::as_f64))
         .filter(|s| s.is_finite() && *s > 0.0)
@@ -343,6 +365,9 @@ fn main() {
             events_path: args.obs_events.clone().map(Into::into),
             summary: args.obs_summary,
             events_sample: 0,
+            spans: args.obs_spans,
+            watchdog_ms: None,
+            slow_round_ns: None,
         }) {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -385,6 +410,7 @@ fn main() {
             batch: args.batch,
             lanes: args.lanes,
             fast_math: args.fast_math,
+            spans: args.obs_spans,
         },
         serial: Timing {
             threads: 1,

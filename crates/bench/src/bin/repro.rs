@@ -199,6 +199,7 @@ fn main() {
             events_path: args.obs_events.clone().map(Into::into),
             summary: args.obs_summary,
             events_sample: 0,
+            ..cdt_obs::ObsConfig::default()
         }) {
             eprintln!("error: {e}");
             std::process::exit(1);

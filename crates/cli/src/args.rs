@@ -10,7 +10,7 @@ pub struct FlagMap {
 
 /// Flags that are boolean switches: present or absent, never followed by a
 /// value token.
-const SWITCHES: &[&str] = &["obs-summary", "fast-math"];
+const SWITCHES: &[&str] = &["obs-summary", "fast-math", "obs-spans"];
 
 impl FlagMap {
     /// Raw lookup.

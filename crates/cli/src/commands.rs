@@ -23,7 +23,9 @@ USAGE:
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
                [--chunk C] [--batch B] [--lanes W] [--fast-math]
   cdt game     [--k K] [--omega W] [--theta T]
-  cdt obs summarize FILE
+  cdt obs summarize     FILE
+  cdt obs flame         FILE
+  cdt obs critical-path FILE
   cdt journal verify  FILE
   cdt journal audit   FILE
   cdt journal recover FILE [--out FILE]
@@ -42,15 +44,25 @@ PROTOCOL JOURNAL:
   journal up to its last settlement boundary — `--out FILE` writes the
   recovered prefix back out as a valid journal.
 
-OBSERVABILITY (on `run`, `budget`, and `compare`):
+OBSERVABILITY (on `run`, `budget`, `compare`, and the `journal` family):
   --obs-events FILE      write one JSON object per round event (JSONL trace)
   --obs-events-sample K  record only every K-th round's events (metrics
                          still cover every round)
   --metrics-out FILE     dump the metrics registry in Prometheus text format
   --obs-summary          print the end-of-run phase/pool summary table
+  --obs-spans            also emit causal spans (run/round/phase, pool/chunk,
+                         lane_group, journal write/flush) into --obs-events
+  --watchdog-ms N        run the health watchdog, sampling every N ms:
+                         stalled workers, slow rounds (p99 x 4), journal
+                         flush spikes become `health` records + counters
+  --watchdog-slow-round-ns N  explicit slow-round threshold (default: derived)
 
 `cdt obs summarize FILE` re-renders that summary table offline from a
-JSONL trace written earlier with --obs-events.
+JSONL trace written earlier with --obs-events. `cdt obs flame FILE`
+renders a traced run (--obs-spans) as a self-time flame tree; `cdt obs
+critical-path FILE` prints the longest causal chain per round. Tracing
+and the watchdog are passive: results, ledgers, and journal bytes are
+bit-identical with them on or off.
 
 Defaults follow the paper's Table II (M=300, K=10, L=10, omega=1000,
 theta=0.1); `run`/`compare` default to N=2000 so they finish in seconds —
@@ -98,13 +110,34 @@ pub fn obs_begin(flags: &FlagMap) -> Result<ObsSession, String> {
     let metrics_out = flags.get("metrics-out").map(str::to_owned);
     let summary = flags.is_set("obs-summary");
     let events_sample = flags.usize_or("obs-events-sample", 0)?;
-    let active = events_path.is_some() || metrics_out.is_some() || summary;
+    let spans = flags.is_set("obs-spans");
+    if spans && events_path.is_none() {
+        return Err("--obs-spans requires --obs-events FILE (spans are written there)".into());
+    }
+    let watchdog_ms = match flags.get("watchdog-ms") {
+        None => None,
+        Some(_) => {
+            let ms = flags.u64_or("watchdog-ms", 0)?;
+            if ms == 0 {
+                return Err("--watchdog-ms must be at least 1".into());
+            }
+            Some(ms)
+        }
+    };
+    let slow_round_ns = match flags.get("watchdog-slow-round-ns") {
+        None => None,
+        Some(_) => Some(flags.u64_or("watchdog-slow-round-ns", 0)?),
+    };
+    let active = events_path.is_some() || metrics_out.is_some() || summary || watchdog_ms.is_some();
     if active {
         cdt_obs::global().reset();
         cdt_obs::install(cdt_obs::ObsConfig {
             events_path,
             summary,
             events_sample,
+            spans,
+            watchdog_ms,
+            slow_round_ns,
         })
         .map_err(|e| format!("cannot set up observability: {e}"))?;
     }
@@ -223,13 +256,56 @@ pub fn obs_summarize_cmd(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads a JSONL trace and parses its span lines, failing on an empty set.
+fn span_set_from(path: &str) -> Result<cdt_obs::SpanSet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let set = cdt_obs::SpanSet::from_jsonl(&text);
+    if set.is_empty() {
+        return Err(format!(
+            "{path}: no span records found (rerun with --obs-events FILE --obs-spans)"
+        ));
+    }
+    Ok(set)
+}
+
+/// `cdt obs flame FILE` — offline self-time flame view of a span trace:
+/// the causal tree merged by span name, heaviest subtree first, with
+/// inclusive and exclusive (self) time per node. Each root line reconciles
+/// the root's inclusive time against the exact sum of its tree's
+/// exclusive self-times.
+///
+/// # Errors
+/// Returns a message on I/O failure or a trace with no span records.
+pub fn obs_flame_cmd(path: &str) -> Result<(), String> {
+    print!("{}", cdt_obs::render_flame(&span_set_from(path)?));
+    Ok(())
+}
+
+/// `cdt obs critical-path FILE` — the longest causal chain through each
+/// round span (slowest rounds first): where the wall clock actually went.
+///
+/// # Errors
+/// Returns a message on I/O failure or a trace with no span records.
+pub fn obs_critical_path_cmd(path: &str) -> Result<(), String> {
+    print!("{}", cdt_obs::render_critical_path(&span_set_from(path)?));
+    Ok(())
+}
+
 /// `cdt journal verify FILE` — strict all-or-nothing replay validation of
 /// a protocol journal: every line must parse and the whole history must
 /// replay through the state machine.
 ///
 /// # Errors
 /// Returns a message on I/O failure or the first replay violation.
-pub fn journal_verify_cmd(path: &str) -> Result<(), String> {
+pub fn journal_verify_cmd(path: &str, flags: &FlagMap) -> Result<(), String> {
+    let obs = obs_begin(flags)?;
+    let result = journal_verify_inner(path);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn journal_verify_inner(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let log = cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))?;
     println!(
@@ -250,7 +326,15 @@ pub fn journal_verify_cmd(path: &str) -> Result<(), String> {
 ///
 /// # Errors
 /// Returns a message on I/O failure or replay violation.
-pub fn journal_audit_cmd(path: &str) -> Result<(), String> {
+pub fn journal_audit_cmd(path: &str, flags: &FlagMap) -> Result<(), String> {
+    let obs = obs_begin(flags)?;
+    let result = journal_audit_inner(path);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn journal_audit_inner(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let log = cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))?;
     let settlements: Vec<_> = log
@@ -300,7 +384,15 @@ pub fn journal_audit_cmd(path: &str) -> Result<(), String> {
 ///
 /// # Errors
 /// Returns a message on I/O failure (recovery itself never fails).
-pub fn journal_recover_cmd(path: &str, out: Option<&str>) -> Result<(), String> {
+pub fn journal_recover_cmd(path: &str, out: Option<&str>, flags: &FlagMap) -> Result<(), String> {
+    let obs = obs_begin(flags)?;
+    let result = journal_recover_inner(path, out);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn journal_recover_inner(path: &str, out: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let rec = cdt_protocol::recover_json_lines(&text);
     println!(
@@ -333,6 +425,14 @@ pub fn journal_recover_cmd(path: &str, out: Option<&str>) -> Result<(), String> 
 /// Returns a message on I/O failure, an invalid journal, a structural
 /// mismatch, or divergence beyond `--tol`.
 pub fn journal_diff_cmd(path_a: &str, path_b: &str, flags: &FlagMap) -> Result<(), String> {
+    let obs = obs_begin(flags)?;
+    let result = journal_diff_inner(path_a, path_b, flags);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn journal_diff_inner(path_a: &str, path_b: &str, flags: &FlagMap) -> Result<(), String> {
     let tol = flags.f64_or("tol", 0.0)?;
     if !tol.is_finite() || tol < 0.0 {
         return Err(format!(
@@ -777,8 +877,8 @@ mod tests {
             path_str,
         ]))
         .unwrap();
-        journal_verify_cmd(path_str).unwrap();
-        journal_audit_cmd(path_str).unwrap();
+        journal_verify_cmd(path_str, &flags(&[])).unwrap();
+        journal_audit_cmd(path_str, &flags(&[])).unwrap();
 
         // Simulate a crash: keep two settled rounds, two in-flight events,
         // and a torn half-written line.
@@ -792,9 +892,9 @@ mod tests {
         let partial = dir.join("journal.jsonl.partial");
         std::fs::write(&partial, cut).unwrap();
         let partial_str = partial.to_str().unwrap();
-        assert!(journal_verify_cmd(partial_str).is_err());
+        assert!(journal_verify_cmd(partial_str, &flags(&[])).is_err());
         let out = dir.join("recovered.jsonl");
-        journal_recover_cmd(partial_str, Some(out.to_str().unwrap())).unwrap();
+        journal_recover_cmd(partial_str, Some(out.to_str().unwrap()), &flags(&[])).unwrap();
         let recovered = std::fs::read_to_string(&out).unwrap();
         let log = cdt_protocol::EventLog::from_json_lines(&recovered).unwrap();
         assert_eq!(log.state().settled_rounds(), 2);
@@ -805,9 +905,10 @@ mod tests {
 
     #[test]
     fn journal_commands_missing_file_errors() {
-        assert!(journal_verify_cmd("/nonexistent/definitely/missing.jsonl").is_err());
-        assert!(journal_audit_cmd("/nonexistent/definitely/missing.jsonl").is_err());
-        assert!(journal_recover_cmd("/nonexistent/definitely/missing.jsonl", None).is_err());
+        let f = flags(&[]);
+        assert!(journal_verify_cmd("/nonexistent/definitely/missing.jsonl", &f).is_err());
+        assert!(journal_audit_cmd("/nonexistent/definitely/missing.jsonl", &f).is_err());
+        assert!(journal_recover_cmd("/nonexistent/definitely/missing.jsonl", None, &f).is_err());
     }
 
     #[test]

@@ -9,18 +9,23 @@
 //! cdt compare [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
 //! cdt game [--k K] [--omega W] [--theta T]
 //! cdt obs summarize FILE
+//! cdt obs flame FILE
+//! cdt obs critical-path FILE
 //! cdt journal verify FILE
 //! cdt journal audit FILE
 //! cdt journal recover FILE [--out FILE]
 //! cdt journal diff A B [--tol T]
 //! ```
 //!
-//! `run`, `budget`, and `compare` additionally accept `--obs-events FILE`
-//! (JSONL round traces), `--obs-events-sample K` (record every K-th round
-//! only), `--metrics-out FILE` (Prometheus text dump), and `--obs-summary`
-//! (end-of-run phase/pool table); `cdt obs summarize` re-renders that
-//! summary offline from a trace file. `--journal FILE` streams the Fig. 2
-//! market protocol to FILE as rounds settle, and the `cdt journal` family
+//! `run`, `budget`, `compare`, and the `journal` family additionally
+//! accept `--obs-events FILE` (JSONL round traces), `--obs-events-sample
+//! K` (record every K-th round only), `--metrics-out FILE` (Prometheus
+//! text dump), and `--obs-summary` (end-of-run phase/pool table); `cdt
+//! obs summarize` re-renders that summary offline from a trace file.
+//! `--obs-spans` adds causal spans to the trace (analyzed offline with
+//! `cdt obs flame` / `cdt obs critical-path`) and `--watchdog-ms N` runs
+//! the health watchdog. `--journal FILE` streams the Fig. 2 market
+//! protocol to FILE as rounds settle, and the `cdt journal` family
 //! verifies, audits, crash-recovers, and diffs those journals. `run`,
 //! `budget`, and `compare` also take `--lanes W` / `--fast-math` to
 //! configure the chunked column kernels; `cdt journal diff` validates
@@ -46,21 +51,24 @@ fn run(argv: &[String]) -> i32 {
                 None => Err("usage: cdt trace stats FILE".into()),
             }
         }
-        (Some("obs"), Some("summarize")) => {
+        (Some("obs"), Some(sub @ ("summarize" | "flame" | "critical-path"))) => {
             let path = argv.get(2).map(String::as_str);
             match path {
-                Some(p) => commands::obs_summarize_cmd(p),
-                None => Err("usage: cdt obs summarize FILE".into()),
+                Some(p) => match sub {
+                    "summarize" => commands::obs_summarize_cmd(p),
+                    "flame" => commands::obs_flame_cmd(p),
+                    _ => commands::obs_critical_path_cmd(p),
+                },
+                None => Err(format!("usage: cdt obs {sub} FILE")),
             }
         }
         (Some("journal"), Some(sub @ ("verify" | "audit" | "recover"))) => {
             match argv.get(2).map(String::as_str) {
-                Some(path) => match sub {
-                    "verify" => commands::journal_verify_cmd(path),
-                    "audit" => commands::journal_audit_cmd(path),
-                    _ => parse_flags(&argv[3..])
-                        .and_then(|flags| commands::journal_recover_cmd(path, flags.get("out"))),
-                },
+                Some(path) => parse_flags(&argv[3..]).and_then(|flags| match sub {
+                    "verify" => commands::journal_verify_cmd(path, &flags),
+                    "audit" => commands::journal_audit_cmd(path, &flags),
+                    _ => commands::journal_recover_cmd(path, flags.get("out"), &flags),
+                }),
                 None => Err(format!("usage: cdt journal {sub} FILE")),
             }
         }

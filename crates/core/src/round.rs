@@ -1,5 +1,11 @@
 //! One trading round: selection → incentive game → data collection →
 //! learning (the loop body of Algorithm 1).
+//!
+//! The round body reports per-phase wall time through the passive
+//! [`RoundObserver`] hooks; with span tracing enabled the observability
+//! pipeline turns those same hook timings into `selection`/`solve`/
+//! `observe` child spans of the round — this module never touches span or
+//! trace state itself, so the hot path stays observer-gated only.
 
 use cdt_bandit::{BatchSelectionPolicy, SelectionPolicy};
 use cdt_game::{
@@ -882,7 +888,11 @@ mod tests {
                     &mut serial_scratch[lane],
                 )
                 .unwrap();
-                assert_eq!(serial, batch.outcome(lane), "lane {lane} round {t} diverged");
+                assert_eq!(
+                    serial,
+                    batch.outcome(lane),
+                    "lane {lane} round {t} diverged"
+                );
             }
         }
     }

@@ -8,9 +8,11 @@
 //! and post-hoc analysis of a file.
 
 use crate::event::Phase;
+use crate::health::HealthRecord;
 use crate::latency::LatencyHistogram;
 use crate::metrics::MetricsRegistry;
 use crate::record::EventRecord;
+use crate::span::SpanRecord;
 use crate::summary::render_summary;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -36,6 +38,10 @@ pub struct TraceStats {
     pub protocol_events: u64,
     /// Settled rounds among those journal events (`PaymentsSettled` lines).
     pub settled_rounds: u64,
+    /// Causal spans (`"event":"span"` lines from an `--obs-spans` run).
+    pub spans: u64,
+    /// Watchdog health events (`"event":"health"` lines).
+    pub health_events: u64,
 }
 
 /// The `MarketEvent` kind tags of the cdt-protocol journal. Recognized
@@ -96,6 +102,9 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
     let mut eq_misses = 0u64;
     let mut protocol_events = 0u64;
     let mut settled_rounds = 0u64;
+    let mut spans = 0u64;
+    let mut health_events = 0u64;
+    let mut health_by_kind: Vec<(&'static str, u64)> = Vec::new();
     let mut phase_hists: [LatencyHistogram; 4] = std::array::from_fn(|_| LatencyHistogram::new());
 
     for line in reader.lines() {
@@ -107,14 +116,25 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
         let record: EventRecord = match serde_json::from_str(line) {
             Ok(record) => record,
             Err(_) => {
-                match protocol_kind(line) {
-                    Some(kind) => {
-                        protocol_events += 1;
-                        if kind == "PaymentsSettled" {
-                            settled_rounds += 1;
-                        }
+                if serde_json::from_str::<SpanRecord>(line).is_ok() {
+                    spans += 1;
+                } else if let Ok(health) = serde_json::from_str::<HealthRecord>(line) {
+                    health_events += 1;
+                    let kind = health.kind.as_str();
+                    match health_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+                        Some((_, count)) => *count += 1,
+                        None => health_by_kind.push((kind, 1)),
                     }
-                    None => malformed += 1,
+                } else {
+                    match protocol_kind(line) {
+                        Some(kind) => {
+                            protocol_events += 1;
+                            if kind == "PaymentsSettled" {
+                                settled_rounds += 1;
+                            }
+                        }
+                        None => malformed += 1,
+                    }
                 }
                 continue;
             }
@@ -161,6 +181,12 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
         registry.add_counter("cdt_obs_protocol_events_total", &[], protocol_events);
         registry.add_counter("cdt_obs_protocol_settled_rounds", &[], settled_rounds);
     }
+    if spans > 0 {
+        registry.add_counter("cdt_obs_spans_total", &[], spans);
+    }
+    for (kind, count) in &health_by_kind {
+        registry.add_counter("cdt_obs_health_events_total", &[("kind", kind)], *count);
+    }
     let mut busy_ns = 0u64;
     for phase in Phase::ALL {
         let hist = &phase_hists[phase as usize];
@@ -178,6 +204,8 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
         busy_ns,
         protocol_events,
         settled_rounds,
+        spans,
+        health_events,
     };
     Ok((registry, stats))
 }
@@ -201,6 +229,13 @@ pub fn summarize_trace(path: &Path) -> io::Result<String> {
     if stats.malformed > 0 {
         let _ = writeln!(out, "skipped {} malformed lines", stats.malformed);
     }
+    if stats.spans > 0 {
+        let _ = writeln!(
+            out,
+            "spans: {} (analyze with `cdt obs flame` / `cdt obs critical-path`)",
+            stats.spans
+        );
+    }
     out.push_str(&render_summary(&registry));
     if stats.rounds > 0 && stats.busy_ns > 0 {
         let _ = writeln!(
@@ -219,7 +254,10 @@ mod tests {
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("cdt-obs-analyze-{}-{name}.jsonl", std::process::id()));
+        p.push(format!(
+            "cdt-obs-analyze-{}-{name}.jsonl",
+            std::process::id()
+        ));
         p
     }
 
@@ -287,7 +325,10 @@ mod tests {
 
         assert_eq!(registry.counter_value("cdt_obs_rounds_total", &[]), 4);
         // Initial rounds are neither hits nor misses: 1 hit, 1 miss.
-        assert_eq!(registry.counter_value("cdt_obs_eq_cache_hits_total", &[]), 1);
+        assert_eq!(
+            registry.counter_value("cdt_obs_eq_cache_hits_total", &[]),
+            1
+        );
         assert_eq!(
             registry.counter_value("cdt_obs_eq_cache_misses_total", &[]),
             1
@@ -347,6 +388,45 @@ mod tests {
             text.contains("protocol journal: 4 events / 1 settled rounds"),
             "got:\n{text}"
         );
+    }
+
+    #[test]
+    fn span_and_health_lines_are_recognized_not_malformed() {
+        use crate::span::{SpanId, TraceId};
+        let span = serde_json::to_string(&SpanRecord::new(
+            TraceId(1),
+            SpanId(2),
+            None,
+            "run",
+            0,
+            1_000,
+        ))
+        .unwrap();
+        let health = r#"{"event":"health","kind":"slow_round","t_ns":9,"worker":null,"observed_ns":50,"threshold_ns":10}"#;
+        let path = write_trace(
+            "spans",
+            &[
+                span.clone(),
+                span,
+                health.to_owned(),
+                round_end("a/seed1", 0),
+            ],
+        );
+        let (registry, stats) = registry_from_trace(&path).unwrap();
+        let text = summarize_trace(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.health_events, 1);
+        assert_eq!(stats.malformed, 0);
+        assert_eq!(stats.events, 1);
+        assert_eq!(registry.counter_value("cdt_obs_spans_total", &[]), 2);
+        assert_eq!(
+            registry.counter_value("cdt_obs_health_events_total", &[("kind", "slow_round")]),
+            1
+        );
+        assert!(text.contains("spans: 2"), "got:\n{text}");
+        assert!(text.contains("health events"), "got:\n{text}");
     }
 
     #[test]

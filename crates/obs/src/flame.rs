@@ -1,0 +1,478 @@
+//! Offline span-tree analysis: flame-style self-time profiles and
+//! per-round critical paths, rebuilt from a `--obs-events` JSONL trace.
+//!
+//! Two renderers sit on the same parsed tree:
+//!
+//! - [`render_flame`] (`cdt obs flame TRACE`) merges spans by name along
+//!   each root-to-leaf path and prints a sorted text flame: inclusive time
+//!   (span duration), exclusive self time (inclusive minus the children's
+//!   inclusive), and call counts. The identity `Σ exclusive == root
+//!   inclusive` holds *exactly* per root because exclusive time is kept as
+//!   a signed quantity internally — a child that overhangs its parent
+//!   (clock skew between producers) debits the parent below zero rather
+//!   than silently inflating the total; display clamps at zero.
+//! - [`render_critical_path`] (`cdt obs critical-path TRACE`) walks each
+//!   `round` span's heaviest-child chain — the longest causal chain from
+//!   the round down to the deepest contributor — and reports the slowest
+//!   rounds with their chains.
+
+use crate::span::SpanRecord;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Spans grouped per trace id, parsed out of a JSONL trace. Non-span lines
+/// are skipped silently (the trace interleaves event/protocol/health
+/// records); `malformed` counts lines tagged `"span"` that fail to parse.
+#[derive(Debug, Default)]
+pub struct SpanSet {
+    /// trace id → spans (file order).
+    pub traces: BTreeMap<u64, Vec<SpanRecord>>,
+    /// Lines that look like spans but did not deserialize.
+    pub malformed: usize,
+}
+
+impl SpanSet {
+    /// Parses the span lines out of a JSONL trace.
+    #[must_use]
+    pub fn from_jsonl(contents: &str) -> Self {
+        let mut set = Self::default();
+        for line in contents.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<SpanRecord>(line) {
+                Ok(span) => set.traces.entry(span.trace).or_default().push(span),
+                Err(_) => {
+                    // Only count it malformed if it claimed to be a span.
+                    if looks_like_span(line) {
+                        set.malformed += 1;
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Total spans across all traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.values().map(Vec::len).sum()
+    }
+
+    /// Whether no spans were found.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+}
+
+fn looks_like_span(line: &str) -> bool {
+    serde_json::from_str::<serde_json::Value>(line)
+        .ok()
+        .and_then(|v| v.get("event").and_then(|e| e.as_str().map(String::from)))
+        .is_some_and(|tag| tag == "span")
+}
+
+/// One name-merged node of the flame tree.
+#[derive(Debug)]
+struct FlameNode {
+    /// Spans merged into this node.
+    count: u64,
+    /// Σ duration of the merged spans.
+    incl_ns: u64,
+    /// Inclusive minus Σ(children inclusive); signed so reconciliation
+    /// stays exact even when a child overhangs its parent.
+    excl_ns: i128,
+    children: BTreeMap<String, FlameNode>,
+}
+
+impl FlameNode {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            incl_ns: 0,
+            excl_ns: 0,
+            children: BTreeMap::new(),
+        }
+    }
+}
+
+/// Index: span id → position, children adjacency from parent links.
+struct TraceIndex<'a> {
+    spans: &'a [SpanRecord],
+    children: HashMap<u64, Vec<usize>>,
+    roots: Vec<usize>,
+}
+
+impl<'a> TraceIndex<'a> {
+    fn build(spans: &'a [SpanRecord]) -> Self {
+        let ids: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.span, i)).collect();
+        let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut roots = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent {
+                // A parent outside the trace file (dangling) makes the
+                // span a root so its time is still accounted somewhere.
+                Some(p) if ids.contains_key(&p) => children.entry(p).or_default().push(i),
+                _ => roots.push(i),
+            }
+        }
+        Self {
+            spans,
+            children,
+            roots,
+        }
+    }
+
+    fn children_of(&self, span_id: u64) -> &[usize] {
+        self.children.get(&span_id).map_or(&[], Vec::as_slice)
+    }
+}
+
+fn accumulate(index: &TraceIndex<'_>, node: &mut FlameNode, i: usize) {
+    let span = &index.spans[i];
+    node.count += 1;
+    node.incl_ns += span.dur_ns;
+    node.excl_ns += i128::from(span.dur_ns);
+    for &child in index.children_of(span.span) {
+        let child_span = &index.spans[child];
+        node.excl_ns -= i128::from(child_span.dur_ns);
+        let child_node = node
+            .children
+            .entry(child_span.name.clone())
+            .or_insert_with(FlameNode::new);
+        accumulate(index, child_node, child);
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_node(out: &mut String, name: &str, node: &FlameNode, depth: usize, root_incl: u64) {
+    let indent = "  ".repeat(depth);
+    let excl = node.excl_ns.max(0) as u64;
+    let pct = if root_incl > 0 {
+        node.incl_ns as f64 * 100.0 / root_incl as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "{indent}{name:<24} incl {:>12}  excl {:>12}  count {:>7}  {pct:5.1}%",
+        fmt_ns(node.incl_ns),
+        fmt_ns(excl),
+        node.count,
+    );
+    // Heaviest children first; stable name tiebreak from the BTreeMap.
+    let mut kids: Vec<(&String, &FlameNode)> = node.children.iter().collect();
+    kids.sort_by(|a, b| b.1.incl_ns.cmp(&a.1.incl_ns).then_with(|| a.0.cmp(b.0)));
+    for (child_name, child) in kids {
+        render_node(out, child_name, child, depth + 1, root_incl);
+    }
+}
+
+/// Σ exclusive over a merged tree, unclamped (used for reconciliation).
+fn sum_exclusive(node: &FlameNode) -> i128 {
+    node.excl_ns + node.children.values().map(sum_exclusive).sum::<i128>()
+}
+
+/// Renders the sorted text flame for every trace in the set.
+///
+/// Per root the report states both the inclusive root time and the
+/// exclusive-sum total; they agree exactly by construction.
+#[must_use]
+pub fn render_flame(set: &SpanSet) -> String {
+    let mut out = String::new();
+    if set.is_empty() {
+        out.push_str("no spans in trace\n");
+        return out;
+    }
+    for (trace, spans) in &set.traces {
+        let index = TraceIndex::build(spans);
+        let _ = writeln!(out, "== trace {trace}: flame ({} spans) ==", spans.len());
+        // Merge all roots of the trace by name (several runs under one
+        // CLI root merge; a missing CLI root leaves runs as peers).
+        let mut root_nodes: BTreeMap<String, FlameNode> = BTreeMap::new();
+        for &r in &index.roots {
+            let name = index.spans[r].name.clone();
+            accumulate(
+                &index,
+                root_nodes.entry(name).or_insert_with(FlameNode::new),
+                r,
+            );
+        }
+        let mut roots: Vec<(&String, &FlameNode)> = root_nodes.iter().collect();
+        roots.sort_by(|a, b| b.1.incl_ns.cmp(&a.1.incl_ns).then_with(|| a.0.cmp(b.0)));
+        for (name, node) in roots {
+            render_node(&mut out, name, node, 0, node.incl_ns);
+            let excl_sum = sum_exclusive(node);
+            let _ = writeln!(
+                out,
+                "  [root {name}: inclusive {} == exclusive-sum {}]",
+                fmt_ns(node.incl_ns),
+                fmt_ns(u64::try_from(excl_sum.max(0)).unwrap_or(u64::MAX)),
+            );
+        }
+    }
+    if set.malformed > 0 {
+        let _ = writeln!(out, "({} malformed span lines skipped)", set.malformed);
+    }
+    out
+}
+
+/// One step of a critical path.
+#[derive(Debug)]
+pub struct PathStep {
+    /// Span name.
+    pub name: String,
+    /// Span duration.
+    pub dur_ns: u64,
+}
+
+/// The critical path of one round: the chain of heaviest children from the
+/// round span down.
+#[derive(Debug)]
+pub struct RoundPath {
+    /// Round index (from the round span's attribute).
+    pub round: Option<u64>,
+    /// Run label, when the round span carries one.
+    pub run: Option<String>,
+    /// Wall duration of the round span.
+    pub dur_ns: u64,
+    /// The chain, starting at the round span itself.
+    pub steps: Vec<PathStep>,
+}
+
+/// Walks the heaviest-child chain from span `i` down to a leaf.
+fn heaviest_chain(index: &TraceIndex<'_>, i: usize) -> Vec<PathStep> {
+    let mut steps = Vec::new();
+    let mut cur = i;
+    loop {
+        let span = &index.spans[cur];
+        steps.push(PathStep {
+            name: span.name.clone(),
+            dur_ns: span.dur_ns,
+        });
+        let next = index
+            .children_of(span.span)
+            .iter()
+            .copied()
+            .max_by_key(|&c| {
+                (
+                    index.spans[c].dur_ns,
+                    std::cmp::Reverse(index.spans[c].span),
+                )
+            });
+        match next {
+            Some(c) => cur = c,
+            None => break,
+        }
+    }
+    steps
+}
+
+/// Computes per-round critical paths for every trace, slowest rounds first.
+#[must_use]
+pub fn critical_paths(set: &SpanSet) -> Vec<RoundPath> {
+    let mut paths = Vec::new();
+    for spans in set.traces.values() {
+        let index = TraceIndex::build(spans);
+        for (i, span) in spans.iter().enumerate() {
+            if span.name != "round" {
+                continue;
+            }
+            paths.push(RoundPath {
+                round: span.round,
+                run: span.run.clone(),
+                dur_ns: span.dur_ns,
+                steps: heaviest_chain(&index, i),
+            });
+        }
+    }
+    paths.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then_with(|| a.round.cmp(&b.round)));
+    paths
+}
+
+/// How many rounds `render_critical_path` prints in full.
+const CRITICAL_PATH_TOP: usize = 10;
+
+/// Renders the per-round critical-path report.
+#[must_use]
+pub fn render_critical_path(set: &SpanSet) -> String {
+    let mut out = String::new();
+    let paths = critical_paths(set);
+    if paths.is_empty() {
+        out.push_str("no round spans in trace\n");
+        return out;
+    }
+    let total: u64 = paths.iter().map(|p| p.dur_ns).sum();
+    let _ = writeln!(
+        out,
+        "== critical paths: {} rounds, {} total round time ==",
+        paths.len(),
+        fmt_ns(total)
+    );
+    for path in paths.iter().take(CRITICAL_PATH_TOP) {
+        let round = path.round.map_or_else(|| "?".to_owned(), |r| r.to_string());
+        let run = path.run.as_deref().unwrap_or("?");
+        let chain = path
+            .steps
+            .iter()
+            .map(|s| format!("{} {}", s.name, fmt_ns(s.dur_ns)))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let _ = writeln!(out, "round {round:>6}  {:>12}  {run}", fmt_ns(path.dur_ns));
+        let _ = writeln!(out, "    {chain}");
+    }
+    if paths.len() > CRITICAL_PATH_TOP {
+        let _ = writeln!(out, "({} more rounds)", paths.len() - CRITICAL_PATH_TOP);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanId, TraceId};
+
+    fn span(
+        trace: u64,
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start: u64,
+        dur: u64,
+    ) -> SpanRecord {
+        SpanRecord::new(
+            TraceId(trace),
+            SpanId(id),
+            parent.map(SpanId),
+            name,
+            start,
+            dur,
+        )
+    }
+
+    fn jsonl(spans: &[SpanRecord]) -> String {
+        spans
+            .iter()
+            .map(|s| serde_json::to_string(s).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn parses_only_span_lines() {
+        let mut text = jsonl(&[span(1, 1, None, "run", 0, 100)]);
+        text.push_str("\n{\"event\":\"round_start\",\"run\":\"a\",\"round\":0}\n");
+        text.push_str("{\"settle\":{}}\nnot json\n");
+        let set = SpanSet::from_jsonl(&text);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.malformed, 0);
+    }
+
+    #[test]
+    fn malformed_span_lines_are_counted() {
+        let set = SpanSet::from_jsonl("{\"event\":\"span\",\"trace\":\"oops\"}\n");
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.malformed, 1);
+    }
+
+    #[test]
+    fn exclusive_sums_to_root_inclusive_exactly() {
+        // root 100 = child_a 30 + child_b 50 + self 20; child_a has a
+        // grandchild of 10.
+        let spans = [
+            span(1, 1, None, "run", 0, 100),
+            span(1, 2, Some(1), "round", 0, 30),
+            span(1, 3, Some(1), "pool", 40, 50),
+            span(1, 4, Some(2), "solve", 5, 10),
+        ];
+        let set = SpanSet::from_jsonl(&jsonl(&spans));
+        let index = TraceIndex::build(&set.traces[&1]);
+        let mut root = FlameNode::new();
+        accumulate(&index, &mut root, index.roots[0]);
+        assert_eq!(root.incl_ns, 100);
+        assert_eq!(sum_exclusive(&root), 100);
+        // Node-level exclusive values: run 100-30-50=20, round 30-10=20.
+        assert_eq!(root.excl_ns, 20);
+        assert_eq!(root.children["round"].excl_ns, 20);
+    }
+
+    #[test]
+    fn overhanging_child_keeps_reconciliation_exact() {
+        // Child (120ns) longer than its parent (100ns): parent exclusive
+        // goes negative internally, but the unclamped sum still equals the
+        // root inclusive of the merged tree.
+        let spans = [
+            span(1, 1, None, "run", 0, 100),
+            span(1, 2, Some(1), "pool", 0, 120),
+        ];
+        let set = SpanSet::from_jsonl(&jsonl(&spans));
+        let index = TraceIndex::build(&set.traces[&1]);
+        let mut root = FlameNode::new();
+        accumulate(&index, &mut root, index.roots[0]);
+        assert_eq!(root.excl_ns, -20);
+        assert_eq!(sum_exclusive(&root), 100);
+    }
+
+    #[test]
+    fn dangling_parents_become_roots() {
+        let spans = [span(1, 7, Some(999), "orphan", 0, 10)];
+        let set = SpanSet::from_jsonl(&jsonl(&spans));
+        let out = render_flame(&set);
+        assert!(out.contains("orphan"), "{out}");
+    }
+
+    #[test]
+    fn flame_render_mentions_reconciliation() {
+        let spans = [
+            span(1, 1, None, "run", 0, 1_000_000),
+            span(1, 2, Some(1), "round", 0, 600_000),
+        ];
+        let set = SpanSet::from_jsonl(&jsonl(&spans));
+        let out = render_flame(&set);
+        assert!(out.contains("flame (2 spans)"), "{out}");
+        assert!(
+            out.contains("inclusive 1.000ms == exclusive-sum 1.000ms"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_child() {
+        let spans = [
+            span(1, 1, None, "run", 0, 1000),
+            span(1, 2, Some(1), "round", 0, 500),
+            span(1, 3, Some(2), "selection", 0, 100),
+            span(1, 4, Some(2), "solve", 100, 300),
+            span(1, 5, Some(1), "round", 500, 200),
+        ];
+        let set = SpanSet::from_jsonl(&jsonl(&spans));
+        let paths = critical_paths(&set);
+        assert_eq!(paths.len(), 2);
+        // Slowest round first.
+        assert_eq!(paths[0].dur_ns, 500);
+        let names: Vec<&str> = paths[0].steps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["round", "solve"]);
+        let out = render_critical_path(&set);
+        assert!(out.contains("round -> solve"), "{out}");
+    }
+
+    #[test]
+    fn empty_trace_renders_gracefully() {
+        let set = SpanSet::from_jsonl("");
+        assert!(render_flame(&set).contains("no spans"));
+        assert!(render_critical_path(&set).contains("no round spans"));
+    }
+}

@@ -181,6 +181,77 @@ mod tests {
         assert_eq!(a.sum_ns(), 3_000_010);
     }
 
+    /// The bucket index `record_ns(ns)` lands in (mirrors the clamp in
+    /// `cdt_aggregate::Histogram::record`).
+    fn bucket_index(ns: u64) -> usize {
+        let x = LatencyHistogram::to_unit(ns);
+        ((x * BINS as f64).floor() as isize).clamp(0, BINS as isize - 1) as usize
+    }
+
+    #[test]
+    fn edge_values_land_in_edge_buckets() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BINS - 1);
+        let mut h = LatencyHistogram::new();
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 2);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.first().unwrap().0, 1); // bucket 0: [0, 1) ns
+        assert_eq!(buckets.last().unwrap(), &(u64::MAX, 2));
+    }
+
+    proptest::proptest! {
+        /// Bucketing is monotone: a smaller latency never lands in a
+        /// higher bucket (log₂(1 + ns) is non-decreasing, and so is every
+        /// float step in the mapping).
+        #[test]
+        fn prop_bucketing_is_monotone(a in proptest::prelude::any::<u64>(), b in proptest::prelude::any::<u64>()) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            proptest::prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        }
+
+        /// Every recorded observation is counted exactly once: the total,
+        /// the per-bin sum, and the final cumulative count all equal the
+        /// number of records — including 0 and u64::MAX edge values.
+        #[test]
+        fn prop_bucketing_preserves_total_count(
+            mut values in proptest::collection::vec(proptest::prelude::any::<u64>(), 0..200),
+            zeros in 0usize..3,
+            maxes in 0usize..3,
+        ) {
+            values.resize(values.len() + zeros, 0);
+            values.resize(values.len() + maxes, u64::MAX);
+            let mut h = LatencyHistogram::new();
+            for &ns in &values {
+                h.record_ns(ns);
+            }
+            let n = values.len() as u64;
+            proptest::prop_assert_eq!(h.count(), n);
+            let bin_sum: u64 = (0..h.hist.num_bins()).map(|i| h.hist.bin_count(i)).sum();
+            proptest::prop_assert_eq!(bin_sum, n);
+            if n > 0 {
+                proptest::prop_assert_eq!(h.cumulative_buckets().last().unwrap().1, n);
+            } else {
+                proptest::prop_assert!(h.cumulative_buckets().is_empty());
+            }
+        }
+
+        /// A recorded value's bucket upper bound is never below the value
+        /// (up to the one-count float rounding at 2^53-scale boundaries):
+        /// cumulative counts at or above the value's bucket include it.
+        #[test]
+        fn prop_recorded_value_is_within_its_bucket(ns in proptest::prelude::any::<u64>()) {
+            let mut h = LatencyHistogram::new();
+            h.record_ns(ns);
+            let buckets = h.cumulative_buckets();
+            proptest::prop_assert_eq!(buckets.len(), 1);
+            let idx = bucket_index(ns);
+            let expected_upper = if idx + 1 >= BINS { u64::MAX } else { (1u64 << (idx + 1)) - 1 };
+            proptest::prop_assert_eq!(buckets[0], (expected_upper, 1));
+        }
+    }
+
     #[test]
     fn cumulative_buckets_are_ascending() {
         let mut h = LatencyHistogram::new();

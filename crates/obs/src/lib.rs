@@ -29,12 +29,15 @@
 
 pub mod analyze;
 pub mod event;
+pub mod flame;
+pub mod health;
 pub mod latency;
 pub mod metrics;
 pub mod pipeline;
 pub mod prometheus;
 pub mod record;
 pub mod sink;
+pub mod span;
 pub mod summary;
 pub mod timing;
 pub mod warn;
@@ -44,15 +47,18 @@ pub use event::{
     EquilibriumEvent, NullObserver, ObservationEvent, Phase, RoundEndEvent, RoundObserver,
     SelectionEvent,
 };
+pub use flame::{critical_paths, render_critical_path, render_flame, SpanSet};
+pub use health::{HealthKind, HealthRecord, WatchdogConfig};
 pub use latency::LatencyHistogram;
 pub use metrics::{global, Metric, MetricKey, MetricsRegistry};
 pub use pipeline::{
-    flush, install, is_enabled, observer_for_run, summary_requested, uninstall, ObsConfig,
-    PipelineObserver,
+    active_trace, flush, install, is_enabled, observer_for_run, publish_health, publish_spans,
+    spans_enabled, summary_requested, uninstall, ObsConfig, PipelineObserver,
 };
 pub use prometheus::render;
 pub use record::{EventRecord, RecordingObserver};
 pub use sink::JsonlSink;
+pub use span::{SpanId, SpanRecord, TraceId};
 pub use summary::render_summary;
 pub use timing::{PhaseTimer, PhaseTotals};
 pub use warn::warn_once;

@@ -133,6 +133,27 @@ mod tests {
     }
 
     #[test]
+    fn health_counters_render_with_kind_labels() {
+        let r = MetricsRegistry::new();
+        r.add_counter("cdt_obs_health_events_total", &[("kind", "slow_round")], 2);
+        r.add_counter(
+            "cdt_obs_health_events_total",
+            &[("kind", "stalled_worker")],
+            1,
+        );
+        let text = render(&r);
+        assert!(text.contains("# TYPE cdt_obs_health_events_total counter"));
+        assert!(
+            text.contains("cdt_obs_health_events_total{kind=\"slow_round\"} 2"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("cdt_obs_health_events_total{kind=\"stalled_worker\"} 1"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
     fn type_line_appears_once_per_family() {
         let r = MetricsRegistry::new();
         r.add_counter("jobs_total", &[("worker", "0")], 1);

@@ -1,10 +1,13 @@
-//! Event sinks: where serialized [`EventRecord`]s go.
+//! Event sinks: where serialized records go.
 //!
 //! The only sink today is [`JsonlSink`], a buffered line-per-record writer.
-//! It is shared across worker threads through a mutex; contention stays low
-//! because observers batch records locally and write per run, not per event.
+//! It takes anything serde-serializable, so one `--obs-events` file carries
+//! [`crate::EventRecord`] round events, [`crate::SpanRecord`] spans, and
+//! [`crate::HealthRecord`] watchdog lines side by side. It is shared across
+//! worker threads through a mutex; contention stays low because observers
+//! batch records locally and write per run, not per event.
 
-use crate::record::EventRecord;
+use serde::Serialize;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -30,7 +33,7 @@ impl JsonlSink {
     }
 
     /// Serializes and writes one record as a line.
-    pub fn write_record(&self, record: &EventRecord) -> io::Result<()> {
+    pub fn write_record<T: Serialize>(&self, record: &T) -> io::Result<()> {
         // Serialize outside the lock; only the write itself is serialized.
         let mut line = serde_json::to_vec(record)?;
         line.push(b'\n');
@@ -38,7 +41,7 @@ impl JsonlSink {
     }
 
     /// Writes a batch of records under a single lock acquisition.
-    pub fn write_batch(&self, records: &[EventRecord]) -> io::Result<()> {
+    pub fn write_batch<T: Serialize>(&self, records: &[T]) -> io::Result<()> {
         if records.is_empty() {
             return Ok(());
         }
@@ -66,6 +69,7 @@ impl Drop for JsonlSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::EventRecord;
     use std::fs;
 
     fn temp_path(name: &str) -> std::path::PathBuf {

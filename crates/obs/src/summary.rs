@@ -57,6 +57,37 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         let _ = writeln!(out, "event trace sampled: every {s:.0}th round");
     }
 
+    // Active kernel configuration (process state, matching what
+    // bench_history.jsonl records): lane width + fast-math gate.
+    let _ = writeln!(
+        out,
+        "lane kernels: width {}, fast-math {}",
+        cdt_types::lanes::lane_width(),
+        if cdt_types::lanes::fast_math() {
+            "on"
+        } else {
+            "off"
+        }
+    );
+
+    // Watchdog health events, by kind (only after at least one fired).
+    let mut health: Vec<(&str, u64)> = snapshot
+        .iter()
+        .filter(|(k, _)| k.family == "cdt_obs_health_events_total")
+        .filter_map(|(k, m)| match m {
+            Metric::Counter(c) => label_value(k, "kind").map(|kind| (kind, *c)),
+            _ => None,
+        })
+        .collect();
+    if !health.is_empty() {
+        health.sort_by(|a, b| a.0.cmp(b.0));
+        let parts: Vec<String> = health
+            .iter()
+            .map(|(kind, count)| format!("{count} {kind}"))
+            .collect();
+        let _ = writeln!(out, "health events: {}", parts.join(", "));
+    }
+
     // Equilibrium-cache effectiveness (the round hot path's solve-skip).
     let eq_hits = counter("cdt_obs_eq_cache_hits_total");
     let eq_misses = counter("cdt_obs_eq_cache_misses_total");
@@ -304,6 +335,38 @@ mod tests {
         let text = render_summary(&r);
         assert!(
             text.contains("event trace sampled: every 5th round"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn lane_kernel_line_always_renders() {
+        let text = render_summary(&MetricsRegistry::new());
+        let expected = format!(
+            "lane kernels: width {}, fast-math {}",
+            cdt_types::lanes::lane_width(),
+            if cdt_types::lanes::fast_math() {
+                "on"
+            } else {
+                "off"
+            }
+        );
+        assert!(text.contains(&expected), "got:\n{text}");
+    }
+
+    #[test]
+    fn health_line_renders_counts_by_kind() {
+        let r = MetricsRegistry::new();
+        assert!(!render_summary(&r).contains("health events"));
+        r.add_counter("cdt_obs_health_events_total", &[("kind", "slow_round")], 2);
+        r.add_counter(
+            "cdt_obs_health_events_total",
+            &[("kind", "stalled_worker")],
+            1,
+        );
+        let text = render_summary(&r);
+        assert!(
+            text.contains("health events: 2 slow_round, 1 stalled_worker"),
             "got:\n{text}"
         );
     }

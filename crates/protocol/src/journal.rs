@@ -100,6 +100,9 @@ pub struct JournalSink {
     events: u64,
     violations: u64,
     write_ns: LatencyHistogram,
+    /// Buffered `journal_write`/`journal_flush` spans (span tracing only);
+    /// published alongside the metrics so the sink stays single-writer.
+    spans: Vec<cdt_obs::SpanRecord>,
     renamed: bool,
     published_metrics: bool,
 }
@@ -129,6 +132,7 @@ impl JournalSink {
             events: 0,
             violations: 0,
             write_ns: LatencyHistogram::new(),
+            spans: Vec::new(),
             renamed: false,
             published_metrics: false,
         })
@@ -167,19 +171,47 @@ impl JournalSink {
             return Err(JournalError::Protocol(e));
         }
         let line = serde_json::to_string(event).expect("events serialize");
+        let span_start = cdt_obs::active_trace().map(|trace| (trace, cdt_obs::span::now_ns()));
         let start = Instant::now();
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        if matches!(
+        let flushed = matches!(
             event,
             MarketEvent::JobPublished { .. }
                 | MarketEvent::PaymentsSettled { .. }
                 | MarketEvent::JobCompleted { .. }
-        ) {
+        );
+        if flushed {
             self.writer.flush()?;
         }
-        self.write_ns
-            .record_ns(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.write_ns.record_ns(ns);
+        if flushed {
+            // Settlement-boundary appends are the flush latency signal:
+            // feed the watchdog and, when tracing, span the write+flush
+            // (parented to the active round when the pipeline marked one).
+            if cdt_obs::health::watchdog_active() {
+                cdt_obs::health::record_flush_ns(ns);
+            }
+            if let Some((trace, start_ns)) = span_start {
+                let round_scope = cdt_obs::span::current_round_scope();
+                let parent = round_scope
+                    .map(|(id, _)| id)
+                    .or_else(cdt_obs::span::current_scope);
+                let mut record = cdt_obs::SpanRecord::new(
+                    trace,
+                    cdt_obs::span::next_span_id(),
+                    parent,
+                    "journal_write",
+                    start_ns,
+                    cdt_obs::span::now_ns().saturating_sub(start_ns),
+                );
+                if let Some((_, round)) = round_scope {
+                    record = record.with_round(round);
+                }
+                self.spans.push(record);
+            }
+        }
         self.events += 1;
         Ok(())
     }
@@ -191,12 +223,29 @@ impl JournalSink {
     /// Returns the I/O error on flush or rename failure (the partial file
     /// is left in place for recovery).
     pub fn finish(mut self) -> Result<JournalReport, JournalError> {
+        let span_start = cdt_obs::active_trace().map(|trace| (trace, cdt_obs::span::now_ns()));
+        let start = Instant::now();
         self.writer.flush()?;
         // Durability is best-effort: a failed fsync still leaves a fully
         // flushed partial file for recovery.
         let _ = self.writer.get_ref().sync_all();
         std::fs::rename(&self.partial_path, &self.final_path)?;
         self.renamed = true;
+        if cdt_obs::health::watchdog_active() {
+            cdt_obs::health::record_flush_ns(
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+        if let Some((trace, start_ns)) = span_start {
+            self.spans.push(cdt_obs::SpanRecord::new(
+                trace,
+                cdt_obs::span::next_span_id(),
+                cdt_obs::span::current_scope(),
+                "journal_flush",
+                start_ns,
+                cdt_obs::span::now_ns().saturating_sub(start_ns),
+            ));
+        }
         self.publish_metrics();
         Ok(JournalReport {
             events: self.events,
@@ -228,6 +277,10 @@ impl JournalSink {
         }
         if self.write_ns.count() > 0 {
             registry.merge_histogram("cdt_obs_journal_write_ns", &[], &self.write_ns);
+        }
+        if !self.spans.is_empty() {
+            cdt_obs::publish_spans(&self.spans);
+            self.spans.clear();
         }
     }
 }

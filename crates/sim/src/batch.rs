@@ -54,6 +54,50 @@ pub fn run_policy_batch(
     checkpoints: &[usize],
     scratch: &mut BatchScratch,
 ) -> Result<Vec<RunResult>> {
+    // With span tracing on, the whole lockstep call becomes one
+    // `lane_group` span: `lane` carries the active SIMD lane width,
+    // `batch` the lane count, `chunk` the pinned pool chunk (if any).
+    // Entering its scope here makes every per-lane run span a child.
+    let group = cdt_obs::active_trace().map(|trace| {
+        let id = cdt_obs::span::next_span_id();
+        (
+            trace,
+            id,
+            cdt_obs::span::current_scope(),
+            cdt_obs::span::now_ns(),
+            cdt_obs::span::enter_scope(id),
+        )
+    });
+    let result = run_policy_batch_dispatch(scenarios, spec, seeds, checkpoints, scratch);
+    if let Some((trace, id, parent, start_ns, guard)) = group {
+        drop(guard);
+        let mut record = cdt_obs::SpanRecord::new(
+            trace,
+            id,
+            parent,
+            "lane_group",
+            start_ns,
+            cdt_obs::span::now_ns().saturating_sub(start_ns),
+        )
+        .with_lane(cdt_types::lanes::lane_width() as u64)
+        .with_batch(seeds.len() as u64);
+        if let Some(c) = crate::parallel::configured_chunk() {
+            record = record.with_chunk(c as u64);
+        }
+        cdt_obs::publish_spans(&[record]);
+    }
+    result
+}
+
+/// The observer-resolution half of [`run_policy_batch`], split out so the
+/// span bookkeeping above wraps every return path exactly once.
+fn run_policy_batch_dispatch(
+    scenarios: &[&Scenario],
+    spec: PolicySpec,
+    seeds: &[u64],
+    checkpoints: &[usize],
+    scratch: &mut BatchScratch,
+) -> Result<Vec<RunResult>> {
     if cdt_obs::is_enabled() {
         let mut lane_obs = Vec::with_capacity(seeds.len());
         for seed in seeds {

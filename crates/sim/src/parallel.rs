@@ -425,17 +425,40 @@ where
     if instrument {
         cdt_obs::global().set_gauge("cdt_obs_pool_threads", &[], workers as f64);
     }
+    // With span tracing on, the whole fan-out gets one `pool` span
+    // (parented to the caller's scope); workers re-enter it so run spans
+    // created inside jobs chain back to the fan-out that scheduled them,
+    // and each cursor claim becomes a `chunk` child span.
+    let pool_span = cdt_obs::active_trace().map(|trace| {
+        (
+            trace,
+            cdt_obs::span::next_span_id(),
+            cdt_obs::span::current_scope(),
+            cdt_obs::span::now_ns(),
+        )
+    });
+    // Watchdog liveness: workers register their slot and tick progress
+    // once per cursor claim; passive (atomics only), results unchanged.
+    let watch = cdt_obs::health::watchdog_active();
     let mut gathered: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let cursor = &cursor;
                 let f = &f;
+                let pool_span = &pool_span;
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     let worker_start = instrument.then(Instant::now);
                     let mut stats = PoolWorkerStats::default();
                     let mut last_end: Option<usize> = None;
+                    let _pool_scope = pool_span
+                        .as_ref()
+                        .map(|&(_, id, _, _)| cdt_obs::span::enter_scope(id));
+                    let mut chunk_spans: Vec<cdt_obs::SpanRecord> = Vec::new();
+                    if watch {
+                        cdt_obs::health::worker_begin(w);
+                    }
                     loop {
                         // Guided self-scheduling: claim a chunk sized to the
                         // *remaining* work so early claims amortize the atomic
@@ -457,6 +480,9 @@ where
                             break;
                         }
                         let end = (start + want).min(n);
+                        if watch {
+                            cdt_obs::health::worker_progress(w);
+                        }
                         if instrument {
                             // A worker's claims are contiguous unless another
                             // worker raced the cursor in between — the
@@ -467,6 +493,7 @@ where
                             last_end = Some(end);
                             stats.chunks += 1;
                             stats.chunk_size.record_ns((end - start) as u64);
+                            let chunk_start = pool_span.as_ref().map(|_| cdt_obs::span::now_ns());
                             for i in start..end {
                                 let job_start = Instant::now();
                                 local.push((i, f(i, &items[i])));
@@ -476,11 +503,33 @@ where
                                 stats.busy_ns = stats.busy_ns.saturating_add(ns);
                                 stats.job_ns.record_ns(ns);
                             }
+                            if let (Some(&(trace, pool_id, _, _)), Some(c0)) =
+                                (pool_span.as_ref(), chunk_start)
+                            {
+                                chunk_spans.push(
+                                    cdt_obs::SpanRecord::new(
+                                        trace,
+                                        cdt_obs::span::next_span_id(),
+                                        Some(pool_id),
+                                        "chunk",
+                                        c0,
+                                        cdt_obs::span::now_ns().saturating_sub(c0),
+                                    )
+                                    .with_worker(w as u64)
+                                    .with_chunk((end - start) as u64),
+                                );
+                            }
                         } else {
                             for i in start..end {
                                 local.push((i, f(i, &items[i])));
                             }
                         }
+                    }
+                    if watch {
+                        cdt_obs::health::worker_end(w);
+                    }
+                    if !chunk_spans.is_empty() {
+                        cdt_obs::publish_spans(&chunk_spans);
                     }
                     if let Some(start) = worker_start {
                         let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -497,6 +546,20 @@ where
             }
         }
     });
+    if let Some((trace, id, parent, start_ns)) = pool_span {
+        let mut record = cdt_obs::SpanRecord::new(
+            trace,
+            id,
+            parent,
+            "pool",
+            start_ns,
+            cdt_obs::span::now_ns().saturating_sub(start_ns),
+        );
+        if let Some(c) = fixed_chunk {
+            record = record.with_chunk(c as u64);
+        }
+        cdt_obs::publish_spans(&[record]);
+    }
 
     // Place results by job index so scheduling order never matters.
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();

@@ -79,7 +79,10 @@ pub fn run_policy(
     // and CLI command funnels through here, so consulting the globally
     // installed pipeline in this one place instruments them all. With no
     // pipeline installed this is a single relaxed atomic load and the run
-    // proceeds on the statically disabled NullObserver path.
+    // proceeds on the statically disabled NullObserver path. With span
+    // tracing on, the pipeline observer returned here also synthesizes the
+    // causal `run` → `round` → phase span tree for this run (parented to
+    // whatever pool/lane-group scope is active on this thread).
     if cdt_obs::is_enabled() {
         let label = format!("{}/seed{seed}", spec.label());
         if let Some(mut obs) = cdt_obs::observer_for_run(&label) {

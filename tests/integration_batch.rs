@@ -149,6 +149,58 @@ fn fast_math_replication_is_deterministic_per_lane_width() {
 }
 
 #[test]
+fn spans_and_watchdog_do_not_perturb_results_across_the_grid() {
+    let _guard = lock();
+    cdt_obs::uninstall();
+    let specs = PolicySpec::paper_set();
+    let reps = 4;
+
+    // Untraced serial reference (no pipeline installed at all).
+    set_thread_override(Some(1));
+    set_chunk_override(Some(1));
+    set_batch_override(Some(1));
+    set_lanes_override(Some(1));
+    let baseline = replicate(12, 3, 10, 40, &specs, reps, 2024).unwrap();
+
+    // Span tracing + watchdog on, across the full lanes × batch × chunk ×
+    // threads grid: both are passive (spans read clocks, the watchdog
+    // reads atomics on its own thread), so every combination must stay
+    // bit-for-bit on the untraced serial reference.
+    let events = std::env::temp_dir().join(format!(
+        "cdt_batch_spans_watchdog_{}.jsonl",
+        std::process::id()
+    ));
+    for lanes in [1usize, 2, 4, 8] {
+        for batch in [1usize, 2, reps] {
+            for (threads, chunk) in [(1, 1), (4, 3)] {
+                set_thread_override(Some(threads));
+                set_chunk_override(Some(chunk));
+                set_batch_override(Some(batch));
+                set_lanes_override(Some(lanes));
+                cdt_obs::global().reset();
+                cdt_obs::install(cdt_obs::ObsConfig {
+                    events_path: Some(events.clone()),
+                    spans: true,
+                    watchdog_ms: Some(1),
+                    ..cdt_obs::ObsConfig::default()
+                })
+                .unwrap();
+                let run = replicate(12, 3, 10, 40, &specs, reps, 2024).unwrap();
+                cdt_obs::flush().unwrap();
+                cdt_obs::uninstall();
+                assert_eq!(
+                    baseline, run,
+                    "spans+watchdog perturbed results at lanes={lanes} \
+                     batch={batch} threads={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&events).ok();
+    reset_overrides();
+}
+
+#[test]
 fn batched_replication_recycles_worker_scratch() {
     let _guard = lock();
 

@@ -92,6 +92,64 @@ fn streamed_journal_is_byte_identical_to_buffered_path() {
 }
 
 #[test]
+fn journal_bytes_identical_with_spans_and_watchdog() {
+    let (seed, m, k, n) = (42, 14, 3, 50);
+
+    // Reference journal: no observability pipeline installed at all.
+    cdt_obs::uninstall();
+    let path_off = temp_path("spans_off");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = Scenario::paper_defaults(m, k, 4, n, &mut rng).unwrap();
+    let mut mech = CmabHs::new(s.config.clone()).unwrap();
+    let mut journal = JournalObserver::create(&path_off, s.config.job.clone()).unwrap();
+    let ledger_off = mech
+        .run_with_mode_observed(&s.observer(), &mut rng, LedgerMode::Summary, &mut journal)
+        .unwrap();
+    journal.finish().unwrap();
+
+    // Same seed with span tracing and the watchdog on: spans and health
+    // records go to their own events file, so the journal bytes — and the
+    // ledger — must be bit-for-bit identical to the untraced run.
+    let events = temp_path("spans_events");
+    let path_on = temp_path("spans_on");
+    cdt_obs::global().reset();
+    cdt_obs::install(cdt_obs::ObsConfig {
+        events_path: Some(events.clone()),
+        spans: true,
+        watchdog_ms: Some(1),
+        ..cdt_obs::ObsConfig::default()
+    })
+    .unwrap();
+    let mut rng2 = StdRng::seed_from_u64(seed);
+    let s2 = Scenario::paper_defaults(m, k, 4, n, &mut rng2).unwrap();
+    let mut mech2 = CmabHs::new(s2.config.clone()).unwrap();
+    let mut journal2 = JournalObserver::create(&path_on, s2.config.job.clone()).unwrap();
+    let ledger_on = mech2
+        .run_with_mode_observed(
+            &s2.observer(),
+            &mut rng2,
+            LedgerMode::Summary,
+            &mut journal2,
+        )
+        .unwrap();
+    journal2.finish().unwrap();
+    cdt_obs::flush().unwrap();
+    cdt_obs::uninstall();
+
+    assert_eq!(ledger_off, ledger_on, "spans+watchdog changed the ledger");
+    let bytes_off = std::fs::read(&path_off).unwrap();
+    let bytes_on = std::fs::read(&path_on).unwrap();
+    assert_eq!(
+        bytes_off, bytes_on,
+        "spans+watchdog changed the journal bytes"
+    );
+
+    std::fs::remove_file(&path_off).unwrap();
+    std::fs::remove_file(&path_on).unwrap();
+    std::fs::remove_file(&events).ok();
+}
+
+#[test]
 fn killed_run_leaves_recoverable_partial() {
     let path = temp_path("crash");
     let partial = {

@@ -65,6 +65,7 @@ fn installed_pipeline_leaves_replication_bit_identical() {
         events_path: Some(events.clone()),
         summary: false,
         events_sample: 0,
+        ..ObsConfig::default()
     })
     .unwrap();
     set_thread_override(Some(4));
@@ -92,6 +93,7 @@ fn jsonl_trace_matches_golden_schema() {
         events_path: Some(events.clone()),
         summary: false,
         events_sample: 0,
+        ..ObsConfig::default()
     })
     .unwrap();
     let s = scenario(5, 12, 3, 20);
