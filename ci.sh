@@ -48,6 +48,35 @@ done
 test -s results/bench_history.jsonl
 tail -n 1 results/bench_history.jsonl | python3 -c 'import json,sys; json.loads(sys.stdin.read())'
 
+echo "==> sweep cell-packing smoke (batched grid must match the per-cell serial path)"
+rm -f /tmp/cdt_sweep_batched.txt /tmp/cdt_sweep_serial.txt
+sweep_args="--axis k --grid 2,3 --m 10 --l 3 --n 40 --reps 2"
+# shellcheck disable=SC2086  # deliberate word-split flag list
+cargo run --release -p cdt-cli --bin cdt -- sweep $sweep_args --batch 4 \
+    | tee /tmp/cdt_sweep_batched.txt
+# shellcheck disable=SC2086
+cargo run --release -p cdt-cli --bin cdt -- sweep $sweep_args --batch 1 \
+    > /tmp/cdt_sweep_serial.txt
+# Packing is a scheduling change only: sweep stdout is a pure function of
+# the results, so batch 4 and the per-cell batch-1 path must be byte-equal.
+diff /tmp/cdt_sweep_batched.txt /tmp/cdt_sweep_serial.txt
+# bench_engine --sweep times the cell-packed workload against its per-cell
+# serial leg: results must stay bit-identical and the packed leg must
+# actually share groups (mean occupancy above 1 lane per group).
+cargo run --release -p cdt-bench --bin bench_engine -- \
+    --sweep --m 10 --k 3 --l 3 --n 80 --reps 4 --batch 4 --out BENCH_engine.json
+python3 - <<'EOF'
+import json
+with open("BENCH_engine.json") as f:
+    report = json.load(f)
+assert report["workload"]["sweep"] is True
+assert report["identical"] is True, "determinism bug: packed sweep != per-cell serial"
+occupancy = report["cell_occupancy"]
+assert occupancy is not None and occupancy > 1.0, occupancy
+print(f"sweep smoke: occupancy {occupancy:.2f} lanes/group, "
+      f"speedup {report['speedup']:.2f}x")
+EOF
+
 echo "==> observability smoke (JSONL trace + Prometheus dump)"
 rm -f /tmp/cdt_obs_events.jsonl /tmp/cdt_obs_metrics.prom
 cargo run --release -p cdt-bench --bin repro -- \

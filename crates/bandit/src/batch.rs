@@ -58,6 +58,18 @@ pub trait BatchSelectionPolicy {
     fn selection_score(&self, lane: usize, id: SellerId) -> f64 {
         self.game_quality(lane, id)
     }
+
+    /// Records the scenario-cell id each lane serves, for cell-packing
+    /// schedulers that mix lanes from different sweep cells in one batch.
+    /// Pure metadata — implementations must not let it influence
+    /// selection, observation, or scoring. Default: discarded.
+    fn set_lane_cells(&mut self, _cells: &[u64]) {}
+
+    /// The scenario-cell id lane `b` serves, if one was recorded via
+    /// [`BatchSelectionPolicy::set_lane_cells`]. Default: `None`.
+    fn lane_cell(&self, _lane: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// The CMAB-HS UCB policy over `B` lanes, counts/means stored as flat
@@ -79,6 +91,9 @@ pub struct BatchCmabUcb {
     scores: Vec<f64>,
     /// Shared index-permutation buffer for partial top-K selection.
     topk_scratch: Vec<usize>,
+    /// Scenario-cell id per lane (metadata from a cell-packing scheduler;
+    /// empty when every lane serves the same cell).
+    lane_cells: Vec<u64>,
 }
 
 impl BatchCmabUcb {
@@ -96,6 +111,7 @@ impl BatchCmabUcb {
             full_initial_sweep: true,
             scores: Vec::new(),
             topk_scratch: Vec::new(),
+            lane_cells: Vec::new(),
         }
     }
 
@@ -164,6 +180,15 @@ impl BatchSelectionPolicy for BatchCmabUcb {
         self.config
             .index(self.means[i], self.counts[i], self.total_counts[lane])
     }
+
+    fn set_lane_cells(&mut self, cells: &[u64]) {
+        self.lane_cells.clear();
+        self.lane_cells.extend_from_slice(cells);
+    }
+
+    fn lane_cell(&self, lane: usize) -> Option<u64> {
+        self.lane_cells.get(lane).copied()
+    }
 }
 
 /// Fallback batching: one boxed [`SelectionPolicy`] per lane.
@@ -173,13 +198,18 @@ impl BatchSelectionPolicy for BatchCmabUcb {
 /// their scratch buffers and scheduling.
 pub struct LanePolicies {
     lanes: Vec<Box<dyn SelectionPolicy>>,
+    /// Scenario-cell id per lane (see [`BatchSelectionPolicy::set_lane_cells`]).
+    lane_cells: Vec<u64>,
 }
 
 impl LanePolicies {
     /// Wraps one policy instance per lane.
     #[must_use]
     pub fn new(lanes: Vec<Box<dyn SelectionPolicy>>) -> Self {
-        Self { lanes }
+        Self {
+            lanes,
+            lane_cells: Vec::new(),
+        }
     }
 }
 
@@ -208,6 +238,15 @@ impl BatchSelectionPolicy for LanePolicies {
 
     fn selection_score(&self, lane: usize, id: SellerId) -> f64 {
         self.lanes[lane].selection_score(id)
+    }
+
+    fn set_lane_cells(&mut self, cells: &[u64]) {
+        self.lane_cells.clear();
+        self.lane_cells.extend_from_slice(cells);
+    }
+
+    fn lane_cell(&self, lane: usize) -> Option<u64> {
+        self.lane_cells.get(lane).copied()
     }
 }
 
@@ -322,6 +361,28 @@ mod tests {
         batch.observe(2, Round(0), &observations(2, 0, &sel, 2));
         assert!(batch.game_quality(2, SellerId(0)) > 0.0);
         assert_eq!(batch.game_quality(0, SellerId(0)), 0.0);
+    }
+
+    #[test]
+    fn lane_cell_metadata_round_trips_without_touching_learner_state() {
+        let mut batch = BatchCmabUcb::new(2, 6, 2);
+        assert_eq!(batch.lane_cell(0), None, "no cells recorded yet");
+        batch.set_lane_cells(&[7, 3]);
+        assert_eq!(batch.lane_cell(0), Some(7));
+        assert_eq!(batch.lane_cell(1), Some(3));
+        assert_eq!(batch.lane_cell(2), None, "out-of-range lane has no cell");
+        // Metadata only: the learner columns stay cold.
+        let (counts, means) = batch.lane_columns(0);
+        assert!(counts.iter().all(|&n| n == 0));
+        assert!(means.iter().all(|&q| q == 0.0));
+
+        let lanes: Vec<Box<dyn SelectionPolicy>> = (0..2)
+            .map(|_| Box::new(CmabUcbPolicy::new(5, 2)) as Box<dyn SelectionPolicy>)
+            .collect();
+        let mut fallback = LanePolicies::new(lanes);
+        fallback.set_lane_cells(&[11]);
+        assert_eq!(fallback.lane_cell(0), Some(11));
+        assert_eq!(fallback.lane_cell(1), None);
     }
 
     #[test]

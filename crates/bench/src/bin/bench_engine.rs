@@ -16,13 +16,21 @@
 //! # lane-kernel legs (chunked column kernels; see cdt_types::lanes):
 //! cargo run --release -p cdt-bench --bin bench_engine -- --batch 4 --lanes 4
 //! cargo run --release -p cdt-bench --bin bench_engine -- --batch 4 --fast-math
+//!
+//! # cell-packed sweep workload (grid cells batched through the scheduler):
+//! cargo run --release -p cdt-bench --bin bench_engine -- --sweep --batch 4
 //! ```
 
+use cdt_core::Scenario;
 use cdt_sim::{
     configured_batch, configured_chunk, configured_fast_math, configured_lanes, configured_threads,
-    replicate, set_batch_override, set_chunk_override, set_fast_math_override, set_lanes_override,
-    set_thread_override, PolicySpec, ReplicatedRun,
+    replicate, run_cells_observed, set_batch_override, set_chunk_override, set_fast_math_override,
+    set_lanes_override, set_thread_override, CellJob, CellPackStats, PolicySpec, ReplicatedRun,
+    RunResult,
 };
+use cdt_types::mix_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -56,6 +64,13 @@ struct Workload {
     /// runs gate against their own baseline (the overhead contract is
     /// ≤5% over the untraced leg).
     spans: bool,
+    /// Whether this run measured the cell-packed sweep workload
+    /// (`--sweep`): `reps` same-shape scenario cells × the policy set as
+    /// one `CellJob` stream through the cell-packing scheduler, instead of
+    /// the replicated comparison. The serial leg is the per-cell serial
+    /// path (one thread, batch 1), so `identical` pins packed sweep output
+    /// to the per-cell reference.
+    sweep: bool,
 }
 
 #[derive(Serialize)]
@@ -77,6 +92,10 @@ struct Report {
     /// Whether the serial and parallel results were bit-for-bit equal.
     /// Anything but `true` is a determinism bug.
     identical: bool,
+    /// Mean lanes per lockstep group of the parallel leg (`--sweep` runs
+    /// only; `null` for the replicate workload). Above 1.0 means grid
+    /// cells actually shared batched round loops.
+    cell_occupancy: Option<f64>,
 }
 
 struct Args {
@@ -90,6 +109,9 @@ struct Args {
     batch: usize,
     lanes: usize,
     fast_math: bool,
+    /// Measure the cell-packed sweep workload instead of the replicated
+    /// comparison (see `Workload::sweep`).
+    sweep: bool,
     out: String,
     history: String,
     /// Fractional regression tolerance for the perf gate (`None` = no gate):
@@ -113,6 +135,7 @@ fn parse_args() -> Result<Args, String> {
         batch: configured_batch(),
         lanes: configured_lanes(),
         fast_math: configured_fast_math(),
+        sweep: false,
         out: "BENCH_engine.json".to_owned(),
         history: "results/bench_history.jsonl".to_owned(),
         gate_tolerance: None,
@@ -159,6 +182,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--fast-math" => args.fast_math = true,
+            "--sweep" => args.sweep = true,
             "--out" => args.out = value("--out")?,
             "--history" => args.history = value("--history")?,
             "--gate-tolerance" => {
@@ -179,7 +203,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: bench_engine [--m M] [--k K] [--l L] [--n N] \
                      [--reps R] [--threads T] [--chunk C] [--batch B]\n\
-                     \x20      [--lanes W] [--fast-math] \
+                     \x20      [--lanes W] [--fast-math] [--sweep] \
                      [--out FILE] [--history FILE] [--gate-tolerance FRAC]\n\
                      \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary] \
                      [--obs-spans]"
@@ -227,6 +251,8 @@ fn append_history(path: &str, report: &Report) -> std::io::Result<()> {
         "lanes": report.workload.lanes,
         "fast_math": report.workload.fast_math,
         "spans": report.workload.spans,
+        "sweep": report.workload.sweep,
+        "cell_occupancy": report.cell_occupancy,
     });
     let mut file = std::fs::OpenOptions::new()
         .create(true)
@@ -281,6 +307,14 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
             Some(v) => v == report.workload.spans,
             None => !report.workload.spans,
         };
+    // A record without `sweep` predates the cell-packing scheduler and
+    // measured the replicate workload, so it gates only non-sweep runs;
+    // sweep runs start their own baseline.
+    let sweep_ok =
+        |rec: &serde_json::Value| match rec.get("sweep").and_then(serde_json::Value::as_bool) {
+            Some(v) => v == report.workload.sweep,
+            None => !report.workload.sweep,
+        };
     raw.lines()
         .filter_map(|line| serde_json::from_str::<serde_json::Value>(line.trim()).ok())
         .filter(|rec| {
@@ -296,6 +330,7 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
                 && lanes_ok(rec)
                 && fast_math_ok(rec)
                 && spans_ok(rec)
+                && sweep_ok(rec)
         })
         .filter_map(|rec| rec.get("speedup").and_then(serde_json::Value::as_f64))
         .filter(|s| s.is_finite() && *s > 0.0)
@@ -350,6 +385,43 @@ fn timed_replicate(
     (runs, started.elapsed().as_secs_f64())
 }
 
+/// Times the cell-packed sweep workload: `reps` same-shape scenario cells
+/// × the policy set, flattened into one `CellJob` stream and dispatched
+/// through the cell-packing scheduler. Scenario construction happens
+/// outside the timer — the benchmark measures the scheduler and round
+/// loops, not population sampling.
+fn timed_sweep(
+    args: &Args,
+    specs: &[PolicySpec],
+    threads: usize,
+    batch: usize,
+) -> (Vec<RunResult>, CellPackStats, f64) {
+    set_thread_override(Some(threads));
+    set_batch_override(Some(batch));
+    let scenarios: Vec<Scenario> = (0..args.reps)
+        .map(|rep| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(20_210_419, rep as u64));
+            Scenario::paper_defaults(args.m, args.k, args.l, args.n, &mut rng)
+        })
+        .collect::<Result<_, _>>()
+        .expect("benchmark scenarios must build");
+    let jobs: Vec<CellJob<'_>> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(rep, scenario)| {
+            specs.iter().enumerate().map(move |(j, spec)| CellJob {
+                cell: rep as u64,
+                scenario,
+                spec: *spec,
+                seed: mix_seed(mix_seed(20_210_419, rep as u64), 1 + j as u64),
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    let (results, stats) = run_cells_observed(&jobs, &[]).expect("benchmark workload must run");
+    (results, stats, started.elapsed().as_secs_f64())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -388,8 +460,27 @@ fn main() {
     // The serial leg is the exact reference path (one thread, unbatched);
     // the parallel leg takes the requested pool and lockstep batch width,
     // so `identical` pins batching as well as threading.
-    let (serial_runs, serial_secs) = timed_replicate(&args, &specs, 1, 1);
-    let (parallel_runs, parallel_secs) = timed_replicate(&args, &specs, args.threads, args.batch);
+    let (serial_secs, parallel_secs, identical, cell_occupancy) = if args.sweep {
+        let (serial_results, _, serial_secs) = timed_sweep(&args, &specs, 1, 1);
+        let (parallel_results, stats, parallel_secs) =
+            timed_sweep(&args, &specs, args.threads, args.batch);
+        (
+            serial_secs,
+            parallel_secs,
+            serial_results == parallel_results,
+            Some(stats.mean_occupancy),
+        )
+    } else {
+        let (serial_runs, serial_secs) = timed_replicate(&args, &specs, 1, 1);
+        let (parallel_runs, parallel_secs) =
+            timed_replicate(&args, &specs, args.threads, args.batch);
+        (
+            serial_secs,
+            parallel_secs,
+            serial_runs == parallel_runs,
+            None,
+        )
+    };
     set_thread_override(None);
     set_chunk_override(None);
     set_batch_override(None);
@@ -411,6 +502,7 @@ fn main() {
             lanes: args.lanes,
             fast_math: args.fast_math,
             spans: args.obs_spans,
+            sweep: args.sweep,
         },
         serial: Timing {
             threads: 1,
@@ -423,7 +515,8 @@ fn main() {
             rounds_per_sec: total_rounds / parallel_secs,
         },
         speedup: serial_secs / parallel_secs,
-        identical: serial_runs == parallel_runs,
+        identical,
+        cell_occupancy,
     };
 
     if obs_active {
@@ -455,6 +548,9 @@ fn main() {
          (speedup {:.2}x, identical: {}) -> {}",
         args.threads, report.speedup, report.identical, args.out
     );
+    if let Some(occupancy) = report.cell_occupancy {
+        println!("sweep cell occupancy: {occupancy:.2} lanes/group");
+    }
     if !report.identical {
         eprintln!("error: parallel results diverged from serial — determinism bug");
         std::process::exit(1);

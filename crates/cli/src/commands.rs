@@ -4,8 +4,12 @@ use crate::args::FlagMap;
 use cdt_core::{BudgetedCmabHs, CmabHs, LedgerMode, Scenario, StopReason};
 use cdt_game::{solve_equilibrium, verify_equilibrium, welfare_report};
 use cdt_sim::experiments::{game_curves, Scale};
-use cdt_sim::{compare_policies, replicate, replication_table, PolicySpec};
+use cdt_sim::{
+    compare_policies, replicate, replication_table, run_cells_observed, CellJob, PolicySpec,
+    RunResult, Series,
+};
 use cdt_trace::{csv, generate_trace, trace_stats, TraceConfig};
+use cdt_types::mix_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,6 +26,9 @@ USAGE:
                [--lanes W] [--fast-math]
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
                [--chunk C] [--batch B] [--lanes W] [--fast-math]
+  cdt sweep    --axis k|m|n --grid V1,V2,... [--m M] [--k K] [--l L] [--n N]
+               [--reps R] [--seed S] [--threads T] [--chunk C] [--batch B]
+               [--lanes W] [--fast-math]
   cdt game     [--k K] [--omega W] [--theta T]
   cdt obs summarize     FILE
   cdt obs flame         FILE
@@ -44,7 +51,8 @@ PROTOCOL JOURNAL:
   journal up to its last settlement boundary — `--out FILE` writes the
   recovered prefix back out as a valid journal.
 
-OBSERVABILITY (on `run`, `budget`, `compare`, and the `journal` family):
+OBSERVABILITY (on `run`, `budget`, `compare`, `sweep`, and the `journal`
+family):
   --obs-events FILE      write one JSON object per round event (JSONL trace)
   --obs-events-sample K  record only every K-th round's events (metrics
                          still cover every round)
@@ -77,6 +85,15 @@ CDT_BATCH) groups every B same-shape replications into one lockstep job
 that advances all lanes round-by-round through shared policy matrices
 (default: 1, unbatched). Results are bit-for-bit identical at any thread
 count, chunk size, and batch width, with observability on or off.
+
+`sweep` runs a whole grid over one axis (--axis k|m|n, --grid V1,V2,...;
+the other dimensions stay at their fixed flags) with --reps fresh
+scenarios per grid point, all flattened into ONE cell-packed job stream:
+jobs bucket by lockstep-compatible shape (M, K, N, policy incl.
+parameters) and pack into batches of up to --batch lanes, coalescing
+ragged tails across grid cells. The printed tables are bit-for-bit
+identical at any batch/chunk/threads/lanes setting; --obs-summary adds
+the packing stats (groups, coalesced groups, mean lane occupancy).
 
 LANE KERNELS (on `run`, `budget`, and `compare`):
   The column kernels (UCB index fill, estimator round sweep, Stackelberg
@@ -738,6 +755,137 @@ fn compare_inner(flags: &FlagMap) -> Result<(), String> {
     Ok(())
 }
 
+/// `cdt sweep` — a grid sweep over one axis (`k`, `m`, or `n`) run as a
+/// single cell-packed job stream on the lockstep SoA engine.
+///
+/// Every (grid point × replication) pair is one scenario cell and every
+/// (cell × policy) pair one [`CellJob`]; with `--batch B` above 1,
+/// same-shape jobs pack into lockstep groups of up to `B` lanes with
+/// ragged tails coalesced across cells. The tables printed are a pure
+/// function of the per-job results, so output is bit-for-bit identical at
+/// any batch × chunk × threads × lanes configuration.
+///
+/// # Errors
+/// Returns a message on flag or run failure.
+pub fn sweep(flags: &FlagMap) -> Result<(), String> {
+    apply_threads(flags)?;
+    let obs = obs_begin(flags)?;
+    let result = sweep_inner(flags);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn sweep_inner(flags: &FlagMap) -> Result<(), String> {
+    let axis = flags.get("axis").ok_or("--axis k|m|n is required")?;
+    if !matches!(axis, "k" | "m" | "n") {
+        return Err(format!("--axis must be k, m, or n, got `{axis}`"));
+    }
+    let grid = flags
+        .get("grid")
+        .ok_or("--grid V1,V2,... is required")?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--grid expects comma-separated integers, got `{s}`"))
+        })
+        .collect::<Result<Vec<usize>, String>>()?;
+    let m = flags.usize_or("m", 300)?;
+    let k = flags.usize_or("k", 10)?;
+    let l = flags.usize_or("l", 10)?;
+    let n = flags.usize_or("n", 2_000)?;
+    let reps = flags.usize_or("reps", 1)?;
+    if reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    let seed = flags.u64_or("seed", 20_210_419)?;
+    let specs = PolicySpec::paper_set();
+
+    // One fresh scenario per (grid point × replication) cell; the swept
+    // axis value replaces the corresponding fixed flag.
+    let mut scenarios = Vec::with_capacity(grid.len() * reps);
+    for (i, &g) in grid.iter().enumerate() {
+        let (gm, gk, gn) = match axis {
+            "k" => (m, g, n),
+            "m" => (g, k, n),
+            _ => (m, k, g),
+        };
+        for rep in 0..reps {
+            let mut rng = StdRng::seed_from_u64(mix_seed(mix_seed(seed, i as u64), rep as u64));
+            scenarios.push(
+                Scenario::paper_defaults(gm, gk, l, gn, &mut rng).map_err(|e| e.to_string())?,
+            );
+        }
+    }
+
+    // The whole grid as one cell-major job stream: cell c = grid point
+    // i × replication rep, one job per policy inside each cell. Each job
+    // owns its mix_seed-derived RNG stream, so packing is scheduling only.
+    let mut jobs: Vec<CellJob> = Vec::with_capacity(scenarios.len() * specs.len());
+    for (c, scenario) in scenarios.iter().enumerate() {
+        let (i, rep) = (c / reps, c % reps);
+        for (j, &spec) in specs.iter().enumerate() {
+            jobs.push(CellJob {
+                cell: c as u64,
+                scenario,
+                spec,
+                seed: mix_seed(mix_seed(mix_seed(seed, i as u64), rep as u64), 1 + j as u64),
+            });
+        }
+    }
+    let (results, stats) = run_cells_observed(&jobs, &[]).map_err(|e| e.to_string())?;
+
+    let axis_label = axis.to_uppercase();
+    let x: Vec<f64> = grid.iter().map(|&g| g as f64).collect();
+    let per = specs.len();
+    let mean = |metric: &dyn Fn(&RunResult) -> f64, i: usize, j: usize| -> f64 {
+        (0..reps)
+            .map(|rep| metric(&results[(i * reps + rep) * per + j]))
+            .sum::<f64>()
+            / reps as f64
+    };
+    let mut revenue = Vec::new();
+    let mut regret = Vec::new();
+    for (j, spec) in specs.iter().enumerate() {
+        let label = spec.label();
+        let rev: Vec<f64> = (0..grid.len())
+            .map(|i| mean(&|r: &RunResult| r.expected_revenue, i, j))
+            .collect();
+        let reg: Vec<f64> = (0..grid.len())
+            .map(|i| mean(&|r: &RunResult| r.regret, i, j))
+            .collect();
+        revenue.push(Series::new(label.clone(), x.clone(), rev));
+        regret.push(Series::new(label, x.clone(), reg));
+    }
+    println!(
+        "{}",
+        Series::tabulate(
+            &format!("sweep: total revenue vs {axis_label} (mean of {reps} reps)"),
+            &axis_label,
+            &revenue
+        )
+    );
+    println!(
+        "{}",
+        Series::tabulate(
+            &format!("sweep: regret vs {axis_label} (mean of {reps} reps)"),
+            &axis_label,
+            &regret
+        )
+    );
+    // Packing stats vary with --batch (they describe scheduling, not
+    // results), so they stay behind --obs-summary to keep the default
+    // stdout a pure function of the results.
+    if flags.is_set("obs-summary") {
+        println!(
+            "cell packing: {} lanes over {} groups ({} coalesced), mean occupancy {:.2}",
+            stats.lanes, stats.groups, stats.coalesced_groups, stats.mean_occupancy
+        );
+    }
+    Ok(())
+}
+
 /// `cdt game` — solve one round's Stackelberg game, verify the SE, report
 /// welfare efficiency.
 ///
@@ -1145,6 +1293,48 @@ mod tests {
             "--m", "8", "--k", "2", "--l", "3", "--n", "20", "--reps", "2",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn sweep_over_k_axis() {
+        sweep(&flags(&[
+            "--axis", "k", "--grid", "2,3", "--m", "8", "--l", "3", "--n", "15",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn sweep_batched_with_reps_and_packing_stats() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        sweep(&flags(&[
+            "--axis",
+            "n",
+            "--grid",
+            "10,20",
+            "--m",
+            "8",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--reps",
+            "2",
+            "--batch",
+            "4",
+            "--obs-summary",
+        ]))
+        .unwrap();
+        // Reset the global override so other tests see the default.
+        cdt_sim::set_batch_override(None);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_flags() {
+        assert!(sweep(&flags(&["--grid", "1,2"])).is_err());
+        assert!(sweep(&flags(&["--axis", "q", "--grid", "1,2"])).is_err());
+        assert!(sweep(&flags(&["--axis", "k"])).is_err());
+        assert!(sweep(&flags(&["--axis", "k", "--grid", "2,x"])).is_err());
+        assert!(sweep(&flags(&["--axis", "k", "--grid", "2,3", "--reps", "0"])).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cdt run [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
 //! cdt budget [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B [--journal FILE]
 //! cdt compare [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
+//! cdt sweep --axis k|m|n --grid V1,V2,... [--reps R] [--batch B] [...]
 //! cdt game [--k K] [--omega W] [--theta T]
 //! cdt obs summarize FILE
 //! cdt obs flame FILE
@@ -17,7 +18,7 @@
 //! cdt journal diff A B [--tol T]
 //! ```
 //!
-//! `run`, `budget`, `compare`, and the `journal` family additionally
+//! `run`, `budget`, `compare`, `sweep`, and the `journal` family additionally
 //! accept `--obs-events FILE` (JSONL round traces), `--obs-events-sample
 //! K` (record every K-th round only), `--metrics-out FILE` (Prometheus
 //! text dump), and `--obs-summary` (end-of-run phase/pool table); `cdt
@@ -86,6 +87,7 @@ fn run(argv: &[String]) -> i32 {
         (Some("run"), _) => with_flags(&argv[1..], commands::run_mechanism),
         (Some("budget"), _) => with_flags(&argv[1..], commands::budget),
         (Some("compare"), _) => with_flags(&argv[1..], commands::compare),
+        (Some("sweep"), _) => with_flags(&argv[1..], commands::sweep),
         (Some("game"), _) => with_flags(&argv[1..], commands::game),
         (Some("--help" | "-h"), _) | (None, _) => {
             println!("{}", commands::USAGE);

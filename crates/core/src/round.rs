@@ -481,6 +481,11 @@ impl LaneCore {
 pub struct BatchScratch {
     lanes: Vec<LaneCore>,
     observations: ObservationBatch,
+    /// Scenario-cell identity per lane, set by cell-packing schedulers so
+    /// observability (span attrs, per-cell demux) can tell which sweep
+    /// cell each lane serves. Purely metadata: never read by the round
+    /// body, so it cannot perturb results.
+    cells: Vec<u64>,
 }
 
 impl BatchScratch {
@@ -490,6 +495,7 @@ impl BatchScratch {
         Self {
             lanes: Vec::new(),
             observations: ObservationBatch::new(),
+            cells: Vec::new(),
         }
     }
 
@@ -515,6 +521,22 @@ impl BatchScratch {
         for lane in &mut self.lanes {
             lane.cache.reset();
         }
+        self.cells.clear();
+    }
+
+    /// Records the scenario-cell id each lane of the next job serves.
+    /// Cleared by [`BatchScratch::reset`] so a recycled scratch never
+    /// carries a previous job's cell identities.
+    pub fn set_lane_cells(&mut self, cells: &[u64]) {
+        self.cells.clear();
+        self.cells.extend_from_slice(cells);
+    }
+
+    /// The scenario-cell ids recorded for the current job's lanes; empty
+    /// when the caller is not a cell-packing scheduler.
+    #[must_use]
+    pub fn lane_cells(&self) -> &[u64] {
+        &self.cells
     }
 
     /// Lane `b`'s outcome from the most recent batch round.
@@ -588,6 +610,7 @@ pub fn execute_batch_round_observed_into<R: RngCore, O: RoundObserver>(
     let BatchScratch {
         lanes,
         observations,
+        ..
     } = scratch;
     for (lane, &(config, observer)) in envs.iter().enumerate() {
         let core = &mut lanes[lane];

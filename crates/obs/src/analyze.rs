@@ -13,8 +13,8 @@ use crate::latency::LatencyHistogram;
 use crate::metrics::MetricsRegistry;
 use crate::record::EventRecord;
 use crate::span::SpanRecord;
-use crate::summary::render_summary;
-use std::collections::BTreeSet;
+use crate::summary::{fmt_ns, render_summary};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader};
@@ -42,6 +42,17 @@ pub struct TraceStats {
     pub spans: u64,
     /// Watchdog health events (`"event":"health"` lines).
     pub health_events: u64,
+    /// Lockstep `lane_group` spans seen (batched-engine groups).
+    pub lane_groups: u64,
+    /// Lanes summed over those groups (the `batch` span attribute), so
+    /// `lane_group_lanes / lane_groups` is the mean lane occupancy.
+    pub lane_group_lanes: u64,
+    /// Wall-clock each scenario cell spent resident in lockstep groups,
+    /// keyed by cell id. Uniform groups attribute their whole duration to
+    /// their single cell; coalesced (mixed-cell) groups emit one `cell`
+    /// child span per distinct cell covering the group interval, so a
+    /// cell's total counts every group interval it was resident in.
+    pub cell_resident_ns: BTreeMap<u64, u64>,
 }
 
 /// The `MarketEvent` kind tags of the cdt-protocol journal. Recognized
@@ -104,6 +115,10 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
     let mut settled_rounds = 0u64;
     let mut spans = 0u64;
     let mut health_events = 0u64;
+    let mut lane_groups = 0u64;
+    let mut lane_group_lanes = 0u64;
+    let mut mixed_groups = 0u64;
+    let mut cell_resident_ns: BTreeMap<u64, u64> = BTreeMap::new();
     let mut health_by_kind: Vec<(&'static str, u64)> = Vec::new();
     let mut phase_hists: [LatencyHistogram; 4] = std::array::from_fn(|_| LatencyHistogram::new());
 
@@ -116,8 +131,23 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
         let record: EventRecord = match serde_json::from_str(line) {
             Ok(record) => record,
             Err(_) => {
-                if serde_json::from_str::<SpanRecord>(line).is_ok() {
+                if let Ok(span) = serde_json::from_str::<SpanRecord>(line) {
                     spans += 1;
+                    if span.name == "lane_group" {
+                        lane_groups += 1;
+                        lane_group_lanes += span.batch.unwrap_or(1);
+                        if span.cell.is_none() {
+                            mixed_groups += 1;
+                        }
+                    }
+                    // Per-cell resident wall-clock: the whole group interval
+                    // for uniform groups (`lane_group` with a cell), one
+                    // `cell` child per distinct cell for coalesced groups.
+                    if let Some(cell) = span.cell {
+                        if span.name == "lane_group" || span.name == "cell" {
+                            *cell_resident_ns.entry(cell).or_insert(0) += span.dur_ns;
+                        }
+                    }
                 } else if let Ok(health) = serde_json::from_str::<HealthRecord>(line) {
                     health_events += 1;
                     let kind = health.kind.as_str();
@@ -184,6 +214,16 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
     if spans > 0 {
         registry.add_counter("cdt_obs_spans_total", &[], spans);
     }
+    // A cell-aware trace (some span carried a cell id) reconstructs the
+    // cell-packing counters the live run publishes, so the one summary
+    // renderer reports mean lane occupancy offline too. Traces from
+    // direct `run_policy_batch` calls or pre-cell builds carry no cell
+    // attributes and skip this.
+    if !cell_resident_ns.is_empty() && lane_groups > 0 {
+        registry.add_counter("cdt_obs_cell_batches_total", &[], lane_groups);
+        registry.add_counter("cdt_obs_cell_lanes_total", &[], lane_group_lanes);
+        registry.add_counter("cdt_obs_cell_coalesced_batches_total", &[], mixed_groups);
+    }
     for (kind, count) in &health_by_kind {
         registry.add_counter("cdt_obs_health_events_total", &[("kind", kind)], *count);
     }
@@ -206,6 +246,9 @@ pub fn registry_from_trace(path: &Path) -> io::Result<(MetricsRegistry, TraceSta
         settled_rounds,
         spans,
         health_events,
+        lane_groups,
+        lane_group_lanes,
+        cell_resident_ns,
     };
     Ok((registry, stats))
 }
@@ -235,6 +278,21 @@ pub fn summarize_trace(path: &Path) -> io::Result<String> {
             "spans: {} (analyze with `cdt obs flame` / `cdt obs critical-path`)",
             stats.spans
         );
+    }
+    if !stats.cell_resident_ns.is_empty() {
+        let _ = writeln!(out, "cell wall-clock (resident in lockstep groups):");
+        const CAP: usize = 12;
+        for (i, (cell, ns)) in stats.cell_resident_ns.iter().enumerate() {
+            if stats.cell_resident_ns.len() > CAP && i >= CAP {
+                let _ = writeln!(
+                    out,
+                    "  ... ({} more cells)",
+                    stats.cell_resident_ns.len() - CAP
+                );
+                break;
+            }
+            let _ = writeln!(out, "  cell {cell}: {}", fmt_ns(*ns as f64));
+        }
     }
     out.push_str(&render_summary(&registry));
     if stats.rounds > 0 && stats.busy_ns > 0 {
@@ -427,6 +485,70 @@ mod tests {
         );
         assert!(text.contains("spans: 2"), "got:\n{text}");
         assert!(text.contains("health events"), "got:\n{text}");
+    }
+
+    #[test]
+    fn cell_spans_rebuild_occupancy_and_per_cell_wall_clock() {
+        use crate::span::{SpanId, TraceId};
+        // One uniform group (cell 7 across both lanes) and one coalesced
+        // group whose two `cell` children (cells 7 and 8) cover the full
+        // group interval.
+        let uniform = serde_json::to_string(
+            &SpanRecord::new(TraceId(1), SpanId(10), None, "lane_group", 0, 5_000)
+                .with_batch(2)
+                .with_cell(7),
+        )
+        .unwrap();
+        let mixed = serde_json::to_string(
+            &SpanRecord::new(TraceId(1), SpanId(11), None, "lane_group", 5_000, 3_000)
+                .with_batch(3),
+        )
+        .unwrap();
+        let child7 = serde_json::to_string(
+            &SpanRecord::new(
+                TraceId(1),
+                SpanId(12),
+                Some(SpanId(11)),
+                "cell",
+                5_000,
+                3_000,
+            )
+            .with_batch(2)
+            .with_cell(7),
+        )
+        .unwrap();
+        let child8 = serde_json::to_string(
+            &SpanRecord::new(
+                TraceId(1),
+                SpanId(13),
+                Some(SpanId(11)),
+                "cell",
+                5_000,
+                3_000,
+            )
+            .with_batch(1)
+            .with_cell(8),
+        )
+        .unwrap();
+        let path = write_trace("cells", &[uniform, mixed, child7, child8]);
+        let (registry, stats) = registry_from_trace(&path).unwrap();
+        let text = summarize_trace(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(stats.lane_groups, 2);
+        assert_eq!(stats.lane_group_lanes, 5);
+        assert_eq!(stats.cell_resident_ns.get(&7), Some(&8_000));
+        assert_eq!(stats.cell_resident_ns.get(&8), Some(&3_000));
+        assert_eq!(registry.counter_value("cdt_obs_cell_batches_total", &[]), 2);
+        assert_eq!(registry.counter_value("cdt_obs_cell_lanes_total", &[]), 5);
+        assert_eq!(
+            registry.counter_value("cdt_obs_cell_coalesced_batches_total", &[]),
+            1
+        );
+        assert!(text.contains("cell wall-clock"), "got:\n{text}");
+        assert!(text.contains("cell 7: 8.00us"), "got:\n{text}");
+        assert!(text.contains("cell 8: 3.00us"), "got:\n{text}");
+        assert!(text.contains("mean occupancy 2.50"), "got:\n{text}");
     }
 
     #[test]

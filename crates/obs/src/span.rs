@@ -121,6 +121,11 @@ pub struct SpanRecord {
     pub batch: Option<u64>,
     /// Cursor chunk size (jobs), for pool chunk spans.
     pub chunk: Option<u64>,
+    /// Scenario-cell identity, for cell-packed sweep spans (`lane_group`
+    /// and its per-cell `cell` children). `#[serde(default)]` keeps traces
+    /// written before cell packing parseable.
+    #[serde(default)]
+    pub cell: Option<u64>,
 }
 
 impl SpanRecord {
@@ -148,6 +153,7 @@ impl SpanRecord {
             lane: None,
             batch: None,
             chunk: None,
+            cell: None,
         }
     }
 
@@ -190,6 +196,13 @@ impl SpanRecord {
     #[must_use]
     pub fn with_chunk(mut self, chunk: u64) -> Self {
         self.chunk = Some(chunk);
+        self
+    }
+
+    /// Sets the scenario-cell attribute.
+    #[must_use]
+    pub fn with_cell(mut self, cell: u64) -> Self {
+        self.cell = Some(cell);
         self
     }
 }
@@ -340,11 +353,22 @@ mod tests {
             keys,
             [
                 "event", "trace", "span", "parent", "name", "run", "round", "start_ns", "dur_ns",
-                "worker", "lane", "batch", "chunk"
+                "worker", "lane", "batch", "chunk", "cell"
             ]
         );
         let back: SpanRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn pre_cell_trace_lines_still_deserialize() {
+        // Traces written before the `cell` attribute existed omit the key
+        // entirely; `#[serde(default)]` must accept them as `cell: null`.
+        let old = r#"{"event":"span","trace":1,"span":2,"parent":null,"name":"run",
+            "run":null,"round":null,"start_ns":0,"dur_ns":1,"worker":null,
+            "lane":null,"batch":null,"chunk":null}"#;
+        let rec: SpanRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(rec.cell, None);
     }
 
     #[test]

@@ -11,7 +11,7 @@ fn label_value<'a>(key: &'a MetricKey, name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
-fn fmt_ns(ns: f64) -> String {
+pub(crate) fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2}s", ns / 1e9)
     } else if ns >= 1e6 {
@@ -112,6 +112,22 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
             arena_hits,
             arena_misses,
             100.0 * arena_hits as f64 / (arena_hits + arena_misses) as f64
+        );
+    }
+
+    // Cell-packing effectiveness (sweep grids riding the lockstep SoA
+    // engine): mean lane occupancy is total lanes over lockstep groups —
+    // above 1.0 means grid cells actually shared batched round loops.
+    let cell_batches = counter("cdt_obs_cell_batches_total");
+    let cell_lanes = counter("cdt_obs_cell_lanes_total");
+    if cell_batches > 0 {
+        let _ = writeln!(
+            out,
+            "cell packing: {} lanes over {} lockstep groups ({} mixed-cell), mean occupancy {:.2}",
+            cell_lanes,
+            cell_batches,
+            counter("cdt_obs_cell_coalesced_batches_total"),
+            cell_lanes as f64 / cell_batches as f64
         );
     }
 
@@ -323,6 +339,22 @@ mod tests {
         let text = render_summary(&r);
         assert!(
             text.contains("scratch arena: 3 reused / 1 fresh (75.0% reuse)"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn cell_packing_line_renders_mean_occupancy() {
+        let r = MetricsRegistry::new();
+        assert!(!render_summary(&r).contains("cell packing"));
+        r.add_counter("cdt_obs_cell_batches_total", &[], 4);
+        r.add_counter("cdt_obs_cell_lanes_total", &[], 9);
+        r.add_counter("cdt_obs_cell_coalesced_batches_total", &[], 1);
+        let text = render_summary(&r);
+        assert!(
+            text.contains(
+                "cell packing: 9 lanes over 4 lockstep groups (1 mixed-cell), mean occupancy 2.25"
+            ),
             "got:\n{text}"
         );
     }

@@ -71,20 +71,53 @@ pub fn run_policy_batch(
     let result = run_policy_batch_dispatch(scenarios, spec, seeds, checkpoints, scratch);
     if let Some((trace, id, parent, start_ns, guard)) = group {
         drop(guard);
-        let mut record = cdt_obs::SpanRecord::new(
-            trace,
-            id,
-            parent,
-            "lane_group",
-            start_ns,
-            cdt_obs::span::now_ns().saturating_sub(start_ns),
-        )
-        .with_lane(cdt_types::lanes::lane_width() as u64)
-        .with_batch(seeds.len() as u64);
+        let dur_ns = cdt_obs::span::now_ns().saturating_sub(start_ns);
+        let mut record =
+            cdt_obs::SpanRecord::new(trace, id, parent, "lane_group", start_ns, dur_ns)
+                .with_lane(cdt_types::lanes::lane_width() as u64)
+                .with_batch(seeds.len() as u64);
         if let Some(c) = crate::parallel::configured_chunk() {
             record = record.with_chunk(c as u64);
         }
-        cdt_obs::publish_spans(&[record]);
+        // Cell-packed groups carry their sweep-cell identity: a uniform
+        // group tags the lane_group span itself; a mixed (ragged-tail
+        // coalesced) group emits one `cell` child span per distinct cell
+        // over the group interval, with `batch` = that cell's lane count.
+        // Children cover the parent's full interval, so the flame
+        // telescope identity (Σ signed exclusive == root inclusive) is
+        // preserved for any mix.
+        let mut records = Vec::with_capacity(1);
+        let lane_cells = scratch.lane_cells();
+        if !lane_cells.is_empty() {
+            let first = lane_cells[0];
+            if lane_cells.iter().all(|&c| c == first) {
+                record = record.with_cell(first);
+            } else {
+                let mut per_cell: Vec<(u64, u64)> = Vec::new();
+                for &cell in lane_cells {
+                    match per_cell.iter_mut().find(|(c, _)| *c == cell) {
+                        Some((_, lanes)) => *lanes += 1,
+                        None => per_cell.push((cell, 1)),
+                    }
+                }
+                for (cell, lanes) in per_cell {
+                    records.push(
+                        cdt_obs::SpanRecord::new(
+                            trace,
+                            cdt_obs::span::next_span_id(),
+                            Some(id),
+                            "cell",
+                            start_ns,
+                            dur_ns,
+                        )
+                        .with_cell(cell)
+                        .with_batch(lanes),
+                    );
+                }
+            }
+        }
+        records.push(record);
+        cdt_obs::publish_spans(&records);
     }
     result
 }
@@ -157,6 +190,11 @@ pub fn run_policy_batch_observed<O: RoundObserver>(
 
     let populations: Vec<&SellerPopulation> = scenarios.iter().map(|s| &s.population).collect();
     let mut policy = spec.build_batch(m, k, n, &populations);
+    // Thread sweep-cell identity (metadata only) into the batch policy so
+    // diagnostics can attribute lanes to the cells they serve.
+    if !scratch.lane_cells().is_empty() {
+        policy.set_lane_cells(scratch.lane_cells());
+    }
     let observers: Vec<QualityObserver> = scenarios.iter().map(|s| s.observer()).collect();
     let envs: Vec<(&SystemConfig, &QualityObserver)> = scenarios
         .iter()

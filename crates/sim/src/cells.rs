@@ -1,0 +1,390 @@
+//! Shape-bucketed scenario-cell batching: one job stream for a whole
+//! sweep grid, packed into lockstep SoA mega-batches.
+//!
+//! The lockstep engine ([`crate::batch::run_policy_batch`]) accelerates
+//! *replications of one cell*: every lane must share the scenario shape
+//! `(M, K, N)` and run the same policy, because one SoA policy matrix and
+//! one [`BatchScratch`](cdt_core::BatchScratch) serve all lanes. A sweep
+//! grid (regret vs. `K`/`M`/`N`, a policy-comparison matrix, replications
+//! of each point) is *many* cells — historically each looped serially
+//! through its own pool fan-out, paying per-cell scheduling, arena
+//! warm-up, and a serial ragged remainder per cell.
+//!
+//! This module flattens the whole sweep into one stream of [`CellJob`]s
+//! and lets a planner ([`pack_cells`]) bucket them by lockstep-compatible
+//! shape ([`ShapeKey`]) and pack each bucket into batches of up to
+//! `--batch` lanes. Two properties matter:
+//!
+//! - **Ragged-tail coalescing.** Jobs from *different* cells that share a
+//!   `ShapeKey` (e.g. the replications of every grid point of a
+//!   fixed-shape sweep) interleave into full batch groups: a bucket has at
+//!   most one underfilled tail group, instead of one per cell.
+//! - **Bit identity.** Packing is a scheduling change only. Each job keeps
+//!   its own seed-derived RNG stream and the exact serial round body (the
+//!   lockstep engine's per-lane contract), and results demux back to their
+//!   job index — so [`run_cells`] output is bit-for-bit the per-cell
+//!   serial path at any batch × chunk × threads × lanes combination.
+//!
+//! Cell identity travels with the lanes as pure metadata
+//! ([`cdt_core::BatchScratch::set_lane_cells`] →
+//! [`cdt_bandit::BatchSelectionPolicy::set_lane_cells`]), so span tracing
+//! tags `lane_group` spans (and per-cell `cell` child spans) with the
+//! sweep cell each lane served, and the registry counts packing
+//! efficiency (`cdt_obs_cell_batches_total`, `cdt_obs_cell_lanes_total`,
+//! and the `cdt_obs_cell_batch_lanes` occupancy histogram).
+//!
+//! # ShapeKey compatibility rules
+//!
+//! Two jobs may share a lockstep batch iff their [`ShapeKey`]s are equal:
+//! same seller count `M`, same selection size `K`, same horizon `N`, and
+//! the same [`PolicySpec`] *value* (including parameters — an
+//! `EpsilonFirst(0.1)` lane cannot ride with `EpsilonFirst(0.5)`, because
+//! one policy instance drives all lanes). The POI count `L` and the
+//! hidden populations may differ per lane: the engine keeps those
+//! per-lane. Single-round equilibrium solves (the ω/θ parameter sweeps)
+//! have no lockstep form at all — no bandit state advances round to
+//! round — so they fan out as point cells ([`run_point_cells`]) on the
+//! same deterministic pool.
+
+use crate::batch::run_policy_batch;
+use crate::policy_spec::PolicySpec;
+use crate::runner::{run_policy, RunResult};
+use cdt_core::Scenario;
+use cdt_obs::LatencyHistogram;
+use cdt_types::Result;
+
+/// One schedulable unit of a sweep: run `spec` on `scenario` with `seed`.
+///
+/// `cell` names the sweep cell the job belongs to (grid point,
+/// replication, …) — it is demux/observability metadata only and never
+/// influences the run itself.
+#[derive(Debug, Clone, Copy)]
+pub struct CellJob<'a> {
+    /// The sweep cell this job belongs to (caller-defined numbering).
+    pub cell: u64,
+    /// The scenario the job runs against.
+    pub scenario: &'a Scenario,
+    /// The policy to run.
+    pub spec: PolicySpec,
+    /// The job's own RNG seed (bit-identity contract: one stream per job).
+    pub seed: u64,
+}
+
+/// The lockstep-compatibility key: jobs may share a batch group iff their
+/// keys are equal (see the module docs for the rules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeKey {
+    /// Seller count `M`.
+    pub m: usize,
+    /// Selection size `K`.
+    pub k: usize,
+    /// Horizon `N` (rounds).
+    pub n: usize,
+    /// The exact policy value (parameters included).
+    pub spec: PolicySpec,
+}
+
+impl ShapeKey {
+    /// The key of one job.
+    #[must_use]
+    pub fn of(job: &CellJob<'_>) -> Self {
+        let c = &job.scenario.config;
+        Self {
+            m: c.m(),
+            k: c.k(),
+            n: c.n(),
+            spec: job.spec,
+        }
+    }
+}
+
+/// One planned lockstep batch: up to `--batch` job indices sharing a
+/// [`ShapeKey`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedGroup {
+    /// The shared shape of every lane in this group.
+    pub key: ShapeKey,
+    /// Indices into the caller's job slice, in job order.
+    pub jobs: Vec<usize>,
+}
+
+impl PackedGroup {
+    /// How many distinct sweep cells this group's lanes serve (> 1 means
+    /// the group coalesced ragged tails across cells).
+    #[must_use]
+    pub fn distinct_cells(&self, jobs: &[CellJob<'_>]) -> usize {
+        let mut seen: Vec<u64> = Vec::with_capacity(self.jobs.len());
+        for &ix in &self.jobs {
+            let cell = jobs[ix].cell;
+            if !seen.contains(&cell) {
+                seen.push(cell);
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Plans the lockstep batches for a job stream: buckets jobs by
+/// [`ShapeKey`] (first-seen bucket order, job order within a bucket) and
+/// chunks each bucket into groups of at most `batch` lanes.
+///
+/// Every job index appears in exactly one group. Bucketing is a
+/// deterministic linear scan (no hashing — [`PolicySpec`] carries `f64`
+/// parameters), so the plan is a pure function of `(jobs, batch)`.
+///
+/// # Panics
+/// Panics if `batch == 0`.
+#[must_use]
+pub fn pack_cells(jobs: &[CellJob<'_>], batch: usize) -> Vec<PackedGroup> {
+    assert!(batch >= 1, "batch width must be at least 1");
+    let mut buckets: Vec<(ShapeKey, Vec<usize>)> = Vec::new();
+    for (ix, job) in jobs.iter().enumerate() {
+        let key = ShapeKey::of(job);
+        match buckets.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(ix),
+            None => buckets.push((key, vec![ix])),
+        }
+    }
+    buckets
+        .into_iter()
+        .flat_map(|(key, members)| {
+            members
+                .chunks(batch)
+                .map(|chunk| PackedGroup {
+                    key,
+                    jobs: chunk.to_vec(),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Packing efficiency of one [`run_cells_observed`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellPackStats {
+    /// Total jobs (lanes) executed.
+    pub lanes: usize,
+    /// Lockstep batch groups dispatched (equals `lanes` on the unbatched
+    /// path).
+    pub groups: usize,
+    /// Groups whose lanes served more than one distinct sweep cell
+    /// (coalesced ragged tails).
+    pub coalesced_groups: usize,
+    /// Mean lanes per group (`lanes / groups`; 1.0 means no packing win).
+    pub mean_occupancy: f64,
+}
+
+/// Runs a job stream through the cell-packing scheduler; results return
+/// in job order, bit-for-bit identical to running each job serially.
+///
+/// With [`crate::parallel::configured_batch`] `<= 1` the jobs fan out
+/// one-per-job over the deterministic pool, exactly the historical
+/// per-cell serial path. Above 1, [`pack_cells`] plans lockstep groups of
+/// up to that many lanes and each group runs through
+/// [`run_policy_batch`] on a recycled worker-arena scratch.
+///
+/// # Errors
+/// Propagates the first job error in job order.
+pub fn run_cells(jobs: &[CellJob<'_>], checkpoints: &[usize]) -> Result<Vec<RunResult>> {
+    run_cells_observed(jobs, checkpoints).map(|(results, _)| results)
+}
+
+/// As [`run_cells`], additionally reporting the packing-efficiency stats
+/// that the registry counters summarize.
+///
+/// # Errors
+/// Propagates the first job error in job order.
+pub fn run_cells_observed(
+    jobs: &[CellJob<'_>],
+    checkpoints: &[usize],
+) -> Result<(Vec<RunResult>, CellPackStats)> {
+    let threads = crate::parallel::configured_threads();
+    let batch = crate::parallel::configured_batch();
+
+    if batch <= 1 {
+        // The historical per-cell serial path: one pool job per cell job
+        // (run_policy recycles its RoundScratch through the worker arena).
+        let results = crate::parallel::try_parallel_map(jobs, threads, |_, job| {
+            run_policy(job.scenario, job.spec, job.seed, checkpoints)
+        })?;
+        let lanes = jobs.len();
+        let stats = CellPackStats {
+            lanes,
+            groups: lanes,
+            coalesced_groups: 0,
+            mean_occupancy: if lanes == 0 { 0.0 } else { 1.0 },
+        };
+        return Ok((results, stats));
+    }
+
+    let groups = pack_cells(jobs, batch);
+    let grouped = crate::parallel::try_parallel_map(&groups, threads, |_, group| {
+        let lanes: Vec<&Scenario> = group.jobs.iter().map(|&ix| jobs[ix].scenario).collect();
+        let seeds: Vec<u64> = group.jobs.iter().map(|&ix| jobs[ix].seed).collect();
+        let cells: Vec<u64> = group.jobs.iter().map(|&ix| jobs[ix].cell).collect();
+        crate::arena::with_batch_scratch(|scratch| {
+            // The arena reset the recycled scratch (clearing any previous
+            // job's cell metadata); record this group's cells so spans and
+            // the batch policy can attribute lanes to sweep cells.
+            scratch.set_lane_cells(&cells);
+            run_policy_batch(&lanes, group.key.spec, &seeds, checkpoints, scratch)
+        })
+    })?;
+
+    // Demux: scatter each group's lane results back to their job indices.
+    let mut slots: Vec<Option<RunResult>> =
+        std::iter::repeat_with(|| None).take(jobs.len()).collect();
+    for (group, lane_results) in groups.iter().zip(grouped) {
+        for (&ix, result) in group.jobs.iter().zip(lane_results) {
+            debug_assert!(slots[ix].is_none(), "job {ix} produced twice");
+            slots[ix] = Some(result);
+        }
+    }
+    let results: Vec<RunResult> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every job is packed into exactly one group"))
+        .collect();
+
+    let stats = CellPackStats {
+        lanes: jobs.len(),
+        groups: groups.len(),
+        coalesced_groups: groups.iter().filter(|g| g.distinct_cells(jobs) > 1).count(),
+        mean_occupancy: if groups.is_empty() {
+            0.0
+        } else {
+            jobs.len() as f64 / groups.len() as f64
+        },
+    };
+    if cdt_obs::is_enabled() && !groups.is_empty() {
+        let registry = cdt_obs::global();
+        registry.add_counter("cdt_obs_cell_batches_total", &[], groups.len() as u64);
+        registry.add_counter("cdt_obs_cell_lanes_total", &[], jobs.len() as u64);
+        registry.add_counter(
+            "cdt_obs_cell_coalesced_batches_total",
+            &[],
+            stats.coalesced_groups as u64,
+        );
+        // Lane-occupancy histogram: one sample per group, unit = lanes.
+        let mut occupancy = LatencyHistogram::default();
+        for group in &groups {
+            occupancy.record_ns(group.jobs.len() as u64);
+        }
+        registry.merge_histogram("cdt_obs_cell_batch_lanes", &[], &occupancy);
+    }
+    Ok((results, stats))
+}
+
+/// Fans point cells — jobs with no lockstep form, e.g. the single-round
+/// equilibrium solves of the ω/θ parameter sweeps — over the
+/// deterministic pool at [`crate::parallel::configured_threads`].
+///
+/// Results return in item order (bit-identical at any thread count);
+/// `--batch` does not apply because a point cell has no round loop to
+/// advance in lockstep (see the module docs on ShapeKey compatibility).
+///
+/// # Errors
+/// Propagates the first cell error in item order.
+pub fn run_point_cells<T, R, F>(items: &[T], f: F) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R> + Sync,
+{
+    let threads = crate::parallel::configured_threads();
+    crate::parallel::try_parallel_map(items, threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenario(seed: u64, m: usize, k: usize, n: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Scenario::paper_defaults(m, k, 4, n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn packing_preserves_every_job_exactly_once() {
+        let a = scenario(1, 10, 2, 30);
+        let b = scenario(2, 12, 3, 30);
+        // 5 jobs of shape A interleaved with 3 of shape B.
+        let jobs: Vec<CellJob> = (0..8)
+            .map(|i| CellJob {
+                cell: i / 2,
+                scenario: if i % 3 == 0 { &b } else { &a },
+                spec: PolicySpec::CmabHs,
+                seed: 100 + i,
+            })
+            .collect();
+        for batch in [1usize, 2, 3, 8, 100] {
+            let groups = pack_cells(&jobs, batch);
+            let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.jobs.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..jobs.len()).collect::<Vec<_>>(), "batch={batch}");
+            for group in &groups {
+                assert!(group.jobs.len() <= batch);
+                for &ix in &group.jobs {
+                    assert_eq!(ShapeKey::of(&jobs[ix]), group.key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_tails_coalesce_across_cells() {
+        let s = scenario(3, 10, 2, 30);
+        // Three cells of 3 same-shape jobs each; batch 2 packs 9 jobs into
+        // ⌈9/2⌉ = 5 groups — the per-cell loop would have needed 6 (one
+        // ragged tail per cell instead of one per bucket).
+        let jobs: Vec<CellJob> = (0..9)
+            .map(|i| CellJob {
+                cell: i / 3,
+                scenario: &s,
+                spec: PolicySpec::Random,
+                seed: i,
+            })
+            .collect();
+        let groups = pack_cells(&jobs, 2);
+        assert_eq!(groups.len(), 5);
+        assert!(
+            groups.iter().any(|g| g.distinct_cells(&jobs) > 1),
+            "no group coalesced lanes from different cells"
+        );
+    }
+
+    #[test]
+    fn mixed_policy_jobs_never_share_a_group() {
+        let s = scenario(4, 10, 2, 30);
+        let jobs: Vec<CellJob> = [
+            PolicySpec::EpsilonFirst(0.1),
+            PolicySpec::EpsilonFirst(0.5),
+            PolicySpec::EpsilonFirst(0.1),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| CellJob {
+            cell: i as u64,
+            scenario: &s,
+            spec,
+            seed: i as u64,
+        })
+        .collect();
+        let groups = pack_cells(&jobs, 8);
+        // ε = 0.1 and ε = 0.5 are different ShapeKeys even though the
+        // policy *kind* matches: one instance drives all lanes.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].jobs, vec![0, 2]);
+        assert_eq!(groups[1].jobs, vec![1]);
+    }
+
+    #[test]
+    fn empty_job_stream_is_fine() {
+        assert!(pack_cells(&[], 4).is_empty());
+        let (results, stats) = run_cells_observed(&[], &[]).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.groups, 0);
+        assert_eq!(stats.mean_occupancy, 0.0);
+    }
+}

@@ -4,9 +4,10 @@
 //! position) over the *same* hidden population, mirroring how the paper
 //! compares algorithms on one data trace.
 
+use crate::cells::{run_cells, CellJob};
 use crate::policy_spec::PolicySpec;
 use crate::report::Table;
-use crate::runner::{run_policy, RunResult};
+use crate::runner::RunResult;
 use cdt_core::Scenario;
 use cdt_types::Result;
 use serde::{Deserialize, Serialize};
@@ -86,10 +87,10 @@ impl ComparisonResult {
     }
 }
 
-/// Runs every policy in `specs` on `scenario`, fanning the per-policy jobs
-/// out over [`crate::parallel::configured_threads`] worker threads. Each
-/// job owns its seed (`base_seed + index`), so the result is bit-for-bit
-/// identical at any thread count.
+/// Runs every policy in `specs` on `scenario`, emitting one [`CellJob`]
+/// per policy into the cell-packing scheduler ([`run_cells`]). Each job
+/// owns its seed (`base_seed + index`), so the result is bit-for-bit
+/// identical at any thread count, batch width, chunk size, or lane width.
 ///
 /// # Errors
 /// Propagates the first run error encountered (in policy order).
@@ -99,25 +100,30 @@ pub fn compare_policies(
     base_seed: u64,
     checkpoints: &[usize],
 ) -> Result<ComparisonResult> {
-    let threads = crate::parallel::configured_threads();
-    let runs = crate::parallel::try_parallel_map(specs, threads, |i, spec| {
-        run_policy(
+    let jobs: Vec<CellJob> = specs
+        .iter()
+        .enumerate()
+        .map(|(j, &spec)| CellJob {
+            cell: 0,
             scenario,
-            *spec,
-            base_seed.wrapping_add(i as u64),
-            checkpoints,
-        )
-    })?;
+            spec,
+            seed: base_seed.wrapping_add(j as u64),
+        })
+        .collect();
+    let runs = run_cells(&jobs, checkpoints)?;
     Ok(ComparisonResult { runs })
 }
 
-/// Runs every policy on every scenario of a sweep grid, fanning the full
-/// (sweep-cell × policy) job matrix out over the configured worker
-/// threads. `seeds[i]` is the base seed of cell `i`; policy `j` runs with
-/// `seeds[i] + j`, exactly like [`compare_policies`], so the output is
-/// bit-for-bit identical to calling `compare_policies` once per cell
-/// serially — but a slow cell (e.g. the largest `M` of a sweep) no longer
-/// blocks the rest of the grid.
+/// Runs every policy on every scenario of a sweep grid by flattening the
+/// full (sweep-cell × policy) matrix into one [`CellJob`] stream for the
+/// cell-packing scheduler. `seeds[i]` is the base seed of cell `i`;
+/// policy `j` runs with `seeds[i] + j`, exactly like [`compare_policies`],
+/// so the output is bit-for-bit identical to calling `compare_policies`
+/// once per cell serially — but a slow cell (e.g. the largest `M` of a
+/// sweep) no longer blocks the rest of the grid, and with `--batch` above
+/// 1 same-shape jobs from *different* cells share lockstep batch groups
+/// (ragged tails coalesce instead of each cell running a serial
+/// remainder).
 ///
 /// # Errors
 /// Propagates the first run error in (cell, policy) order.
@@ -131,20 +137,20 @@ pub fn compare_policies_grid(
     checkpoints: &[usize],
 ) -> Result<Vec<ComparisonResult>> {
     assert_eq!(scenarios.len(), seeds.len(), "one seed per grid cell");
-    let cells: Vec<(usize, usize)> = (0..scenarios.len())
-        .flat_map(|c| (0..specs.len()).map(move |j| (c, j)))
+    let jobs: Vec<CellJob> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(c, scenario)| {
+            specs.iter().enumerate().map(move |(j, &spec)| CellJob {
+                cell: c as u64,
+                scenario,
+                spec,
+                seed: seeds[c].wrapping_add(j as u64),
+            })
+        })
         .collect();
-    let threads = crate::parallel::configured_threads();
-    let mut runs = crate::parallel::try_parallel_map(&cells, threads, |_, &(c, j)| {
-        run_policy(
-            &scenarios[c],
-            specs[j],
-            seeds[c].wrapping_add(j as u64),
-            checkpoints,
-        )
-    })?
-    .into_iter();
-    // Cells were laid out cell-major, so chunks of specs.len() rebuild the
+    let mut runs = run_cells(&jobs, checkpoints)?.into_iter();
+    // Jobs were laid out cell-major, so chunks of specs.len() rebuild the
     // per-cell comparisons in order.
     Ok(scenarios
         .iter()

@@ -49,20 +49,23 @@ fn solve_with_a6(base: &GameContext, a6: f64) -> StackelbergSolution {
 
 /// The `a_6` sweep used by Figs. 15 & 16 (the paper plots `a_6` from ~0
 /// to 5; we start slightly above 0 to respect `a > 0`).
+///
+/// These are *point cells* for the cell scheduler: a single-round
+/// equilibrium solve has no round loop to advance in lockstep, so the
+/// sweep fans out one solve per cell ([`crate::cells::run_point_cells`])
+/// instead of packing lanes — see the ShapeKey compatibility rules in
+/// [`crate::cells`].
 fn a6_solutions(scale: Scale) -> Result<(Vec<f64>, Vec<StackelbergSolution>)> {
     let base = round_context(scale, 1000.0, 0.1)?;
     let xs = grid(0.05, 5.0, points(scale));
-    // Pure per-point solves: the fan-out is trivially bit-identical.
-    let threads = crate::parallel::configured_threads();
-    let sols = crate::parallel::parallel_map(&xs, threads, |_, &a| solve_with_a6(&base, a));
+    let sols = crate::cells::run_point_cells(&xs, |_, &a| Ok(solve_with_a6(&base, a)))?;
     Ok((xs, sols))
 }
 
-/// The `θ` sweep used by Figs. 17 & 18.
+/// The `θ` sweep used by Figs. 17 & 18 (point cells, as [`a6_solutions`]).
 fn theta_solutions(scale: Scale) -> Result<(Vec<f64>, Vec<StackelbergSolution>)> {
     let xs = grid(0.05, 1.0, points(scale));
-    let threads = crate::parallel::configured_threads();
-    let sols = crate::parallel::try_parallel_map(&xs, threads, |_, &theta| {
+    let sols = crate::cells::run_point_cells(&xs, |_, &theta| {
         Ok(solve_equilibrium(&round_context(scale, 1000.0, theta)?))
     })?;
     Ok((xs, sols))

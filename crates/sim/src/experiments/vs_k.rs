@@ -1,5 +1,11 @@
 //! Figures 11 & 12: total revenue, regret, and average per-round profits
 //! as the selection size `K` grows (`M = 300`, `N = 10⁵` at paper scale).
+//!
+//! The grid rides the cell-packing scheduler via
+//! [`compare_policies_grid`]: every (K-cell × policy) pair becomes one
+//! `CellJob`, so with `--batch` above 1 same-shape jobs share lockstep
+//! batch groups (each K is its own shape bucket — `K` is part of the
+//! ShapeKey).
 
 use super::Scale;
 use crate::compare::{compare_policies_grid, ComparisonResult};

@@ -4,6 +4,10 @@
 //! The populations are *nested*: the `M`-seller pool is the first `M`
 //! profiles of one master population, mirroring the paper's "choose M
 //! taxis as satisfied sellers" from a fixed 300-taxi trace.
+//!
+//! The grid rides the cell-packing scheduler via
+//! [`compare_policies_grid`] — one `CellJob` per (M-cell × policy) pair;
+//! `M` is part of the ShapeKey, so each pool size buckets separately.
 
 use super::Scale;
 use crate::compare::{compare_policies_grid, ComparisonResult};

@@ -4,6 +4,10 @@
 //! ε-first is horizon-aware (its exploration phase is `εN` rounds), so each
 //! grid point is a fresh run for every policy rather than a checkpoint of
 //! one long run.
+//!
+//! The grid rides the cell-packing scheduler via
+//! [`compare_policies_grid`] — one `CellJob` per (N-cell × policy) pair;
+//! `N` is part of the ShapeKey, so each horizon buckets separately.
 
 use super::Scale;
 use crate::compare::{compare_policies_grid, ComparisonResult};

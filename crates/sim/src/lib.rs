@@ -19,6 +19,10 @@
 //!   job with SoA policy state, each lane bit-identical to its serial run;
 //! - [`arena`]: per-worker scratch arenas recycling round/batch scratch
 //!   buffers across consecutive jobs on a thread;
+//! - [`cells`]: the cell-packing scheduler — a whole sweep grid flattened
+//!   into [`cells::CellJob`]s, bucketed by lockstep-compatible shape, and
+//!   packed into batches of up to `--batch` lanes with ragged tails
+//!   coalesced across cells;
 //! - [`compare`]: many policies on a common scenario;
 //! - [`report`]: plain-text tables and CSV export;
 //! - [`experiments`]: one module per paper figure (7–18).
@@ -34,6 +38,7 @@
 
 pub mod arena;
 pub mod batch;
+pub mod cells;
 pub mod compare;
 pub mod experiments;
 pub mod parallel;
@@ -45,6 +50,10 @@ pub mod settings;
 
 pub use arena::{arena_counters, with_batch_scratch, with_round_scratch};
 pub use batch::{run_policy_batch, run_policy_batch_observed};
+pub use cells::{
+    pack_cells, run_cells, run_cells_observed, run_point_cells, CellJob, CellPackStats,
+    PackedGroup, ShapeKey,
+};
 pub use compare::{compare_policies, compare_policies_grid, ComparisonResult};
 pub use parallel::{
     configured_batch, configured_chunk, configured_fast_math, configured_lanes, configured_threads,

@@ -5,10 +5,10 @@
 //! harness should quantify run-to-run variance, so the `repro` numbers can
 //! be read with error bars.
 
-use crate::batch::run_policy_batch;
+use crate::cells::{run_cells, CellJob};
 use crate::policy_spec::PolicySpec;
 use crate::report::Table;
-use crate::runner::{run_policy, RunResult};
+use crate::runner::RunResult;
 use cdt_core::Scenario;
 use cdt_types::{mix_seed, Result};
 use rand::rngs::StdRng;
@@ -83,16 +83,15 @@ pub struct ReplicatedRun {
 /// Seeds are derived with [`mix_seed`] (scenario `rep`:
 /// `mix_seed(base_seed, rep)`; run: `mix_seed(scenario_seed, 1 + policy)`),
 /// so no two (replication, policy) RNG streams can collide the way the old
-/// additive `base + rep·7919` / `seed + i + 1` scheme could. The
-/// (replication × policy) cells fan out over
-/// [`crate::parallel::configured_threads`] worker threads; each cell owns
-/// its seed, so the result is bit-for-bit identical at any thread count.
+/// additive `base + rep·7919` / `seed + i + 1` scheme could.
 ///
-/// When [`crate::parallel::configured_batch`] (`--batch` / `CDT_BATCH`)
-/// is above 1, each policy's replications are grouped into lockstep jobs
-/// of up to that many lanes ([`run_policy_batch`]); every lane keeps its
-/// serial cell's seed and round body, so the output is additionally
-/// bit-for-bit identical at any batch width.
+/// The (replication × policy) grid is emitted as one [`CellJob`] stream
+/// into the cell-packing scheduler ([`run_cells`]): with `--batch` at 1
+/// the cells fan out one per pool job (the historical serial path); above
+/// 1 each policy's replications bucket together by shape and pack into
+/// lockstep jobs of up to that many lanes. Every job owns its seed and
+/// keeps the exact serial round body, so the result is bit-for-bit
+/// identical at any thread count, chunk size, batch width, or lane width.
 ///
 /// # Errors
 /// Propagates scenario-construction and run errors.
@@ -114,57 +113,21 @@ pub fn replicate(
         })
         .collect::<Result<Vec<_>>>()?;
 
-    let threads = crate::parallel::configured_threads();
-    let batch = crate::parallel::configured_batch();
-    // Either way, `results` holds the (replication × policy) grid in cell
-    // order (`rep * specs.len() + i`) — the batched path is a scheduling
-    // change only, bit-identical per cell (each lane keeps the exact seed
-    // and round body of its serial cell).
-    let results: Vec<RunResult> = if batch <= 1 {
-        let cells: Vec<(usize, usize)> = (0..replications)
-            .flat_map(|rep| (0..specs.len()).map(move |i| (rep, i)))
-            .collect();
-        crate::parallel::try_parallel_map(&cells, threads, |_, &(rep, i)| {
-            let run_seed = mix_seed(mix_seed(base_seed, rep as u64), 1 + i as u64);
-            // The serial path also recycles its scratch through the
-            // per-worker arena (one RoundScratch per worker, not per cell)
-            // inside `run_policy`.
-            run_policy(&scenarios[rep], specs[i], run_seed, &[])
-        })?
-    } else {
-        // Lockstep batching: group each policy's replications into jobs of
-        // up to `batch` lanes; every job advances its lanes round-by-round
-        // through one SoA policy and one recycled BatchScratch.
-        let jobs: Vec<(usize, usize, usize)> = (0..specs.len())
-            .flat_map(|i| {
-                (0..replications)
-                    .step_by(batch)
-                    .map(move |start| (i, start, (start + batch).min(replications)))
-            })
-            .collect();
-        let grouped = crate::parallel::try_parallel_map(&jobs, threads, |_, &(i, start, end)| {
-            let lanes: Vec<&Scenario> = scenarios[start..end].iter().collect();
-            let seeds: Vec<u64> = (start..end)
-                .map(|rep| mix_seed(mix_seed(base_seed, rep as u64), 1 + i as u64))
-                .collect();
-            crate::arena::with_batch_scratch(|scratch| {
-                run_policy_batch(&lanes, specs[i], &seeds, &[], scratch)
-            })
-        })?;
-        // Scatter the lanes back into cell order.
-        let mut slots: Vec<Option<RunResult>> = std::iter::repeat_with(|| None)
-            .take(replications * specs.len())
-            .collect();
-        for (&(i, start, _), lane_results) in jobs.iter().zip(grouped) {
-            for (offset, result) in lane_results.into_iter().enumerate() {
-                slots[(start + offset) * specs.len() + i] = Some(result);
-            }
+    // One job per (replication × policy) cell, laid out cell-major
+    // (`rep * specs.len() + i`); each replication is its own scenario
+    // cell. `run_cells` returns the grid in exactly that job order.
+    let mut jobs: Vec<CellJob> = Vec::with_capacity(replications * specs.len());
+    for (rep, scenario) in scenarios.iter().enumerate() {
+        for (i, &spec) in specs.iter().enumerate() {
+            jobs.push(CellJob {
+                cell: rep as u64,
+                scenario,
+                spec,
+                seed: mix_seed(mix_seed(base_seed, rep as u64), 1 + i as u64),
+            });
         }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every cell is produced by exactly one job"))
-            .collect()
-    };
+    }
+    let results: Vec<RunResult> = run_cells(&jobs, &[])?;
 
     Ok(specs
         .iter()

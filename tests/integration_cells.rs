@@ -1,0 +1,194 @@
+//! Cell-packing scheduler contract tests.
+//!
+//! Shape-bucketed cell batching must be a scheduling change only: for any
+//! batch width, chunk size, thread count, and lane width, `run_cells`
+//! returns bit-for-bit the output of running every job through the serial
+//! per-cell path. The packing plan itself must preserve every job exactly
+//! once, and coalesced ragged tails must recycle the worker's batch
+//! scratch arena instead of rebuilding it per group.
+
+use cdt_core::Scenario;
+use cdt_sim::{
+    arena_counters, pack_cells, run_cells, run_cells_observed, set_batch_override,
+    set_chunk_override, set_fast_math_override, set_lanes_override, set_thread_override, CellJob,
+    PolicySpec, ShapeKey,
+};
+use cdt_types::mix_seed;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// The thread/chunk/batch/lane overrides are process-global; serialize
+/// every test that sets them.
+static GLOBAL_STATE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_overrides() {
+    set_thread_override(None);
+    set_chunk_override(None);
+    set_batch_override(None);
+    set_lanes_override(None);
+    set_fast_math_override(None);
+}
+
+fn scenario(seed: u64, m: usize, k: usize, l: usize, n: usize) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Scenario::paper_defaults(m, k, l, n, &mut rng).unwrap()
+}
+
+/// A small sweep shaped like `cdt sweep`: grid points varying `K`
+/// (different ShapeKeys, so buckets stay per-point) × replications
+/// (same-shape cells whose ragged tails coalesce) × the paper policy set.
+fn sweep_cells(base_seed: u64) -> Vec<(u64, Scenario)> {
+    let grid = [2usize, 3];
+    let reps = 2;
+    let mut cells = Vec::new();
+    for (i, k) in grid.iter().enumerate() {
+        for rep in 0..reps {
+            let cell_seed = mix_seed(mix_seed(base_seed, i as u64), rep);
+            cells.push((cell_seed, scenario(cell_seed, 10, *k, 3, 40)));
+        }
+    }
+    cells
+}
+
+fn sweep_jobs<'a>(cells: &'a [(u64, Scenario)], specs: &[PolicySpec]) -> Vec<CellJob<'a>> {
+    cells
+        .iter()
+        .enumerate()
+        .flat_map(|(c, (cell_seed, scenario))| {
+            specs
+                .iter()
+                .enumerate()
+                .map(move |(j, &spec)| CellJob {
+                    cell: c as u64,
+                    scenario,
+                    spec,
+                    seed: mix_seed(*cell_seed, 1 + j as u64),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn packed_sweep_is_bit_identical_across_the_batch_chunk_thread_grid() {
+    let _guard = lock();
+    let specs = PolicySpec::paper_set();
+    let cells = sweep_cells(7);
+    let jobs = sweep_jobs(&cells, &specs);
+
+    // Serial reference: one thread, unbatched, one pool job per cell job.
+    set_thread_override(Some(1));
+    set_chunk_override(Some(1));
+    set_batch_override(Some(1));
+    set_lanes_override(Some(1));
+    let baseline = run_cells(&jobs, &[]).unwrap();
+
+    // Batch 3 leaves ragged tails on the 2-rep buckets; batch 8 packs each
+    // whole bucket into one group.
+    for lanes in [1usize, 4] {
+        for batch in [1usize, 2, 3, 8] {
+            for (threads, chunk) in [(1, 1), (2, 1), (4, 3)] {
+                set_thread_override(Some(threads));
+                set_chunk_override(Some(chunk));
+                set_batch_override(Some(batch));
+                set_lanes_override(Some(lanes));
+                let run = run_cells(&jobs, &[]).unwrap();
+                assert_eq!(
+                    baseline, run,
+                    "packed sweep diverged at lanes={lanes} batch={batch} \
+                     threads={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+    reset_overrides();
+}
+
+#[test]
+fn coalesced_ragged_tails_recycle_the_worker_scratch_arena() {
+    let _guard = lock();
+    let s = scenario(11, 10, 2, 3, 40);
+    // Three same-shape cells of 3 jobs each: batch 2 packs the 9 jobs into
+    // 5 lockstep groups (one shared ragged tail instead of one per cell).
+    let jobs: Vec<CellJob> = (0..9)
+        .map(|i| CellJob {
+            cell: i / 3,
+            scenario: &s,
+            spec: PolicySpec::CmabHs,
+            seed: 100 + i,
+        })
+        .collect();
+
+    set_thread_override(Some(1));
+    set_batch_override(Some(2));
+    let (hits_before, misses_before) = arena_counters();
+    let (_, stats) = run_cells_observed(&jobs, &[]).unwrap();
+    let (hits_after, misses_after) = arena_counters();
+    reset_overrides();
+
+    assert_eq!(stats.lanes, 9);
+    assert_eq!(stats.groups, 5);
+    assert!(
+        stats.coalesced_groups >= 1,
+        "no group coalesced lanes across cells"
+    );
+    assert!(stats.mean_occupancy > 1.0);
+    // All 5 groups run on the single worker: at most the first claim may
+    // build a scratch; every later group must recycle it.
+    assert!(
+        misses_after <= misses_before + 1,
+        "packed groups rebuilt the batch scratch instead of recycling it"
+    );
+    assert!(
+        hits_after >= hits_before + 4,
+        "consecutive packed groups never recycled the scratch arena"
+    );
+}
+
+proptest! {
+    /// The packing plan is a partition: every job index lands in exactly
+    /// one group, groups respect the batch bound, all lanes of a group
+    /// share its ShapeKey, and job order is preserved within each group.
+    #[test]
+    fn pack_cells_partitions_any_job_stream(
+        picks in proptest::collection::vec((0..2usize, 0..2usize, 0..5u64), 0..40),
+        batch in 1..10usize,
+    ) {
+        // Two shapes × two policies = four distinct ShapeKeys to scatter
+        // jobs across; populations are irrelevant to the plan.
+        let a = scenario(1, 10, 2, 3, 30);
+        let b = scenario(2, 12, 3, 3, 30);
+        let jobs: Vec<CellJob> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(shape, policy, cell))| CellJob {
+                cell,
+                scenario: if shape == 0 { &a } else { &b },
+                spec: if policy == 0 { PolicySpec::CmabHs } else { PolicySpec::Random },
+                seed: i as u64,
+            })
+            .collect();
+
+        let groups = pack_cells(&jobs, batch);
+        let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.jobs.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..jobs.len()).collect::<Vec<_>>());
+        for group in &groups {
+            prop_assert!(!group.jobs.is_empty());
+            prop_assert!(group.jobs.len() <= batch);
+            prop_assert!(
+                group.jobs.windows(2).all(|w| w[0] < w[1]),
+                "job order not preserved within a group"
+            );
+            for &ix in &group.jobs {
+                prop_assert_eq!(ShapeKey::of(&jobs[ix]), group.key);
+            }
+        }
+    }
+}

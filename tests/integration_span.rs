@@ -3,9 +3,9 @@
 //! Four guarantees are pinned here:
 //!
 //! 1. **Golden span schema** — every `"event":"span"` line carries exactly
-//!    the documented 13-key set, with `null` for absent attributes, across
+//!    the documented 14-key set, with `null` for absent attributes, across
 //!    every producer (pipeline run/round/phase spans, pool and chunk spans,
-//!    lane-group spans).
+//!    lane-group spans, per-cell attribution spans).
 //! 2. **Parent-link integrity** — every non-null parent id resolves to a
 //!    span written in the same trace: the causal tree has no dangling
 //!    edges.
@@ -88,7 +88,7 @@ fn span_jsonl_matches_golden_schema_with_intact_parent_links() {
     // are null, never omitted).
     let wanted: BTreeSet<&str> = [
         "event", "trace", "span", "parent", "name", "run", "round", "start_ns", "dur_ns", "worker",
-        "lane", "batch", "chunk",
+        "lane", "batch", "chunk", "cell",
     ]
     .into_iter()
     .collect();
@@ -105,7 +105,9 @@ fn span_jsonl_matches_golden_schema_with_intact_parent_links() {
         .iter()
         .filter_map(|v| v.get("name").and_then(serde_json::Value::as_str))
         .collect();
-    for name in ["run", "round", "pool", "chunk", "lane_group"] {
+    // `cell` spans appear because the batched replication packs both
+    // replications (distinct scenario cells) into each lockstep group.
+    for name in ["run", "round", "pool", "chunk", "lane_group", "cell"] {
         assert!(
             names.contains(name),
             "missing `{name}` spans; got {names:?}"
