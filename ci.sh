@@ -77,6 +77,40 @@ print(f"sweep smoke: occupancy {occupancy:.2f} lanes/group, "
       f"speedup {report['speedup']:.2f}x")
 EOF
 
+echo "==> resident engine smoke (engine sweep must match the per-call pool byte-for-byte)"
+rm -f /tmp/cdt_sweep_engine.txt
+# shellcheck disable=SC2086  # deliberate word-split flag list
+cargo run --release -p cdt-cli --bin cdt -- sweep $sweep_args --batch 4 --engine \
+    > /tmp/cdt_sweep_engine.txt
+# The resident engine is a scheduling change only: sweep stdout routed
+# through the persistent worker runtime must be byte-equal to the same
+# sweep on the per-call pool.
+diff /tmp/cdt_sweep_batched.txt /tmp/cdt_sweep_engine.txt
+# bench_engine --engine times N back-to-back submissions on a warm
+# resident engine against the per-call pool (which re-spawns its workers
+# every call): every submission must stay bit-identical to the per-call
+# reference, and the report must carry the submit-throughput delta plus
+# the gather-window occupancy (also appended to the bench history).
+cargo run --release -p cdt-bench --bin bench_engine -- \
+    --engine --submissions 4 --m 10 --k 3 --l 3 --n 80 --reps 4 --batch 4 \
+    --out BENCH_engine.json
+python3 - <<'EOF'
+import json
+with open("BENCH_engine.json") as f:
+    report = json.load(f)
+assert report["workload"]["engine"] is True
+assert report["identical"] is True, "determinism bug: engine != per-call pool"
+delta = report["engine_delta"]
+assert delta is not None and delta["submissions"] == 4, delta
+assert delta["submit_speedup"] > 0, delta
+occupancy = delta["gather_occupancy"]
+assert occupancy > 1.0, occupancy
+print(f"engine smoke: submit speedup {delta['submit_speedup']:.2f}x, "
+      f"gather occupancy {occupancy:.2f} lanes/group")
+EOF
+tail -n 1 results/bench_history.jsonl \
+    | python3 -c 'import json,sys; rec=json.loads(sys.stdin.read()); assert rec["engine"] is True, rec'
+
 echo "==> observability smoke (JSONL trace + Prometheus dump)"
 rm -f /tmp/cdt_obs_events.jsonl /tmp/cdt_obs_metrics.prom
 cargo run --release -p cdt-bench --bin repro -- \

@@ -19,20 +19,24 @@
 //!
 //! # cell-packed sweep workload (grid cells batched through the scheduler):
 //! cargo run --release -p cdt-bench --bin bench_engine -- --sweep --batch 4
+//!
+//! # resident-engine leg (sustained submit throughput, warm pool vs
+//! # per-call pool; see cdt_sim::engine):
+//! cargo run --release -p cdt-bench --bin bench_engine -- --engine --submissions 8
 //! ```
 
 use cdt_core::Scenario;
 use cdt_sim::{
-    configured_batch, configured_chunk, configured_fast_math, configured_lanes, configured_threads,
-    replicate, run_cells_observed, set_batch_override, set_chunk_override, set_fast_math_override,
-    set_lanes_override, set_thread_override, CellJob, CellPackStats, PolicySpec, ReplicatedRun,
-    RunResult,
+    configured_batch, configured_chunk, configured_engine_gather_us, configured_fast_math,
+    configured_lanes, configured_threads, replicate, run_cells_observed, set_batch_override,
+    set_chunk_override, set_engine_override, set_fast_math_override, set_lanes_override,
+    set_thread_override, CellJob, CellPackStats, Engine, PolicySpec, ReplicatedRun, RunResult,
 };
 use cdt_types::mix_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[derive(Serialize)]
 struct Workload {
@@ -71,6 +75,14 @@ struct Workload {
     /// path (one thread, batch 1), so `identical` pins packed sweep output
     /// to the per-cell reference.
     sweep: bool,
+    /// Whether this run measured the resident engine runtime (`--engine`):
+    /// the cell-packed workload submitted `submissions` times back-to-back,
+    /// once through the per-call pool (scoped threads spawned per call) and
+    /// once through a warm [`Engine`] (persistent workers, warm arenas).
+    /// Here the serial leg *is* the per-call pool at the same thread count,
+    /// so `speedup` is the sustained submit-throughput win and `identical`
+    /// pins every engine submission to the per-call reference.
+    engine: bool,
 }
 
 #[derive(Serialize)]
@@ -92,10 +104,33 @@ struct Report {
     /// Whether the serial and parallel results were bit-for-bit equal.
     /// Anything but `true` is a determinism bug.
     identical: bool,
-    /// Mean lanes per lockstep group of the parallel leg (`--sweep` runs
-    /// only; `null` for the replicate workload). Above 1.0 means grid
-    /// cells actually shared batched round loops.
+    /// Mean lanes per lockstep group of the parallel leg (`--sweep` and
+    /// `--engine` runs only; `null` for the replicate workload). Above 1.0
+    /// means grid cells actually shared batched round loops.
     cell_occupancy: Option<f64>,
+    /// Submit-throughput detail of the `--engine` leg (`null` otherwise).
+    engine_delta: Option<EngineDelta>,
+}
+
+/// Sustained submit-throughput comparison of the `--engine` leg: the same
+/// cell-packed job stream submitted `submissions` times back-to-back,
+/// once per-call (the scoped pool spins up and down every call) and once
+/// through a warm resident engine (one untimed warmup submission, then
+/// the timed stream hits persistent workers with warm scratch arenas).
+#[derive(Serialize)]
+struct EngineDelta {
+    /// Timed submissions per leg (the engine leg's warmup is untimed).
+    submissions: usize,
+    /// Wall-clock of the per-call leg (same thread count as the engine).
+    per_call_secs: f64,
+    /// Wall-clock of the engine leg.
+    engine_secs: f64,
+    /// `per_call_secs / engine_secs`: how many times faster the warm
+    /// engine sustained the same submission stream.
+    submit_speedup: f64,
+    /// Mean lanes per dispatched group on the engine leg — how full the
+    /// gather window packed its lockstep batches.
+    gather_occupancy: f64,
 }
 
 struct Args {
@@ -112,6 +147,14 @@ struct Args {
     /// Measure the cell-packed sweep workload instead of the replicated
     /// comparison (see `Workload::sweep`).
     sweep: bool,
+    /// Measure sustained submit throughput through the resident engine
+    /// runtime (see `Workload::engine`).
+    engine: bool,
+    /// Back-to-back timed submissions per leg of the `--engine` run.
+    submissions: usize,
+    /// Engine gather window in microseconds
+    /// (`--engine-gather-us`/`CDT_ENGINE_GATHER_US`).
+    engine_gather_us: u64,
     out: String,
     history: String,
     /// Fractional regression tolerance for the perf gate (`None` = no gate):
@@ -136,6 +179,9 @@ fn parse_args() -> Result<Args, String> {
         lanes: configured_lanes(),
         fast_math: configured_fast_math(),
         sweep: false,
+        engine: false,
+        submissions: 8,
+        engine_gather_us: configured_engine_gather_us(),
         out: "BENCH_engine.json".to_owned(),
         history: "results/bench_history.jsonl".to_owned(),
         gate_tolerance: None,
@@ -183,6 +229,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fast-math" => args.fast_math = true,
             "--sweep" => args.sweep = true,
+            "--engine" => args.engine = true,
+            "--submissions" => {
+                args.submissions = parse(&value("--submissions")?)?;
+                if args.submissions == 0 {
+                    return Err("--submissions must be at least 1".into());
+                }
+            }
+            "--engine-gather-us" => {
+                let raw = value("--engine-gather-us")?;
+                args.engine_gather_us = raw
+                    .parse()
+                    .map_err(|_| format!("expected an integer, got `{raw}`"))?;
+            }
             "--out" => args.out = value("--out")?,
             "--history" => args.history = value("--history")?,
             "--gate-tolerance" => {
@@ -204,7 +263,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: bench_engine [--m M] [--k K] [--l L] [--n N] \
                      [--reps R] [--threads T] [--chunk C] [--batch B]\n\
                      \x20      [--lanes W] [--fast-math] [--sweep] \
-                     [--out FILE] [--history FILE] [--gate-tolerance FRAC]\n\
+                     [--engine] [--submissions S] [--engine-gather-us US]\n\
+                     \x20      [--out FILE] [--history FILE] [--gate-tolerance FRAC]\n\
                      \x20      [--obs-events FILE] [--metrics-out FILE] [--obs-summary] \
                      [--obs-spans]"
                 );
@@ -215,6 +275,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.obs_spans && args.obs_events.is_none() {
         return Err("--obs-spans requires --obs-events FILE (spans are written there)".into());
+    }
+    if args.engine && args.sweep {
+        return Err(
+            "--engine and --sweep are mutually exclusive (the engine leg already \
+             measures the cell-packed workload)"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -252,6 +319,7 @@ fn append_history(path: &str, report: &Report) -> std::io::Result<()> {
         "fast_math": report.workload.fast_math,
         "spans": report.workload.spans,
         "sweep": report.workload.sweep,
+        "engine": report.workload.engine,
         "cell_occupancy": report.cell_occupancy,
     });
     let mut file = std::fs::OpenOptions::new()
@@ -315,6 +383,15 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
             Some(v) => v == report.workload.sweep,
             None => !report.workload.sweep,
         };
+    // A record without `engine` predates the resident engine runtime and
+    // measured a one-thread serial leg, so it gates only non-engine runs;
+    // engine runs (whose "serial" leg is the per-call pool at full thread
+    // count, measuring submit throughput) start their own baseline.
+    let engine_ok =
+        |rec: &serde_json::Value| match rec.get("engine").and_then(serde_json::Value::as_bool) {
+            Some(v) => v == report.workload.engine,
+            None => !report.workload.engine,
+        };
     raw.lines()
         .filter_map(|line| serde_json::from_str::<serde_json::Value>(line.trim()).ok())
         .filter(|rec| {
@@ -331,6 +408,7 @@ fn baseline_speedups(path: &str, report: &Report) -> Vec<f64> {
                 && fast_math_ok(rec)
                 && spans_ok(rec)
                 && sweep_ok(rec)
+                && engine_ok(rec)
         })
         .filter_map(|rec| rec.get("speedup").and_then(serde_json::Value::as_f64))
         .filter(|s| s.is_finite() && *s > 0.0)
@@ -422,6 +500,81 @@ fn timed_sweep(
     (results, stats, started.elapsed().as_secs_f64())
 }
 
+struct EngineMeasurement {
+    per_call_secs: f64,
+    engine_secs: f64,
+    identical: bool,
+    occupancy: f64,
+}
+
+/// Times sustained submit throughput: the cell-packed sweep workload
+/// submitted `args.submissions` times back-to-back, once through the
+/// per-call pool (scoped worker threads spawned and joined every call)
+/// and once through a warm local [`Engine`] (persistent workers parked on
+/// the queue, scratch arenas surviving between submissions; one untimed
+/// warmup submission pays the thread spawns and arena misses). Scenario
+/// and job construction happen outside both timers.
+fn timed_engine(args: &Args, specs: &[PolicySpec], threads: usize) -> EngineMeasurement {
+    set_thread_override(Some(threads));
+    set_batch_override(Some(args.batch));
+    let scenarios: Vec<Scenario> = (0..args.reps)
+        .map(|rep| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(20_210_419, rep as u64));
+            Scenario::paper_defaults(args.m, args.k, args.l, args.n, &mut rng)
+        })
+        .collect::<Result<_, _>>()
+        .expect("benchmark scenarios must build");
+    let jobs: Vec<CellJob<'_>> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(rep, scenario)| {
+            specs.iter().enumerate().map(move |(j, spec)| CellJob {
+                cell: rep as u64,
+                scenario,
+                spec: *spec,
+                seed: mix_seed(mix_seed(20_210_419, rep as u64), 1 + j as u64),
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut per_call: Vec<Vec<RunResult>> = Vec::with_capacity(args.submissions);
+    for _ in 0..args.submissions {
+        let (results, _) = run_cells_observed(&jobs, &[]).expect("benchmark workload must run");
+        per_call.push(results);
+    }
+    let per_call_secs = started.elapsed().as_secs_f64();
+
+    let engine = Engine::new(threads, Duration::from_micros(args.engine_gather_us));
+    let _ = engine
+        .submit(&jobs, &[])
+        .expect("warmup submission must run");
+    let started = Instant::now();
+    let mut on_engine: Vec<Vec<RunResult>> = Vec::with_capacity(args.submissions);
+    let (mut lanes, mut groups) = (0usize, 0usize);
+    for _ in 0..args.submissions {
+        let (results, stats) = engine
+            .submit_observed(&jobs, &[])
+            .expect("benchmark workload must run");
+        lanes += stats.lanes;
+        groups += stats.groups;
+        on_engine.push(results);
+    }
+    let engine_secs = started.elapsed().as_secs_f64();
+    engine.shutdown();
+
+    EngineMeasurement {
+        per_call_secs,
+        engine_secs,
+        identical: per_call == on_engine,
+        occupancy: if groups == 0 {
+            0.0
+        } else {
+            lanes as f64 / groups as f64
+        },
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -446,10 +599,29 @@ fn main() {
         }
     }
     let specs = PolicySpec::paper_set();
-    // Every replicated run executes `n` rounds per (replication, policy).
-    let total_rounds = (args.n * args.reps * specs.len()) as f64;
+    // Every replicated run executes `n` rounds per (replication, policy);
+    // the engine leg repeats the whole stream per timed submission.
+    let total_rounds = (args.n * args.reps * specs.len()) as f64
+        * if args.engine {
+            args.submissions as f64
+        } else {
+            1.0
+        };
+    // The engine leg compares pool lifetimes, so both legs run at the same
+    // thread count — pinned to at least 2 so the per-call leg actually
+    // pays a scoped-thread spawn/join per submission.
+    let parallel_threads = if args.engine {
+        args.threads.max(2)
+    } else {
+        args.threads
+    };
+    let serial_threads = if args.engine { parallel_threads } else { 1 };
 
     set_chunk_override(args.chunk);
+    // Pin the per-call scheduler for both non-engine legs and the engine
+    // run's per-call reference, even when `CDT_ENGINE` is exported — the
+    // engine leg always measures an explicit local `Engine`.
+    set_engine_override(Some(false));
     // The lane configuration applies to *both* legs: kernels are
     // deterministic per (width, fast-math, input) regardless of threads,
     // chunking, or batching, so `identical` holds either way — but with
@@ -460,7 +632,23 @@ fn main() {
     // The serial leg is the exact reference path (one thread, unbatched);
     // the parallel leg takes the requested pool and lockstep batch width,
     // so `identical` pins batching as well as threading.
-    let (serial_secs, parallel_secs, identical, cell_occupancy) = if args.sweep {
+    let (serial_secs, parallel_secs, identical, cell_occupancy, engine_delta) = if args.engine {
+        let measured = timed_engine(&args, &specs, parallel_threads);
+        let delta = EngineDelta {
+            submissions: args.submissions,
+            per_call_secs: measured.per_call_secs,
+            engine_secs: measured.engine_secs,
+            submit_speedup: measured.per_call_secs / measured.engine_secs,
+            gather_occupancy: measured.occupancy,
+        };
+        (
+            measured.per_call_secs,
+            measured.engine_secs,
+            measured.identical,
+            Some(measured.occupancy),
+            Some(delta),
+        )
+    } else if args.sweep {
         let (serial_results, _, serial_secs) = timed_sweep(&args, &specs, 1, 1);
         let (parallel_results, stats, parallel_secs) =
             timed_sweep(&args, &specs, args.threads, args.batch);
@@ -469,6 +657,7 @@ fn main() {
             parallel_secs,
             serial_results == parallel_results,
             Some(stats.mean_occupancy),
+            None,
         )
     } else {
         let (serial_runs, serial_secs) = timed_replicate(&args, &specs, 1, 1);
@@ -479,6 +668,7 @@ fn main() {
             parallel_secs,
             serial_runs == parallel_runs,
             None,
+            None,
         )
     };
     set_thread_override(None);
@@ -486,6 +676,7 @@ fn main() {
     set_batch_override(None);
     set_lanes_override(None);
     set_fast_math_override(None);
+    set_engine_override(None);
 
     let report = Report {
         bench: "engine",
@@ -503,20 +694,22 @@ fn main() {
             fast_math: args.fast_math,
             spans: args.obs_spans,
             sweep: args.sweep,
+            engine: args.engine,
         },
         serial: Timing {
-            threads: 1,
+            threads: serial_threads,
             wall_clock_secs: serial_secs,
             rounds_per_sec: total_rounds / serial_secs,
         },
         parallel: Timing {
-            threads: args.threads,
+            threads: parallel_threads,
             wall_clock_secs: parallel_secs,
             rounds_per_sec: total_rounds / parallel_secs,
         },
         speedup: serial_secs / parallel_secs,
         identical,
         cell_occupancy,
+        engine_delta,
     };
 
     if obs_active {
@@ -546,9 +739,19 @@ fn main() {
     println!(
         "\nserial {serial_secs:.2}s, {} threads {parallel_secs:.2}s \
          (speedup {:.2}x, identical: {}) -> {}",
-        args.threads, report.speedup, report.identical, args.out
+        report.parallel.threads, report.speedup, report.identical, args.out
     );
-    if let Some(occupancy) = report.cell_occupancy {
+    if let Some(delta) = &report.engine_delta {
+        println!(
+            "engine: {} submissions, per-call pool {:.2}s vs warm engine {:.2}s \
+             (submit speedup {:.2}x, gather occupancy {:.2} lanes/group)",
+            delta.submissions,
+            delta.per_call_secs,
+            delta.engine_secs,
+            delta.submit_speedup,
+            delta.gather_occupancy
+        );
+    } else if let Some(occupancy) = report.cell_occupancy {
         println!("sweep cell occupancy: {occupancy:.2} lanes/group");
     }
     if !report.identical {

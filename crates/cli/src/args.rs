@@ -10,7 +10,7 @@ pub struct FlagMap {
 
 /// Flags that are boolean switches: present or absent, never followed by a
 /// value token.
-const SWITCHES: &[&str] = &["obs-summary", "fast-math", "obs-spans"];
+const SWITCHES: &[&str] = &["obs-summary", "fast-math", "obs-spans", "engine"];
 
 impl FlagMap {
     /// Raw lookup.
@@ -135,6 +135,15 @@ mod tests {
             .is_set("obs-summary"));
         // A trailing switch is complete on its own.
         assert!(parse_flags(&v(&["--obs-summary"])).is_ok());
+    }
+
+    #[test]
+    fn engine_is_a_switch_but_gather_takes_a_value() {
+        let f = parse_flags(&v(&["--engine", "--engine-gather-us", "250"])).unwrap();
+        assert!(f.is_set("engine"));
+        assert_eq!(f.u64_or("engine-gather-us", 150).unwrap(), 250);
+        // --engine-gather-us is a value flag: bare use is rejected.
+        assert!(parse_flags(&v(&["--engine-gather-us"])).is_err());
     }
 
     #[test]

@@ -25,10 +25,11 @@ USAGE:
   cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B [--journal FILE]
                [--lanes W] [--fast-math]
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
-               [--chunk C] [--batch B] [--lanes W] [--fast-math]
+               [--chunk C] [--batch B] [--lanes W] [--fast-math] [--engine]
+               [--engine-gather-us US]
   cdt sweep    --axis k|m|n --grid V1,V2,... [--m M] [--k K] [--l L] [--n N]
                [--reps R] [--seed S] [--threads T] [--chunk C] [--batch B]
-               [--lanes W] [--fast-math]
+               [--lanes W] [--fast-math] [--engine] [--engine-gather-us US]
   cdt game     [--k K] [--omega W] [--theta T]
   cdt obs summarize     FILE
   cdt obs flame         FILE
@@ -94,6 +95,18 @@ parameters) and pack into batches of up to --batch lanes, coalescing
 ragged tails across grid cells. The printed tables are bit-for-bit
 identical at any batch/chunk/threads/lanes setting; --obs-summary adds
 the packing stats (groups, coalesced groups, mean lane occupancy).
+
+ENGINE RUNTIME (on `compare` and `sweep`):
+  --engine (or CDT_ENGINE=1) routes the cell-packed job stream through
+  the resident engine runtime: a persistent worker pool parked on a
+  condvar-backed submission queue, whose thread-local scratch arenas stay
+  warm between submissions and whose gather window lets *concurrent*
+  submissions share lockstep SoA batches (cross-request cell packing).
+  --engine-gather-us US (or CDT_ENGINE_GATHER_US) sets that window in
+  microseconds (default 150; 0 dispatches immediately; a saturated queue
+  never waits). The engine is a scheduling change only: output is
+  bit-for-bit identical to the per-call pool, which remains the default
+  and the identity oracle.
 
 LANE KERNELS (on `run`, `budget`, and `compare`):
   The column kernels (UCB index fill, estimator round sweep, Stackelberg
@@ -259,6 +272,25 @@ fn apply_lanes(flags: &FlagMap) -> Result<(), String> {
         cdt_sim::set_fast_math_override(Some(true));
     }
     cdt_sim::sync_lane_config();
+    apply_engine(flags)
+}
+
+/// Applies the `--engine` and `--engine-gather-us` flags (if present):
+/// `--engine` routes cell streams through the resident worker runtime
+/// (persistent pool + cross-request packing; bit-identical to the
+/// per-call pool), and `--engine-gather-us US` pins its gather window
+/// (0 dispatches immediately). Without the flags the process uses
+/// `CDT_ENGINE` / `CDT_ENGINE_GATHER_US` or the per-call default.
+fn apply_engine(flags: &FlagMap) -> Result<(), String> {
+    if flags.is_set("engine") {
+        cdt_sim::set_engine_override(Some(true));
+    }
+    if let Some(raw) = flags.get("engine-gather-us") {
+        let us: u64 = raw.parse().map_err(|_| {
+            format!("--engine-gather-us expects a non-negative integer, got `{raw}`")
+        })?;
+        cdt_sim::set_engine_gather_override(Some(us));
+    }
     Ok(())
 }
 
@@ -1163,6 +1195,41 @@ mod tests {
         cdt_sim::set_lanes_override(None);
         cdt_sim::set_fast_math_override(None);
         cdt_sim::sync_lane_config();
+    }
+
+    #[test]
+    fn compare_with_engine_flag_routes_through_resident_runtime() {
+        // Serialize with the lane lock: the engine override is process
+        // state, like the lane configuration (results are bit-identical
+        // either way, but other tests assert on the default routing).
+        let _guard = LANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        compare(&flags(&[
+            "--m",
+            "8",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--n",
+            "20",
+            "--reps",
+            "2",
+            "--engine",
+            "--engine-gather-us",
+            "100",
+        ]))
+        .unwrap();
+        assert!(cdt_sim::configured_engine());
+        assert_eq!(cdt_sim::configured_engine_gather_us(), 100);
+        // Reset the global overrides so other tests see the defaults.
+        cdt_sim::set_engine_override(None);
+        cdt_sim::set_engine_gather_override(None);
+    }
+
+    #[test]
+    fn engine_gather_flag_rejects_garbage() {
+        assert!(compare(&flags(&["--m", "10", "--engine-gather-us", "soon"])).is_err());
+        assert!(compare(&flags(&["--m", "10", "--engine-gather-us", "-5"])).is_err());
     }
 
     #[test]

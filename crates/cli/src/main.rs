@@ -30,7 +30,11 @@
 //! verifies, audits, crash-recovers, and diffs those journals. `run`,
 //! `budget`, and `compare` also take `--lanes W` / `--fast-math` to
 //! configure the chunked column kernels; `cdt journal diff` validates
-//! their divergence contracts against settled payments.
+//! their divergence contracts against settled payments. `compare` and
+//! `sweep` take `--engine` / `--engine-gather-us US` to route their
+//! cell-packed job streams through the resident worker runtime
+//! (persistent pool, cross-request packing; bit-identical to the
+//! per-call pool default).
 
 use cdt_cli::args::{parse_flags, FlagMap};
 use cdt_cli::commands;

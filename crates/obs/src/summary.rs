@@ -131,6 +131,20 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         );
     }
 
+    // Resident engine runtime (`--engine`): submissions accepted, jobs
+    // queued, and how many dispatched lockstep groups mixed lanes from
+    // more than one submission (the cross-request packing win).
+    let engine_submissions = counter("cdt_obs_engine_submissions_total");
+    if engine_submissions > 0 {
+        let _ = writeln!(
+            out,
+            "engine: {} submissions / {} queued jobs, {} cross-request batches",
+            engine_submissions,
+            counter("cdt_obs_engine_queued_jobs_total"),
+            counter("cdt_obs_engine_cross_request_batches_total"),
+        );
+    }
+
     // Protocol journal (the JournalSink member of the sink family).
     let protocol_events = counter("cdt_obs_protocol_events_total");
     let settled = counter("cdt_obs_protocol_settled_rounds");
@@ -357,6 +371,34 @@ mod tests {
             ),
             "got:\n{text}"
         );
+    }
+
+    #[test]
+    fn engine_line_renders_only_after_a_submission() {
+        let r = MetricsRegistry::new();
+        assert!(!render_summary(&r).contains("engine:"));
+        r.add_counter("cdt_obs_engine_submissions_total", &[], 3);
+        r.add_counter("cdt_obs_engine_queued_jobs_total", &[], 24);
+        r.add_counter("cdt_obs_engine_cross_request_batches_total", &[], 2);
+        let text = render_summary(&r);
+        assert!(
+            text.contains("engine: 3 submissions / 24 queued jobs, 2 cross-request batches"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn engine_workers_sort_after_numeric_pool_workers() {
+        // Engine workers publish into the same pool families with an
+        // "e<idx>" label; the worker table sorts them after the numeric
+        // per-call pool workers (non-numeric labels sort last).
+        let r = MetricsRegistry::new();
+        r.add_counter("cdt_obs_pool_worker_jobs_total", &[("worker", "e0")], 4);
+        r.add_counter("cdt_obs_pool_worker_jobs_total", &[("worker", "1")], 9);
+        let text = render_summary(&r);
+        let pool_pos = text.find("\n1 ").expect("pool worker row");
+        let engine_pos = text.find("\ne0 ").expect("engine worker row");
+        assert!(pool_pos < engine_pos, "got:\n{text}");
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //! a reset scratch behaves exactly like a new one; reuse only skips the
 //! re-growing of buffers.
 //!
-//! The pool's workers are scoped threads that die at the end of each
-//! `parallel_map` call, so worker slots provide *intra-call* reuse (one
-//! allocation per worker per call instead of one per job); the calling
-//! thread's slot additionally persists across calls. Claims are counted
+//! The per-call pool's workers are scoped threads that die at the end of
+//! each `parallel_map` call, so their slots provide *intra-call* reuse
+//! (one allocation per worker per call instead of one per job); the
+//! calling thread's slot additionally persists across calls. The resident
+//! engine runtime ([`crate::engine`]) goes further: its workers are
+//! persistent OS threads, so the same thread-local slots survive *between
+//! submissions* and a warm engine's hit rate approaches 100% — each
+//! worker pays exactly one miss in its lifetime per scratch kind. Claims
+//! are counted
 //! process-wide — [`arena_counters`] — and published to the metrics
 //! registry (`cdt_obs_pool_arena_{hits,misses}_total`) while a pipeline is
 //! installed, so `--obs-summary` shows how much allocation the arena

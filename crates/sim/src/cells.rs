@@ -198,6 +198,15 @@ pub fn run_cells_observed(
     jobs: &[CellJob<'_>],
     checkpoints: &[usize],
 ) -> Result<(Vec<RunResult>, CellPackStats)> {
+    if crate::parallel::configured_engine() {
+        // Opt-in resident runtime (`--engine` / `CDT_ENGINE`): the jobs
+        // join the persistent workers' shared submission queue, where they
+        // may pack into lockstep batches with *concurrent* submissions.
+        // Bit-identical either way — the engine is a scheduling change
+        // only, and this per-call path remains the identity oracle.
+        return crate::engine::global().submit_observed(jobs, checkpoints);
+    }
+
     let threads = crate::parallel::configured_threads();
     let batch = crate::parallel::configured_batch();
 

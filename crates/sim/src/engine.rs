@@ -1,0 +1,930 @@
+//! The resident engine runtime: a persistent worker pool with
+//! cross-request cell packing.
+//!
+//! Every other execution path in this crate pays full engine construction
+//! per call: [`crate::parallel::parallel_map`] spawns a fresh
+//! [`std::thread::scope`] pool for each fan-out, re-warms the per-worker
+//! scratch arenas from cold (scoped workers die with the call, and their
+//! thread-local [`crate::arena`] slots die with them), and
+//! [`crate::cells::run_cells`] can only pack lanes *within* one request.
+//! That is fine for a one-shot CLI run and pure overhead for a resident
+//! service: a sustained stream of small submissions pays thread spawn,
+//! arena warm-up, and a ragged tail per request.
+//!
+//! [`Engine`] turns the batch scheduler into a long-lived runtime:
+//!
+//! - **Persistent workers.** `Engine::new(workers, gather)` spawns
+//!   `workers` named OS threads once; between submissions they park on a
+//!   condvar behind the shared submission queue. Their thread-local
+//!   arena slots survive across submissions, so on a warm engine every
+//!   job claims a recycled scratch (arena hit rate approaches 100% in
+//!   steady state, vs. one cold start per call today).
+//! - **Cross-request cell packing.** [`Engine::submit`] appends its jobs
+//!   to one shared pending queue. Workers gather the queue into lockstep
+//!   groups using the same compatibility rule as
+//!   [`crate::cells::pack_cells`] — equal [`ShapeKey`] *plus equal
+//!   checkpoint schedule*, because one `checkpoints` slice drives every
+//!   lane of a [`run_policy_batch`] call — so lanes from *different
+//!   concurrent submissions* ride the same SoA mega-batch.
+//! - **Adaptive gather window.** A worker that finds pending lanes
+//!   dispatches immediately when the queue is saturated (`pending >=
+//!   batch × workers` — waiting longer cannot improve packing) or the
+//!   engine is draining, and otherwise waits until the *oldest* pending
+//!   lane has been queued for the gather window (`--engine-gather-us`,
+//!   [`crate::parallel::configured_engine_gather_us`]), giving concurrent
+//!   submitters a short chance to share a batch without adding latency to
+//!   an already-full queue.
+//! - **Graceful drain.** [`Engine::shutdown`] (and `Drop`) stops
+//!   accepting submissions, dispatches everything still queued, waits for
+//!   workers to finish, and joins them — no queued job is ever abandoned.
+//!   [`Engine::drain`] initiates the same drain without consuming the
+//!   engine, for callers that still hold in-flight handles.
+//!
+//! # Determinism
+//!
+//! Packing is a *scheduling* change only, exactly as in
+//! [`crate::cells`]: every job keeps its own seed-derived RNG stream and
+//! the lockstep engine runs the literal serial round body per lane, so a
+//! job's result does not depend on which group (or which worker, chunk,
+//! or lane width) executed it. Results scatter back to their
+//! `(submission, job index)` slot, so [`Engine::submit`] returns results
+//! in job order, bit-for-bit identical to [`crate::cells::run_cells`] on
+//! the per-call pool — at any workers × chunk × batch × lanes
+//! combination, and regardless of how concurrent submissions interleave.
+//! The per-call and serial paths stay available as the identity oracle
+//! (`--engine` is opt-in; see [`crate::parallel::configured_engine`]).
+//!
+//! # Error and panic semantics
+//!
+//! A failing job fails its whole lockstep group (as on the per-call
+//! batched path); [`Engine::submit`] returns the first error in job
+//! order. A panicking group marks every submission it served: the first
+//! one (by queue position) re-raises the original payload, any other
+//! submission sharing the group panics with a generic message. Workers
+//! survive both — the engine stays usable.
+
+use crate::batch::run_policy_batch;
+use crate::cells::{CellJob, CellPackStats, ShapeKey};
+use crate::runner::{run_policy, RunResult};
+use cdt_core::Scenario;
+use cdt_obs::LatencyHistogram;
+use cdt_types::{CdtError, Result};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued lane: a [`CellJob`] flattened into the engine's shared
+/// pending queue, tagged with the submission it demuxes back to.
+///
+/// The scenario travels as a raw pointer because the queue outlives any
+/// single `submit` borrow. Safety argument at the `unsafe impl Send`.
+struct Lane {
+    /// The submission this lane belongs to.
+    submission: u64,
+    /// Index into the submission's job slice (the demux slot).
+    index: usize,
+    /// Sweep-cell metadata (travels into span attrs, never the run).
+    cell: u64,
+    /// The scenario the lane runs against (borrowed from the submitter;
+    /// valid until the lane's submission completes).
+    scenario: *const Scenario,
+    /// The lane's own RNG seed.
+    seed: u64,
+    /// Lockstep-compatibility key (shape + policy value).
+    key: ShapeKey,
+    /// Checkpoint schedule; part of the compatibility key because one
+    /// `checkpoints` slice drives every lane of a batched group.
+    checkpoints: Arc<Vec<usize>>,
+}
+
+// SAFETY: `scenario` is only dereferenced by workers while its submission
+// is outstanding, and a submission stays outstanding until every one of
+// its lanes has been executed (or consumed by a panicking group). Both
+// `SubmitHandle::wait` and `SubmitHandle`'s `Drop` block until then, so
+// the `&Scenario` borrows behind these pointers outlive every worker
+// access. (`mem::forget` of a `SubmitHandle` would void this contract and
+// is documented as forbidden on [`Engine::enqueue`].) `Scenario` itself
+// is `Sync`, so shared references may cross threads.
+unsafe impl Send for Lane {}
+
+/// One packed lockstep group, ready to execute: all lanes share a
+/// [`ShapeKey`] and checkpoint schedule.
+struct Group {
+    /// Whether to run through [`run_policy_batch`] (`batch > 1` at
+    /// dispatch time) or per-job [`run_policy`] (the unbatched oracle
+    /// path, always singleton groups).
+    batched: bool,
+    lanes: Vec<Lane>,
+}
+
+/// Book-keeping for one in-flight submission.
+struct Submission {
+    /// Lanes not yet executed; 0 means the submission is complete.
+    remaining: usize,
+    /// Per-job result slots, indexed by job order.
+    slots: Vec<Option<Result<RunResult>>>,
+    /// Groups that served at least one of this submission's lanes.
+    groups: usize,
+    /// Of those, groups whose lanes spanned more than one sweep cell.
+    coalesced: usize,
+    /// The payload of a worker panic, re-raised by the waiter.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set when a group serving this submission panicked (even if the
+    /// payload went to another submission sharing the group).
+    poisoned: bool,
+}
+
+/// State behind the engine's mutex.
+struct State {
+    /// Lanes waiting to be gathered into groups.
+    pending: Vec<Lane>,
+    /// Packed groups waiting for a worker.
+    ready: VecDeque<Group>,
+    /// In-flight submissions (removed by the waiter on completion).
+    submissions: Vec<(u64, Submission)>,
+    /// Next submission id.
+    next_submission: u64,
+    /// When the oldest lane in `pending` was enqueued (the gather-window
+    /// anchor); `None` when `pending` is empty.
+    oldest: Option<Instant>,
+    /// Draining: no new submissions, dispatch everything queued.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes workers: new pending lanes, new ready groups, or shutdown.
+    work_cv: Condvar,
+    /// Wakes submitters: a submission may have completed.
+    done_cv: Condvar,
+    /// The gather window (how long a non-saturated queue waits for
+    /// companions before dispatching).
+    gather: Duration,
+    /// Worker count (saturation threshold is `batch × workers`).
+    workers: usize,
+    submissions_total: AtomicU64,
+    jobs_total: AtomicU64,
+    cross_request_total: AtomicU64,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A persistent worker runtime: submissions enqueue [`CellJob`]s onto a
+/// shared queue, parked workers gather them into cross-request lockstep
+/// groups, and results demux back to each submission in job order —
+/// bit-for-bit identical to the per-call [`crate::cells::run_cells`]
+/// path. See the module docs for the full contract.
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawns a new engine with `workers` persistent worker threads
+    /// (clamped to at least 1) and the given gather window.
+    ///
+    /// Most callers want the process-wide [`global`] engine; dedicated
+    /// instances are for tests and benchmarks that need to pin the
+    /// worker count or gather window independently of the knobs.
+    #[must_use]
+    pub fn new(workers: usize, gather: Duration) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                ready: VecDeque::new(),
+                submissions: Vec::new(),
+                next_submission: 0,
+                oldest: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            gather,
+            workers,
+
+            submissions_total: AtomicU64::new(0),
+            jobs_total: AtomicU64::new(0),
+            cross_request_total: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cdt-engine-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawning an engine worker thread must succeed")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Runs a job stream through the resident engine; results return in
+    /// job order, bit-for-bit identical to [`crate::cells::run_cells`].
+    /// Blocks until every job has executed.
+    ///
+    /// # Errors
+    /// Propagates the first job error in job order, or rejects the
+    /// submission when the engine is shut down.
+    pub fn submit(&self, jobs: &[CellJob<'_>], checkpoints: &[usize]) -> Result<Vec<RunResult>> {
+        self.submit_observed(jobs, checkpoints)
+            .map(|(results, _)| results)
+    }
+
+    /// As [`Engine::submit`], additionally reporting the packing stats
+    /// for this submission (groups its lanes landed in; a group shared
+    /// with a concurrent submission counts for both).
+    ///
+    /// # Errors
+    /// As [`Engine::submit`].
+    pub fn submit_observed(
+        &self,
+        jobs: &[CellJob<'_>],
+        checkpoints: &[usize],
+    ) -> Result<(Vec<RunResult>, CellPackStats)> {
+        if jobs.is_empty() {
+            return Ok((
+                Vec::new(),
+                CellPackStats {
+                    lanes: 0,
+                    groups: 0,
+                    coalesced_groups: 0,
+                    mean_occupancy: 0.0,
+                },
+            ));
+        }
+        self.enqueue(jobs, checkpoints).wait()
+    }
+
+    /// Enqueues a submission and returns its [`SubmitHandle`] without
+    /// blocking, so several submissions from one thread can be in flight
+    /// together (each `wait` demuxes its own results).
+    ///
+    /// The handle's `Drop` blocks until the submission completes —
+    /// workers hold pointers into `jobs` until then. Leaking the handle
+    /// (`std::mem::forget`) voids that guarantee and is a contract
+    /// violation: the borrow of `jobs` would end while workers may still
+    /// read it.
+    #[must_use]
+    pub fn enqueue<'env>(
+        &'env self,
+        jobs: &'env [CellJob<'env>],
+        checkpoints: &[usize],
+    ) -> SubmitHandle<'env> {
+        let span = cdt_obs::active_trace().map(|trace| {
+            (
+                trace,
+                cdt_obs::span::current_scope(),
+                cdt_obs::span::now_ns(),
+            )
+        });
+        let checkpoints = Arc::new(checkpoints.to_vec());
+        let mut st = lock(&self.shared);
+        let id = st.next_submission;
+        st.next_submission += 1;
+        if st.shutdown {
+            drop(st);
+            return SubmitHandle {
+                engine: self,
+                id,
+                jobs_len: jobs.len(),
+                rejected: true,
+                waited: false,
+                span,
+                _env: PhantomData,
+            };
+        }
+        st.submissions.push((
+            id,
+            Submission {
+                remaining: jobs.len(),
+                slots: jobs.iter().map(|_| None).collect(),
+                groups: 0,
+                coalesced: 0,
+                panic: None,
+                poisoned: false,
+            },
+        ));
+        for (index, job) in jobs.iter().enumerate() {
+            st.pending.push(Lane {
+                submission: id,
+                index,
+                cell: job.cell,
+                scenario: std::ptr::from_ref::<Scenario>(job.scenario),
+                seed: job.seed,
+                key: ShapeKey::of(job),
+                checkpoints: Arc::clone(&checkpoints),
+            });
+        }
+        if st.oldest.is_none() {
+            st.oldest = Some(Instant::now());
+        }
+        let depth = st.pending.len();
+        drop(st);
+        self.shared
+            .submissions_total
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .jobs_total
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        if cdt_obs::is_enabled() {
+            let registry = cdt_obs::global();
+            registry.add_counter("cdt_obs_engine_submissions_total", &[], 1);
+            registry.add_counter("cdt_obs_engine_queued_jobs_total", &[], jobs.len() as u64);
+            registry.set_gauge("cdt_obs_engine_queue_depth", &[], depth as f64);
+        }
+        self.shared.work_cv.notify_all();
+        SubmitHandle {
+            engine: self,
+            id,
+            jobs_len: jobs.len(),
+            rejected: false,
+            waited: false,
+            span,
+            _env: PhantomData,
+        }
+    }
+
+    /// Lanes currently waiting in the shared queue (not yet gathered).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared).pending.len()
+    }
+
+    /// Persistent worker threads this engine runs.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Submissions accepted over this engine's lifetime.
+    #[must_use]
+    pub fn submissions_total(&self) -> u64 {
+        self.shared.submissions_total.load(Ordering::Relaxed)
+    }
+
+    /// Jobs enqueued over this engine's lifetime.
+    #[must_use]
+    pub fn jobs_total(&self) -> u64 {
+        self.shared.jobs_total.load(Ordering::Relaxed)
+    }
+
+    /// Dispatched groups whose lanes spanned more than one submission —
+    /// the cross-request packing win.
+    #[must_use]
+    pub fn cross_request_batches_total(&self) -> u64 {
+        self.shared.cross_request_total.load(Ordering::Relaxed)
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = lock(&self.shared);
+        st.shutdown = true;
+        drop(st);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Begins draining without consuming the engine: new submissions are
+    /// rejected and every lane already queued is dispatched immediately
+    /// (the gather window no longer applies), but in-flight submissions
+    /// still complete and the workers keep running until
+    /// [`Engine::shutdown`] or `Drop` joins them. Lets a resident service
+    /// initiate drain (e.g. from a signal handler) while submitters are
+    /// still blocked on their results.
+    pub fn drain(&self) {
+        self.begin_shutdown();
+    }
+
+    /// Drains and stops the engine: no new submissions are accepted,
+    /// every queued lane is still dispatched and its submission completed
+    /// (drain leaves no job behind), then the workers exit and join.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A ticket for one in-flight submission, returned by
+/// [`Engine::enqueue`]. [`SubmitHandle::wait`] blocks for and returns the
+/// submission's results; dropping the handle blocks until the submission
+/// completes (discarding the results), so the borrowed jobs always
+/// outlive the workers' use of them.
+pub struct SubmitHandle<'env> {
+    engine: &'env Engine,
+    id: u64,
+    jobs_len: usize,
+    /// The engine was already shut down at enqueue time.
+    rejected: bool,
+    /// `wait` already consumed the submission (Drop must not re-wait).
+    waited: bool,
+    /// `engine_submit` span context captured at enqueue:
+    /// (trace, parent scope, start ns).
+    span: Option<(cdt_obs::TraceId, Option<cdt_obs::SpanId>, u64)>,
+    _env: PhantomData<&'env [CellJob<'env>]>,
+}
+
+impl SubmitHandle<'_> {
+    /// Blocks until every lane of this submission has executed, then
+    /// returns the results in job order plus the submission's packing
+    /// stats.
+    ///
+    /// # Errors
+    /// The first job error in job order, or a rejection when the engine
+    /// was already shut down at enqueue time.
+    ///
+    /// # Panics
+    /// Re-raises a worker panic that occurred while executing this
+    /// submission's lanes.
+    pub fn wait(mut self) -> Result<(Vec<RunResult>, CellPackStats)> {
+        self.waited = true;
+        if self.rejected {
+            return Err(CdtError::InvalidConfig {
+                message: "engine is shut down; submission rejected".to_owned(),
+            });
+        }
+        let sub = self.block_until_done();
+        if let Some((trace, parent, start_ns)) = self.span {
+            let record = cdt_obs::SpanRecord::new(
+                trace,
+                cdt_obs::span::next_span_id(),
+                parent,
+                "engine_submit",
+                start_ns,
+                cdt_obs::span::now_ns().saturating_sub(start_ns),
+            )
+            .with_batch(self.jobs_len as u64);
+            cdt_obs::publish_spans(&[record]);
+        }
+        if let Some(payload) = sub.panic {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(
+            !sub.poisoned,
+            "a cdt engine worker panicked while executing a shared batch group"
+        );
+        let mut results = Vec::with_capacity(sub.slots.len());
+        for slot in sub.slots {
+            match slot {
+                Some(Ok(result)) => results.push(result),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("completed submission with an unfilled slot"),
+            }
+        }
+        let stats = CellPackStats {
+            lanes: self.jobs_len,
+            groups: sub.groups,
+            coalesced_groups: sub.coalesced,
+            mean_occupancy: if sub.groups == 0 {
+                0.0
+            } else {
+                self.jobs_len as f64 / sub.groups as f64
+            },
+        };
+        Ok((results, stats))
+    }
+
+    /// Waits for `remaining == 0` and removes the submission entry.
+    fn block_until_done(&self) -> Submission {
+        let mut st = lock(&self.engine.shared);
+        loop {
+            let pos = st
+                .submissions
+                .iter()
+                .position(|(id, _)| *id == self.id)
+                .expect("an unwaited submission stays registered");
+            if st.submissions[pos].1.remaining == 0 {
+                return st.submissions.swap_remove(pos).1;
+            }
+            st = self
+                .engine
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for SubmitHandle<'_> {
+    fn drop(&mut self) {
+        if !self.waited && !self.rejected {
+            // Block until the workers are done with the borrowed jobs;
+            // results (and any panic payload) are discarded.
+            let _ = self.block_until_done();
+        }
+    }
+}
+
+/// The persistent worker body: park on the queue, gather pending lanes
+/// into groups when the window closes (or the queue saturates, or the
+/// engine drains), execute groups, scatter results.
+fn worker_loop(shared: &Shared, worker: usize) {
+    let label = format!("e{worker}");
+    loop {
+        let mut idle_ns = 0u64;
+        let Some(group) = next_group(shared, &mut idle_ns) else {
+            publish_worker_stats(&label, 0, 0, idle_ns);
+            break;
+        };
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute_group(&group)));
+        let busy_ns = elapsed_ns(started);
+        let lanes = group.lanes.len();
+        complete_group(shared, group, outcome);
+        publish_worker_stats(&label, lanes as u64, busy_ns, idle_ns);
+    }
+}
+
+/// Publishes one worker-loop iteration's deltas into the same pool
+/// introspection families the per-call pool uses, labeled `e<worker>`, so
+/// the `--obs-summary` worker table shows engine workers alongside pool
+/// workers (park time lands in the `idle` column).
+fn publish_worker_stats(label: &str, jobs: u64, busy_ns: u64, idle_ns: u64) {
+    if !cdt_obs::is_enabled() || (jobs == 0 && busy_ns == 0 && idle_ns == 0) {
+        return;
+    }
+    let registry = cdt_obs::global();
+    let labels: [(&str, &str); 1] = [("worker", label)];
+    registry.add_counter("cdt_obs_pool_worker_jobs_total", &labels, jobs);
+    registry.add_counter(
+        "cdt_obs_pool_worker_chunks_total",
+        &labels,
+        u64::from(jobs > 0),
+    );
+    registry.add_counter("cdt_obs_pool_worker_busy_ns_total", &labels, busy_ns);
+    registry.add_counter("cdt_obs_pool_worker_idle_ns_total", &labels, idle_ns);
+}
+
+/// Claims the next ready group, gathering/dispatching the pending queue
+/// as the window rules allow; returns `None` when the engine has drained
+/// and shut down. Park time accumulates into `idle_ns`.
+fn next_group(shared: &Shared, idle_ns: &mut u64) -> Option<Group> {
+    let mut st = lock(shared);
+    loop {
+        if let Some(group) = st.ready.pop_front() {
+            return Some(group);
+        }
+        if st.pending.is_empty() {
+            if st.shutdown {
+                return None;
+            }
+            let parked = Instant::now();
+            st = shared
+                .work_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+            *idle_ns = idle_ns.saturating_add(elapsed_ns(parked));
+            continue;
+        }
+        let batch = crate::parallel::configured_batch().max(1);
+        // Dispatch now when waiting longer cannot improve packing
+        // (saturated: a full batch for every worker), when draining, or
+        // when the oldest lane's gather window has elapsed.
+        let saturated = st.pending.len() >= batch.saturating_mul(shared.workers);
+        let deadline = st.oldest.unwrap_or_else(Instant::now) + shared.gather;
+        let now = Instant::now();
+        if saturated || st.shutdown || now >= deadline {
+            dispatch(shared, &mut st, batch);
+            continue;
+        }
+        let parked = Instant::now();
+        let (guard, _timeout) = shared
+            .work_cv
+            .wait_timeout(st, deadline - now)
+            .unwrap_or_else(PoisonError::into_inner);
+        st = guard;
+        *idle_ns = idle_ns.saturating_add(elapsed_ns(parked));
+    }
+}
+
+/// How many distinct sweep cells a group's lanes serve.
+fn distinct_cells(group: &Group) -> usize {
+    let mut seen: Vec<u64> = Vec::with_capacity(group.lanes.len());
+    for lane in &group.lanes {
+        if !seen.contains(&lane.cell) {
+            seen.push(lane.cell);
+        }
+    }
+    seen.len()
+}
+
+/// Packs the whole pending queue into lockstep groups (arrival-order
+/// buckets keyed on `ShapeKey` + checkpoint schedule, mirroring
+/// [`crate::cells::pack_cells`]) and moves them to the ready queue.
+/// Called with the state lock held.
+fn dispatch(shared: &Shared, st: &mut State, batch: usize) {
+    let span = cdt_obs::active_trace().map(|trace| (trace, cdt_obs::span::now_ns()));
+    let lanes = std::mem::take(&mut st.pending);
+    st.oldest = None;
+    let total_lanes = lanes.len();
+
+    // Deterministic linear-scan bucketing, same as pack_cells (no hashing
+    // over f64 policy params); checkpoints join the key because one
+    // schedule slice drives all lanes of a batched group.
+    let mut buckets: Vec<(ShapeKey, Arc<Vec<usize>>, Vec<Lane>)> = Vec::new();
+    for lane in lanes {
+        match buckets
+            .iter_mut()
+            .find(|(key, checkpoints, _)| *key == lane.key && **checkpoints == *lane.checkpoints)
+        {
+            Some((_, _, members)) => members.push(lane),
+            None => {
+                let key = lane.key;
+                let checkpoints = Arc::clone(&lane.checkpoints);
+                buckets.push((key, checkpoints, vec![lane]));
+            }
+        }
+    }
+    let batched = batch > 1;
+    let mut groups: Vec<Group> = Vec::new();
+    for (_, _, mut members) in buckets {
+        while !members.is_empty() {
+            let take = members.len().min(batch);
+            let rest = members.split_off(take);
+            groups.push(Group {
+                batched,
+                lanes: members,
+            });
+            members = rest;
+        }
+    }
+
+    // Per-submission packing stats + the cross-request counter.
+    let mut cross = 0u64;
+    let mut coalesced_total = 0u64;
+    for group in &groups {
+        let first = group.lanes[0].submission;
+        if group.lanes.iter().any(|l| l.submission != first) {
+            cross += 1;
+        }
+        let mixed = distinct_cells(group) > 1;
+        if mixed {
+            coalesced_total += 1;
+        }
+        let mut seen: Vec<u64> = Vec::new();
+        for lane in &group.lanes {
+            if seen.contains(&lane.submission) {
+                continue;
+            }
+            seen.push(lane.submission);
+            if let Some((_, sub)) = st
+                .submissions
+                .iter_mut()
+                .find(|(id, _)| *id == lane.submission)
+            {
+                sub.groups += 1;
+                if mixed {
+                    sub.coalesced += 1;
+                }
+            }
+        }
+    }
+    shared
+        .cross_request_total
+        .fetch_add(cross, Ordering::Relaxed);
+    let group_count = groups.len();
+    if cdt_obs::is_enabled() && group_count > 0 {
+        let registry = cdt_obs::global();
+        registry.add_counter("cdt_obs_engine_cross_request_batches_total", &[], cross);
+        registry.set_gauge("cdt_obs_engine_queue_depth", &[], 0.0);
+        // The same cell-packing families the per-call scheduler feeds, so
+        // summaries describe packing uniformly across both paths.
+        registry.add_counter("cdt_obs_cell_batches_total", &[], group_count as u64);
+        registry.add_counter("cdt_obs_cell_lanes_total", &[], total_lanes as u64);
+        registry.add_counter("cdt_obs_cell_coalesced_batches_total", &[], coalesced_total);
+        let mut occupancy = LatencyHistogram::default();
+        for group in &groups {
+            occupancy.record_ns(group.lanes.len() as u64);
+        }
+        registry.merge_histogram("cdt_obs_cell_batch_lanes", &[], &occupancy);
+    }
+    st.ready.extend(groups);
+    shared.work_cv.notify_all();
+    if let Some((trace, start_ns)) = span {
+        // The gathering worker has no caller scope: the span is its own
+        // root, which keeps the flame telescope identity (the analyzer
+        // reconciles Σ exclusive == inclusive per root).
+        let record = cdt_obs::SpanRecord::new(
+            trace,
+            cdt_obs::span::next_span_id(),
+            None,
+            "engine_gather",
+            start_ns,
+            cdt_obs::span::now_ns().saturating_sub(start_ns),
+        )
+        .with_lane(total_lanes as u64)
+        .with_batch(group_count as u64);
+        cdt_obs::publish_spans(&[record]);
+    }
+}
+
+/// Executes one group on the calling worker thread: the exact per-call
+/// code paths ([`run_policy`] unbatched, [`run_policy_batch`] on a
+/// recycled arena scratch otherwise), so results are bit-identical.
+fn execute_group(group: &Group) -> Result<Vec<RunResult>> {
+    let spec = group.lanes[0].key.spec;
+    let checkpoints = &group.lanes[0].checkpoints;
+    if !group.batched {
+        let lane = &group.lanes[0];
+        // SAFETY: the submission owning this lane is still outstanding
+        // (its waiter blocks until `complete_group` runs), so the
+        // borrowed scenario is alive. See the `Lane` safety comment.
+        let scenario = unsafe { &*lane.scenario };
+        return run_policy(scenario, spec, lane.seed, checkpoints).map(|result| vec![result]);
+    }
+    let scenarios: Vec<&Scenario> = group
+        .lanes
+        .iter()
+        // SAFETY: as above — every lane's submission is outstanding.
+        .map(|lane| unsafe { &*lane.scenario })
+        .collect();
+    let seeds: Vec<u64> = group.lanes.iter().map(|lane| lane.seed).collect();
+    let cells: Vec<u64> = group.lanes.iter().map(|lane| lane.cell).collect();
+    crate::arena::with_batch_scratch(|scratch| {
+        scratch.set_lane_cells(&cells);
+        run_policy_batch(&scenarios, spec, &seeds, checkpoints, scratch)
+    })
+}
+
+/// Scatters a finished group's outcome back to its submissions and wakes
+/// the waiters.
+fn complete_group(
+    shared: &Shared,
+    group: Group,
+    outcome: std::thread::Result<Result<Vec<RunResult>>>,
+) {
+    let find = |st: &mut State, submission: u64| {
+        st.submissions
+            .iter_mut()
+            .find(|(id, _)| *id == submission)
+            .map(|(_, sub)| sub)
+    };
+    let mut st = lock(shared);
+    match outcome {
+        Ok(Ok(results)) => {
+            for (lane, result) in group.lanes.iter().zip(results) {
+                if let Some(sub) = find(&mut st, lane.submission) {
+                    debug_assert!(sub.slots[lane.index].is_none(), "lane produced twice");
+                    sub.slots[lane.index] = Some(Ok(result));
+                    sub.remaining -= 1;
+                }
+            }
+        }
+        Ok(Err(e)) => {
+            // A group error fails every lane of the group, exactly like
+            // the per-call batched path failing that group's pool job.
+            for lane in &group.lanes {
+                if let Some(sub) = find(&mut st, lane.submission) {
+                    sub.slots[lane.index] = Some(Err(e.clone()));
+                    sub.remaining -= 1;
+                }
+            }
+        }
+        Err(payload) => {
+            let mut payload = Some(payload);
+            for lane in &group.lanes {
+                if let Some(sub) = find(&mut st, lane.submission) {
+                    sub.poisoned = true;
+                    if sub.panic.is_none() {
+                        if let Some(p) = payload.take() {
+                            sub.panic = Some(p);
+                        }
+                    }
+                    sub.remaining -= 1;
+                }
+            }
+        }
+    }
+    drop(st);
+    shared.done_cv.notify_all();
+}
+
+/// The process-wide resident engine, built lazily from the configured
+/// knobs ([`crate::parallel::configured_threads`] workers,
+/// [`crate::parallel::configured_engine_gather_us`] gather window) on
+/// first use. Later knob changes do not rebuild it — results are
+/// bit-identical at any worker count, so only throughput could differ;
+/// construct a dedicated [`Engine::new`] to pin a shape explicitly.
+pub fn global() -> &'static Engine {
+    static GLOBAL: OnceLock<Engine> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Engine::new(
+            crate::parallel::configured_threads(),
+            Duration::from_micros(crate::parallel::configured_engine_gather_us()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy_spec::PolicySpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenario(seed: u64, m: usize, k: usize, n: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Scenario::paper_defaults(m, k, 3, n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn empty_submission_completes_immediately() {
+        let engine = Engine::new(1, Duration::from_millis(50));
+        let (results, stats) = engine.submit_observed(&[], &[]).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.groups, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_matches_direct_run_policy() {
+        let s = scenario(1, 8, 2, 25);
+        let jobs: Vec<CellJob> = (0..3)
+            .map(|i| CellJob {
+                cell: i,
+                scenario: &s,
+                spec: PolicySpec::Random,
+                seed: 40 + i,
+            })
+            .collect();
+        let expect: Vec<RunResult> = jobs
+            .iter()
+            .map(|j| run_policy(j.scenario, j.spec, j.seed, &[]).unwrap())
+            .collect();
+        let engine = Engine::new(2, Duration::from_micros(100));
+        let got = engine.submit(&jobs, &[]).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(engine.submissions_total(), 1);
+        assert_eq!(engine.jobs_total(), 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let s = scenario(2, 8, 2, 10);
+        let jobs = [CellJob {
+            cell: 0,
+            scenario: &s,
+            spec: PolicySpec::Random,
+            seed: 7,
+        }];
+        let engine = Engine::new(1, Duration::from_micros(100));
+        engine.begin_shutdown();
+        let err = engine.submit(&jobs, &[]).unwrap_err();
+        assert!(matches!(err, CdtError::InvalidConfig { .. }), "{err:?}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn handles_overlapping_enqueues_from_one_thread() {
+        let a = scenario(3, 8, 2, 20);
+        let b = scenario(4, 10, 3, 20);
+        let jobs_a: Vec<CellJob> = (0..2)
+            .map(|i| CellJob {
+                cell: i,
+                scenario: &a,
+                spec: PolicySpec::Random,
+                seed: 10 + i,
+            })
+            .collect();
+        let jobs_b: Vec<CellJob> = (0..2)
+            .map(|i| CellJob {
+                cell: i,
+                scenario: &b,
+                spec: PolicySpec::CmabHs,
+                seed: 20 + i,
+            })
+            .collect();
+        let expect_a = crate::cells::run_cells(&jobs_a, &[]).unwrap();
+        let expect_b = crate::cells::run_cells(&jobs_b, &[]).unwrap();
+        let engine = Engine::new(1, Duration::from_micros(200));
+        let handle_a = engine.enqueue(&jobs_a, &[]);
+        let handle_b = engine.enqueue(&jobs_b, &[]);
+        let (got_b, _) = handle_b.wait().unwrap();
+        let (got_a, _) = handle_a.wait().unwrap();
+        assert_eq!(got_a, expect_a);
+        assert_eq!(got_b, expect_b);
+        engine.shutdown();
+    }
+}

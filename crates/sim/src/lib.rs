@@ -23,6 +23,10 @@
 //!   into [`cells::CellJob`]s, bucketed by lockstep-compatible shape, and
 //!   packed into batches of up to `--batch` lanes with ragged tails
 //!   coalesced across cells;
+//! - [`engine`]: the opt-in resident runtime (`--engine` / `CDT_ENGINE`):
+//!   persistent workers parked on a condvar-backed submission queue, with
+//!   cross-request cell packing behind a short gather window
+//!   (`--engine-gather-us`) and warm scratch arenas across submissions;
 //! - [`compare`]: many policies on a common scenario;
 //! - [`report`]: plain-text tables and CSV export;
 //! - [`experiments`]: one module per paper figure (7–18).
@@ -40,6 +44,7 @@ pub mod arena;
 pub mod batch;
 pub mod cells;
 pub mod compare;
+pub mod engine;
 pub mod experiments;
 pub mod parallel;
 pub mod policy_spec;
@@ -55,9 +60,11 @@ pub use cells::{
     PackedGroup, ShapeKey,
 };
 pub use compare::{compare_policies, compare_policies_grid, ComparisonResult};
+pub use engine::{Engine, SubmitHandle};
 pub use parallel::{
-    configured_batch, configured_chunk, configured_fast_math, configured_lanes, configured_threads,
-    parallel_map, set_batch_override, set_chunk_override, set_fast_math_override,
+    configured_batch, configured_chunk, configured_engine, configured_engine_gather_us,
+    configured_fast_math, configured_lanes, configured_threads, parallel_map, set_batch_override,
+    set_chunk_override, set_engine_gather_override, set_engine_override, set_fast_math_override,
     set_lanes_override, set_thread_override, sync_lane_config, try_parallel_map,
 };
 pub use policy_spec::PolicySpec;

@@ -344,6 +344,126 @@ pub fn configured_fast_math() -> bool {
     resolve_fast_math(env.as_deref()).unwrap_or(false)
 }
 
+/// Process-wide engine-routing override; 0 = not set, 1 = forced off,
+/// 2 = forced on (same encoding as [`FAST_MATH_OVERRIDE`]).
+static ENGINE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide gather-window override in µs, stored as `value + 1`;
+/// 0 means "not set" (a stored 1 encodes a genuine 0 µs window, which is
+/// valid and means "dispatch immediately").
+static ENGINE_GATHER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Routes cell streams through the resident [`crate::engine`] runtime
+/// (`Some(true)`, wired to `--engine`), forces the per-call pool
+/// (`Some(false)`), or clears the override (`None`) so
+/// [`configured_engine`] falls back to `CDT_ENGINE` / the off default.
+/// Either way results are bit-identical — the engine is a scheduling
+/// change only; the per-call path stays available as the identity oracle.
+pub fn set_engine_override(on: Option<bool>) {
+    let encoded = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    ENGINE_OVERRIDE.store(encoded, Ordering::Relaxed);
+}
+
+/// Parses a `CDT_ENGINE`-style value; `None` for anything that is not a
+/// recognized boolean spelling (same spellings as `CDT_FAST_MATH`).
+fn parse_engine(raw: &str) -> Option<bool> {
+    parse_fast_math(raw)
+}
+
+/// Resolves a raw `CDT_ENGINE` value, warning once on invalid input.
+/// `None` means the default (per-call pool; engine off).
+fn resolve_engine(raw: Option<&str>) -> Option<bool> {
+    let raw = raw?;
+    match parse_engine(raw) {
+        Some(on) => Some(on),
+        None => {
+            cdt_obs::warn_once(
+                "cdt-engine-invalid",
+                &format!(
+                    "ignoring invalid CDT_ENGINE value {raw:?} \
+                     (expected 1/true/on or 0/false/off); using the per-call pool"
+                ),
+            );
+            None
+        }
+    }
+}
+
+/// Whether cell streams route through the resident engine runtime
+/// (override > `CDT_ENGINE` > off).
+#[must_use]
+pub fn configured_engine() -> bool {
+    match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return false,
+        2 => return true,
+        _ => {}
+    }
+    let env = std::env::var("CDT_ENGINE").ok();
+    resolve_engine(env.as_deref()).unwrap_or(false)
+}
+
+/// Pins the engine's gather window in microseconds (`Some(us)`; `0` is
+/// valid and dispatches immediately), or clears the override (`None`) so
+/// [`configured_engine_gather_us`] falls back to `CDT_ENGINE_GATHER_US` /
+/// [`crate::settings::SimSettings::DEFAULT_ENGINE_GATHER_US`]. The window
+/// only trades latency against cross-request packing opportunity — any
+/// value is bit-identical.
+pub fn set_engine_gather_override(us: Option<u64>) {
+    match us {
+        // Stored off-by-one so an explicit 0 µs survives the 0 = "unset"
+        // encoding; clamp instead of wrapping on a (nonsensical) usize::MAX.
+        Some(us) => {
+            let encoded = usize::try_from(us).unwrap_or(usize::MAX).saturating_add(1);
+            ENGINE_GATHER_OVERRIDE.store(encoded, Ordering::Relaxed);
+        }
+        None => ENGINE_GATHER_OVERRIDE.store(0, Ordering::Relaxed),
+    }
+}
+
+/// Parses a `CDT_ENGINE_GATHER_US`-style value; `None` for anything that
+/// is not a non-negative integer (0 is valid: dispatch immediately).
+fn parse_engine_gather(raw: &str) -> Option<u64> {
+    raw.trim().parse::<u64>().ok()
+}
+
+/// Resolves a raw `CDT_ENGINE_GATHER_US` value, warning once on invalid
+/// input. `None` means the default window.
+fn resolve_engine_gather(raw: Option<&str>) -> Option<u64> {
+    let raw = raw?;
+    match parse_engine_gather(raw) {
+        Some(us) => Some(us),
+        None => {
+            cdt_obs::warn_once(
+                "cdt-engine-gather-invalid",
+                &format!(
+                    "ignoring invalid CDT_ENGINE_GATHER_US value {raw:?} \
+                     (expected a non-negative integer, microseconds); using the default window of {} us",
+                    crate::settings::SimSettings::DEFAULT_ENGINE_GATHER_US
+                ),
+            );
+            None
+        }
+    }
+}
+
+/// The engine's gather window in microseconds (override >
+/// `CDT_ENGINE_GATHER_US` >
+/// [`crate::settings::SimSettings::DEFAULT_ENGINE_GATHER_US`]).
+#[must_use]
+pub fn configured_engine_gather_us() -> u64 {
+    let overridden = ENGINE_GATHER_OVERRIDE.load(Ordering::Relaxed);
+    if overridden != 0 {
+        return (overridden - 1) as u64;
+    }
+    let env = std::env::var("CDT_ENGINE_GATHER_US").ok();
+    resolve_engine_gather(env.as_deref())
+        .unwrap_or(crate::settings::SimSettings::DEFAULT_ENGINE_GATHER_US)
+}
+
 /// Pushes the resolved lane configuration ([`configured_lanes`],
 /// [`configured_fast_math`]) into the process-wide [`cdt_types::lanes`]
 /// state the column kernels read.
@@ -792,6 +912,83 @@ mod tests {
         assert_eq!(resolve_fast_math(Some("turbo")), None);
         let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
         assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn parse_engine_accepts_boolean_spellings_only() {
+        for on in ["1", "true", "on", "yes", " ON "] {
+            assert_eq!(parse_engine(on), Some(true), "{on:?}");
+        }
+        for off in ["0", "false", "off", "no"] {
+            assert_eq!(parse_engine(off), Some(false), "{off:?}");
+        }
+        for bad in ["", "2", "resident", "maybe"] {
+            assert_eq!(parse_engine(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_engine_warns_once_and_stays_off() {
+        assert_eq!(resolve_engine(None), None);
+        assert_eq!(resolve_engine(Some("on")), Some(true));
+        assert_eq!(resolve_engine(Some("off")), Some(false));
+        let labels: [(&str, &str); 1] = [("kind", "cdt-engine-invalid")];
+        let before = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert_eq!(resolve_engine(Some("resident")), None);
+        let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn engine_override_takes_precedence_and_clears() {
+        // This test owns the engine override for its duration; other tests
+        // in this module never set it.
+        set_engine_override(Some(true));
+        assert!(configured_engine());
+        set_engine_override(Some(false));
+        assert!(!configured_engine());
+        set_engine_override(None);
+        // With no override and (normally) no CDT_ENGINE set, the engine
+        // defaults to off.
+        if std::env::var("CDT_ENGINE").is_err() {
+            assert!(!configured_engine());
+        }
+    }
+
+    #[test]
+    fn parse_engine_gather_accepts_non_negative_integers_only() {
+        assert_eq!(parse_engine_gather("150"), Some(150));
+        assert_eq!(parse_engine_gather(" 0 "), Some(0));
+        assert_eq!(parse_engine_gather("-5"), None);
+        assert_eq!(parse_engine_gather("fast"), None);
+        assert_eq!(parse_engine_gather(""), None);
+    }
+
+    #[test]
+    fn resolve_engine_gather_warns_once_and_falls_back_to_default() {
+        assert_eq!(resolve_engine_gather(None), None);
+        assert_eq!(resolve_engine_gather(Some("250")), Some(250));
+        let labels: [(&str, &str); 1] = [("kind", "cdt-engine-gather-invalid")];
+        let before = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert_eq!(resolve_engine_gather(Some("soon")), None);
+        let after = cdt_obs::global().counter_value("cdt_obs_warnings_total", &labels);
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn engine_gather_override_preserves_explicit_zero_and_clears() {
+        // This test owns the gather override for its duration.
+        set_engine_gather_override(Some(0));
+        assert_eq!(configured_engine_gather_us(), 0, "explicit 0 us survives");
+        set_engine_gather_override(Some(750));
+        assert_eq!(configured_engine_gather_us(), 750);
+        set_engine_gather_override(None);
+        if std::env::var("CDT_ENGINE_GATHER_US").is_err() {
+            assert_eq!(
+                configured_engine_gather_us(),
+                crate::settings::SimSettings::DEFAULT_ENGINE_GATHER_US
+            );
+        }
     }
 
     #[test]

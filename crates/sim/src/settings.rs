@@ -30,6 +30,15 @@ impl Default for SimSettings {
 }
 
 impl SimSettings {
+    /// Default gather window for the resident engine runtime
+    /// ([`crate::engine`]), in microseconds: how long a non-saturated
+    /// submission queue waits for concurrent submissions to share a
+    /// lockstep batch before dispatching. Long enough for back-to-back
+    /// submitters to coalesce, short enough to be invisible next to a
+    /// replication's runtime; override with `--engine-gather-us` /
+    /// `CDT_ENGINE_GATHER_US`.
+    pub const DEFAULT_ENGINE_GATHER_US: u64 = 150;
+
     /// Table II bold defaults: `N = 10⁵`, `M = 300`, `K = 10`, `L = 10`,
     /// `ω = 1000`, `θ = 0.1`, `λ = 1`.
     #[must_use]

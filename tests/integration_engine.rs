@@ -1,0 +1,279 @@
+//! Resident engine runtime contract tests.
+//!
+//! The engine is a scheduling change only: for any workers × chunk ×
+//! batch × lanes combination, `Engine::submit` must return bit-for-bit
+//! the output of the per-call `run_cells` path, concurrent submissions
+//! must demux to their own results in job order, same-shape concurrent
+//! submissions must share cross-request lockstep groups, drain must
+//! dispatch every queued lane (no job left behind), and a warm engine's
+//! persistent workers must recycle their scratch arenas across
+//! submissions instead of rebuilding them.
+
+use cdt_core::Scenario;
+use cdt_sim::{
+    arena_counters, run_cells, set_batch_override, set_chunk_override, set_engine_override,
+    set_fast_math_override, set_lanes_override, set_thread_override, CellJob, Engine, PolicySpec,
+};
+use cdt_types::mix_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The thread/chunk/batch/lane overrides are process-global; serialize
+/// every test that sets them (the arena counters are process-global too,
+/// so the warm-reuse test needs the same serialization).
+static GLOBAL_STATE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    let guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Pin `run_cells` to the per-call pool (even under an exported
+    // `CDT_ENGINE`): these tests contrast it, as the identity oracle,
+    // against explicit `Engine` instances.
+    set_engine_override(Some(false));
+    guard
+}
+
+fn reset_overrides() {
+    set_thread_override(None);
+    set_chunk_override(None);
+    set_batch_override(None);
+    set_lanes_override(None);
+    set_fast_math_override(None);
+    set_engine_override(None);
+}
+
+fn scenario(seed: u64, m: usize, k: usize, l: usize, n: usize) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Scenario::paper_defaults(m, k, l, n, &mut rng).unwrap()
+}
+
+/// A small sweep shaped like `cdt sweep --engine`: grid points varying
+/// `K` (distinct ShapeKeys) × replications (same-shape cells) × the paper
+/// policy set.
+fn sweep_cells(base_seed: u64) -> Vec<(u64, Scenario)> {
+    let grid = [2usize, 3];
+    let reps = 2;
+    let mut cells = Vec::new();
+    for (i, k) in grid.iter().enumerate() {
+        for rep in 0..reps {
+            let cell_seed = mix_seed(mix_seed(base_seed, i as u64), rep);
+            cells.push((cell_seed, scenario(cell_seed, 10, *k, 3, 40)));
+        }
+    }
+    cells
+}
+
+fn sweep_jobs<'a>(cells: &'a [(u64, Scenario)], specs: &[PolicySpec]) -> Vec<CellJob<'a>> {
+    cells
+        .iter()
+        .enumerate()
+        .flat_map(|(c, (cell_seed, scenario))| {
+            specs
+                .iter()
+                .enumerate()
+                .map(move |(j, &spec)| CellJob {
+                    cell: c as u64,
+                    scenario,
+                    spec,
+                    seed: mix_seed(*cell_seed, 1 + j as u64),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn cells_of(scenario: &Scenario, spec: PolicySpec, count: u64, seed0: u64) -> Vec<CellJob<'_>> {
+    (0..count)
+        .map(|i| CellJob {
+            cell: i,
+            scenario,
+            spec,
+            seed: seed0 + i,
+        })
+        .collect()
+}
+
+#[test]
+fn engine_submit_is_bit_identical_across_the_batch_chunk_thread_grid() {
+    let _guard = lock();
+    let specs = PolicySpec::paper_set();
+    let cells = sweep_cells(7);
+    let jobs = sweep_jobs(&cells, &specs);
+    let checkpoints = [10usize, 20];
+
+    // Serial per-call reference: one thread, unbatched.
+    set_thread_override(Some(1));
+    set_chunk_override(Some(1));
+    set_batch_override(Some(1));
+    set_lanes_override(Some(1));
+    let baseline = run_cells(&jobs, &checkpoints).unwrap();
+
+    for lanes in [1usize, 4] {
+        for batch in [1usize, 2, 3, 8] {
+            for (threads, chunk) in [(1, 1), (2, 1), (4, 3)] {
+                set_thread_override(Some(threads));
+                set_chunk_override(Some(chunk));
+                set_batch_override(Some(batch));
+                set_lanes_override(Some(lanes));
+                let engine = Engine::new(threads, Duration::from_micros(150));
+                let run = engine.submit(&jobs, &checkpoints).unwrap();
+                engine.shutdown();
+                assert_eq!(
+                    baseline, run,
+                    "engine diverged from the per-call path at lanes={lanes} \
+                     batch={batch} workers={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+    reset_overrides();
+}
+
+#[test]
+fn interleaved_concurrent_submissions_demux_to_their_own_results() {
+    let _guard = lock();
+    set_thread_override(Some(2));
+    set_batch_override(Some(3));
+    let a = scenario(21, 10, 2, 3, 30);
+    let b = scenario(22, 12, 3, 3, 30);
+    let jobs_a = cells_of(&a, PolicySpec::CmabHs, 4, 300);
+    let jobs_b = cells_of(&b, PolicySpec::Random, 3, 400);
+    let expect_a = run_cells(&jobs_a, &[]).unwrap();
+    let expect_b = run_cells(&jobs_b, &[]).unwrap();
+
+    let engine = Engine::new(2, Duration::from_micros(200));
+    std::thread::scope(|s| {
+        let eng = &engine;
+        let (ja, jb) = (&jobs_a, &jobs_b);
+        let ta = s.spawn(move || {
+            (0..3)
+                .map(|_| eng.submit(ja, &[]).unwrap())
+                .collect::<Vec<_>>()
+        });
+        let tb = s.spawn(move || {
+            (0..3)
+                .map(|_| eng.submit(jb, &[]).unwrap())
+                .collect::<Vec<_>>()
+        });
+        for got in ta.join().unwrap() {
+            assert_eq!(
+                got, expect_a,
+                "submission A results corrupted by interleaving"
+            );
+        }
+        for got in tb.join().unwrap() {
+            assert_eq!(
+                got, expect_b,
+                "submission B results corrupted by interleaving"
+            );
+        }
+    });
+    assert_eq!(engine.submissions_total(), 6);
+    assert_eq!(engine.jobs_total(), 21);
+    engine.shutdown();
+    reset_overrides();
+}
+
+#[test]
+fn concurrent_same_shape_submissions_share_a_cross_request_batch() {
+    let _guard = lock();
+    set_thread_override(Some(1));
+    set_batch_override(Some(4));
+    let s = scenario(31, 10, 2, 3, 30);
+    let jobs_a = cells_of(&s, PolicySpec::CmabHs, 2, 50);
+    let jobs_b: Vec<CellJob> = cells_of(&s, PolicySpec::CmabHs, 2, 60)
+        .into_iter()
+        .map(|job| CellJob { cell: 9, ..job })
+        .collect();
+    let expect_a = run_cells(&jobs_a, &[]).unwrap();
+    let expect_b = run_cells(&jobs_b, &[]).unwrap();
+
+    // One worker, saturation threshold batch × workers = 4: submission A's
+    // 2 lanes park inside the generous gather window until submission B's
+    // 2 same-shape lanes saturate the queue, so both ride one group.
+    let engine = Engine::new(1, Duration::from_millis(500));
+    let handle_a = engine.enqueue(&jobs_a, &[]);
+    let handle_b = engine.enqueue(&jobs_b, &[]);
+    let (got_a, stats_a) = handle_a.wait().unwrap();
+    let (got_b, stats_b) = handle_b.wait().unwrap();
+    assert_eq!(got_a, expect_a);
+    assert_eq!(got_b, expect_b);
+    assert_eq!(
+        engine.cross_request_batches_total(),
+        1,
+        "same-shape concurrent submissions never shared a lockstep group"
+    );
+    assert_eq!(stats_a.groups, 1);
+    assert_eq!(stats_b.groups, 1);
+    assert_eq!(stats_a.mean_occupancy, 2.0);
+    assert!(
+        stats_a.coalesced_groups >= 1,
+        "the shared group spans two sweep cells and must count as coalesced"
+    );
+    engine.shutdown();
+    reset_overrides();
+}
+
+#[test]
+fn drain_dispatches_queued_lanes_and_leaves_the_queue_empty() {
+    let _guard = lock();
+    set_thread_override(Some(1));
+    set_batch_override(Some(8));
+    let s = scenario(41, 10, 2, 3, 30);
+    let jobs = cells_of(&s, PolicySpec::Random, 3, 70);
+    let expect = run_cells(&jobs, &[]).unwrap();
+
+    // 3 lanes < the saturation threshold (8 × 1) and the gather window is
+    // far in the future, so the lanes sit queued until drain forces the
+    // dispatch.
+    let engine = Engine::new(1, Duration::from_secs(30));
+    let handle = engine.enqueue(&jobs, &[]);
+    while engine.queue_depth() < jobs.len() {
+        std::thread::yield_now();
+    }
+    engine.drain();
+    let (got, _) = handle.wait().unwrap();
+    assert_eq!(
+        got, expect,
+        "drained lanes must still produce exact results"
+    );
+    assert_eq!(engine.queue_depth(), 0, "drain left lanes in the queue");
+    let err = engine.submit(&jobs, &[]).unwrap_err();
+    assert!(
+        err.to_string().contains("shut down"),
+        "a draining engine must reject new submissions, got {err:?}"
+    );
+    engine.shutdown();
+    reset_overrides();
+}
+
+#[test]
+fn warm_engine_reuses_worker_scratch_arenas_across_submissions() {
+    let _guard = lock();
+    set_thread_override(Some(1));
+    set_batch_override(Some(2));
+    let s = scenario(51, 10, 2, 3, 30);
+    let jobs = cells_of(&s, PolicySpec::CmabHs, 3, 80);
+
+    let engine = Engine::new(1, Duration::from_micros(100));
+    // Cold submission: the worker's first batched group allocates its
+    // scratch; later groups within the call already recycle it.
+    engine.submit(&jobs, &[]).unwrap();
+    let (hits_cold, misses_cold) = arena_counters();
+    // Warm submission: the persistent worker still holds its scratch, so
+    // every claim is a hit — zero new misses.
+    engine.submit(&jobs, &[]).unwrap();
+    let (hits_warm, misses_warm) = arena_counters();
+    engine.shutdown();
+    reset_overrides();
+
+    assert_eq!(
+        misses_warm, misses_cold,
+        "a warm engine submission rebuilt a scratch arena"
+    );
+    assert!(
+        hits_warm > hits_cold,
+        "a warm engine submission never recycled a scratch arena"
+    );
+}
