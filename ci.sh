@@ -185,6 +185,54 @@ grep -q 'recovered 4 settled rounds' /tmp/cdt_journal_recover.txt
 grep -q 'mid-round' /tmp/cdt_journal_recover.txt
 cargo run --release -p cdt-cli --bin cdt -- journal verify /tmp/cdt_journal_recovered.jsonl
 
+echo "==> journal rotation smoke (segments, compaction checkpoint, seek)"
+rm -f /tmp/cdt_journal_seg.jsonl /tmp/cdt_journal_seg.jsonl.seg-* \
+    /tmp/cdt_journal_seg.jsonl.idx /tmp/cdt_journal_seg.jsonl.ckpt-*
+# Same scenario and seed as the single-file smoke above: rotation is a
+# file-layout change only, so the sealed segments must concatenate to the
+# exact bytes of /tmp/cdt_journal.jsonl. 6 rounds at 2 rounds/segment is
+# segs 0-1, 2-3, 4-5, plus the JobCompleted tail segment: 4 segments.
+cargo run --release -p cdt-cli --bin cdt -- run \
+    --m 8 --k 2 --l 3 --n 6 --journal /tmp/cdt_journal_seg.jsonl \
+    --journal-segment-rounds 2 | tee /tmp/cdt_journal_seg_run.txt
+grep -q 'journal rotated into 4 segments' /tmp/cdt_journal_seg_run.txt
+# Rotation roots the journal at the index — no base file appears…
+test ! -e /tmp/cdt_journal_seg.jsonl
+test -s /tmp/cdt_journal_seg.jsonl.idx
+# …and cat(segments) == the single-file journal, byte for byte.
+cat /tmp/cdt_journal_seg.jsonl.seg-* | cmp - /tmp/cdt_journal.jsonl
+cargo run --release -p cdt-cli --bin cdt -- journal verify /tmp/cdt_journal_seg.jsonl \
+    | tee /tmp/cdt_journal_seg_verify.txt
+grep -q 'segments: 4 sealed' /tmp/cdt_journal_seg_verify.txt
+# Settlements must diff to exactly zero against the single-file run, and a
+# point lookup must replay only the one segment holding the round.
+cargo run --release -p cdt-cli --bin cdt -- journal diff \
+    /tmp/cdt_journal.jsonl /tmp/cdt_journal_seg.jsonl
+cargo run --release -p cdt-cli --bin cdt -- journal seek /tmp/cdt_journal_seg.jsonl \
+    --round 3 | tee /tmp/cdt_journal_seek.txt
+grep -q 'served from segment 1' /tmp/cdt_journal_seek.txt
+# Fold the first two segments (rounds 0-3) into a checkpoint: verify,
+# diff-vs-uncompacted, and seek must all answer exactly as before.
+cargo run --release -p cdt-cli --bin cdt -- journal compact /tmp/cdt_journal_seg.jsonl \
+    --keep-segments 2 | tee /tmp/cdt_journal_compact.txt
+grep -q 'into checkpoint generation 1' /tmp/cdt_journal_compact.txt
+grep -q 'checkpoint now covers 4 rounds' /tmp/cdt_journal_compact.txt
+test ! -e /tmp/cdt_journal_seg.jsonl.seg-0000
+cargo run --release -p cdt-cli --bin cdt -- journal verify /tmp/cdt_journal_seg.jsonl
+cargo run --release -p cdt-cli --bin cdt -- journal diff \
+    /tmp/cdt_journal.jsonl /tmp/cdt_journal_seg.jsonl
+cargo run --release -p cdt-cli --bin cdt -- journal seek /tmp/cdt_journal_seg.jsonl \
+    --round 1 | tee /tmp/cdt_journal_seek.txt
+grep -q 'served from checkpoint ledger' /tmp/cdt_journal_seek.txt
+cargo run --release -p cdt-cli --bin cdt -- journal seek /tmp/cdt_journal_seg.jsonl \
+    --round 5 | tee /tmp/cdt_journal_seek.txt
+grep -q 'served from segment 2' /tmp/cdt_journal_seek.txt
+# Recovery resumes from the checkpoint and still sees all 6 rounds.
+cargo run --release -p cdt-cli --bin cdt -- journal recover /tmp/cdt_journal_seg.jsonl \
+    | tee /tmp/cdt_journal_seg_recover.txt
+grep -q 'recovered 6 settled rounds' /tmp/cdt_journal_seg_recover.txt
+grep -q 'resumed from checkpoint: 4 rounds' /tmp/cdt_journal_seg_recover.txt
+
 echo "==> journal diff smoke (lane-kernel divergence validator)"
 # L=10 exceeds the widest lane (8), so fast-math genuinely reassociates
 # the row reductions; K=5 sellers keep the run fast. Deterministic runs

@@ -21,9 +21,9 @@ USAGE:
   cdt trace generate [--records N] [--taxis M] [--seed S] [--out FILE]
   cdt trace stats FILE
   cdt run      [--m M] [--k K] [--l L] [--n N] [--seed S] [--json FILE] [--journal FILE]
-               [--lanes W] [--fast-math]
+               [--journal-segment-rounds N] [--lanes W] [--fast-math]
   cdt budget   [--m M] [--k K] [--l L] [--n N] [--seed S] --budget B [--journal FILE]
-               [--lanes W] [--fast-math]
+               [--journal-segment-rounds N] [--lanes W] [--fast-math]
   cdt compare  [--m M] [--k K] [--l L] [--n N] [--seed S] [--reps R] [--threads T]
                [--chunk C] [--batch B] [--lanes W] [--fast-math] [--engine]
                [--engine-gather-us US]
@@ -37,6 +37,8 @@ USAGE:
   cdt journal verify  FILE
   cdt journal audit   FILE
   cdt journal recover FILE [--out FILE]
+  cdt journal compact FILE [--keep-segments N]
+  cdt journal seek    FILE --round R
   cdt journal diff    A B [--tol T]
 
 PROTOCOL JOURNAL:
@@ -50,7 +52,18 @@ PROTOCOL JOURNAL:
   check, `journal audit` additionally prints the per-round settlement
   money flow, and `journal recover` replays a (possibly truncated)
   journal up to its last settlement boundary — `--out FILE` writes the
-  recovered prefix back out as a valid journal.
+  recovered prefix back out as a valid journal (refusing to overwrite an
+  existing file or emit a prefix longer than its source).
+
+  --journal-segment-rounds N (or CDT_JOURNAL_SEGMENT_ROUNDS) rotates the
+  journal into FILE.seg-0000, FILE.seg-0001, ... at settlement
+  boundaries every N settled rounds, with FILE.idx mapping round ranges
+  to segments; `cat FILE.seg-*` is byte-identical to the single-file
+  journal, and verify/audit/recover/diff read both layouts. `journal
+  compact` folds the settled prefix into a digest-verified checkpoint
+  (state snapshot + settlement ledger) so replay resumes mid-history;
+  `journal seek --round R` answers one round's settlement from the index
+  with at most one segment replay.
 
 OBSERVABILITY (on `run`, `budget`, `compare`, `sweep`, and the `journal`
 family):
@@ -355,18 +368,23 @@ pub fn journal_verify_cmd(path: &str, flags: &FlagMap) -> Result<(), String> {
 }
 
 fn journal_verify_inner(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let log = cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))?;
+    let view = cdt_protocol::load_journal(std::path::Path::new(path)).map_err(|e| e.to_string())?;
     println!(
         "{path}: valid journal — {} events, {} settled rounds, {}",
-        log.len(),
-        log.state().settled_rounds(),
-        if log.state().is_completed() {
+        view.events,
+        view.settled_rounds(),
+        if view.completed() {
             "completed"
         } else {
             "not completed"
         }
     );
+    if view.segmented {
+        println!(
+            "segments: {} sealed, checkpoint: {} rounds / {} events folded",
+            view.segments, view.compacted_rounds, view.compacted_events
+        );
+    }
     Ok(())
 }
 
@@ -384,31 +402,32 @@ pub fn journal_audit_cmd(path: &str, flags: &FlagMap) -> Result<(), String> {
 }
 
 fn journal_audit_inner(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let log = cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))?;
-    let settlements: Vec<_> = log
-        .settlements()
-        .map(|(round, consumer, sellers)| (round, consumer, sellers.to_vec()))
-        .collect();
-    let consumer_total: f64 = settlements.iter().map(|(_, c, _)| c).sum();
-    let seller_total: f64 = settlements
-        .iter()
-        .map(|(_, _, s)| s.iter().sum::<f64>())
-        .sum();
+    let view = cdt_protocol::load_journal(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    // Row-order sums: bit-identical to the pre-segmentation full-replay
+    // totals, and to the checkpoint's digested totals after compaction.
+    let consumer_total = view.consumer_total();
+    let seller_total = view.seller_total();
     println!("journal audit: {path}");
     println!(
         "events: {}   settled rounds: {}   completed: {}",
-        log.len(),
-        log.state().settled_rounds(),
-        log.state().is_completed()
+        view.events,
+        view.settled_rounds(),
+        view.completed()
     );
+    if view.segmented {
+        println!(
+            "segments: {} sealed, checkpoint: {} rounds / {} events folded",
+            view.segments, view.compacted_rounds, view.compacted_events
+        );
+    }
     println!("consumer paid: {consumer_total:.1}   sellers received: {seller_total:.1}");
     println!(
         "{:<8} {:>14} {:>14} {:>8}",
         "round", "consumer", "sellers", "k"
     );
     const CAP: usize = 10;
-    for (i, (round, consumer, sellers)) in settlements.iter().enumerate() {
+    let settlements = &view.settlements;
+    for (i, row) in settlements.iter().enumerate() {
         if settlements.len() > 2 * CAP && (CAP..settlements.len() - CAP).contains(&i) {
             if i == CAP {
                 println!("...      ({} rounds elided)", settlements.len() - 2 * CAP);
@@ -417,10 +436,10 @@ fn journal_audit_inner(path: &str) -> Result<(), String> {
         }
         println!(
             "{:<8} {:>14.4} {:>14.4} {:>8}",
-            round.index(),
-            consumer,
-            sellers.iter().sum::<f64>(),
-            sellers.len()
+            row.round.index(),
+            row.consumer,
+            row.sellers.iter().sum::<f64>(),
+            row.sellers.len()
         );
     }
     Ok(())
@@ -442,20 +461,58 @@ pub fn journal_recover_cmd(path: &str, out: Option<&str>, flags: &FlagMap) -> Re
 }
 
 fn journal_recover_inner(path: &str, out: Option<&str>) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let rec = cdt_protocol::recover_json_lines(&text);
+    let rec =
+        cdt_protocol::recover_journal(std::path::Path::new(path)).map_err(|e| e.to_string())?;
     println!(
         "{path}: recovered {} settled rounds ({} events kept of {} lines{})",
         rec.settled_rounds(),
-        rec.log.len(),
+        rec.events_kept,
         rec.lines_read,
-        if rec.completed { ", completed" } else { "" }
+        if rec.completed() { ", completed" } else { "" }
     );
+    if rec.compacted_rounds > 0 {
+        println!(
+            "resumed from checkpoint: {} rounds / {} events folded",
+            rec.compacted_rounds, rec.compacted_events
+        );
+    }
     if let Some(stop) = &rec.stop {
         println!("replay stopped at line {}: {}", stop.line, stop.reason);
     }
     if let Some(out_path) = out {
-        std::fs::write(out_path, rec.log.to_json_lines())
+        // Output safety: never clobber an existing file with a recovered
+        // prefix — the existing file may itself be the better history.
+        if std::path::Path::new(out_path).exists() {
+            return Err(format!(
+                "refusing to overwrite existing {out_path} (delete it or pick another --out path)"
+            ));
+        }
+        // A compacted history's folded events exist only inside the
+        // checkpoint; the kept text alone would replay from round 0 and
+        // fail, so there is no valid flat journal to write.
+        if rec.compacted_events > 0 {
+            return Err(format!(
+                "cannot write --out from a compacted journal: {} events live only in the \
+                 checkpoint (the segments still replay in place — use `cdt journal verify`)",
+                rec.compacted_events
+            ));
+        }
+        // A recovered prefix can never be longer than what was read: a
+        // longer "prefix" means the source shrank or changed underneath
+        // the replay (truncation race) and the output must not be trusted.
+        let mut source_bytes = rec.source_bytes;
+        if let Ok(meta) = std::fs::metadata(path) {
+            source_bytes = source_bytes.min(meta.len());
+        }
+        if rec.kept_text.len() as u64 > source_bytes {
+            return Err(format!(
+                "recovered prefix ({} bytes) is longer than the source journal ({source_bytes} \
+                 bytes): the source changed while it was being read (truncation race) — re-run \
+                 recovery",
+                rec.kept_text.len()
+            ));
+        }
+        std::fs::write(out_path, &rec.kept_text)
             .map_err(|e| format!("cannot write {out_path}: {e}"))?;
         println!("recovered journal written to {out_path}");
     }
@@ -488,13 +545,12 @@ fn journal_diff_inner(path_a: &str, path_b: &str, flags: &FlagMap) -> Result<(),
             "--tol must be a finite non-negative number, got {tol}"
         ));
     }
-    let read_log = |path: &str| -> Result<cdt_protocol::EventLog, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        cdt_protocol::EventLog::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))
+    let read_view = |path: &str| -> Result<cdt_protocol::JournalView, String> {
+        cdt_protocol::load_journal(std::path::Path::new(path)).map_err(|e| e.to_string())
     };
-    let log_a = read_log(path_a)?;
-    let log_b = read_log(path_b)?;
-    let d = cdt_protocol::diff_settlements(&log_a, &log_b);
+    let view_a = read_view(path_a)?;
+    let view_b = read_view(path_b)?;
+    let d = cdt_protocol::diff_settlement_rows(&view_a.settlements, &view_b.settlements);
     println!("journal diff: {path_a} vs {path_b}");
     println!(
         "settled rounds: {} vs {}   compared: {}",
@@ -520,6 +576,137 @@ fn journal_diff_inner(path_a: &str, path_b: &str, flags: &FlagMap) -> Result<(),
     }
     println!("within tolerance {tol:.3e}");
     Ok(())
+}
+
+/// `cdt journal compact FILE [--keep-segments N]` — fold the settled
+/// prefix of a segment-rotated journal into a digest-verified checkpoint
+/// (a `ProtocolState` snapshot plus the settlement ledger), keeping the
+/// last N segments (default 0: fold everything). Replay-to-round and
+/// recovery resume from the checkpoint instead of round 0.
+///
+/// # Errors
+/// Returns a message on I/O failure, a single-file (unsegmented) journal,
+/// or a replay/digest violation in the segments being folded.
+pub fn journal_compact_cmd(path: &str, flags: &FlagMap) -> Result<(), String> {
+    let obs = obs_begin(flags)?;
+    let result = journal_compact_inner(path, flags);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn journal_compact_inner(path: &str, flags: &FlagMap) -> Result<(), String> {
+    let keep = flags.usize_or("keep-segments", 0)?;
+    let report = cdt_protocol::compact_journal(std::path::Path::new(path), keep)
+        .map_err(|e| e.to_string())?;
+    if report.folded_segments == 0 {
+        println!(
+            "{path}: nothing to fold ({} segment{} kept, checkpoint at {} rounds)",
+            report.kept_segments,
+            if report.kept_segments == 1 { "" } else { "s" },
+            report.checkpoint_rounds
+        );
+        return Ok(());
+    }
+    println!(
+        "{path}: folded {} segment{} ({} rounds, {} events) into checkpoint generation {}",
+        report.folded_segments,
+        if report.folded_segments == 1 { "" } else { "s" },
+        report.folded_rounds,
+        report.folded_events,
+        report.generation
+    );
+    println!(
+        "checkpoint now covers {} rounds; {} segment{} kept",
+        report.checkpoint_rounds,
+        report.kept_segments,
+        if report.kept_segments == 1 { "" } else { "s" }
+    );
+    Ok(())
+}
+
+/// `cdt journal seek FILE --round R` — settlement lookup for one round:
+/// an index lookup plus at most one segment replay on a segmented
+/// journal (or the checkpoint ledger directly for a compacted round),
+/// instead of a full-history replay.
+///
+/// # Errors
+/// Returns a message on I/O failure, a missing/invalid `--round`, an
+/// unsettled round, or a digest violation in the segment scanned.
+pub fn journal_seek_cmd(path: &str, flags: &FlagMap) -> Result<(), String> {
+    let obs = obs_begin(flags)?;
+    let result = journal_seek_inner(path, flags);
+    let finish = obs_finish(obs);
+    result?;
+    finish
+}
+
+fn journal_seek_inner(path: &str, flags: &FlagMap) -> Result<(), String> {
+    let raw = flags
+        .get("round")
+        .ok_or("journal seek requires --round R")?;
+    let round: usize = raw
+        .parse()
+        .map_err(|_| format!("--round expects an integer, got `{raw}`"))?;
+    let lookup = cdt_protocol::replay_to_round(std::path::Path::new(path), round)
+        .map_err(|e| e.to_string())?;
+    let row = &lookup.row;
+    println!(
+        "round {}: consumer paid {:.4}, sellers received {:.4} (k={})",
+        row.round.index(),
+        row.consumer,
+        row.sellers.iter().sum::<f64>(),
+        row.sellers.len()
+    );
+    if lookup.from_checkpoint {
+        println!("served from checkpoint ledger (0 events replayed)");
+    } else if let Some(seq) = lookup.segment {
+        println!(
+            "served from segment {seq} ({} events replayed)",
+            lookup.events_scanned
+        );
+    } else {
+        println!(
+            "served by full-journal replay ({} events replayed)",
+            lookup.events_scanned
+        );
+    }
+    Ok(())
+}
+
+/// Resolves the journal rotation setting: `--journal-segment-rounds N`
+/// beats the `CDT_JOURNAL_SEGMENT_ROUNDS` env var; absent both, rotation
+/// is off and the journal stays a single file.
+///
+/// # Errors
+/// Returns a message when the flag value is not a positive integer (a
+/// malformed env var warns and is treated as off).
+pub fn journal_rotation(flags: &FlagMap) -> Result<Option<cdt_protocol::RotationConfig>, String> {
+    if let Some(raw) = flags.get("journal-segment-rounds") {
+        let rounds: usize = raw
+            .parse()
+            .map_err(|_| format!("--journal-segment-rounds expects an integer, got `{raw}`"))?;
+        if rounds == 0 {
+            return Err("--journal-segment-rounds must be at least 1".into());
+        }
+        return Ok(Some(cdt_protocol::RotationConfig {
+            segment_rounds: rounds,
+        }));
+    }
+    if let Ok(raw) = std::env::var("CDT_JOURNAL_SEGMENT_ROUNDS") {
+        match raw.parse::<usize>() {
+            Ok(rounds) if rounds > 0 => {
+                return Ok(Some(cdt_protocol::RotationConfig {
+                    segment_rounds: rounds,
+                }))
+            }
+            _ => eprintln!(
+                "warning: ignoring CDT_JOURNAL_SEGMENT_ROUNDS=`{raw}` (expected a positive \
+                 integer); journal rotation is off"
+            ),
+        }
+    }
+    Ok(None)
 }
 
 /// `cdt trace generate`.
@@ -627,8 +814,10 @@ fn run_mechanism_inner(flags: &FlagMap) -> Result<(), String> {
     // the obs pipeline is installed the journal rides alongside it via the
     // pair observer.
     if let Some(path) = flags.get("journal") {
-        let mut journal = cdt_protocol::JournalObserver::create(path, scenario.config.job.clone())
-            .map_err(|e| e.to_string())?;
+        let rotation = journal_rotation(flags)?;
+        let mut journal =
+            cdt_protocol::JournalObserver::create_with(path, scenario.config.job.clone(), rotation)
+                .map_err(|e| e.to_string())?;
         let ledger = match cdt_obs::observer_for_run("cmab-hs") {
             Some(pipeline) => {
                 let mut pair = (journal, pipeline);
@@ -647,6 +836,9 @@ fn run_mechanism_inner(flags: &FlagMap) -> Result<(), String> {
             "journaled {} events over {} rounds to {path} (streamed, replay-validated)",
             report.events, report.settled_rounds
         );
+        if report.segments > 0 {
+            println!("journal rotated into {} segments", report.segments);
+        }
         print_ledger(&scenario, &ledger);
         return Ok(());
     }
@@ -696,7 +888,9 @@ fn budget_inner(flags: &FlagMap) -> Result<(), String> {
     // sink; the budget-rejected final round never reaches the callback,
     // so the journal records exactly what the consumer paid for.
     let run = if let Some(path) = flags.get("journal") {
-        let mut sink = cdt_protocol::JournalSink::create(path).map_err(|e| e.to_string())?;
+        let rotation = journal_rotation(flags)?;
+        let mut sink =
+            cdt_protocol::JournalSink::create_with(path, rotation).map_err(|e| e.to_string())?;
         sink.append(&cdt_protocol::MarketEvent::JobPublished {
             job: scenario.config.job.clone(),
         })
@@ -726,6 +920,9 @@ fn budget_inner(flags: &FlagMap) -> Result<(), String> {
             "journaled {} events over {} rounds to {path} (streamed, replay-validated)",
             report.events, report.settled_rounds
         );
+        if report.segments > 0 {
+            println!("journal rotated into {} segments", report.segments);
+        }
         run
     } else {
         mech.run(&scenario.observer(), &mut rng)
@@ -1074,13 +1271,158 @@ mod tests {
         let partial_str = partial.to_str().unwrap();
         assert!(journal_verify_cmd(partial_str, &flags(&[])).is_err());
         let out = dir.join("recovered.jsonl");
+        // A crashed previous test run may have left the out file behind;
+        // recover refuses to overwrite, so clear it first.
+        std::fs::remove_file(&out).ok();
         journal_recover_cmd(partial_str, Some(out.to_str().unwrap()), &flags(&[])).unwrap();
         let recovered = std::fs::read_to_string(&out).unwrap();
         let log = cdt_protocol::EventLog::from_json_lines(&recovered).unwrap();
         assert_eq!(log.state().settled_rounds(), 2);
+
+        // Satellite regression: a second recover to the same --out must
+        // refuse rather than clobber the file just written.
+        let err =
+            journal_recover_cmd(partial_str, Some(out.to_str().unwrap()), &flags(&[])).unwrap_err();
+        assert!(err.contains("refusing to overwrite"), "{err}");
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), recovered);
         std::fs::remove_file(path).unwrap();
         std::fs::remove_file(partial).unwrap();
         std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn journal_recover_rejects_prefix_longer_than_source() {
+        let dir = std::env::temp_dir().join("cdt_cli_recover_race_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Write a journal whose floats use compact spellings (`2e1`) that
+        // reserialize longer (`20.0`): the canonical recovered prefix is
+        // then longer than the source file, exactly the signature of a
+        // source that shrank mid-read (truncation race), and --out must
+        // refuse it.
+        let mut log = cdt_protocol::EventLog::new();
+        log.append(cdt_protocol::MarketEvent::JobPublished {
+            job: cdt_types::JobSpec::new(4, 2, 10.0).unwrap(),
+        })
+        .unwrap();
+        log.append(cdt_protocol::MarketEvent::SellersSelected {
+            round: cdt_types::Round(0),
+            sellers: vec![cdt_types::SellerId(0), cdt_types::SellerId(1)],
+        })
+        .unwrap();
+        log.append(cdt_protocol::MarketEvent::StrategyDetermined {
+            round: cdt_types::Round(0),
+            service_price: 4.0,
+            collection_price: 1.5,
+            sensing_times: vec![2.0, 3.0],
+        })
+        .unwrap();
+        log.append(cdt_protocol::MarketEvent::DataCollected {
+            round: cdt_types::Round(0),
+            observed_revenue: 5.5,
+        })
+        .unwrap();
+        log.append(cdt_protocol::MarketEvent::StatisticsDelivered {
+            round: cdt_types::Round(0),
+        })
+        .unwrap();
+        log.append(cdt_protocol::MarketEvent::PaymentsSettled {
+            round: cdt_types::Round(0),
+            consumer_payment: 20.0,
+            seller_payments: vec![3.0, 4.5],
+        })
+        .unwrap();
+        let text = log.to_json_lines().replace("20.0", "2e1");
+        assert!(text.contains("2e1"), "compact spelling must land: {text}");
+        let src = dir.join("compact-floats.jsonl");
+        std::fs::write(&src, text).unwrap();
+        let out = dir.join("recovered.jsonl");
+        std::fs::remove_file(&out).ok();
+        let err = journal_recover_cmd(
+            src.to_str().unwrap(),
+            Some(out.to_str().unwrap()),
+            &flags(&[]),
+        )
+        .unwrap_err();
+        assert!(err.contains("truncation race"), "{err}");
+        assert!(!out.exists(), "refused output must not be written");
+        std::fs::remove_file(src).unwrap();
+    }
+
+    #[test]
+    fn journal_segment_rotation_end_to_end() {
+        let _guard = LANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("cdt_cli_journal_segments_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let seg = dir.join("seg.jsonl");
+        let flat = dir.join("flat.jsonl");
+        let scenario = ["--m", "6", "--k", "2", "--l", "3", "--n", "6"];
+        let with = |extra: &[&str]| {
+            let mut args: Vec<&str> = scenario.to_vec();
+            args.extend_from_slice(extra);
+            flags(&args)
+        };
+        run_mechanism(&with(&["--journal", flat.to_str().unwrap()])).unwrap();
+        run_mechanism(&with(&[
+            "--journal",
+            seg.to_str().unwrap(),
+            "--journal-segment-rounds",
+            "2",
+        ]))
+        .unwrap();
+        // Rotation writes segments + index, never the base file.
+        assert!(!seg.exists());
+        assert!(dir.join("seg.jsonl.idx").exists());
+        let seg_str = seg.to_str().unwrap();
+        journal_verify_cmd(seg_str, &flags(&[])).unwrap();
+        journal_audit_cmd(seg_str, &flags(&[])).unwrap();
+        journal_seek_cmd(seg_str, &flags(&["--round", "3"])).unwrap();
+        // Same scenario, same seed: segmented vs single-file must diff to
+        // exactly zero — and still after compaction folds the prefix.
+        journal_diff_cmd(seg_str, flat.to_str().unwrap(), &flags(&[])).unwrap();
+        journal_compact_cmd(seg_str, &flags(&["--keep-segments", "1"])).unwrap();
+        journal_verify_cmd(seg_str, &flags(&[])).unwrap();
+        journal_diff_cmd(seg_str, flat.to_str().unwrap(), &flags(&[])).unwrap();
+        journal_seek_cmd(seg_str, &flags(&["--round", "1"])).unwrap();
+        // The recovered prefix of a compacted history has no flat-journal
+        // serialization; --out must refuse.
+        let out = dir.join("out.jsonl");
+        let err =
+            journal_recover_cmd(seg_str, Some(out.to_str().unwrap()), &flags(&[])).unwrap_err();
+        assert!(err.contains("compacted journal"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_rotation_flag_rejects_bad_values() {
+        assert!(journal_rotation(&flags(&[])).unwrap().is_none());
+        assert_eq!(
+            journal_rotation(&flags(&["--journal-segment-rounds", "3"]))
+                .unwrap()
+                .unwrap()
+                .segment_rounds,
+            3
+        );
+        assert!(journal_rotation(&flags(&["--journal-segment-rounds", "0"])).is_err());
+        assert!(journal_rotation(&flags(&["--journal-segment-rounds", "lots"])).is_err());
+    }
+
+    #[test]
+    fn journal_seek_requires_round() {
+        let err = journal_seek_cmd("/nonexistent/missing.jsonl", &flags(&[])).unwrap_err();
+        assert!(err.contains("--round"), "{err}");
+        assert!(journal_seek_cmd("/nonexistent/missing.jsonl", &flags(&["--round", "0"])).is_err());
+    }
+
+    #[test]
+    fn journal_compact_rejects_single_file_journals() {
+        let dir = std::env::temp_dir().join("cdt_cli_compact_flat_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("flat.jsonl");
+        std::fs::write(&p, "").unwrap();
+        let err = journal_compact_cmd(p.to_str().unwrap(), &flags(&[])).unwrap_err();
+        assert!(err.contains("nothing to compact"), "{err}");
+        std::fs::remove_file(p).unwrap();
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! cdt journal verify FILE
 //! cdt journal audit FILE
 //! cdt journal recover FILE [--out FILE]
+//! cdt journal compact FILE [--keep-segments N]
+//! cdt journal seek FILE --round R
 //! cdt journal diff A B [--tol T]
 //! ```
 //!
@@ -26,8 +28,10 @@
 //! `--obs-spans` adds causal spans to the trace (analyzed offline with
 //! `cdt obs flame` / `cdt obs critical-path`) and `--watchdog-ms N` runs
 //! the health watchdog. `--journal FILE` streams the Fig. 2 market
-//! protocol to FILE as rounds settle, and the `cdt journal` family
-//! verifies, audits, crash-recovers, and diffs those journals. `run`,
+//! protocol to FILE as rounds settle (`--journal-segment-rounds N`
+//! rotates it into indexed segments), and the `cdt journal` family
+//! verifies, audits, crash-recovers, compacts, seeks into, and diffs
+//! those journals. `run`,
 //! `budget`, and `compare` also take `--lanes W` / `--fast-math` to
 //! configure the chunked column kernels; `cdt journal diff` validates
 //! their divergence contracts against settled payments. `compare` and
@@ -67,11 +71,13 @@ fn run(argv: &[String]) -> i32 {
                 None => Err(format!("usage: cdt obs {sub} FILE")),
             }
         }
-        (Some("journal"), Some(sub @ ("verify" | "audit" | "recover"))) => {
+        (Some("journal"), Some(sub @ ("verify" | "audit" | "recover" | "compact" | "seek"))) => {
             match argv.get(2).map(String::as_str) {
                 Some(path) => parse_flags(&argv[3..]).and_then(|flags| match sub {
                     "verify" => commands::journal_verify_cmd(path, &flags),
                     "audit" => commands::journal_audit_cmd(path, &flags),
+                    "compact" => commands::journal_compact_cmd(path, &flags),
+                    "seek" => commands::journal_seek_cmd(path, &flags),
                     _ => commands::journal_recover_cmd(path, flags.get("out"), &flags),
                 }),
                 None => Err(format!("usage: cdt journal {sub} FILE")),
@@ -87,7 +93,9 @@ fn run(argv: &[String]) -> i32 {
                 _ => Err("usage: cdt journal diff A B [--tol T]".into()),
             }
         }
-        (Some("journal"), _) => Err("usage: cdt journal verify|audit|recover|diff FILE".into()),
+        (Some("journal"), _) => {
+            Err("usage: cdt journal verify|audit|recover|compact|seek|diff FILE".into())
+        }
         (Some("run"), _) => with_flags(&argv[1..], commands::run_mechanism),
         (Some("budget"), _) => with_flags(&argv[1..], commands::budget),
         (Some("compare"), _) => with_flags(&argv[1..], commands::compare),

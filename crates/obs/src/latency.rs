@@ -46,6 +46,19 @@ impl LatencyHistogram {
         }
     }
 
+    /// Upper bound (exclusive, in ns) of log₂ bucket `i`: bucket `i`
+    /// covers `[2^i − 1, 2^{i+1} − 1)`. The top bucket saturates at
+    /// `u64::MAX` — `2^64 − 1` is not representable, so its bound is the
+    /// inclusive ceiling of the nanosecond domain rather than one past it.
+    #[must_use]
+    pub fn bucket_upper_ns(i: usize) -> u64 {
+        if i + 1 >= BINS {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
     /// Records one latency observation.
     pub fn record_ns(&mut self, ns: u64) {
         self.hist.record(Self::to_unit(ns));
@@ -102,13 +115,7 @@ impl LatencyHistogram {
                 continue;
             }
             cum += c;
-            // Bucket i covers [2^i − 1, 2^{i+1} − 1) ns.
-            let upper = if i + 1 >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << (i + 1)) - 1
-            };
-            out.push((upper, cum));
+            out.push((Self::bucket_upper_ns(i), cum));
         }
         out
     }
@@ -247,9 +254,40 @@ mod tests {
             let buckets = h.cumulative_buckets();
             proptest::prop_assert_eq!(buckets.len(), 1);
             let idx = bucket_index(ns);
-            let expected_upper = if idx + 1 >= BINS { u64::MAX } else { (1u64 << (idx + 1)) - 1 };
-            proptest::prop_assert_eq!(buckets[0], (expected_upper, 1));
+            proptest::prop_assert_eq!(buckets[0], (LatencyHistogram::bucket_upper_ns(idx), 1));
         }
+
+        /// Saturation pin: every latency at or above the top bucket's
+        /// lower bound (2^63 − 1 ns) lands in bucket 63, whose upper
+        /// bound saturates at u64::MAX — never a wrapped or zero bound.
+        #[test]
+        fn prop_top_bucket_saturates(offset in proptest::prelude::any::<u64>()) {
+            let lower = (1u64 << 63) - 1;
+            let ns = lower.saturating_add(offset % (u64::MAX - lower + 1));
+            proptest::prop_assert_eq!(bucket_index(ns), BINS - 1);
+            let mut h = LatencyHistogram::new();
+            h.record_ns(ns);
+            proptest::prop_assert_eq!(h.cumulative_buckets(), vec![(u64::MAX, 1)]);
+            proptest::prop_assert_eq!(h.quantile_ns(1.0), Some(u64::MAX));
+        }
+    }
+
+    /// Saturation round-trip pin: `u64::MAX` maps to unit 1.0 exactly
+    /// (2^64 is representable; 2^64 − 1 is not, so `+ 1.0` rounds onto
+    /// it) and the inverse saturates back to `u64::MAX` rather than
+    /// overflowing the `f64 → u64` cast to 0.
+    #[test]
+    fn saturation_boundary_round_trips_exactly() {
+        assert_eq!(LatencyHistogram::to_unit(u64::MAX), 1.0);
+        assert_eq!(LatencyHistogram::from_unit(1.0), u64::MAX);
+        assert_eq!(
+            LatencyHistogram::from_unit(LatencyHistogram::to_unit(u64::MAX)),
+            u64::MAX
+        );
+        // The helper agrees with the mapping at both edges of the range.
+        assert_eq!(LatencyHistogram::bucket_upper_ns(0), 1);
+        assert_eq!(LatencyHistogram::bucket_upper_ns(BINS - 1), u64::MAX);
+        assert_eq!(LatencyHistogram::bucket_upper_ns(BINS), u64::MAX);
     }
 
     #[test]

@@ -175,6 +175,22 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         );
     }
 
+    // Journal segment rotation and compaction (only once either ticked).
+    let segments = counter("cdt_obs_journal_segments_total");
+    let compactions = counter("cdt_obs_journal_compactions_total");
+    if segments + compactions > 0 {
+        let _ = write!(out, "journal segments: {segments} sealed");
+        if compactions > 0 {
+            let _ = write!(
+                out,
+                ", {compactions} compaction{} ({} rounds folded)",
+                if compactions == 1 { "" } else { "s" },
+                counter("cdt_obs_journal_compacted_rounds_total")
+            );
+        }
+        let _ = writeln!(out);
+    }
+
     // Per-phase latency table.
     let mut phase_rows = Vec::new();
     for phase in Phase::ALL {
@@ -343,6 +359,23 @@ mod tests {
         r.add_counter("cdt_obs_protocol_violations_total", &[], 3);
         let text = render_summary(&r);
         assert!(text.contains("3 violations rejected"), "got:\n{text}");
+    }
+
+    #[test]
+    fn journal_segments_line_renders_rotation_and_compaction() {
+        let r = MetricsRegistry::new();
+        assert!(!render_summary(&r).contains("journal segments"));
+        r.add_counter("cdt_obs_journal_segments_total", &[], 5);
+        let text = render_summary(&r);
+        assert!(text.contains("journal segments: 5 sealed"), "got:\n{text}");
+        assert!(!text.contains("compaction"), "got:\n{text}");
+        r.add_counter("cdt_obs_journal_compactions_total", &[], 1);
+        r.add_counter("cdt_obs_journal_compacted_rounds_total", &[], 12);
+        let text = render_summary(&r);
+        assert!(
+            text.contains("journal segments: 5 sealed, 1 compaction (12 rounds folded)"),
+            "got:\n{text}"
+        );
     }
 
     #[test]

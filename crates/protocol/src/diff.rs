@@ -15,6 +15,32 @@
 
 use crate::log::EventLog;
 use cdt_types::Round;
+use serde::{Deserialize, Serialize};
+
+/// One settled round's money flow: the unit both the diff validator and
+/// the compaction checkpoints (see [`crate::segment`]) operate on, so a
+/// compacted history diffs identically to the uncompacted replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettlementRow {
+    /// The settled round.
+    pub round: Round,
+    /// `p^J · Στ`, consumer to platform.
+    pub consumer: f64,
+    /// `p · τ_i` per seller, in selection order.
+    pub sellers: Vec<f64>,
+}
+
+/// The per-round settlement rows of a log, in round order.
+#[must_use]
+pub fn settlement_rows(log: &EventLog) -> Vec<SettlementRow> {
+    log.settlements()
+        .map(|(round, consumer, sellers)| SettlementRow {
+            round,
+            consumer,
+            sellers: sellers.to_vec(),
+        })
+        .collect()
+}
 
 /// The result of comparing two journals' settlements round by round.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,48 +103,52 @@ impl SettlementDiff {
 /// (reported as a structural mismatch).
 #[must_use]
 pub fn diff_settlements(a: &EventLog, b: &EventLog) -> SettlementDiff {
-    let settled_a: Vec<_> = a.settlements().collect();
-    let settled_b: Vec<_> = b.settlements().collect();
+    diff_settlement_rows(&settlement_rows(a), &settlement_rows(b))
+}
+
+/// Compares two settlement-row histories round by round — the row-level
+/// core of [`diff_settlements`], usable on histories loaded from a
+/// segmented/compacted journal where no full [`EventLog`] exists.
+#[must_use]
+pub fn diff_settlement_rows(rows_a: &[SettlementRow], rows_b: &[SettlementRow]) -> SettlementDiff {
     let mut diff = SettlementDiff {
-        rounds_a: settled_a.len(),
-        rounds_b: settled_b.len(),
+        rounds_a: rows_a.len(),
+        rounds_b: rows_b.len(),
         rounds_compared: 0,
         max_abs: 0.0,
         max_rel: 0.0,
         worst_round: None,
         structural: None,
     };
-    if settled_a.len() != settled_b.len() {
+    if rows_a.len() != rows_b.len() {
         diff.structural = Some(format!(
             "settled round counts differ: {} vs {}",
-            settled_a.len(),
-            settled_b.len()
+            rows_a.len(),
+            rows_b.len()
         ));
     }
-    for ((round_a, consumer_a, sellers_a), (round_b, consumer_b, sellers_b)) in
-        settled_a.iter().zip(&settled_b)
-    {
-        if round_a != round_b {
+    for (a, b) in rows_a.iter().zip(rows_b) {
+        if a.round != b.round {
             diff.structural = Some(format!(
                 "settlement order diverges: round {} vs round {}",
-                round_a.index(),
-                round_b.index()
+                a.round.index(),
+                b.round.index()
             ));
             break;
         }
-        if sellers_a.len() != sellers_b.len() {
+        if a.sellers.len() != b.sellers.len() {
             diff.structural = Some(format!(
                 "round {}: seller payment counts differ: {} vs {}",
-                round_a.index(),
-                sellers_a.len(),
-                sellers_b.len()
+                a.round.index(),
+                a.sellers.len(),
+                b.sellers.len()
             ));
             break;
         }
         diff.rounds_compared += 1;
-        diff.record(*round_a, *consumer_a, *consumer_b);
-        for (&pay_a, &pay_b) in sellers_a.iter().zip(*sellers_b) {
-            diff.record(*round_a, pay_a, pay_b);
+        diff.record(a.round, a.consumer, b.consumer);
+        for (&pay_a, &pay_b) in a.sellers.iter().zip(&b.sellers) {
+            diff.record(a.round, pay_a, pay_b);
         }
     }
     diff
@@ -227,6 +257,24 @@ mod tests {
         let msg = d.structural.as_deref().unwrap();
         assert!(msg.contains("seller payment counts differ"), "{msg}");
         assert_eq!(d.rounds_compared, 0);
+    }
+
+    #[test]
+    fn row_diff_agrees_with_log_diff() {
+        let a = settled_log(&[(10.0, vec![1.0, 2.0]), (20.0, vec![4.0])]);
+        let b = settled_log(&[(10.0, vec![1.0, 2.5]), (20.0, vec![4.0])]);
+        let from_logs = diff_settlements(&a, &b);
+        let from_rows = diff_settlement_rows(&settlement_rows(&a), &settlement_rows(&b));
+        assert_eq!(from_logs, from_rows);
+        assert_eq!(from_rows.worst_round, Some(Round(0)));
+    }
+
+    #[test]
+    fn settlement_rows_serde_round_trip() {
+        let rows = settlement_rows(&settled_log(&[(10.0, vec![1.0, 2.0])]));
+        let json = serde_json::to_string(&rows).unwrap();
+        let back: Vec<SettlementRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows, back);
     }
 
     #[test]

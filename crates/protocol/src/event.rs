@@ -72,6 +72,21 @@ impl MarketEvent {
         }
     }
 
+    /// `true` for the events that end a durable unit of history: the job
+    /// publication, each round's settlement, and the job completion. The
+    /// journal flushes (and, under rotation, may seal a segment) exactly
+    /// at these events, and recovery keeps the longest prefix ending on
+    /// one of them.
+    #[must_use]
+    pub fn is_settlement_boundary(&self) -> bool {
+        matches!(
+            self,
+            MarketEvent::JobPublished { .. }
+                | MarketEvent::PaymentsSettled { .. }
+                | MarketEvent::JobCompleted { .. }
+        )
+    }
+
     /// Short kind tag (used in error messages and log summaries).
     #[must_use]
     pub fn kind(&self) -> &'static str {
@@ -118,6 +133,27 @@ mod tests {
         ];
         let set: std::collections::HashSet<_> = kinds.iter().collect();
         assert_eq!(set.len(), kinds.len());
+    }
+
+    #[test]
+    fn settlement_boundaries_are_exactly_publish_settle_complete() {
+        assert!(MarketEvent::JobPublished {
+            job: JobSpec::new(1, 1, 1.0).unwrap(),
+        }
+        .is_settlement_boundary());
+        assert!(MarketEvent::PaymentsSettled {
+            round: Round(0),
+            consumer_payment: 1.0,
+            seller_payments: vec![1.0],
+        }
+        .is_settlement_boundary());
+        assert!(MarketEvent::JobCompleted { rounds: 1 }.is_settlement_boundary());
+        assert!(!MarketEvent::SellersSelected {
+            round: Round(0),
+            sellers: vec![SellerId(0)],
+        }
+        .is_settlement_boundary());
+        assert!(!MarketEvent::StatisticsDelivered { round: Round(0) }.is_settlement_boundary());
     }
 
     #[test]

@@ -23,8 +23,17 @@
 //! `cdt_obs_protocol_settled_rounds`, `cdt_obs_protocol_violations_total`,
 //! and the `cdt_obs_journal_write_ns` latency histogram) when the
 //! observability pipeline is installed.
+//!
+//! Under rotation ([`JournalSink::create_with`] with a [`RotationConfig`])
+//! the sink streams into `<path>.seg-NNNN.partial` instead, seals a
+//! `<path>.seg-NNNN` segment at the first settlement at or past every
+//! `segment_rounds` rounds, and maintains the `<path>.idx` index (see
+//! [`crate::segment`] for the layout). Segments split only at settlement
+//! boundaries, so the concatenation of all sealed segments is
+//! byte-identical to the single-file journal of the same run.
 
 use crate::event::MarketEvent;
+use crate::segment::{self, SegmentEntry};
 use crate::state::{ProtocolError, ProtocolState};
 use cdt_obs::{
     EquilibriumEvent, LatencyHistogram, ObservationEvent, RoundObserver, SelectionEvent,
@@ -43,6 +52,10 @@ pub enum JournalError {
     Io(io::Error),
     /// An event violated the protocol state machine (nothing was written).
     Protocol(ProtocolError),
+    /// A previous run left a recoverable artifact (a `.partial`, segment,
+    /// index, or checkpoint) at the target path; starting a new journal
+    /// would clobber it.
+    StaleArtifact(PathBuf),
 }
 
 impl fmt::Display for JournalError {
@@ -50,6 +63,12 @@ impl fmt::Display for JournalError {
         match self {
             JournalError::Io(e) => write!(f, "journal I/O: {e}"),
             JournalError::Protocol(e) => write!(f, "journal rejected event: {e}"),
+            JournalError::StaleArtifact(path) => write!(
+                f,
+                "refusing to start journal: {} already exists (left by a previous run; \
+                 recover it with `cdt journal recover` or delete it)",
+                path.display()
+            ),
         }
     }
 }
@@ -59,6 +78,53 @@ impl std::error::Error for JournalError {
         match self {
             JournalError::Io(e) => Some(e),
             JournalError::Protocol(e) => Some(e),
+            JournalError::StaleArtifact(_) => None,
+        }
+    }
+}
+
+impl From<segment::SegmentError> for JournalError {
+    fn from(e: segment::SegmentError) -> Self {
+        match e {
+            segment::SegmentError::Io { source, .. } => JournalError::Io(source),
+            segment::SegmentError::Corrupt(msg) => JournalError::Io(io::Error::other(msg)),
+        }
+    }
+}
+
+/// Rotation policy for a segmented journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotationConfig {
+    /// Settled rounds per segment: the sink seals the active segment at
+    /// the first settlement boundary at or past this count. Must be at
+    /// least 1.
+    pub segment_rounds: usize,
+}
+
+/// Per-segment bookkeeping of a rotating sink.
+#[derive(Debug)]
+struct RotationState {
+    segment_rounds: usize,
+    /// Sequence number of the *active* segment.
+    seq: u64,
+    /// Index entries of the segments sealed so far.
+    entries: Vec<SegmentEntry>,
+    segment_events: u64,
+    segment_first_round: Option<usize>,
+    segment_settled: usize,
+    segment_digest: u64,
+}
+
+impl RotationState {
+    fn new(segment_rounds: usize) -> Self {
+        Self {
+            segment_rounds,
+            seq: 0,
+            entries: Vec::new(),
+            segment_events: 0,
+            segment_first_round: None,
+            segment_settled: 0,
+            segment_digest: segment::FNV_OFFSET,
         }
     }
 }
@@ -84,8 +150,11 @@ pub struct JournalReport {
     pub settled_rounds: usize,
     /// Whether the journal ends with an accepted `JobCompleted`.
     pub completed: bool,
-    /// The final (renamed) journal path.
+    /// The final (renamed) journal path. Under rotation this is the base
+    /// path the segments and index hang off — no file exists at it.
     pub path: PathBuf,
+    /// Segments sealed (0 for a single-file journal).
+    pub segments: usize,
 }
 
 /// A validating, crash-safe streaming journal writer.
@@ -105,6 +174,8 @@ pub struct JournalSink {
     spans: Vec<cdt_obs::SpanRecord>,
     renamed: bool,
     published_metrics: bool,
+    /// `Some` when the sink rotates into `<path>.seg-NNNN` segments.
+    rotation: Option<RotationState>,
 }
 
 fn partial_path_for(path: &Path) -> PathBuf {
@@ -119,10 +190,57 @@ impl JournalSink {
     /// into place.
     ///
     /// # Errors
-    /// Returns the I/O error when the partial file cannot be created.
+    /// Returns [`JournalError::StaleArtifact`] when a previous run left a
+    /// recoverable `<path>.partial` at the target, or the I/O error when
+    /// the partial file cannot be created.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        Self::create_with(path, None)
+    }
+
+    /// Opens a streaming journal targeting `path`, optionally rotating
+    /// into `<path>.seg-NNNN` segments every `rotation.segment_rounds`
+    /// settled rounds (see the [module docs](self)).
+    ///
+    /// # Errors
+    /// Returns [`JournalError::StaleArtifact`] when a previous run's
+    /// partial (or, under rotation, any segment/index/checkpoint sibling
+    /// or a same-named single-file journal) already exists, and
+    /// [`JournalError::Io`] when the first file cannot be created or
+    /// `rotation.segment_rounds` is 0.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        rotation: Option<RotationConfig>,
+    ) -> Result<Self, JournalError> {
         let final_path = path.as_ref().to_path_buf();
-        let partial_path = partial_path_for(&final_path);
+        let (partial_path, rotation) = match rotation {
+            None => {
+                let partial_path = partial_path_for(&final_path);
+                if partial_path.exists() {
+                    return Err(JournalError::StaleArtifact(partial_path));
+                }
+                (partial_path, None)
+            }
+            Some(cfg) => {
+                if cfg.segment_rounds == 0 {
+                    return Err(JournalError::Io(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "journal segment-rounds threshold must be at least 1",
+                    )));
+                }
+                // A same-named single-file journal would shadow the
+                // segment layout on every later load.
+                if final_path.exists() {
+                    return Err(JournalError::StaleArtifact(final_path));
+                }
+                if let Some(stray) = segment::stray_artifact(&final_path)? {
+                    return Err(JournalError::StaleArtifact(stray));
+                }
+                (
+                    segment::segment_partial_path(&final_path, 0),
+                    Some(RotationState::new(cfg.segment_rounds)),
+                )
+            }
+        };
         let file = File::create(&partial_path)?;
         Ok(Self {
             writer: BufWriter::new(file),
@@ -135,6 +253,7 @@ impl JournalSink {
             spans: Vec::new(),
             renamed: false,
             published_metrics: false,
+            rotation,
         })
     }
 
@@ -171,16 +290,22 @@ impl JournalSink {
             return Err(JournalError::Protocol(e));
         }
         let line = serde_json::to_string(event).expect("events serialize");
+        if let Some(rot) = &mut self.rotation {
+            rot.segment_digest = segment::fnv1a(rot.segment_digest, line.as_bytes());
+            rot.segment_digest = segment::fnv1a(rot.segment_digest, b"\n");
+            rot.segment_events += 1;
+            if let MarketEvent::PaymentsSettled { round, .. } = event {
+                if rot.segment_first_round.is_none() {
+                    rot.segment_first_round = Some(round.index());
+                }
+                rot.segment_settled += 1;
+            }
+        }
         let span_start = cdt_obs::active_trace().map(|trace| (trace, cdt_obs::span::now_ns()));
         let start = Instant::now();
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        let flushed = matches!(
-            event,
-            MarketEvent::JobPublished { .. }
-                | MarketEvent::PaymentsSettled { .. }
-                | MarketEvent::JobCompleted { .. }
-        );
+        let flushed = event.is_settlement_boundary();
         if flushed {
             self.writer.flush()?;
         }
@@ -213,6 +338,63 @@ impl JournalSink {
             }
         }
         self.events += 1;
+        // Rotate only on a settlement: `JobPublished` never fills a
+        // segment, and `JobCompleted` is followed by `finish()`, which
+        // seals the active segment itself.
+        if matches!(event, MarketEvent::PaymentsSettled { .. })
+            && self
+                .rotation
+                .as_ref()
+                .is_some_and(|rot| rot.segment_settled >= rot.segment_rounds)
+        {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment: flush + best-effort sync, atomic rename
+    /// to its final `seg-NNNN` name, then an atomic index rewrite — in
+    /// that order, so every indexed segment exists on disk and a crash
+    /// between the two leaves at most one sealed-but-unindexed segment
+    /// (which recovery finds by scanning).
+    fn seal_active_segment(&mut self) -> Result<(), JournalError> {
+        self.writer.flush()?;
+        let _ = self.writer.get_ref().sync_all();
+        let state_after = self.state.clone();
+        let rot = self.rotation.as_mut().expect("sealing requires rotation");
+        let sealed = segment::segment_path(&self.final_path, rot.seq);
+        std::fs::rename(&self.partial_path, &sealed)?;
+        rot.entries.push(SegmentEntry {
+            seq: rot.seq,
+            file: sealed
+                .file_name()
+                .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+            first_round: rot.segment_first_round,
+            rounds: rot.segment_settled,
+            events: rot.segment_events,
+            digest: rot.segment_digest,
+            state_after,
+        });
+        let index = segment::JournalIndex {
+            checkpoint: None,
+            segments: rot.entries.clone(),
+        };
+        index.write(&self.final_path)?;
+        rot.seq += 1;
+        rot.segment_events = 0;
+        rot.segment_first_round = None;
+        rot.segment_settled = 0;
+        rot.segment_digest = segment::FNV_OFFSET;
+        Ok(())
+    }
+
+    /// Seals the active segment and opens the next one.
+    fn rotate(&mut self) -> Result<(), JournalError> {
+        self.seal_active_segment()?;
+        let seq = self.rotation.as_ref().expect("rotation enabled").seq;
+        self.partial_path = segment::segment_partial_path(&self.final_path, seq);
+        let file = File::create(&self.partial_path)?;
+        self.writer = BufWriter::new(file);
         Ok(())
     }
 
@@ -225,11 +407,17 @@ impl JournalSink {
     pub fn finish(mut self) -> Result<JournalReport, JournalError> {
         let span_start = cdt_obs::active_trace().map(|trace| (trace, cdt_obs::span::now_ns()));
         let start = Instant::now();
-        self.writer.flush()?;
-        // Durability is best-effort: a failed fsync still leaves a fully
-        // flushed partial file for recovery.
-        let _ = self.writer.get_ref().sync_all();
-        std::fs::rename(&self.partial_path, &self.final_path)?;
+        if self.rotation.is_some() {
+            // Seal the tail segment (possibly short) and leave the index
+            // as the journal's durable root; no `<path>` file is created.
+            self.seal_active_segment()?;
+        } else {
+            self.writer.flush()?;
+            // Durability is best-effort: a failed fsync still leaves a
+            // fully flushed partial file for recovery.
+            let _ = self.writer.get_ref().sync_all();
+            std::fs::rename(&self.partial_path, &self.final_path)?;
+        }
         self.renamed = true;
         if cdt_obs::health::watchdog_active() {
             cdt_obs::health::record_flush_ns(
@@ -252,6 +440,7 @@ impl JournalSink {
             settled_rounds: self.state.settled_rounds(),
             completed: self.state.is_completed(),
             path: self.final_path.clone(),
+            segments: self.rotation.as_ref().map_or(0, |rot| rot.entries.len()),
         })
     }
 
@@ -277,6 +466,15 @@ impl JournalSink {
         }
         if self.write_ns.count() > 0 {
             registry.merge_histogram("cdt_obs_journal_write_ns", &[], &self.write_ns);
+        }
+        if let Some(rot) = &self.rotation {
+            if !rot.entries.is_empty() {
+                registry.add_counter(
+                    "cdt_obs_journal_segments_total",
+                    &[],
+                    rot.entries.len() as u64,
+                );
+            }
         }
         if !self.spans.is_empty() {
             cdt_obs::publish_spans(&self.spans);
@@ -324,7 +522,20 @@ impl JournalObserver {
     /// # Errors
     /// Propagates sink creation or first-write failures.
     pub fn create(path: impl AsRef<Path>, job: JobSpec) -> Result<Self, JournalError> {
-        let mut sink = JournalSink::create(path)?;
+        Self::create_with(path, job, None)
+    }
+
+    /// Like [`JournalObserver::create`], but with optional segment
+    /// rotation (see [`JournalSink::create_with`]).
+    ///
+    /// # Errors
+    /// Propagates sink creation or first-write failures.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        job: JobSpec,
+        rotation: Option<RotationConfig>,
+    ) -> Result<Self, JournalError> {
+        let mut sink = JournalSink::create_with(path, rotation)?;
         sink.append(&MarketEvent::JobPublished { job })?;
         Ok(Self {
             sink,
@@ -518,6 +729,123 @@ mod tests {
         assert_eq!(rec.log.state().settled_rounds(), 1);
         assert!(rec.stop.is_some());
         let _ = std::fs::remove_file(partial_path_for(&path));
+    }
+
+    #[test]
+    fn stale_partial_is_refused_not_clobbered() {
+        let path = temp_journal("stale");
+        let partial = partial_path_for(&path);
+        std::fs::write(&partial, "recoverable bytes from a killed run\n").unwrap();
+        let err = JournalSink::create(&path).unwrap_err();
+        assert!(matches!(err, JournalError::StaleArtifact(ref p) if *p == partial));
+        assert!(err.to_string().contains("cdt journal recover"), "{err}");
+        // The recoverable bytes are untouched.
+        let text = std::fs::read_to_string(&partial).unwrap();
+        assert_eq!(text, "recoverable bytes from a killed run\n");
+        let _ = std::fs::remove_file(&partial);
+    }
+
+    #[test]
+    fn rotation_refuses_stray_artifacts_and_zero_threshold() {
+        let path = temp_journal("stray");
+        let err = JournalSink::create_with(&path, Some(RotationConfig { segment_rounds: 0 }))
+            .unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let stray = crate::segment::segment_path(&path, 3);
+        std::fs::write(&stray, "old segment\n").unwrap();
+        let err = JournalSink::create_with(&path, Some(RotationConfig { segment_rounds: 2 }))
+            .unwrap_err();
+        assert!(matches!(err, JournalError::StaleArtifact(_)), "{err}");
+        let _ = std::fs::remove_file(&stray);
+        // A same-named single-file journal is refused too.
+        std::fs::write(&path, "single-file journal\n").unwrap();
+        let err = JournalSink::create_with(&path, Some(RotationConfig { segment_rounds: 2 }))
+            .unwrap_err();
+        assert!(matches!(err, JournalError::StaleArtifact(ref p) if *p == path));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotated_segments_concatenate_to_the_single_file_journal() {
+        let single = temp_journal("rot-single");
+        let rotated = temp_journal("rot-segmented");
+        let feed = |sink: &mut JournalSink| {
+            sink.append(&job_event()).unwrap();
+            for t in 0..5 {
+                for e in round_events(t) {
+                    sink.append(&e).unwrap();
+                }
+            }
+            sink.append(&MarketEvent::JobCompleted { rounds: 5 })
+                .unwrap();
+        };
+        let mut sink = JournalSink::create(&single).unwrap();
+        feed(&mut sink);
+        sink.finish().unwrap();
+
+        let mut sink =
+            JournalSink::create_with(&rotated, Some(RotationConfig { segment_rounds: 2 })).unwrap();
+        feed(&mut sink);
+        let report = sink.finish().unwrap();
+        assert_eq!(report.events, 27);
+        assert_eq!(report.settled_rounds, 5);
+        assert!(report.completed);
+        assert_eq!(report.segments, 3);
+        // No base file: the index is the root.
+        assert!(!rotated.exists());
+        assert!(crate::segment::index_path(&rotated).exists());
+
+        // 5 rounds at 2 rounds/segment: seg 0 (rounds 0-1), seg 1 (2-3),
+        // seg 2 (round 4 + JobCompleted).
+        let mut concat = String::new();
+        for seq in 0..3 {
+            let seg = crate::segment::segment_path(&rotated, seq);
+            concat.push_str(&std::fs::read_to_string(&seg).unwrap());
+        }
+        assert!(!crate::segment::segment_path(&rotated, 3).exists());
+        let single_text = std::fs::read_to_string(&single).unwrap();
+        assert_eq!(concat, single_text, "segments must concatenate exactly");
+
+        // The strict loader agrees with the single-file view.
+        let seg_view = crate::segment::load_journal(&rotated).unwrap();
+        let single_view = crate::segment::load_journal(&single).unwrap();
+        assert!(seg_view.segmented);
+        assert_eq!(seg_view.segments, 3);
+        assert_eq!(seg_view.events, single_view.events);
+        assert_eq!(seg_view.settlements, single_view.settlements);
+        assert_eq!(seg_view.state, single_view.state);
+
+        let _ = std::fs::remove_file(&single);
+        for seq in 0..3 {
+            let _ = std::fs::remove_file(crate::segment::segment_path(&rotated, seq));
+        }
+        let _ = std::fs::remove_file(crate::segment::index_path(&rotated));
+    }
+
+    #[test]
+    fn dropped_rotating_sink_leaves_sealed_segments_and_partial() {
+        let path = temp_journal("rot-crash");
+        {
+            let mut sink =
+                JournalSink::create_with(&path, Some(RotationConfig { segment_rounds: 1 }))
+                    .unwrap();
+            sink.append(&job_event()).unwrap();
+            for e in round_events(0) {
+                sink.append(&e).unwrap();
+            }
+            // Round 1 starts but never settles; then the process "dies".
+            sink.append(&round_events(1)[0]).unwrap();
+        }
+        assert!(crate::segment::segment_path(&path, 0).exists());
+        assert!(crate::segment::segment_partial_path(&path, 1).exists());
+        let rec = crate::segment::recover_journal(&path).unwrap();
+        assert!(rec.segmented);
+        assert_eq!(rec.settled_rounds(), 1);
+        assert!(rec.state.at_round_boundary());
+        assert!(rec.stop.is_some());
+        let _ = std::fs::remove_file(crate::segment::segment_path(&path, 0));
+        let _ = std::fs::remove_file(crate::segment::segment_partial_path(&path, 1));
+        let _ = std::fs::remove_file(crate::segment::index_path(&path));
     }
 
     #[test]

@@ -31,7 +31,12 @@
 //!   settled-round prefix of a crashed run's journal;
 //! - [`diff`]: round-aligned settlement comparison between two journals
 //!   (`cdt journal diff`) — the divergence validator for the lane kernels'
-//!   deterministic (zero-diff) and fast-math (bounded-diff) contracts.
+//!   deterministic (zero-diff) and fast-math (bounded-diff) contracts;
+//! - [`segment`]: segment-rotated journal layout — the `<path>.seg-NNNN`
+//!   files, the `<path>.idx` round-range index, and the compaction
+//!   checkpoints (`cdt journal compact`) that fold a settled prefix into a
+//!   digest-verified [`ProtocolState`] snapshot, making replay-to-round an
+//!   index lookup plus one segment scan.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -42,12 +47,19 @@ pub mod event;
 pub mod journal;
 pub mod log;
 pub mod recover;
+pub mod segment;
 pub mod state;
 
 pub use bridge::events_for_round;
-pub use diff::{diff_settlements, SettlementDiff};
+pub use diff::{
+    diff_settlement_rows, diff_settlements, settlement_rows, SettlementDiff, SettlementRow,
+};
 pub use event::MarketEvent;
-pub use journal::{JournalError, JournalObserver, JournalReport, JournalSink};
+pub use journal::{JournalError, JournalObserver, JournalReport, JournalSink, RotationConfig};
 pub use log::EventLog;
 pub use recover::{recover_json_lines, Recovery, RecoveryStop};
+pub use segment::{
+    compact_journal, load_journal, recover_journal, replay_to_round, CompactReport,
+    JournalRecovery, JournalView, RoundLookup, SegmentError,
+};
 pub use state::{ProtocolError, ProtocolState};

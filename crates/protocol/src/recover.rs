@@ -93,12 +93,7 @@ pub fn recover_json_lines(input: &str) -> Recovery {
             });
             break;
         }
-        let is_boundary = matches!(
-            event,
-            MarketEvent::JobPublished { .. }
-                | MarketEvent::PaymentsSettled { .. }
-                | MarketEvent::JobCompleted { .. }
-        );
+        let is_boundary = event.is_settlement_boundary();
         events.push(event);
         if is_boundary {
             boundary = events.len();

@@ -1,0 +1,1495 @@
+//! Segment-rotated journal layout: the index, compaction checkpoints, and
+//! the loaders the `cdt journal` family shares.
+//!
+//! A rotated journal for base path `P` is a *directory layout*, not a
+//! single file:
+//!
+//! - `P.seg-NNNN` — sealed segments (4-digit, zero-padded, so lexicographic
+//!   order is numeric order). Each segment is plain event JSONL that both
+//!   starts and ends on a settlement boundary, so the concatenation of all
+//!   segments is byte-identical to the single-file journal of the same
+//!   run. The active segment streams into `P.seg-NNNN.partial` and is
+//!   atomically renamed when sealed.
+//! - `P.idx` — the JSONL index: a header line, an optional checkpoint
+//!   reference, then one entry per sealed segment carrying its round
+//!   range, event count, FNV-1a byte digest, and the full
+//!   [`ProtocolState`] *after* the segment. The index is always rewritten
+//!   whole via temp-file + atomic rename, strictly after the segment it
+//!   covers is sealed — so every indexed segment exists, and a crash can
+//!   at worst leave one sealed-but-unindexed trailing segment (recovery
+//!   finds it by scanning).
+//! - `P.ckpt-GGGG` — compaction checkpoints. [`compact_journal`] folds a
+//!   settled prefix of segments into one self-validating JSON record: the
+//!   [`ProtocolState`] snapshot, every folded settlement row, the ledger
+//!   totals, a chained digest of the folded bytes, and a content digest
+//!   over all of it. Generations are written new-file-first, then the
+//!   index flips to the new reference, then the folded segments and the
+//!   old checkpoint are deleted — every crash window leaves either the old
+//!   or the new generation fully intact (orphans are ignored; the index is
+//!   the source of truth).
+//!
+//! Loading reuses the [`crate::log::EventLog`] replay-verification idiom:
+//! the per-segment `state_after` snapshots and the checkpoint state are
+//! *cross-checked against replay*, so a forged index or tampered
+//! checkpoint is rejected exactly like a forged embedded state in a
+//! serialized log.
+
+use crate::diff::SettlementRow;
+use crate::event::MarketEvent;
+use crate::log::EventLog;
+use crate::recover::{recover_json_lines, RecoveryStop};
+use crate::state::ProtocolState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The index/checkpoint format version this crate writes and reads.
+pub const SEGMENT_FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit offset basis (the digest seed for an empty byte stream).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a 64-bit digest. Chain calls to
+/// digest a multi-part stream; start from [`FNV_OFFSET`].
+#[must_use]
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// What can go wrong reading, validating, or compacting a segmented
+/// journal.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// A file could not be read, written, or renamed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The layout is inconsistent, tampered, or torn.
+    Corrupt(String),
+}
+
+impl SegmentError {
+    fn io(path: &Path, source: io::Error) -> Self {
+        SegmentError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    fn corrupt(msg: impl Into<String>) -> Self {
+        SegmentError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            SegmentError::Corrupt(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SegmentError::Io { source, .. } => Some(source),
+            SegmentError::Corrupt(_) => None,
+        }
+    }
+}
+
+fn suffixed(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+/// `P.idx` — the segment index of journal base path `P`.
+#[must_use]
+pub fn index_path(base: &Path) -> PathBuf {
+    suffixed(base, ".idx")
+}
+
+/// `P.seg-NNNN` — sealed segment `seq` of journal base path `P`.
+#[must_use]
+pub fn segment_path(base: &Path, seq: u64) -> PathBuf {
+    suffixed(base, &format!(".seg-{seq:04}"))
+}
+
+/// `P.seg-NNNN.partial` — the active (streaming) segment `seq`.
+#[must_use]
+pub fn segment_partial_path(base: &Path, seq: u64) -> PathBuf {
+    suffixed(base, &format!(".seg-{seq:04}.partial"))
+}
+
+/// `P.ckpt-GGGG` — compaction checkpoint generation `generation`.
+#[must_use]
+pub fn checkpoint_path(base: &Path, generation: u64) -> PathBuf {
+    suffixed(base, &format!(".ckpt-{generation:04}"))
+}
+
+/// The directory a base path's sibling artifacts live in.
+fn base_dir(base: &Path) -> PathBuf {
+    base.parent()
+        .map_or_else(|| PathBuf::from(""), Path::to_path_buf)
+}
+
+fn file_name_of(path: &Path) -> String {
+    path.file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned())
+}
+
+/// Scans for any on-disk artifact of journal base path `P` that a fresh
+/// [`crate::JournalSink`] would clobber or shadow: `P.partial`, `P.idx`,
+/// or any `P.seg-*` / `P.ckpt-*` sibling. Returns the first one found.
+///
+/// # Errors
+/// Propagates directory-listing failures (a missing directory is treated
+/// as "no artifacts").
+pub fn stray_artifact(base: &Path) -> io::Result<Option<PathBuf>> {
+    let partial = suffixed(base, ".partial");
+    if partial.exists() {
+        return Ok(Some(partial));
+    }
+    let idx = index_path(base);
+    if idx.exists() {
+        return Ok(Some(idx));
+    }
+    let name = file_name_of(base);
+    if name.is_empty() {
+        return Ok(None);
+    }
+    let dir = base_dir(base);
+    let entries = match std::fs::read_dir(if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        &dir
+    }) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let seg_prefix = format!("{name}.seg-");
+    let ckpt_prefix = format!("{name}.ckpt-");
+    let mut found: Option<PathBuf> = None;
+    for entry in entries {
+        let entry = entry?;
+        let entry_name = entry.file_name().to_string_lossy().into_owned();
+        if entry_name.starts_with(&seg_prefix) || entry_name.starts_with(&ckpt_prefix) {
+            let path = dir.join(&entry_name);
+            // Deterministic pick: the lexicographically first artifact.
+            if found.as_ref().is_none_or(|f| path < *f) {
+                found = Some(path);
+            }
+        }
+    }
+    Ok(found)
+}
+
+/// One sealed segment, as recorded in the index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentEntry {
+    /// Segment sequence number (monotone across compactions).
+    pub seq: u64,
+    /// File name (relative to the journal's directory).
+    pub file: String,
+    /// First round *settled* inside this segment, if any.
+    pub first_round: Option<usize>,
+    /// Rounds settled inside this segment.
+    pub rounds: usize,
+    /// Events written to this segment.
+    pub events: u64,
+    /// FNV-1a 64-bit digest of the segment's bytes.
+    pub digest: u64,
+    /// The protocol state after the last event of this segment —
+    /// cross-checked against replay on every strict load.
+    pub state_after: ProtocolState,
+}
+
+/// The index's reference to the live compaction checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointRef {
+    /// Checkpoint generation (the `GGGG` in `P.ckpt-GGGG`).
+    pub generation: u64,
+    /// Checkpoint file name (relative to the journal's directory).
+    pub file: String,
+    /// Rounds folded into the checkpoint.
+    pub rounds: usize,
+    /// Events folded into the checkpoint.
+    pub events: u64,
+    /// The checkpoint's content digest (must match the file).
+    pub digest: u64,
+}
+
+/// A compaction checkpoint: the replayable summary of a folded settled
+/// prefix. Self-validating via [`Checkpoint::content_digest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`SEGMENT_FORMAT_VERSION`]).
+    pub format: u32,
+    /// Generation number, incremented per compaction.
+    pub generation: u64,
+    /// Total segments folded (across all generations).
+    pub segments_folded: u64,
+    /// Total events folded.
+    pub events: u64,
+    /// Total rounds settled in the folded prefix.
+    pub rounds: usize,
+    /// Whether the folded prefix ends with `JobCompleted`.
+    pub completed: bool,
+    /// Total consumer spend over the folded settlements.
+    pub consumer_total: f64,
+    /// Total seller payout over the folded settlements.
+    pub seller_total: f64,
+    /// Chained FNV-1a digest of the folded segments' raw bytes.
+    pub bytes_digest: u64,
+    /// Protocol state after the folded prefix — replay resumes from here.
+    pub state: ProtocolState,
+    /// Every folded settlement row, in round order.
+    pub settlements: Vec<SettlementRow>,
+    /// FNV-1a digest over the canonical serialization of every field
+    /// above; loading recomputes and rejects a mismatch.
+    pub digest: u64,
+}
+
+impl Checkpoint {
+    /// The canonical content string the digest covers. Floats are encoded
+    /// as their IEEE-754 bit patterns so the digest is exact.
+    fn canonical_content(&self) -> String {
+        let mut s = format!(
+            "format={};generation={};segments_folded={};events={};rounds={};completed={};\
+             bytes_digest={:016x};consumer_total={:016x};seller_total={:016x};state={};rows=",
+            self.format,
+            self.generation,
+            self.segments_folded,
+            self.events,
+            self.rounds,
+            self.completed,
+            self.bytes_digest,
+            self.consumer_total.to_bits(),
+            self.seller_total.to_bits(),
+            serde_json::to_string(&self.state).expect("state serializes"),
+        );
+        for row in &self.settlements {
+            s.push_str(&format!(
+                "{}:{:016x}",
+                row.round.index(),
+                row.consumer.to_bits()
+            ));
+            for p in &row.sellers {
+                s.push_str(&format!(":{:016x}", p.to_bits()));
+            }
+            s.push(';');
+        }
+        s
+    }
+
+    /// The FNV-1a digest over the canonical content.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        fnv1a(FNV_OFFSET, self.canonical_content().as_bytes())
+    }
+
+    /// Validates the checkpoint's internal consistency: the content digest
+    /// matches, the state agrees with the round counts, the rows are a
+    /// contiguous `0..rounds` range, and the totals are the exact sums of
+    /// the rows.
+    ///
+    /// # Errors
+    /// Returns [`SegmentError::Corrupt`] naming the first inconsistency.
+    pub fn validate(&self) -> Result<(), SegmentError> {
+        if self.format != SEGMENT_FORMAT_VERSION {
+            return Err(SegmentError::corrupt(format!(
+                "checkpoint format {} unsupported (expected {SEGMENT_FORMAT_VERSION})",
+                self.format
+            )));
+        }
+        if self.digest != self.content_digest() {
+            return Err(SegmentError::corrupt(
+                "checkpoint content digest mismatch (tampered or torn checkpoint)",
+            ));
+        }
+        if self.state.settled_rounds() != self.rounds || self.settlements.len() != self.rounds {
+            return Err(SegmentError::corrupt(
+                "checkpoint round count disagrees with its state snapshot",
+            ));
+        }
+        if self.completed != self.state.is_completed() || !self.state.at_round_boundary() {
+            return Err(SegmentError::corrupt(
+                "checkpoint state is not a settlement boundary",
+            ));
+        }
+        for (i, row) in self.settlements.iter().enumerate() {
+            if row.round.index() != i {
+                return Err(SegmentError::corrupt(format!(
+                    "checkpoint settlement rows are not contiguous at index {i}"
+                )));
+            }
+        }
+        let consumer: f64 = self.settlements.iter().map(|r| r.consumer).sum();
+        let seller: f64 = self
+            .settlements
+            .iter()
+            .map(|r| r.sellers.iter().sum::<f64>())
+            .sum();
+        if consumer.to_bits() != self.consumer_total.to_bits()
+            || seller.to_bits() != self.seller_total.to_bits()
+        {
+            return Err(SegmentError::corrupt(
+                "checkpoint ledger totals disagree with its settlement rows",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One line of the `P.idx` JSONL index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum IndexLine {
+    /// The mandatory first line.
+    #[serde(rename = "header")]
+    Header {
+        /// Always `"segmented"`.
+        journal: String,
+        /// Format version.
+        version: u32,
+    },
+    /// The live checkpoint reference (at most one, before any segment).
+    #[serde(rename = "checkpoint")]
+    Checkpoint(CheckpointRef),
+    /// A sealed segment, in sequence order.
+    #[serde(rename = "segment")]
+    Segment(Box<SegmentEntry>),
+}
+
+/// The parsed `P.idx` index: the live checkpoint reference (if any) plus
+/// the sealed segments not yet folded into it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JournalIndex {
+    /// The live compaction checkpoint, if one exists.
+    pub checkpoint: Option<CheckpointRef>,
+    /// The sealed, unfolded segments in sequence order.
+    pub segments: Vec<SegmentEntry>,
+}
+
+impl JournalIndex {
+    /// The sequence number the *next* segment (sealed or active) takes.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.segments.last().map_or_else(
+            || self.checkpoint.as_ref().map_or(0, |c| c.segments_folded),
+            |e| e.seq + 1,
+        )
+    }
+
+    fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        let mut push = |line: &IndexLine| {
+            out.push_str(&serde_json::to_string(line).expect("index lines serialize"));
+            out.push('\n');
+        };
+        push(&IndexLine::Header {
+            journal: "segmented".to_owned(),
+            version: SEGMENT_FORMAT_VERSION,
+        });
+        if let Some(ckpt) = &self.checkpoint {
+            push(&IndexLine::Checkpoint(ckpt.clone()));
+        }
+        for entry in &self.segments {
+            push(&IndexLine::Segment(Box::new(entry.clone())));
+        }
+        out
+    }
+
+    /// Atomically rewrites `P.idx` (temp file + rename), so readers only
+    /// ever see a complete index.
+    ///
+    /// # Errors
+    /// Returns the I/O failure, leaving any previous index intact.
+    pub fn write(&self, base: &Path) -> Result<(), SegmentError> {
+        let path = index_path(base);
+        write_atomic(&path, self.to_json_lines().as_bytes())
+    }
+
+    /// Parses `P.idx` strictly: every line must parse, the header must
+    /// lead, the checkpoint reference (if any) must precede all segments,
+    /// and segment sequence numbers must be consecutive from the
+    /// checkpoint's fold point (or 0).
+    ///
+    /// # Errors
+    /// Returns [`SegmentError::Io`] when the index cannot be read and
+    /// [`SegmentError::Corrupt`] on any structural violation.
+    pub fn read_strict(base: &Path) -> Result<Self, SegmentError> {
+        let path = index_path(base);
+        let text = std::fs::read_to_string(&path).map_err(|e| SegmentError::io(&path, e))?;
+        match Self::parse(&text) {
+            (index, None) => Ok(index),
+            (_, Some(why)) => Err(SegmentError::corrupt(format!("{}: {why}", path.display()))),
+        }
+    }
+
+    /// Parses the longest valid prefix of `P.idx`, tolerating a torn tail
+    /// (returns what parsed plus whether anything was dropped). A missing
+    /// or headerless index parses as empty-and-torn, letting recovery fall
+    /// back to scanning segment files directly.
+    ///
+    /// # Errors
+    /// Returns [`SegmentError::Io`] only when the index exists but cannot
+    /// be read.
+    pub fn read_tolerant(base: &Path) -> Result<(Self, bool), SegmentError> {
+        let path = index_path(base);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((Self::default(), true));
+            }
+            Err(e) => return Err(SegmentError::io(&path, e)),
+        };
+        let (index, why) = Self::parse(&text);
+        Ok((index, why.is_some()))
+    }
+
+    /// Parses index lines, returning the valid prefix and `Some(reason)`
+    /// at the first violation.
+    fn parse(text: &str) -> (Self, Option<String>) {
+        let mut index = Self::default();
+        let mut saw_header = false;
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed: IndexLine = match serde_json::from_str(line) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    return (index, Some(format!("index line {line_no}: bad JSON: {e}")));
+                }
+            };
+            match parsed {
+                IndexLine::Header { journal, version } => {
+                    if saw_header {
+                        return (
+                            index,
+                            Some(format!("index line {line_no}: duplicate header")),
+                        );
+                    }
+                    if journal != "segmented" || version != SEGMENT_FORMAT_VERSION {
+                        return (
+                            index,
+                            Some(format!(
+                                "index line {line_no}: unsupported header \
+                                 (journal=`{journal}`, version={version})"
+                            )),
+                        );
+                    }
+                    saw_header = true;
+                }
+                IndexLine::Checkpoint(ckpt) => {
+                    if !saw_header || index.checkpoint.is_some() || !index.segments.is_empty() {
+                        return (
+                            index,
+                            Some(format!(
+                                "index line {line_no}: misplaced checkpoint reference"
+                            )),
+                        );
+                    }
+                    index.checkpoint = Some(ckpt);
+                }
+                IndexLine::Segment(entry) => {
+                    if !saw_header {
+                        return (
+                            index,
+                            Some(format!("index line {line_no}: segment before header")),
+                        );
+                    }
+                    let expected = index.next_seq();
+                    if entry.seq != expected {
+                        return (
+                            index,
+                            Some(format!(
+                                "index line {line_no}: segment seq {} out of order \
+                                 (expected {expected})",
+                                entry.seq
+                            )),
+                        );
+                    }
+                    index.segments.push(*entry);
+                }
+            }
+        }
+        if saw_header {
+            (index, None)
+        } else {
+            (index, Some("index has no header line".to_owned()))
+        }
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SegmentError> {
+    let tmp = suffixed(path, ".tmp");
+    {
+        let mut f = File::create(&tmp).map_err(|e| SegmentError::io(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| SegmentError::io(&tmp, e))?;
+        // Best-effort durability, like the sink: a failed fsync still
+        // leaves a complete temp file.
+        let _ = f.sync_all();
+    }
+    std::fs::rename(&tmp, path).map_err(|e| SegmentError::io(path, e))
+}
+
+/// Reads and validates the checkpoint a [`CheckpointRef`] points to,
+/// cross-checking the reference's generation, counts, and digest against
+/// the file (the replay-verification idiom at the checkpoint layer).
+fn load_checkpoint(base: &Path, ckpt_ref: &CheckpointRef) -> Result<Checkpoint, SegmentError> {
+    let path = base_dir(base).join(&ckpt_ref.file);
+    let text = std::fs::read_to_string(&path).map_err(|e| SegmentError::io(&path, e))?;
+    let ckpt: Checkpoint = serde_json::from_str(&text).map_err(|e| {
+        SegmentError::corrupt(format!("{}: bad checkpoint JSON: {e}", path.display()))
+    })?;
+    ckpt.validate()
+        .map_err(|e| SegmentError::corrupt(format!("{}: {e}", path.display())))?;
+    if ckpt.generation != ckpt_ref.generation
+        || ckpt.rounds != ckpt_ref.rounds
+        || ckpt.events != ckpt_ref.events
+        || ckpt.digest != ckpt_ref.digest
+    {
+        return Err(SegmentError::corrupt(format!(
+            "{}: checkpoint disagrees with the index reference",
+            path.display()
+        )));
+    }
+    Ok(ckpt)
+}
+
+/// Scans the journal's directory for the highest-generation checkpoint
+/// that self-validates — the recovery fallback when the index is torn
+/// before its checkpoint line.
+fn scan_for_checkpoint(base: &Path) -> Option<Checkpoint> {
+    let name = file_name_of(base);
+    let dir = base_dir(base);
+    let prefix = format!("{name}.ckpt-");
+    let entries = std::fs::read_dir(if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        &dir
+    })
+    .ok()?;
+    let mut best: Option<Checkpoint> = None;
+    for entry in entries.flatten() {
+        let entry_name = entry.file_name().to_string_lossy().into_owned();
+        if !entry_name.starts_with(&prefix) || entry_name.ends_with(".tmp") {
+            continue;
+        }
+        let path = dir.join(&entry_name);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(ckpt) = serde_json::from_str::<Checkpoint>(&text) else {
+            continue;
+        };
+        if ckpt.validate().is_err() {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| ckpt.generation > b.generation) {
+            best = Some(ckpt);
+        }
+    }
+    best
+}
+
+/// A strictly loaded journal history — from a single file, a segmented
+/// layout, or a compacted one — normalized to the data every `cdt
+/// journal` command needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalView {
+    /// `true` when loaded from a `P.idx` segment layout.
+    pub segmented: bool,
+    /// Sealed segments replayed (0 for a single-file journal).
+    pub segments: usize,
+    /// Rounds folded into a checkpoint (0 when uncompacted).
+    pub compacted_rounds: usize,
+    /// Events folded into a checkpoint (0 when uncompacted).
+    pub compacted_events: u64,
+    /// Total events in the history, including folded ones.
+    pub events: u64,
+    /// Every settlement row, in round order (checkpointed and replayed).
+    pub settlements: Vec<SettlementRow>,
+    /// The protocol state after the full history.
+    pub state: ProtocolState,
+}
+
+impl JournalView {
+    /// Rounds settled over the whole history.
+    #[must_use]
+    pub fn settled_rounds(&self) -> usize {
+        self.state.settled_rounds()
+    }
+
+    /// Whether the history ends with `JobCompleted`.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.state.is_completed()
+    }
+
+    /// Total consumer spend (row-order sum, bit-stable).
+    #[must_use]
+    pub fn consumer_total(&self) -> f64 {
+        self.settlements.iter().map(|r| r.consumer).sum()
+    }
+
+    /// Total seller payout (row-order sum, bit-stable).
+    #[must_use]
+    pub fn seller_total(&self) -> f64 {
+        self.settlements
+            .iter()
+            .map(|r| r.sellers.iter().sum::<f64>())
+            .sum()
+    }
+
+    fn from_log(log: &EventLog) -> Self {
+        Self {
+            segmented: false,
+            segments: 0,
+            compacted_rounds: 0,
+            compacted_events: 0,
+            events: log.len() as u64,
+            settlements: crate::diff::settlement_rows(log),
+            state: log.state().clone(),
+        }
+    }
+}
+
+/// Replays one segment's text strictly from `state`, appending settlement
+/// rows and returning the event count.
+fn replay_segment_strict(
+    state: &mut ProtocolState,
+    rows: &mut Vec<SettlementRow>,
+    text: &str,
+    label: &str,
+) -> Result<u64, SegmentError> {
+    let mut events = 0u64;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event: MarketEvent = serde_json::from_str(line).map_err(|e| {
+            SegmentError::corrupt(format!("{label} line {line_no}: bad event JSON: {e}"))
+        })?;
+        state.apply(&event).map_err(|e| {
+            SegmentError::corrupt(format!(
+                "{label} line {line_no}: protocol violation on replay: {e}"
+            ))
+        })?;
+        if let MarketEvent::PaymentsSettled {
+            round,
+            consumer_payment,
+            seller_payments,
+        } = &event
+        {
+            rows.push(SettlementRow {
+                round: *round,
+                consumer: *consumer_payment,
+                sellers: seller_payments.clone(),
+            });
+        }
+        events += 1;
+    }
+    Ok(events)
+}
+
+/// Verifies one indexed segment — digest, strict replay, and the
+/// `state_after` cross-check — folding its rows into `rows`.
+fn verify_segment_entry(
+    base: &Path,
+    entry: &SegmentEntry,
+    state: &mut ProtocolState,
+    rows: &mut Vec<SettlementRow>,
+) -> Result<String, SegmentError> {
+    let path = base_dir(base).join(&entry.file);
+    let text = std::fs::read_to_string(&path).map_err(|e| SegmentError::io(&path, e))?;
+    if fnv1a(FNV_OFFSET, text.as_bytes()) != entry.digest {
+        return Err(SegmentError::corrupt(format!(
+            "{}: segment byte digest mismatch (tampered or torn segment)",
+            path.display()
+        )));
+    }
+    let rounds_before = state.settled_rounds();
+    let events = replay_segment_strict(state, rows, &text, &entry.file)?;
+    if events != entry.events {
+        return Err(SegmentError::corrupt(format!(
+            "{}: index says {} events, replay found {events}",
+            path.display(),
+            entry.events
+        )));
+    }
+    if state.settled_rounds() - rounds_before != entry.rounds {
+        return Err(SegmentError::corrupt(format!(
+            "{}: index says {} rounds, replay settled {}",
+            path.display(),
+            entry.rounds,
+            state.settled_rounds() - rounds_before
+        )));
+    }
+    if *state != entry.state_after {
+        return Err(SegmentError::corrupt(format!(
+            "{}: index state_after disagrees with replay (forged index?)",
+            path.display()
+        )));
+    }
+    Ok(text)
+}
+
+/// Ensures a segmented journal is quiescent (no active partial, no sealed
+/// segment the index has not caught up with) — the precondition for strict
+/// loads and compaction.
+fn ensure_quiescent(base: &Path, index: &JournalIndex) -> Result<(), SegmentError> {
+    let next = index.next_seq();
+    let partial = segment_partial_path(base, next);
+    if partial.exists() {
+        return Err(SegmentError::corrupt(format!(
+            "{}: unfinished journal — active segment {} present \
+             (run `cdt journal recover`)",
+            base.display(),
+            partial.display()
+        )));
+    }
+    let unindexed = segment_path(base, next);
+    if unindexed.exists() {
+        return Err(SegmentError::corrupt(format!(
+            "{}: sealed segment {} is not in the index (crashed during rotation; \
+             run `cdt journal recover`)",
+            base.display(),
+            unindexed.display()
+        )));
+    }
+    Ok(())
+}
+
+/// Loads a journal strictly: a single-file journal replays all-or-nothing
+/// (exactly [`EventLog::from_json_lines`]); a segmented journal verifies
+/// the index, the checkpoint digest, and every segment's byte digest +
+/// replay + `state_after` cross-check.
+///
+/// # Errors
+/// Returns [`SegmentError::Io`] when nothing readable exists at `path`
+/// and [`SegmentError::Corrupt`] on any validation failure.
+pub fn load_journal(path: &Path) -> Result<JournalView, SegmentError> {
+    if path.is_file() {
+        let text = std::fs::read_to_string(path).map_err(|e| SegmentError::io(path, e))?;
+        let log = EventLog::from_json_lines(&text)
+            .map_err(|e| SegmentError::corrupt(format!("{}: {e}", path.display())))?;
+        return Ok(JournalView::from_log(&log));
+    }
+    if !index_path(path).is_file() {
+        return Err(SegmentError::io(
+            path,
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                "no journal file or segment index found",
+            ),
+        ));
+    }
+    let index = JournalIndex::read_strict(path)?;
+    ensure_quiescent(path, &index)?;
+    let (mut state, mut rows, mut events, compacted_rounds, compacted_events) =
+        match &index.checkpoint {
+            Some(ckpt_ref) => {
+                let ckpt = load_checkpoint(path, ckpt_ref)?;
+                let rounds = ckpt.rounds;
+                let folded = ckpt.events;
+                (ckpt.state, ckpt.settlements, ckpt.events, rounds, folded)
+            }
+            None => (ProtocolState::new(), Vec::new(), 0, 0, 0),
+        };
+    for entry in &index.segments {
+        verify_segment_entry(path, entry, &mut state, &mut rows)?;
+        events += entry.events;
+    }
+    Ok(JournalView {
+        segmented: true,
+        segments: index.segments.len(),
+        compacted_rounds,
+        compacted_events,
+        events,
+        settlements: rows,
+        state,
+    })
+}
+
+/// The result of a truncation-tolerant recovery over any journal layout.
+#[derive(Debug)]
+pub struct JournalRecovery {
+    /// `true` when recovered from a segment layout.
+    pub segmented: bool,
+    /// Rounds folded into the checkpoint the recovery resumed from.
+    pub compacted_rounds: usize,
+    /// Events folded into that checkpoint.
+    pub compacted_events: u64,
+    /// Kept (boundary-terminated) events, excluding folded ones.
+    pub events_kept: usize,
+    /// Non-empty lines scanned across all source files.
+    pub lines_read: usize,
+    /// Events that parsed and replayed cleanly (kept or in-flight).
+    pub events_replayed: usize,
+    /// Every settlement row of the recovered history, in round order.
+    pub settlements: Vec<SettlementRow>,
+    /// The protocol state after the recovered prefix — always a
+    /// settlement boundary.
+    pub state: ProtocolState,
+    /// The kept event lines (excluding the folded prefix), concatenated —
+    /// a valid journal when no checkpoint is involved.
+    pub kept_text: String,
+    /// Bytes read from the event-bearing source files (segments and
+    /// partials; not the index or checkpoint).
+    pub source_bytes: u64,
+    /// `None` for a clean boundary-terminated history; otherwise where
+    /// and why replay stopped (line numbers are cumulative across
+    /// segments).
+    pub stop: Option<RecoveryStop>,
+}
+
+impl JournalRecovery {
+    /// Rounds settled in the recovered history (including compacted ones).
+    #[must_use]
+    pub fn settled_rounds(&self) -> usize {
+        self.state.settled_rounds()
+    }
+
+    /// Whether the recovered prefix ends with `JobCompleted`.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.state.is_completed()
+    }
+}
+
+/// Per-chunk bookkeeping for the tolerant replay chain.
+struct TolerantReplay {
+    state: ProtocolState,
+    rows: Vec<SettlementRow>,
+    kept_text: String,
+    events_kept: usize,
+    lines_read: usize,
+    events_replayed: usize,
+    stop: Option<RecoveryStop>,
+}
+
+impl TolerantReplay {
+    fn new(state: ProtocolState, rows: Vec<SettlementRow>) -> Self {
+        Self {
+            state,
+            rows,
+            kept_text: String::new(),
+            events_kept: 0,
+            lines_read: 0,
+            events_replayed: 0,
+            stop: None,
+        }
+    }
+
+    /// Replays one file's text, keeping the longest boundary-terminated
+    /// prefix; on any stop the state, rows, and kept text roll back to the
+    /// last boundary. Returns `false` when replay must not continue into
+    /// further files.
+    fn replay_chunk(&mut self, text: &str, label: &str, is_last: bool) -> bool {
+        let mut kept_state = self.state.clone();
+        let mut kept_rows = self.rows.len();
+        let mut kept_len = self.kept_text.len();
+        let mut kept_events = self.events_kept;
+        let mut last_line_no = self.lines_read;
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.lines_read += 1;
+            last_line_no = self.lines_read;
+            let event: MarketEvent = match serde_json::from_str(line) {
+                Ok(event) => event,
+                Err(e) => {
+                    self.stop = Some(RecoveryStop {
+                        line: last_line_no,
+                        reason: format!("{label}: bad event JSON: {e}"),
+                    });
+                    break;
+                }
+            };
+            if let Err(e) = self.state.apply(&event) {
+                self.stop = Some(RecoveryStop {
+                    line: last_line_no,
+                    reason: format!("{label}: protocol violation: {e}"),
+                });
+                break;
+            }
+            self.events_replayed += 1;
+            self.kept_text.push_str(line);
+            self.kept_text.push('\n');
+            self.events_kept += 1;
+            if let MarketEvent::PaymentsSettled {
+                round,
+                consumer_payment,
+                seller_payments,
+            } = &event
+            {
+                self.rows.push(SettlementRow {
+                    round: *round,
+                    consumer: *consumer_payment,
+                    sellers: seller_payments.clone(),
+                });
+            }
+            if event.is_settlement_boundary() {
+                kept_state = self.state.clone();
+                kept_rows = self.rows.len();
+                kept_len = self.kept_text.len();
+                kept_events = self.events_kept;
+            }
+        }
+        let trailing_in_flight = self.events_kept - kept_events;
+        if self.stop.is_none() && trailing_in_flight > 0 && is_last {
+            self.stop = Some(RecoveryStop {
+                line: last_line_no,
+                reason: format!(
+                    "{label}: journal ends mid-round ({trailing_in_flight} in-flight event{} \
+                     discarded)",
+                    if trailing_in_flight == 1 { "" } else { "s" }
+                ),
+            });
+        }
+        let clean = self.stop.is_none() && trailing_in_flight == 0;
+        if !clean {
+            // Roll back to the last settlement boundary.
+            self.state = kept_state;
+            self.rows.truncate(kept_rows);
+            self.kept_text.truncate(kept_len);
+            self.events_kept = kept_events;
+        }
+        if !is_last && self.stop.is_none() && trailing_in_flight > 0 {
+            // A sealed segment that ends mid-round is torn: report it and
+            // stop the chain (healthy segments always end on a boundary).
+            self.stop = Some(RecoveryStop {
+                line: last_line_no,
+                reason: format!(
+                    "{label}: sealed segment ends mid-round ({trailing_in_flight} in-flight \
+                     event{} discarded)",
+                    if trailing_in_flight == 1 { "" } else { "s" }
+                ),
+            });
+        }
+        clean
+    }
+}
+
+/// Recovers the longest valid boundary-terminated prefix of any journal
+/// layout. A single file replays exactly like
+/// [`crate::recover_json_lines`]; a segmented layout replays the index's
+/// valid prefix, then any sealed-but-unindexed trailing segments (found by
+/// scanning), then the active partial — tolerating torn segments, a torn
+/// index, and interrupted compactions. Recovery always lands on a
+/// settlement boundary.
+///
+/// # Errors
+/// Returns [`SegmentError::Io`] when nothing readable exists at `path`,
+/// or [`SegmentError::Corrupt`] when the history hinges on a checkpoint
+/// that no longer validates (its folded events are gone; nothing can be
+/// replayed past it).
+pub fn recover_journal(path: &Path) -> Result<JournalRecovery, SegmentError> {
+    if path.is_file() {
+        let text = std::fs::read_to_string(path).map_err(|e| SegmentError::io(path, e))?;
+        let rec = recover_json_lines(&text);
+        return Ok(JournalRecovery {
+            segmented: false,
+            compacted_rounds: 0,
+            compacted_events: 0,
+            events_kept: rec.log.len(),
+            lines_read: rec.lines_read,
+            events_replayed: rec.events_replayed,
+            settlements: crate::diff::settlement_rows(&rec.log),
+            state: rec.log.state().clone(),
+            kept_text: rec.log.to_json_lines(),
+            source_bytes: text.len() as u64,
+            stop: rec.stop,
+        });
+    }
+    let (index, torn) = JournalIndex::read_tolerant(path)?;
+    let ckpt = match &index.checkpoint {
+        Some(ckpt_ref) => Some(load_checkpoint(path, ckpt_ref)?),
+        // A torn index may have lost its checkpoint line: fall back to the
+        // highest self-validating checkpoint on disk.
+        None if torn => scan_for_checkpoint(path),
+        None => None,
+    };
+    if index.segments.is_empty()
+        && ckpt.is_none()
+        && !index_path(path).is_file()
+        && !segment_path(path, 0).exists()
+        && !segment_partial_path(path, 0).exists()
+    {
+        // Nothing at all to recover from.
+        return Err(SegmentError::io(
+            path,
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                "no journal file or segment index found",
+            ),
+        ));
+    }
+    let (start_state, start_rows, compacted_rounds, compacted_events) = match &ckpt {
+        Some(c) => (c.state.clone(), c.settlements.clone(), c.rounds, c.events),
+        None => (ProtocolState::new(), Vec::new(), 0, 0),
+    };
+    let mut replay = TolerantReplay::new(start_state, start_rows);
+    let mut source_bytes = 0u64;
+    let mut seq = ckpt.as_ref().map_or(0, |c| c.segments_folded);
+
+    // Phase 1: the indexed segments.
+    for entry in &index.segments {
+        let seg = base_dir(path).join(&entry.file);
+        match std::fs::read_to_string(&seg) {
+            Ok(text) => {
+                source_bytes += text.len() as u64;
+                seq = entry.seq + 1;
+                if !replay.replay_chunk(&text, &entry.file, false) {
+                    break;
+                }
+            }
+            Err(e) => {
+                replay.stop = Some(RecoveryStop {
+                    line: replay.lines_read,
+                    reason: format!("{}: segment unreadable: {e}", entry.file),
+                });
+                break;
+            }
+        }
+    }
+
+    // Phase 2: sealed segments the (possibly torn) index never recorded.
+    while replay.stop.is_none() {
+        let seg = segment_path(path, seq);
+        if !seg.is_file() {
+            break;
+        }
+        match std::fs::read_to_string(&seg) {
+            Ok(text) => {
+                source_bytes += text.len() as u64;
+                seq += 1;
+                let label = file_name_of(&seg);
+                if !replay.replay_chunk(&text, &label, false) {
+                    break;
+                }
+            }
+            Err(e) => {
+                replay.stop = Some(RecoveryStop {
+                    line: replay.lines_read,
+                    reason: format!("{}: segment unreadable: {e}", seg.display()),
+                });
+                break;
+            }
+        }
+    }
+
+    // Phase 3: the active partial, if the run died mid-segment.
+    if replay.stop.is_none() {
+        let partial = segment_partial_path(path, seq);
+        if partial.is_file() {
+            match std::fs::read_to_string(&partial) {
+                Ok(text) => {
+                    source_bytes += text.len() as u64;
+                    let label = file_name_of(&partial);
+                    replay.replay_chunk(&text, &label, true);
+                }
+                Err(e) => {
+                    replay.stop = Some(RecoveryStop {
+                        line: replay.lines_read,
+                        reason: format!("{}: partial unreadable: {e}", partial.display()),
+                    });
+                }
+            }
+        }
+    }
+
+    debug_assert!(replay.state.at_round_boundary() || !replay.state.is_published());
+    Ok(JournalRecovery {
+        segmented: true,
+        compacted_rounds,
+        compacted_events,
+        events_kept: replay.events_kept,
+        lines_read: replay.lines_read,
+        events_replayed: replay.events_replayed,
+        settlements: replay.rows,
+        state: replay.state,
+        kept_text: replay.kept_text,
+        source_bytes,
+        stop: replay.stop,
+    })
+}
+
+/// The result of [`replay_to_round`]: one round's settlement plus where it
+/// came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundLookup {
+    /// The requested round's settlement.
+    pub row: SettlementRow,
+    /// `true` when served from the compaction checkpoint (no replay).
+    pub from_checkpoint: bool,
+    /// The single segment scanned, if the lookup replayed one.
+    pub segment: Option<u64>,
+    /// Events replayed to answer the lookup (0 from a checkpoint).
+    pub events_scanned: u64,
+}
+
+/// Answers "what settled at round R" with an index lookup plus at most
+/// one segment scan: a checkpointed round is read straight from the
+/// checkpoint's rows, an indexed round replays only its segment (resuming
+/// from the previous segment's `state_after`), and a single-file journal
+/// falls back to the full scan.
+///
+/// # Errors
+/// Returns [`SegmentError::Corrupt`] when the round is not settled in the
+/// journal, or on any validation failure in the one segment touched.
+pub fn replay_to_round(path: &Path, round: usize) -> Result<RoundLookup, SegmentError> {
+    if path.is_file() {
+        let view = load_journal(path)?;
+        let row = view.settlements.get(round).cloned().ok_or_else(|| {
+            SegmentError::corrupt(format!(
+                "round {round} not settled ({} rounds in {})",
+                view.settled_rounds(),
+                path.display()
+            ))
+        })?;
+        return Ok(RoundLookup {
+            row,
+            from_checkpoint: false,
+            segment: None,
+            events_scanned: view.events,
+        });
+    }
+    let index = JournalIndex::read_strict(path)?;
+    if let Some(ckpt_ref) = &index.checkpoint {
+        if round < ckpt_ref.rounds {
+            let ckpt = load_checkpoint(path, ckpt_ref)?;
+            return Ok(RoundLookup {
+                row: ckpt.settlements[round].clone(),
+                from_checkpoint: true,
+                segment: None,
+                events_scanned: 0,
+            });
+        }
+    }
+    for (i, entry) in index.segments.iter().enumerate() {
+        let Some(first) = entry.first_round else {
+            continue;
+        };
+        if !(first..first + entry.rounds).contains(&round) {
+            continue;
+        }
+        // Resume from the previous segment's state (or the checkpoint).
+        let mut state = if i > 0 {
+            index.segments[i - 1].state_after.clone()
+        } else {
+            match &index.checkpoint {
+                Some(ckpt_ref) => load_checkpoint(path, ckpt_ref)?.state,
+                None => ProtocolState::new(),
+            }
+        };
+        let mut rows = Vec::new();
+        verify_segment_entry(path, entry, &mut state, &mut rows)?;
+        let row = rows
+            .into_iter()
+            .find(|r| r.round.index() == round)
+            .ok_or_else(|| {
+                SegmentError::corrupt(format!(
+                    "{}: index places round {round} here but replay did not settle it",
+                    entry.file
+                ))
+            })?;
+        return Ok(RoundLookup {
+            row,
+            from_checkpoint: false,
+            segment: Some(entry.seq),
+            events_scanned: entry.events,
+        });
+    }
+    Err(SegmentError::corrupt(format!(
+        "round {round} not settled in {}",
+        path.display()
+    )))
+}
+
+/// The result of a [`compact_journal`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Segments folded by this run.
+    pub folded_segments: usize,
+    /// Rounds folded by this run.
+    pub folded_rounds: usize,
+    /// Events folded by this run.
+    pub folded_events: u64,
+    /// Segments left unfolded in the index.
+    pub kept_segments: usize,
+    /// The checkpoint generation now live (0 when nothing was ever
+    /// compacted).
+    pub generation: u64,
+    /// Total rounds now held by the checkpoint.
+    pub checkpoint_rounds: usize,
+}
+
+/// Folds the oldest `segments.len() - keep_segments` sealed segments into
+/// a new checkpoint generation. Every folded segment is digest-checked and
+/// replayed (with the `state_after` cross-check) before anything is
+/// written; the new checkpoint lands first, then the index flips
+/// atomically, then the folded segments and the superseded checkpoint are
+/// deleted — so a crash at any point leaves a loadable journal.
+///
+/// # Errors
+/// Returns [`SegmentError::Corrupt`] when `path` is not a quiescent
+/// segmented journal or any folded segment fails validation, and
+/// [`SegmentError::Io`] on file failures.
+pub fn compact_journal(path: &Path, keep_segments: usize) -> Result<CompactReport, SegmentError> {
+    if path.is_file() {
+        return Err(SegmentError::corrupt(format!(
+            "{}: single-file journal (nothing to compact — write it with \
+             --journal-segment-rounds to get segments)",
+            path.display()
+        )));
+    }
+    let start = std::time::Instant::now();
+    let index = JournalIndex::read_strict(path)?;
+    ensure_quiescent(path, &index)?;
+    let old_ckpt = match &index.checkpoint {
+        Some(ckpt_ref) => Some(load_checkpoint(path, ckpt_ref)?),
+        None => None,
+    };
+    let fold_count = index.segments.len().saturating_sub(keep_segments);
+    let (mut state, mut rows, mut events, mut bytes_digest, old_generation, old_folded) =
+        match &old_ckpt {
+            Some(c) => (
+                c.state.clone(),
+                c.settlements.clone(),
+                c.events,
+                c.bytes_digest,
+                c.generation,
+                c.segments_folded,
+            ),
+            None => (ProtocolState::new(), Vec::new(), 0, FNV_OFFSET, 0, 0),
+        };
+    if fold_count == 0 {
+        return Ok(CompactReport {
+            folded_segments: 0,
+            folded_rounds: 0,
+            folded_events: 0,
+            kept_segments: index.segments.len(),
+            generation: old_generation,
+            checkpoint_rounds: state.settled_rounds(),
+        });
+    }
+    let rounds_before = state.settled_rounds();
+    let events_before = events;
+    for entry in &index.segments[..fold_count] {
+        let text = verify_segment_entry(path, entry, &mut state, &mut rows)?;
+        bytes_digest = fnv1a(bytes_digest, text.as_bytes());
+        events += entry.events;
+    }
+    let consumer_total: f64 = rows.iter().map(|r| r.consumer).sum();
+    let seller_total: f64 = rows.iter().map(|r| r.sellers.iter().sum::<f64>()).sum();
+    let mut ckpt = Checkpoint {
+        format: SEGMENT_FORMAT_VERSION,
+        generation: old_generation + 1,
+        segments_folded: old_folded + fold_count as u64,
+        events,
+        rounds: state.settled_rounds(),
+        completed: state.is_completed(),
+        consumer_total,
+        seller_total,
+        bytes_digest,
+        state,
+        settlements: rows,
+        digest: 0,
+    };
+    ckpt.digest = ckpt.content_digest();
+
+    // Crash-safe ordering: new checkpoint → index flip → deletions.
+    let ckpt_file = checkpoint_path(path, ckpt.generation);
+    write_atomic(
+        &ckpt_file,
+        serde_json::to_string(&ckpt)
+            .expect("checkpoint serializes")
+            .as_bytes(),
+    )?;
+    let new_index = JournalIndex {
+        checkpoint: Some(CheckpointRef {
+            generation: ckpt.generation,
+            file: file_name_of(&ckpt_file),
+            rounds: ckpt.rounds,
+            events: ckpt.events,
+            digest: ckpt.digest,
+        }),
+        segments: index.segments[fold_count..].to_vec(),
+    };
+    new_index.write(path)?;
+    for entry in &index.segments[..fold_count] {
+        let _ = std::fs::remove_file(base_dir(path).join(&entry.file));
+    }
+    if let Some(old) = &old_ckpt {
+        let _ = std::fs::remove_file(checkpoint_path(path, old.generation));
+    }
+
+    let report = CompactReport {
+        folded_segments: fold_count,
+        folded_rounds: ckpt.rounds - rounds_before,
+        folded_events: ckpt.events - events_before,
+        kept_segments: new_index.segments.len(),
+        generation: ckpt.generation,
+        checkpoint_rounds: ckpt.rounds,
+    };
+    if cdt_obs::is_enabled() {
+        let registry = cdt_obs::global();
+        registry.add_counter("cdt_obs_journal_compactions_total", &[], 1);
+        registry.add_counter(
+            "cdt_obs_journal_compacted_rounds_total",
+            &[],
+            report.folded_rounds as u64,
+        );
+        let mut hist = cdt_obs::LatencyHistogram::new();
+        hist.record_ns(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        registry.merge_histogram("cdt_obs_journal_compact_ns", &[], &hist);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(FNV_OFFSET, b"foobar"), 0x85944171f73967e8);
+        // Chaining is equivalent to one pass.
+        assert_eq!(
+            fnv1a(fnv1a(FNV_OFFSET, b"foo"), b"bar"),
+            fnv1a(FNV_OFFSET, b"foobar")
+        );
+    }
+
+    #[test]
+    fn paths_are_zero_padded_and_ordered() {
+        let base = Path::new("/tmp/j.jsonl");
+        assert_eq!(
+            segment_path(base, 7),
+            PathBuf::from("/tmp/j.jsonl.seg-0007")
+        );
+        assert_eq!(
+            segment_partial_path(base, 12),
+            PathBuf::from("/tmp/j.jsonl.seg-0012.partial")
+        );
+        assert_eq!(index_path(base), PathBuf::from("/tmp/j.jsonl.idx"));
+        assert_eq!(
+            checkpoint_path(base, 3),
+            PathBuf::from("/tmp/j.jsonl.ckpt-0003")
+        );
+        // Lexicographic order equals numeric order within the pad width.
+        let names: Vec<String> = (0..15)
+            .map(|s| file_name_of(&segment_path(base, s)))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn index_round_trips_and_rejects_disorder() {
+        let entry = |seq: u64| SegmentEntry {
+            seq,
+            file: format!("j.seg-{seq:04}"),
+            first_round: Some(seq as usize),
+            rounds: 1,
+            events: 5,
+            digest: 42,
+            state_after: ProtocolState::new(),
+        };
+        let index = JournalIndex {
+            checkpoint: None,
+            segments: vec![entry(0), entry(1)],
+        };
+        let text = index.to_json_lines();
+        let (back, why) = JournalIndex::parse(&text);
+        assert!(why.is_none(), "{why:?}");
+        assert_eq!(back, index);
+        assert_eq!(back.next_seq(), 2);
+
+        // A gap in the sequence stops the parse at the valid prefix.
+        let gapped = JournalIndex {
+            checkpoint: None,
+            segments: vec![entry(0), entry(2)],
+        };
+        let (prefix, why) = JournalIndex::parse(&gapped.to_json_lines());
+        assert_eq!(prefix.segments.len(), 1);
+        assert!(why.unwrap().contains("out of order"));
+
+        // A torn trailing line keeps the prefix.
+        let mut torn = text.clone();
+        torn.truncate(text.len() - 10);
+        let (prefix, why) = JournalIndex::parse(&torn);
+        assert_eq!(prefix.segments.len(), 1);
+        assert!(why.unwrap().contains("bad JSON"));
+
+        // No header at all parses as empty-and-torn.
+        let (empty, why) = JournalIndex::parse("");
+        assert!(empty.segments.is_empty());
+        assert!(why.unwrap().contains("no header"));
+    }
+
+    #[test]
+    fn checkpoint_digest_rejects_tampering() {
+        let mut ckpt = Checkpoint {
+            format: SEGMENT_FORMAT_VERSION,
+            generation: 1,
+            segments_folded: 1,
+            events: 1,
+            rounds: 0,
+            completed: false,
+            consumer_total: 0.0,
+            seller_total: 0.0,
+            bytes_digest: FNV_OFFSET,
+            state: {
+                let mut s = ProtocolState::new();
+                s.apply(&MarketEvent::JobPublished {
+                    job: cdt_types::JobSpec::new(4, 2, 10.0).unwrap(),
+                })
+                .unwrap();
+                s
+            },
+            settlements: vec![],
+            digest: 0,
+        };
+        ckpt.digest = ckpt.content_digest();
+        ckpt.validate().unwrap();
+        // Any field change breaks the digest.
+        let mut forged = ckpt.clone();
+        forged.consumer_total = 1.0;
+        assert!(forged.validate().is_err());
+        // A recomputed digest over inconsistent counts is still caught.
+        let mut forged = ckpt.clone();
+        forged.rounds = 3;
+        forged.digest = forged.content_digest();
+        let err = forged.validate().unwrap_err();
+        assert!(err.to_string().contains("disagrees"), "{err}");
+    }
+}

@@ -112,6 +112,27 @@ impl ProtocolState {
         self.completed
     }
 
+    /// `true` once `JobPublished` was accepted.
+    #[must_use]
+    pub fn is_published(&self) -> bool {
+        self.published
+    }
+
+    /// The round the machine currently expects events for (one past the
+    /// last settled round).
+    #[must_use]
+    pub fn current_round(&self) -> Round {
+        self.current_round
+    }
+
+    /// `true` when the machine sits on a settlement boundary: no round is
+    /// in flight (the next event must be a `SellersSelected` or
+    /// `JobCompleted`). Recovery must always land in this state.
+    #[must_use]
+    pub fn at_round_boundary(&self) -> bool {
+        self.phase == Phase::AwaitSelection
+    }
+
     fn expect_round(&self, round: Round, got: &MarketEvent) -> Result<(), ProtocolError> {
         if round != self.current_round {
             return Err(ProtocolError::OutOfOrder {

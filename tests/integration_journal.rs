@@ -191,6 +191,32 @@ fn killed_run_leaves_recoverable_partial() {
 }
 
 #[test]
+fn stale_partial_is_refused_and_preserved() {
+    // A crashed run's `<path>.partial` is recoverable evidence; starting a
+    // new journal at the same path must refuse loudly, not clobber it.
+    let path = temp_path("stale_partial");
+    let partial = path.with_extension("jsonl.partial");
+    let evidence = "this is the dead run's history\n";
+    std::fs::write(&partial, evidence).unwrap();
+
+    let err = JournalSink::create(&path).expect_err("stale partial must refuse");
+    let msg = err.to_string();
+    assert!(msg.contains("refusing to start journal"), "{msg}");
+    assert!(msg.contains("journal recover"), "{msg}");
+    assert_eq!(
+        std::fs::read_to_string(&partial).unwrap(),
+        evidence,
+        "the stale partial must be untouched"
+    );
+
+    // Once the partial is cleared, the same path works again.
+    std::fs::remove_file(&partial).unwrap();
+    let sink = JournalSink::create(&path).unwrap();
+    drop(sink);
+    std::fs::remove_file(path.with_extension("jsonl.partial")).unwrap();
+}
+
+#[test]
 fn budget_journal_records_only_settled_rounds() {
     // Probe a typical per-round payment, then cap at ~6 rounds.
     let s = scenario(3, 10, 3, 400);
